@@ -1,0 +1,162 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These are not paper tables — they isolate the decisions Section 3 of
+the paper makes (or leaves open) and measure each one's effect:
+k-means passes per round, the hybrid test strategy, mapper-vote
+combination, the membership anchor, skew-aware partitioning, initial
+center selection, and Spark-style input caching.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ablations
+
+
+def test_ablation_kmeans_iterations(benchmark, report):
+    """Paper: "only two k-means iterations are sufficient" — quality is
+    flat from 2 passes on, while cost keeps climbing."""
+    result = benchmark.pedantic(
+        ablations.ablation_kmeans_iterations, rounds=1, iterations=1
+    )
+    report("ablation_kmeans_iterations", result.text)
+    by_iters = {r["kmeans_iterations"]: r for r in result.rows}
+    # Quality: no meaningful gain beyond 2 passes.
+    assert by_iters[2]["avg_distance"] <= by_iters[1]["avg_distance"] + 0.05
+    assert abs(by_iters[4]["avg_distance"] - by_iters[2]["avg_distance"]) < 0.1
+    # Cost: monotone in passes.
+    times = [r["time_seconds"] for r in result.rows]
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+def test_ablation_test_strategy(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.ablation_test_strategy, rounds=1, iterations=1
+    )
+    report("ablation_test_strategy", result.text)
+    by_strategy = {r["strategy"]: r for r in result.rows}
+    # At small k, auto follows the paper's rule and stays mapper-side.
+    assert by_strategy["auto"]["used"] == "mapper"
+    # Reducer-side full-sample tests have more power -> split more.
+    assert by_strategy["reducer"]["k_found"] > by_strategy["mapper"]["k_found"]
+
+
+def test_ablation_vote_rules(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.ablation_vote_rules, rounds=1, iterations=1
+    )
+    report("ablation_vote_rules", result.text)
+    by_rule = {r["vote_rule"]: r for r in result.rows}
+    # Eagerness ordering: any_reject >= weighted_majority >= all_reject.
+    assert (
+        by_rule["any_reject"]["k_found"]
+        >= by_rule["weighted_majority"]["k_found"]
+        >= by_rule["all_reject"]["k_found"]
+    )
+
+
+def test_ablation_anchor_modes(benchmark, report):
+    """The paper-literal previous-center anchor freezes multi-cluster
+    aggregates more often than the centroid anchor."""
+    result = benchmark.pedantic(
+        ablations.ablation_anchor_modes, rounds=1, iterations=1,
+        kwargs={"seed": 0},
+    )
+    report("ablation_anchor_modes", result.text)
+    by_variant = {r["variant"]: r for r in result.rows}
+    literal = by_variant["paper-literal"]
+    centroid = by_variant["centroid (default)"]
+    assert centroid["coverage_holes"] <= literal["coverage_holes"]
+    assert centroid["mean_avg_distance"] <= literal["mean_avg_distance"] + 0.1
+
+
+def test_ablation_balanced_partitioning(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.ablation_balanced_partitioning, rounds=1, iterations=1
+    )
+    report("ablation_balanced_partitioning", result.text)
+    by_mode = {r["partitioner"]: r for r in result.rows}
+    assert (
+        by_mode["balanced"]["reduce_imbalance"]
+        <= by_mode["hash"]["reduce_imbalance"]
+    )
+    assert (
+        by_mode["balanced"]["reduce_seconds"]
+        <= by_mode["hash"]["reduce_seconds"] + 1e-9
+    )
+
+
+def test_ablation_init_methods(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.ablation_init_methods, rounds=1, iterations=1
+    )
+    report("ablation_init_methods", result.text)
+    by_init = {r["init"]: r for r in result.rows}
+    # Careful seeding covers every true cluster; random seeding misses
+    # some and pays dearly in distance.
+    assert by_init["kmeans++"]["true_clusters_covered"] == 16
+    assert by_init["kmeans||"]["true_clusters_covered"] == 16
+    assert by_init["random"]["avg_distance"] > by_init["kmeans++"]["avg_distance"]
+    assert by_init["kmeans||"]["avg_distance"] == pytest.approx(
+        by_init["kmeans++"]["avg_distance"], rel=0.25
+    )
+
+
+def test_ablation_cache_input(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.ablation_cache_input, rounds=1, iterations=1
+    )
+    report("ablation_cache_input", result.text)
+    cold, warm = result.rows
+    assert warm["disk_reads"] == 1
+    assert warm["cached_reads"] == cold["disk_reads"] - 1
+    assert warm["time_seconds"] < cold["time_seconds"] * 0.6
+    assert warm["k_found"] == cold["k_found"]
+
+
+def test_ablation_normality_tests(benchmark, report):
+    """Swapping the split test: all three find a sensible clustering;
+    Anderson-Darling (the G-means choice) is at least as accurate as
+    the cheap moment test."""
+    result = benchmark.pedantic(
+        ablations.ablation_normality_tests, rounds=1, iterations=1
+    )
+    report("ablation_normality_tests", result.text)
+    by_test = {r["normality_test"]: r for r in result.rows}
+    for r in result.rows:
+        assert r["ratio"] >= 0.8
+        assert r["ari"] > 0.6
+    assert by_test["anderson"]["ari"] >= by_test["jarque_bera"]["ari"] - 0.05
+
+
+def test_ablation_cluster_shapes(benchmark, report):
+    """Robustness: compact non-Gaussian shapes are handled; uniform
+    background noise explodes k but shatters cleanly (purity ~1)."""
+    result = benchmark.pedantic(
+        ablations.ablation_cluster_shapes, rounds=1, iterations=1
+    )
+    report("ablation_cluster_shapes", result.text)
+    by_dataset = {r["dataset"]: r for r in result.rows}
+    for label in ("gaussian (paper)", "anisotropic (cond 8)", "uniform balls"):
+        assert by_dataset[label]["ari"] > 0.9
+    noisy = by_dataset["gaussian + 5% noise"]
+    assert noisy["ratio"] > 2.0  # k explodes on the noise field
+    assert noisy["purity"] > 0.95  # ...but real clusters stay pure
+
+
+def test_ablation_algorithms(benchmark, report):
+    """MR G-means vs MR X-means vs fixed-k k-means on one dataset."""
+    result = benchmark.pedantic(
+        ablations.ablation_algorithms, rounds=1, iterations=1
+    )
+    report("ablation_algorithms", result.text)
+    by_alg = {r["algorithm"]: r for r in result.rows}
+    gmeans = by_alg["MR G-means"]
+    xmeans = by_alg["MR X-means"]
+    # Both k-finders land near the truth (k_real = 16) with good ARI.
+    assert 12 <= gmeans["k_found"] <= 28
+    assert 12 <= xmeans["k_found"] <= 28
+    assert gmeans["ari"] > 0.8
+    assert xmeans["ari"] > 0.8
+    # X-means' per-iteration pipeline is longer (children + BIC jobs).
+    assert xmeans["dataset_reads"] > gmeans["dataset_reads"]

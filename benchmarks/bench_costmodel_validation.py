@@ -1,0 +1,29 @@
+"""Section 4 — the closed-form cost model against runtime counters.
+
+Paper: G-means needs O(4 log2 k) dataset reads, O(8nk) distance
+computations and ~2k Anderson-Darling tests; multi-k-means needs
+O(n k^2) distances per iteration. The simulator counts every one of
+those quantities, so the closed forms can be validated directly.
+"""
+
+import pytest
+
+from repro.evaluation import experiments
+
+
+def test_costmodel_predictions_match_counters(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.costmodel_validation, rounds=1, iterations=1
+    )
+    report("costmodel_validation", result.text)
+
+    by_name = {r["quantity"]: r for r in result.rows}
+    # Dataset reads are exact: jobs/iteration x iterations.
+    assert by_name["G-means dataset reads"]["ratio"] == pytest.approx(1.0)
+    assert by_name["multi-k-means dataset reads"]["ratio"] == pytest.approx(1.0)
+    # Multi-k-means distances are exact: n x sum(k) per pass.
+    assert by_name["multi-k-means distance computations"]["ratio"] == pytest.approx(1.0)
+    # G-means distances and tests are order-level estimates (the sum of
+    # active centers per iteration depends on the split trajectory).
+    assert 0.3 <= by_name["G-means distance computations"]["ratio"] <= 3.0
+    assert 0.3 <= by_name["G-means AD tests"]["ratio"] <= 3.0

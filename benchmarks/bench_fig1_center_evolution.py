@@ -1,0 +1,25 @@
+"""Figure 1 — evolution of G-means centers on the 10-cluster R^2 set.
+
+Paper: three snapshots showing centers doubling into place; the final
+run plants centers in every true cluster.
+"""
+
+from repro.evaluation import experiments
+
+
+def test_fig1_center_evolution(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig1_center_evolution, rounds=1, iterations=1
+    )
+    report("fig1_center_evolution", result.text)
+
+    rows = result.rows
+    # Centers double while everything still splits: k 1 -> 2 -> 4 ...
+    assert rows[0]["k_before"] == 1
+    assert rows[1]["k_before"] == 2
+    assert rows[2]["k_before"] == 4
+    # The run terminates with all 10 true clusters found (possibly a
+    # few extra centers, as in the paper's "14 centers" outcome).
+    final = result.data["result"]
+    assert final.completed
+    assert 10 <= final.k_found <= 16

@@ -1,0 +1,31 @@
+"""Figure 2 — reducer heap required by TestClusters.
+
+Paper: jobs crash with "Java heap space" below a frontier that fits
+``heap_MB = 64 * millions_of_points - 42.67`` — i.e. 64 bytes per
+buffered projection.
+"""
+
+import pytest
+
+from repro.evaluation import experiments
+from repro.evaluation.paper_values import FIG2_SLOPE_BYTES_PER_POINT
+
+
+def test_fig2_heap_frontier(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig2_heap_memory, rounds=1, iterations=1
+    )
+    report("fig2_heap_memory", result.text)
+
+    slope = result.data["slope_bytes_per_point"]
+    # Paper: 64 bytes/point. The 1-MB heap grid quantises the fit a bit.
+    assert slope == pytest.approx(FIG2_SLOPE_BYTES_PER_POINT, rel=0.15)
+    # The frontier is monotone: more points need at least as much heap.
+    min_heap = result.data["min_heap_by_n"]
+    sizes = sorted(min_heap)
+    assert all(
+        min_heap[a] <= min_heap[b] for a, b in zip(sizes, sizes[1:])
+    )
+    # Both outcomes were actually observed (the figure has both marks).
+    outcomes = {row["succeeded"] for row in result.rows}
+    assert outcomes == {True, False}

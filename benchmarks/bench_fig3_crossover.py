@@ -1,0 +1,31 @@
+"""Figure 3 — running time of G-means vs multi-k-means.
+
+Paper: G-means' *total* running time grows gently with k while a
+*single* multi-k-means iteration grows quadratically; the curves cross
+around k ~ 100-150, beyond which one baseline iteration already costs
+more than the entire G-means run.
+"""
+
+from repro.evaluation import experiments
+
+
+def test_fig3_running_time_crossover(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig3_crossover, rounds=1, iterations=1
+    )
+    report("fig3_crossover", result.text)
+
+    rows = result.rows
+    # The crossover exists and sits in the tens-to-couple-hundred range
+    # (absolute k units — directly comparable to the paper's plot).
+    crossover = result.data["crossover_k"]
+    assert crossover is not None
+    assert 16 <= crossover <= 256
+    # Beyond the crossover multi-k-means runs away: at the largest k one
+    # baseline iteration costs several times the whole G-means run
+    # (paper at k=400: 10252 s vs ~2300 s).
+    last = rows[-1]
+    assert last["multi"] > 3.0 * last["gmeans"]
+    # Below the crossover G-means is the more expensive of the two.
+    first = rows[0]
+    assert first["gmeans"] > first["multi"]

@@ -1,0 +1,39 @@
+"""Table 1 — G-means across the d-family (scaled).
+
+Paper (10M points in R^10):
+
+| clusters   | 100  | 200  | 400  | 800  | 1600 |
+| discovered | 134  | 305  | 626  | 1264 | 2455 |
+| time (s)   | 1286 | 1667 | 2291 | 4208 | 5593 |
+| iterations | 9    | 10   | 11   | 13   | 13   |
+
+Shapes to reproduce: discovered k overestimates the truth by a roughly
+constant factor (~1.5), execution time scales ~linearly with k, and
+iterations sit a little above ``log2(k)``.
+"""
+
+import numpy as np
+
+from repro.evaluation import experiments
+
+
+def test_table1_gmeans_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.table1_gmeans_scaling, rounds=1, iterations=1
+    )
+    report("table1_gmeans_scaling", result.text)
+
+    rows = result.rows
+    ratios = [r["ratio"] for r in rows]
+    # Overestimation: k_found >= ~k_real on every dataset, and the
+    # mean ratio sits in the paper's 1-1.7 band.
+    assert all(ratio >= 0.85 for ratio in ratios)
+    assert 1.0 <= float(np.mean(ratios)) <= 1.8
+    # Time grows ~linearly with k.
+    assert result.data["correlation"] > 0.9
+    times = [r["time_seconds"] for r in rows]
+    assert all(a < b for a, b in zip(times, times[1:]))
+    # Iterations ~ log2(k) plus a few extras (paper: 9..13 for 100..1600).
+    for r in rows:
+        expected = int(np.ceil(np.log2(r["clusters"])))
+        assert expected <= r["iterations"] <= expected + 7

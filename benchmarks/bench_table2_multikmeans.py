@@ -1,0 +1,31 @@
+"""Table 2 — average time of one multi-k-means iteration (scaled).
+
+Paper (10M points): 237 s at k=50 rising to 10252 s at k=400 — growth
+far above linear, consistent with the O(n k^2) distance count.
+"""
+
+import numpy as np
+
+from repro.evaluation import experiments
+
+
+def test_table2_multi_kmeans_iteration_time(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.table2_multi_kmeans, rounds=1, iterations=1
+    )
+    report("table2_multikmeans", result.text)
+
+    rows = result.rows
+    times = [r["time_seconds"] for r in rows]
+    ks = [r["clusters"] for r in rows]
+    # Strictly growing, and superlinear: time ratio beats k ratio.
+    assert all(a < b for a, b in zip(times, times[1:]))
+    assert times[-1] / times[0] > (ks[-1] / ks[0]) * 1.5
+    # The quadratic fit is near-perfect; the linear fit is worse.
+    assert result.data["correlation_k2"] > 0.999
+    assert result.data["correlation_k2"] > result.data["correlation_k"]
+    # Distance counts follow sum(1..k) exactly.
+    for r in rows:
+        k = r["clusters"]
+        expected = 20_000 * k * (k + 1) // 2
+        assert r["distances_per_iteration"] == expected

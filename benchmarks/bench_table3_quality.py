@@ -1,0 +1,31 @@
+"""Table 3 — clustering quality at equal k.
+
+Paper: average point-to-center distance of G-means beats multi-k-means
+run at the very same k for 10 iterations, by ~10% — progressive center
+placement dodges the local minima random initialisation falls into.
+"""
+
+import numpy as np
+
+from repro.evaluation import experiments
+
+
+def test_table3_quality_advantage(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.table3_quality, rounds=1, iterations=1
+    )
+    report("table3_quality", result.text)
+
+    rows = result.rows
+    # G-means matches or beats the randomly-initialised baseline on
+    # every dataset (ties happen when the baseline dodges all local
+    # minima at a given seed).
+    for r in rows:
+        assert r["gmeans"] <= r["multi_kmeans"] * 1.01
+    # Mean advantage in the paper's direction and band (~10%, allow 2-25%).
+    mean_advantage = result.data["mean_advantage"]
+    assert 0.02 <= mean_advantage <= 0.25
+    # And G-means is at worst marginally behind the k-means++ baseline
+    # (the better-init fix the paper's related work points to).
+    for r in rows:
+        assert r["gmeans"] <= r["multi_kmeans_pp"] * 1.05

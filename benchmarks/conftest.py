@@ -1,0 +1,27 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark runs its experiment exactly once (pedantic mode:
+``rounds=1``) — these are *reproduction* runs whose value is the
+rendered paper-vs-measured report, not statistical timing of a hot
+loop. Reports are printed and archived under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report():
+    """Print an experiment report and archive it to benchmarks/out/."""
+
+    def _report(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _report

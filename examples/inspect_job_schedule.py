@@ -1,0 +1,62 @@
+"""Inspect one MapReduce job's simulated schedule as an ASCII Gantt.
+
+Useful when a phase is slower than expected: the Gantt shows whether
+the time went to stragglers, skewed reducers, or under-filled task
+waves. This example runs a single ``TestClusters`` job over a skewed
+mixture twice — hash-partitioned and weight-balanced — and prints both
+schedules side by side.
+
+Run:  python examples/inspect_job_schedule.py
+"""
+
+import numpy as np
+
+from repro.data.generator import generate_gaussian_mixture
+from repro.evaluation.harness import BENCH_COST, build_world
+from repro.core.test_clusters import make_test_clusters_job
+from repro.mapreduce import (
+    make_weight_balanced_partitioner,
+    reduce_load_imbalance,
+    render_job_trace,
+)
+from repro.clustering.metrics import assign_nearest
+
+from dataclasses import replace
+
+
+def main() -> None:
+    # One giant cluster and several small ones: classic reducer skew.
+    weights = np.array([0.6, 0.1, 0.1, 0.08, 0.06, 0.06])
+    mixture = generate_gaussian_mixture(
+        40_000, 6, 5, rng=5, weights=weights, center_low=0, center_high=200
+    )
+    cost = replace(
+        BENCH_COST, seconds_per_ad_point=1e-5, task_startup_seconds=0.0
+    )
+    world = build_world(mixture, nodes=2, target_splits=12, seed=5, cost=cost)
+    labels, _ = assign_nearest(mixture.points, mixture.centers)
+    sizes = {c: int((labels == c).sum()) for c in range(6)}
+    pairs = {
+        c: np.vstack([mixture.centers[c] + 0.5, mixture.centers[c] - 0.5])
+        for c in range(6)
+    }
+
+    for mode in ("hash", "balanced"):
+        partitioner = (
+            make_weight_balanced_partitioner(sizes, 4)
+            if mode == "balanced"
+            else None
+        )
+        job = make_test_clusters_job(
+            mixture.centers, pairs, alpha=0.01, num_reduce_tasks=4,
+            name=f"TestClusters-{mode}", partitioner=partitioner,
+        )
+        result = world.runtime.run(job, world.dataset)
+        print(f"=== {mode} partitioning "
+              f"(reduce imbalance {reduce_load_imbalance(result):.2f}) ===")
+        print(render_job_trace(result, world.runtime.cluster))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: find k automatically with MapReduce G-means.
+
+Generates a synthetic Gaussian mixture with an "unknown" number of
+clusters, places it on the simulated DFS, runs MR G-means, and reports
+what it found — including the per-iteration trace of Algorithm 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterConfig,
+    InMemoryDFS,
+    MapReduceRuntime,
+    MRGMeans,
+    MRGMeansConfig,
+    average_distance,
+    generate_gaussian_mixture,
+    write_points,
+)
+
+TRUE_K = 25  # pretend we do not know this
+
+
+def main() -> None:
+    # 1. A dataset with an unknown number of clusters.
+    mixture = generate_gaussian_mixture(
+        n_points=30_000, n_clusters=TRUE_K, dimensions=10, rng=42
+    )
+
+    # 2. A simulated 4-node Hadoop cluster with an in-memory DFS.
+    dfs = InMemoryDFS(split_size_bytes=256 * 1024)
+    dataset = write_points(dfs, "points", mixture.points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=4), rng=7)
+
+    # 3. Run MR G-means (Algorithm 1 of the paper).
+    driver = MRGMeans(runtime, MRGMeansConfig(seed=7))
+    result = driver.fit(dataset)
+
+    # 4. Report.
+    print(f"true k:        {TRUE_K}")
+    print(f"discovered k:  {result.k_found}")
+    print(f"iterations:    {result.iterations}")
+    print(f"simulated t:   {result.simulated_seconds:.1f} s on 4 nodes")
+    print(f"dataset reads: {result.totals.dataset_reads}")
+    print(f"distances:     {result.totals.distance_computations:,}")
+    print(f"avg distance:  {average_distance(mixture.points, result.centers):.3f}")
+    print()
+    print("iteration trace (Algorithm 1):")
+    for h in result.history:
+        print(
+            f"  it{h.iteration:>2}: k {h.k_before:>3} -> {h.k_after:<3}"
+            f" tested={h.clusters_tested:<3} split={h.clusters_split:<3}"
+            f" strategy={h.strategy:<7} t={h.simulated_seconds:.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Serial G-means / X-means vs the MapReduce port, side by side.
+
+Runs the original serial algorithms (Hamerly & Elkan's G-means with
+PCA-based child placement, Pelleg & Moore's X-means) and the paper's
+MapReduce G-means on the same dataset, then applies the center-merge
+post-processing the paper leaves as future work.
+
+Run:  python examples/serial_vs_mapreduce.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    ClusterConfig,
+    InMemoryDFS,
+    MapReduceRuntime,
+    MRGMeans,
+    MRGMeansConfig,
+    average_distance,
+    gmeans,
+    merge_gmeans_centers,
+    write_points,
+    xmeans,
+)
+from repro.clustering import GMeansOptions
+from repro.data import demo_r2_dataset
+
+
+def main() -> None:
+    mixture = demo_r2_dataset(n_points=6000, rng=19)
+    points = mixture.points
+    print(f"dataset: {points.shape[0]} points in R^2,"
+          f" {mixture.n_clusters} true clusters")
+    print()
+    print(f"{'algorithm':<26}{'k':>4}{'avg dist':>10}{'wall (s)':>10}")
+    print("-" * 50)
+
+    t0 = time.perf_counter()
+    serial = gmeans(points, GMeansOptions(child_init="pca"), rng=19)
+    print(
+        f"{'serial G-means (pca)':<26}{serial.k:>4}"
+        f"{average_distance(points, serial.centers):>10.3f}"
+        f"{time.perf_counter() - t0:>10.2f}"
+    )
+
+    t0 = time.perf_counter()
+    serial_rand = gmeans(points, GMeansOptions(child_init="random"), rng=19)
+    print(
+        f"{'serial G-means (random)':<26}{serial_rand.k:>4}"
+        f"{average_distance(points, serial_rand.centers):>10.3f}"
+        f"{time.perf_counter() - t0:>10.2f}"
+    )
+
+    t0 = time.perf_counter()
+    x = xmeans(points, k_init=2, rng=19)
+    print(
+        f"{'X-means (BIC)':<26}{x.k:>4}"
+        f"{average_distance(points, x.centers):>10.3f}"
+        f"{time.perf_counter() - t0:>10.2f}"
+    )
+
+    dfs = InMemoryDFS(split_size_bytes=64 * 1024)
+    dataset = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=4), rng=19)
+    t0 = time.perf_counter()
+    mr = MRGMeans(runtime, MRGMeansConfig(seed=19)).fit(dataset)
+    print(
+        f"{'MR G-means':<26}{mr.k_found:>4}"
+        f"{average_distance(points, mr.centers):>10.3f}"
+        f"{time.perf_counter() - t0:>10.2f}"
+    )
+
+    merged = merge_gmeans_centers(points, mr.centers, rng=19)
+    print(
+        f"{'MR G-means + merge':<26}{merged.shape[0]:>4}"
+        f"{average_distance(points, merged):>10.3f}{'-':>10}"
+    )
+
+    print()
+    print(
+        f"MR G-means simulated cluster time: {mr.simulated_seconds:.1f} s"
+        f" over {mr.totals.jobs} jobs / {mr.totals.dataset_reads} dataset reads"
+    )
+
+
+if __name__ == "__main__":
+    main()

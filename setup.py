@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Enables `pip install -e . --no-build-isolation` (legacy editable path)
+on offline machines; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""MapReduce G-means: determining the k in k-means with MapReduce.
+
+A full reproduction of Debatty, Michiardi, Mees & Thonnard,
+"Determining the k in k-means with MapReduce" (EDBT/ICDT 2014),
+including the Hadoop-like MapReduce substrate it runs on.
+
+Quickstart::
+
+    from repro import (
+        MRGMeans, MRGMeansConfig, MapReduceRuntime, InMemoryDFS,
+        generate_gaussian_mixture, write_points,
+    )
+
+    mixture = generate_gaussian_mixture(
+        n_points=20_000, n_clusters=25, dimensions=10, rng=0
+    )
+    dfs = InMemoryDFS(split_size_bytes=256 * 1024)
+    dataset = write_points(dfs, "points", mixture.points)
+    runtime = MapReduceRuntime(dfs, rng=0)
+    result = MRGMeans(runtime, MRGMeansConfig(seed=0)).fit(dataset)
+    print(result.k_found, result.simulated_seconds)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: MR G-means, MR k-means, multi-k-means.
+``repro.mapreduce``
+    The simulated Hadoop runtime (DFS, jobs, combiners, counters,
+    heap accounting, cluster topology, cost model).
+``repro.clustering``
+    Serial algorithms and the related-work k-selection criteria.
+``repro.stats``
+    Anderson-Darling normality test and normal-distribution utilities.
+``repro.data``
+    Synthetic Gaussian-mixture generators and the text codec.
+``repro.analysis``
+    Closed-form Section-4 cost model.
+``repro.evaluation``
+    One experiment entry point per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.errors import (
+    ConfigurationError,
+    DataFormatError,
+    JavaHeapSpaceError,
+    JobFailedError,
+    ReproError,
+)
+from repro.core import (
+    MRGMeans,
+    MRGMeansConfig,
+    MRGMeansResult,
+    MRKMeans,
+    MRKMeansResult,
+    MultiKMeans,
+    MultiKMeansResult,
+)
+from repro.clustering import (
+    GMeansOptions,
+    KMeansResult,
+    average_distance,
+    choose_k,
+    gmeans,
+    lloyd_kmeans,
+    merge_gmeans_centers,
+    wcss,
+    xmeans,
+)
+from repro.data import (
+    demo_r2_dataset,
+    generate_gaussian_mixture,
+    paper_family_dataset,
+    read_points,
+    write_points,
+)
+from repro.mapreduce import (
+    ClusterConfig,
+    CostParameters,
+    InMemoryDFS,
+    MapReduceRuntime,
+)
+from repro.stats import anderson_darling_normality
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "DataFormatError",
+    "JavaHeapSpaceError",
+    "JobFailedError",
+    "MRGMeans",
+    "MRGMeansConfig",
+    "MRGMeansResult",
+    "MRKMeans",
+    "MRKMeansResult",
+    "MultiKMeans",
+    "MultiKMeansResult",
+    "GMeansOptions",
+    "KMeansResult",
+    "average_distance",
+    "choose_k",
+    "gmeans",
+    "lloyd_kmeans",
+    "merge_gmeans_centers",
+    "wcss",
+    "xmeans",
+    "demo_r2_dataset",
+    "generate_gaussian_mixture",
+    "paper_family_dataset",
+    "read_points",
+    "write_points",
+    "ClusterConfig",
+    "CostParameters",
+    "InMemoryDFS",
+    "MapReduceRuntime",
+    "anderson_darling_normality",
+]

@@ -1,0 +1,21 @@
+"""Closed-form cost model from the paper's Section 4."""
+
+from repro.analysis.costmodel import (
+    GMeansCost,
+    MultiKMeansCost,
+    gmeans_cost,
+    gmeans_iterations,
+    multi_kmeans_cost,
+    paper_gmeans_cost,
+    crossover_k,
+)
+
+__all__ = [
+    "GMeansCost",
+    "MultiKMeansCost",
+    "gmeans_cost",
+    "gmeans_iterations",
+    "multi_kmeans_cost",
+    "paper_gmeans_cost",
+    "crossover_k",
+]

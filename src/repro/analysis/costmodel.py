@@ -1,0 +1,183 @@
+"""Section-4 cost modelisation, in closed form.
+
+The paper derives:
+
+* G-means: starting from one cluster, iteration ``i`` updates
+  ``2^(i+1)`` centers to test ``2^i`` clusters; reaching ``k_real``
+  takes ``log2(k_real)`` iterations (a few more in practice), the sum
+  of tested k over all iterations is ``~2 k_real``, giving
+  ``O(4 log2 k)`` dataset reads, ``O(8 n k)`` distance computations and
+  ``2 k`` Anderson-Darling tests — **linear in k**;
+* multi-k-means: each iteration computes ``sum_{j=1..k_max} j ~ k^2/2``
+  centers, hence ``O(n k_max^2)`` distance computations per iteration
+  and ``O(n k_max)`` shuffled coordinates — **quadratic in k**.
+
+Two variants of the G-means estimate are exposed: ``paper_gmeans_cost``
+uses the paper's published constants (4 jobs per iteration), while
+``gmeans_cost`` is parameterised by the actual driver configuration
+(``kmeans_iterations`` k-means passes + 1 test job per iteration) so the
+estimates can be validated against the simulator's counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.validation import check_positive
+
+
+def gmeans_iterations(k_real: int, extra_iterations: int = 1) -> int:
+    """Iterations to reach ``k_real`` clusters by doubling.
+
+    Theoretical minimum is ``log2(k_real)`` (paper, Section 4); "in
+    practice a few additional iterations are required", captured by
+    ``extra_iterations``.
+    """
+    check_positive("k_real", k_real)
+    return max(1, math.ceil(math.log2(k_real))) + extra_iterations
+
+
+def _sum_tested_k(iterations: int, k_real: int) -> int:
+    """Sum of tested cluster counts over all iterations: ``2^(n+1)-1``,
+    capped by the fact that found clusters stop being tested (the paper
+    approximates the sum as ``O(2 k_real)``)."""
+    return min(2**(iterations + 1) - 1, 2 * k_real)
+
+
+@dataclass(frozen=True)
+class GMeansCost:
+    """Closed-form G-means cost estimate."""
+
+    k_real: int
+    n_points: int
+    iterations: int
+    dataset_reads: int
+    distance_computations: int
+    ad_tests: int
+    shuffled_records: int
+
+
+@dataclass(frozen=True)
+class MultiKMeansCost:
+    """Closed-form multi-k-means cost estimate."""
+
+    k_max: int
+    n_points: int
+    iterations: int
+    dataset_reads: int
+    distance_computations: int
+    distance_computations_per_iteration: int
+    shuffled_records: int
+
+
+def gmeans_cost(
+    n_points: int,
+    k_real: int,
+    kmeans_iterations: int = 2,
+    extra_iterations: int = 1,
+) -> GMeansCost:
+    """Estimate for the implemented driver.
+
+    Each iteration runs ``kmeans_iterations`` k-means passes (the last
+    merged with candidate picking) plus one test job, each reading the
+    dataset once and computing ``n * centers`` distances, where the
+    center count at iteration ``i`` is about twice the tested cluster
+    count. The KMeansAndFindNewCenters pass shuffles every point
+    twice; with combiners the shuffled volume collapses to one record
+    per (cluster, split) — the estimate reports the pre-combine figure
+    the paper reasons about.
+    """
+    check_positive("n_points", n_points)
+    check_positive("k_real", k_real)
+    check_positive("kmeans_iterations", kmeans_iterations)
+    iterations = gmeans_iterations(k_real, extra_iterations)
+    jobs_per_iteration = kmeans_iterations + 1
+    sum_k = _sum_tested_k(iterations, k_real)
+    # Every job assigns all n points against the current centers — about
+    # twice the tested-cluster count (each active cluster fields a pair).
+    distances = jobs_per_iteration * n_points * 2 * sum_k
+    # KMeans passes shuffle n records; the merged pass shuffles 2n; the
+    # test job shuffles n projections.
+    shuffled = iterations * ((kmeans_iterations - 1) + 2 + 1) * n_points
+    return GMeansCost(
+        k_real=k_real,
+        n_points=n_points,
+        iterations=iterations,
+        dataset_reads=jobs_per_iteration * iterations,
+        distance_computations=distances,
+        ad_tests=sum_k,
+        shuffled_records=shuffled,
+    )
+
+
+def paper_gmeans_cost(n_points: int, k_real: int) -> GMeansCost:
+    """The paper's headline numbers: ``O(4 log2 k)`` reads,
+    ``O(8 n k)`` distances, ``2 k`` AD tests."""
+    check_positive("n_points", n_points)
+    check_positive("k_real", k_real)
+    iterations = max(1, math.ceil(math.log2(k_real)))
+    return GMeansCost(
+        k_real=k_real,
+        n_points=n_points,
+        iterations=iterations,
+        dataset_reads=4 * iterations,
+        distance_computations=8 * n_points * k_real,
+        ad_tests=2 * k_real,
+        shuffled_records=4 * iterations * n_points,
+    )
+
+
+def multi_kmeans_cost(
+    n_points: int,
+    k_max: int,
+    iterations: int = 10,
+    k_min: int = 1,
+    k_step: int = 1,
+) -> MultiKMeansCost:
+    """Estimate for the multi-k-means baseline (Algorithm 6).
+
+    Each iteration assigns every point under every candidate k:
+    ``n * sum(k_min..k_max)`` distances — ``O(n k_max^2 / 2)`` — and
+    shuffles ``n * candidates`` records before combining.
+    """
+    check_positive("n_points", n_points)
+    check_positive("k_max", k_max)
+    check_positive("iterations", iterations)
+    candidates = list(range(k_min, k_max + 1, k_step))
+    sum_k = sum(candidates)
+    per_iteration = n_points * sum_k
+    return MultiKMeansCost(
+        k_max=k_max,
+        n_points=n_points,
+        iterations=iterations,
+        dataset_reads=iterations + 1,  # +1 for the scoring job
+        distance_computations=per_iteration * (iterations + 1),
+        distance_computations_per_iteration=per_iteration,
+        shuffled_records=iterations * n_points * len(candidates),
+    )
+
+
+def crossover_k(
+    n_points: int,
+    kmeans_iterations: int = 2,
+    multi_iterations: int = 1,
+    k_max_search: int = 4096,
+) -> int:
+    """Smallest k_real at which G-means' *total* distance count falls
+    below a ``multi_iterations``-iteration multi-k-means run searching
+    ``[1, k_real]``.
+
+    With the default of one iteration this is the paper's Figure 3
+    comparison ("for a value of k as low as 100, G-means already
+    outperforms multi-k-means" — i.e. one baseline iteration already
+    costs more than the whole G-means run): the quadratic ``k^2/2``
+    term of the baseline overtakes G-means' ``~12 k`` term around a few
+    dozen clusters.
+    """
+    for k in range(2, k_max_search + 1):
+        g = gmeans_cost(n_points, k, kmeans_iterations=kmeans_iterations)
+        m = multi_kmeans_cost(n_points, k, iterations=multi_iterations)
+        if g.distance_computations < m.distance_computations_per_iteration * multi_iterations:
+            return k
+    return k_max_search

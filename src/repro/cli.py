@@ -1,0 +1,131 @@
+"""Command-line interface: run any paper experiment or ablation.
+
+::
+
+    python -m repro list
+    python -m repro experiment table1
+    python -m repro experiment fig3 --out fig3.txt
+    python -m repro ablation kmeans_iterations
+    python -m repro all --out-dir reports/
+
+Every run is deterministic (the experiments carry their own seeds);
+the printed report is the same paper-vs-measured text the benchmark
+suite archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+from repro.evaluation.registry import ABLATIONS, DESCRIPTIONS, EXPERIMENTS
+
+
+def _emit(result, out: "str | None") -> None:
+    print(result.text)
+    if out:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.text + "\n")
+        print(f"\n[written to {path}]", file=sys.stderr)
+
+
+def _cmd_list(_args) -> int:
+    print("experiments (python -m repro experiment <name>):")
+    for name in EXPERIMENTS:
+        print(f"  {name:<24}{DESCRIPTIONS[name]}")
+    print()
+    print("ablations (python -m repro ablation <name>):")
+    for name in ABLATIONS:
+        print(f"  {name:<24}{DESCRIPTIONS[name]}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = EXPERIMENTS[args.name]()
+    _emit(result, args.out)
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    result = ABLATIONS[args.name]()
+    _emit(result, args.out)
+    return 0
+
+
+def _cmd_all(args) -> int:
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
+    for name, fn in {**EXPERIMENTS, **ABLATIONS}.items():
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        result = fn()
+        print(result.text)
+        print()
+        if out_dir:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(result.text + "\n")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evaluation.report import write_report
+
+    path = write_report(
+        args.out,
+        names=args.only or None,
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr),
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Determining the k in k-means with MapReduce'"
+        " (EDBT 2014): run any table/figure experiment or ablation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and ablations")
+
+    p_exp = sub.add_parser("experiment", help="run one paper table/figure")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--out", help="also write the report to this file")
+
+    p_abl = sub.add_parser("ablation", help="run one design-choice ablation")
+    p_abl.add_argument("name", choices=sorted(ABLATIONS))
+    p_abl.add_argument("--out", help="also write the report to this file")
+
+    p_all = sub.add_parser("all", help="run everything (several minutes)")
+    p_all.add_argument("--out-dir", help="directory for per-report files")
+
+    p_report = sub.add_parser(
+        "report", help="run experiments and write one markdown report"
+    )
+    p_report.add_argument(
+        "--out", default="report.md", help="output markdown path"
+    )
+    p_report.add_argument(
+        "--only",
+        nargs="*",
+        help="restrict to these experiment/ablation names",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "ablation": _cmd_ablation,
+        "all": _cmd_all,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

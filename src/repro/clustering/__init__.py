@@ -1,0 +1,96 @@
+"""Serial clustering algorithms, metrics, k-selection and merging.
+
+The serial reference implementations (Lloyd's k-means, G-means,
+X-means) serve as oracles for the MapReduce versions; the selection
+criteria are the related-work k-choosers whose O(n k^2) cost motivates
+the paper; the merge module implements the paper's future-work
+post-processing step.
+"""
+
+from repro.clustering.external import (
+    adjusted_rand_index,
+    clustering_report,
+    normalized_mutual_information,
+    purity,
+)
+from repro.clustering.gmeans import (
+    GMeansOptions,
+    GMeansResult,
+    gmeans,
+    pick_children,
+    split_decision,
+)
+from repro.clustering.init import (
+    canopy_init,
+    farthest_point_from,
+    init_centers,
+    kmeans_pp_init,
+    random_init,
+)
+from repro.clustering.lloyd import KMeansResult, lloyd_kmeans, lloyd_step
+from repro.clustering.merge import (
+    merge_centers,
+    merge_gmeans_centers,
+    suggest_merge_threshold,
+)
+from repro.clustering.metrics import (
+    assign_nearest,
+    average_distance,
+    cluster_sizes,
+    explained_variance_ratio,
+    pairwise_sq_distances,
+    wcss,
+)
+from repro.clustering.selection import (
+    CRITERIA,
+    KSweep,
+    choose_k,
+    dunn_index,
+    elbow_k,
+    gap_statistic_k,
+    jump_k,
+    silhouette_score,
+    sweep_kmeans,
+)
+from repro.clustering.xmeans import XMeansResult, spherical_bic, xmeans
+
+__all__ = [
+    "adjusted_rand_index",
+    "clustering_report",
+    "normalized_mutual_information",
+    "purity",
+    "GMeansOptions",
+    "GMeansResult",
+    "gmeans",
+    "pick_children",
+    "split_decision",
+    "canopy_init",
+    "farthest_point_from",
+    "init_centers",
+    "kmeans_pp_init",
+    "random_init",
+    "KMeansResult",
+    "lloyd_kmeans",
+    "lloyd_step",
+    "merge_centers",
+    "merge_gmeans_centers",
+    "suggest_merge_threshold",
+    "assign_nearest",
+    "average_distance",
+    "cluster_sizes",
+    "explained_variance_ratio",
+    "pairwise_sq_distances",
+    "wcss",
+    "CRITERIA",
+    "KSweep",
+    "choose_k",
+    "dunn_index",
+    "elbow_k",
+    "gap_statistic_k",
+    "jump_k",
+    "silhouette_score",
+    "sweep_kmeans",
+    "XMeansResult",
+    "spherical_bic",
+    "xmeans",
+]

@@ -1,0 +1,219 @@
+"""Serial G-means (Hamerly & Elkan 2003) — the algorithm the paper
+ports to MapReduce.
+
+Starting from a small number of centers, each iteration refines the
+centers with k-means, then tests every cluster: the cluster's points
+are projected onto the segment joining two candidate children centers,
+and the projections are tested for normality with Anderson-Darling. A
+Gaussian-looking cluster keeps its center; anything else is split into
+the two children.
+
+This serial version analyses clusters one by one (and therefore does
+not overestimate k the way the parallel MR version does); it serves as
+the reference oracle in the test suite and as the baseline for the MR
+version's behavioural comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.common.validation import check_points, check_positive
+from repro.clustering.lloyd import KMeansResult, lloyd_kmeans
+from repro.clustering.metrics import assign_nearest
+from repro.stats.anderson import GMEANS_ALPHA
+from repro.stats.normality import normality_test
+from repro.stats.projection import project_onto
+
+
+@dataclass(frozen=True)
+class GMeansResult:
+    """Outcome of a G-means run."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    k_history: tuple[int, ...]
+    ad_tests: int
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+
+@dataclass
+class GMeansOptions:
+    """Tunables of the serial algorithm.
+
+    ``child_init`` selects how a cluster's two candidate children are
+    placed: ``"pca"`` (Hamerly & Elkan: ``c +- m`` with ``m`` along the
+    principal component, scaled by ``sqrt(2 lambda / pi)``) or
+    ``"random"`` (two random member points — the cheap choice the EDBT
+    paper uses in MapReduce).
+    """
+
+    alpha: float = GMEANS_ALPHA
+    normality_test: str = "anderson"
+    k_init: int = 1
+    k_max: int = 4096
+    min_split_size: int = 25
+    child_init: str = "pca"
+    child_kmeans_iterations: int = 10
+    refine_iterations: int = 10
+    max_iterations: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("k_init", self.k_init)
+        check_positive("k_max", self.k_max)
+        check_positive("min_split_size", self.min_split_size)
+        check_positive("max_iterations", self.max_iterations)
+        if self.child_init not in ("pca", "random"):
+            raise ConfigurationError(
+                f"child_init must be 'pca' or 'random', got {self.child_init!r}"
+            )
+        from repro.stats.normality import NORMALITY_TESTS
+
+        if self.normality_test not in NORMALITY_TESTS:
+            raise ConfigurationError(
+                f"normality_test must be one of {sorted(NORMALITY_TESTS)}, "
+                f"got {self.normality_test!r}"
+            )
+
+
+def _principal_direction(points: np.ndarray) -> np.ndarray:
+    """Unit eigenvector of the largest covariance eigenvalue, scaled by
+    sqrt(2 * lambda / pi) as in Hamerly & Elkan."""
+    centered = points - points.mean(axis=0)
+    cov = centered.T @ centered / max(1, points.shape[0] - 1)
+    eigenvalues, eigenvectors = np.linalg.eigh(cov)
+    lam = max(float(eigenvalues[-1]), 0.0)
+    direction = eigenvectors[:, -1]
+    return direction * np.sqrt(2.0 * lam / np.pi)
+
+
+def pick_children(
+    cluster_points: np.ndarray,
+    center: np.ndarray,
+    method: str,
+    rng: np.random.Generator,
+) -> np.ndarray | None:
+    """Place the two candidate children for one cluster.
+
+    Returns a ``(2, d)`` matrix or ``None`` when no usable pair exists
+    (degenerate cluster: fewer than two distinct points).
+    """
+    if cluster_points.shape[0] < 2:
+        return None
+    if method == "pca":
+        m = _principal_direction(cluster_points)
+        if not np.any(m):
+            return None
+        return np.vstack([center + m, center - m])
+    # random: two distinct member points
+    idx = rng.choice(cluster_points.shape[0], size=2, replace=False)
+    pair = cluster_points[idx]
+    if np.array_equal(pair[0], pair[1]):
+        return None
+    return pair.copy()
+
+
+def split_decision(
+    cluster_points: np.ndarray,
+    children: np.ndarray,
+    alpha: float,
+    normality: str = "anderson",
+) -> tuple[bool, float]:
+    """The G-means test for one cluster.
+
+    Projects the cluster's points onto ``v = c1 - c2`` and runs the
+    chosen normality test (Anderson-Darling by default); returns
+    ``(should_split, statistic)``. A degenerate direction (children
+    coincide) cannot justify a split.
+    """
+    v = children[0] - children[1]
+    if not np.any(v):
+        return False, 0.0
+    projections = project_onto(cluster_points, v)
+    if projections.min() == projections.max():
+        return False, 0.0
+    result = normality_test(projections, alpha, normality)
+    return (not result.is_normal), result.statistic
+
+
+def gmeans(
+    points: np.ndarray,
+    options: GMeansOptions | None = None,
+    rng=None,
+) -> GMeansResult:
+    """Run serial G-means and return centers, labels and diagnostics."""
+    pts = check_points(points)
+    opts = options or GMeansOptions()
+    rng = ensure_rng(rng)
+    if opts.k_init == 1:
+        centers = pts.mean(axis=0, keepdims=True)
+    else:
+        idx = rng.choice(pts.shape[0], size=min(opts.k_init, pts.shape[0]), replace=False)
+        centers = pts[idx].copy()
+
+    ad_tests = 0
+    k_history: list[int] = []
+    iteration = 0
+    for iteration in range(1, opts.max_iterations + 1):
+        refined: KMeansResult = lloyd_kmeans(
+            pts, init=centers, max_iterations=opts.refine_iterations, rng=rng
+        )
+        centers = refined.centers
+        labels = refined.labels
+        k_history.append(centers.shape[0])
+
+        next_centers: list[np.ndarray] = []
+        split_any = False
+        k_current = centers.shape[0]
+        for i in range(centers.shape[0]):
+            member = pts[labels == i]
+            if member.shape[0] < opts.min_split_size or k_current >= opts.k_max:
+                next_centers.append(centers[i])
+                continue
+            children = pick_children(member, centers[i], opts.child_init, rng)
+            if children is None:
+                next_centers.append(centers[i])
+                continue
+            child_fit = lloyd_kmeans(
+                member,
+                init=children,
+                max_iterations=opts.child_kmeans_iterations,
+                rng=rng,
+            )
+            sizes = np.bincount(child_fit.labels, minlength=2)
+            if sizes.min() == 0:
+                next_centers.append(centers[i])
+                continue
+            should_split, _stat = split_decision(
+                member, child_fit.centers, opts.alpha, opts.normality_test
+            )
+            ad_tests += 1
+            if should_split:
+                next_centers.extend(child_fit.centers)
+                split_any = True
+                k_current += 1
+            else:
+                next_centers.append(centers[i])
+        centers = np.vstack(next_centers)
+        if not split_any:
+            break
+
+    final = lloyd_kmeans(pts, init=centers, max_iterations=opts.refine_iterations, rng=rng)
+    labels, sq = assign_nearest(pts, final.centers)
+    return GMeansResult(
+        centers=final.centers,
+        labels=labels,
+        inertia=float(sq.sum()),
+        iterations=iteration,
+        k_history=tuple(k_history),
+        ad_tests=ad_tests,
+    )

@@ -1,0 +1,103 @@
+"""Center initialisation strategies.
+
+The paper's ``PickInitialCenters`` is a serial random pick; it also
+cites k-means++ (Arthur & Vassilvitskii 2007) and canopy clustering
+(McCallum et al. 2000) as drop-in alternatives — "other distributed or
+more efficient algorithms can be found in the literature and can
+perfectly be used instead". All three are provided and pluggable into
+both the serial and MapReduce drivers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.common.validation import check_points, check_positive
+from repro.clustering.metrics import assign_nearest, pairwise_sq_distances
+
+
+def random_init(points: np.ndarray, k: int, rng=None) -> np.ndarray:
+    """Pick ``k`` distinct points uniformly at random (the paper's
+    PickInitialCenters)."""
+    pts = check_points(points)
+    check_positive("k", k)
+    if k > pts.shape[0]:
+        raise ConfigurationError(
+            f"cannot pick {k} centers from {pts.shape[0]} points"
+        )
+    rng = ensure_rng(rng)
+    idx = rng.choice(pts.shape[0], size=k, replace=False)
+    return pts[idx].copy()
+
+
+def kmeans_pp_init(points: np.ndarray, k: int, rng=None) -> np.ndarray:
+    """k-means++ seeding: each next center is drawn with probability
+    proportional to its squared distance from the chosen set."""
+    pts = check_points(points)
+    check_positive("k", k)
+    n = pts.shape[0]
+    if k > n:
+        raise ConfigurationError(f"cannot pick {k} centers from {n} points")
+    rng = ensure_rng(rng)
+    centers = np.empty((k, pts.shape[1]))
+    centers[0] = pts[rng.integers(n)]
+    sq = pairwise_sq_distances(pts, centers[0:1]).ravel()
+    for i in range(1, k):
+        total = sq.sum()
+        if total == 0.0:
+            # All remaining points coincide with chosen centers.
+            centers[i:] = pts[rng.choice(n, size=k - i)]
+            break
+        probs = sq / total
+        centers[i] = pts[rng.choice(n, p=probs)]
+        sq = np.minimum(sq, pairwise_sq_distances(pts, centers[i : i + 1]).ravel())
+    return centers
+
+
+def canopy_init(
+    points: np.ndarray, t1: float, t2: float, rng=None, max_canopies: int | None = None
+) -> np.ndarray:
+    """Canopy clustering (McCallum et al.): cheap overlapping pre-groups.
+
+    Returns the canopy centers, usable as k-means seeds. ``t1 > t2``:
+    points within ``t2`` of a canopy center are removed from the
+    candidate pool; within ``t1`` they join the canopy (overlap allowed).
+    """
+    pts = check_points(points)
+    if not t1 > t2 > 0:
+        raise ConfigurationError(f"canopy thresholds need t1 > t2 > 0, got {t1}, {t2}")
+    rng = ensure_rng(rng)
+    remaining = np.arange(pts.shape[0])
+    order = rng.permutation(remaining)
+    alive = np.ones(pts.shape[0], dtype=bool)
+    centers: list[np.ndarray] = []
+    for idx in order:
+        if not alive[idx]:
+            continue
+        center = pts[idx]
+        centers.append(center.copy())
+        d = np.linalg.norm(pts[alive] - center, axis=1)
+        removed = np.flatnonzero(alive)[d <= t2]
+        alive[removed] = False
+        alive[idx] = False
+        if max_canopies is not None and len(centers) >= max_canopies:
+            break
+    return np.vstack(centers)
+
+
+def init_centers(points: np.ndarray, k: int, method: str = "random", rng=None) -> np.ndarray:
+    """Dispatch on a method name: ``random`` or ``kmeans++``."""
+    if method == "random":
+        return random_init(points, k, rng)
+    if method in ("kmeans++", "k-means++"):
+        return kmeans_pp_init(points, k, rng)
+    raise ConfigurationError(f"unknown init method: {method!r}")
+
+
+def farthest_point_from(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """The point farthest from its nearest center (used to re-seed
+    empty clusters)."""
+    _, sq = assign_nearest(points, centers)
+    return points[int(np.argmax(sq))].copy()

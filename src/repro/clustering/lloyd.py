@@ -1,0 +1,111 @@
+"""Lloyd's algorithm — "the k-means algorithm".
+
+The serial reference implementation the MapReduce jobs are tested
+against: on identical inputs and initial centers, one MR k-means
+iteration must produce exactly the centers of one Lloyd iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.common.validation import check_points, check_positive
+from repro.clustering.init import farthest_point_from, init_centers
+from repro.clustering.metrics import assign_nearest, cluster_sizes
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+
+def lloyd_step(
+    points: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One Lloyd iteration: assign, then recompute means.
+
+    Returns ``(new_centers, labels, inertia)`` where inertia is the
+    WCSS *under the assignment step* (i.e. against the input centers).
+    Empty clusters keep their previous center — the same policy as the
+    MR reducer, which simply receives no data for them.
+    """
+    labels, sq = assign_nearest(points, centers)
+    k, d = centers.shape
+    sums = np.zeros((k, d))
+    np.add.at(sums, labels, points)
+    counts = cluster_sizes(labels, k).astype(np.float64)
+    new_centers = centers.copy()
+    occupied = counts > 0
+    new_centers[occupied] = sums[occupied] / counts[occupied, None]
+    return new_centers, labels, float(sq.sum())
+
+
+def lloyd_kmeans(
+    points: np.ndarray,
+    k: int | None = None,
+    init: "np.ndarray | str" = "random",
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    rng=None,
+    reseed_empty: bool = False,
+) -> KMeansResult:
+    """Full Lloyd's algorithm.
+
+    ``init`` is either an explicit ``(k, d)`` center matrix or a method
+    name (``"random"`` / ``"kmeans++"``) combined with ``k``.
+    ``reseed_empty`` replaces a center that lost all its points with the
+    point farthest from any center (instead of freezing it in place).
+    Convergence is declared when the largest center displacement falls
+    below ``tolerance``.
+    """
+    pts = check_points(points)
+    check_positive("max_iterations", max_iterations)
+    rng = ensure_rng(rng)
+    if isinstance(init, str):
+        if k is None:
+            raise ConfigurationError("k is required when init is a method name")
+        centers = init_centers(pts, k, method=init, rng=rng)
+    else:
+        centers = check_points(np.asarray(init, dtype=np.float64), "init")
+        if k is not None and centers.shape[0] != k:
+            raise ConfigurationError(
+                f"init has {centers.shape[0]} centers but k={k}"
+            )
+    labels = np.zeros(pts.shape[0], dtype=np.int64)
+    inertia = float("inf")
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        new_centers, labels, inertia = lloyd_step(pts, centers)
+        if reseed_empty:
+            counts = cluster_sizes(labels, centers.shape[0])
+            for empty in np.flatnonzero(counts == 0):
+                new_centers[empty] = farthest_point_from(pts, new_centers)
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if shift <= tolerance:
+            converged = True
+            break
+    # Final assignment against the final centers.
+    labels, sq = assign_nearest(pts, centers)
+    return KMeansResult(
+        centers=centers,
+        labels=labels,
+        inertia=float(sq.sum()),
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,107 @@
+"""Clustering quality metrics.
+
+The paper's quality comparison (Table 3) is the within-cluster sum of
+squares objective of k-means and the derived average point-to-center
+distance; the k-selection criteria in :mod:`repro.clustering.selection`
+build on the same primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import DataFormatError
+from repro.common.validation import check_points
+
+#: Rows per chunk when evaluating the n-by-k distance matrix; bounds
+#: peak memory at ~chunk * k doubles.
+_CHUNK_ROWS = 16384
+
+
+def pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Full ``(n, k)`` matrix of squared Euclidean distances."""
+    pts = check_points(points, "points")
+    ctr = check_points(centers, "centers")
+    if pts.shape[1] != ctr.shape[1]:
+        raise DataFormatError(
+            f"dimension mismatch: points d={pts.shape[1]}, centers d={ctr.shape[1]}"
+        )
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, clipped for rounding.
+    sq = (
+        np.sum(pts * pts, axis=1)[:, None]
+        - 2.0 * (pts @ ctr.T)
+        + np.sum(ctr * ctr, axis=1)[None, :]
+    )
+    return np.maximum(sq, 0.0)
+
+
+def assign_nearest(
+    points: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-center assignment.
+
+    Returns ``(labels, sq_distances)`` where ``sq_distances[i]`` is the
+    squared distance of point ``i`` to its assigned center. Processes
+    points in chunks so the distance matrix never exceeds a few MB.
+    """
+    pts = check_points(points, "points")
+    ctr = check_points(centers, "centers")
+    n = pts.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    sq = np.empty(n, dtype=np.float64)
+    for start in range(0, n, _CHUNK_ROWS):
+        stop = min(start + _CHUNK_ROWS, n)
+        block = pairwise_sq_distances(pts[start:stop], ctr)
+        labels[start:stop] = np.argmin(block, axis=1)
+        sq[start:stop] = block[np.arange(stop - start), labels[start:stop]]
+    return labels, sq
+
+
+def wcss(
+    points: np.ndarray, centers: np.ndarray, labels: np.ndarray | None = None
+) -> float:
+    """Within-cluster sum of squares (the k-means objective).
+
+    With ``labels`` given, measures that assignment; otherwise uses the
+    optimal (nearest-center) assignment.
+    """
+    pts = check_points(points, "points")
+    ctr = check_points(centers, "centers")
+    if labels is None:
+        _, sq = assign_nearest(pts, ctr)
+        return float(sq.sum())
+    lab = np.asarray(labels)
+    if lab.shape != (pts.shape[0],):
+        raise DataFormatError(
+            f"labels shape {lab.shape} does not match {pts.shape[0]} points"
+        )
+    diffs = pts - ctr[lab]
+    return float(np.sum(diffs * diffs))
+
+
+def average_distance(points: np.ndarray, centers: np.ndarray) -> float:
+    """Mean Euclidean distance from each point to its nearest center —
+    the quality number reported in the paper's Table 3."""
+    _, sq = assign_nearest(points, centers)
+    return float(np.sqrt(sq).mean())
+
+
+def cluster_sizes(labels: np.ndarray, k: int) -> np.ndarray:
+    """Number of points per cluster id in ``[0, k)``."""
+    lab = np.asarray(labels, dtype=np.int64)
+    if lab.size and (lab.min() < 0 or lab.max() >= k):
+        raise DataFormatError(
+            f"labels outside [0, {k}): min={lab.min()}, max={lab.max()}"
+        )
+    return np.bincount(lab, minlength=k)
+
+
+def explained_variance_ratio(points: np.ndarray, centers: np.ndarray) -> float:
+    """Between-group over total variance (the elbow method's F-like
+    "percentage of variance explained")."""
+    pts = check_points(points)
+    total = float(np.sum((pts - pts.mean(axis=0)) ** 2))
+    if total == 0.0:
+        return 1.0
+    within = wcss(pts, centers)
+    return max(0.0, 1.0 - within / total)

@@ -1,0 +1,322 @@
+"""Classical "choose k" criteria from the paper's related-work section.
+
+These are the techniques that motivate the paper: they require running
+a clustering algorithm for *every* candidate k (cost proportional to
+n*k^2 overall) and then scoring the results. Implemented here:
+
+* elbow method (Thorndike 1953) — knee of the explained-variance curve;
+* average silhouette (Rousseeuw 1987);
+* jump method (Sugar & James 2003) — transformed-distortion jumps;
+* gap statistic (Tibshirani et al. 2001) — dispersion vs a null model;
+* Dunn index (Dunn 1973);
+* BIC / AIC on the spherical Gaussian model (as used by X-means).
+
+The multi-k-means MR driver reuses these scorers to pick k from its
+per-k WCSS output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.common.validation import check_points
+from repro.clustering.lloyd import KMeansResult, lloyd_kmeans
+from repro.clustering.metrics import (
+    assign_nearest,
+    cluster_sizes,
+    pairwise_sq_distances,
+)
+from repro.clustering.xmeans import spherical_bic
+
+
+@dataclass
+class KSweep:
+    """k-means fits for a range of k, reusable by every criterion."""
+
+    ks: list[int]
+    results: dict[int, KMeansResult] = field(default_factory=dict)
+
+    def wcss_curve(self) -> dict[int, float]:
+        return {k: self.results[k].inertia for k in self.ks}
+
+
+def sweep_kmeans(
+    points: np.ndarray,
+    ks: "list[int] | range",
+    rng=None,
+    init: str = "kmeans++",
+    max_iterations: int = 30,
+    restarts: int = 1,
+) -> KSweep:
+    """Fit k-means for each candidate k (best of ``restarts`` tries)."""
+    pts = check_points(points)
+    ks = sorted(set(int(k) for k in ks))
+    if not ks or ks[0] < 1:
+        raise ConfigurationError(f"candidate ks must be >= 1, got {ks!r}")
+    rng = ensure_rng(rng)
+    sweep = KSweep(ks=ks)
+    for k in ks:
+        best: KMeansResult | None = None
+        for _ in range(max(1, restarts)):
+            fit = lloyd_kmeans(
+                pts, k=k, init=init, max_iterations=max_iterations, rng=rng
+            )
+            if best is None or fit.inertia < best.inertia:
+                best = fit
+        sweep.results[k] = best
+    return sweep
+
+
+# -- individual criteria -------------------------------------------------
+
+
+def elbow_k(wcss_by_k: dict[int, float]) -> int:
+    """Knee of the WCSS curve by maximum distance to the chord.
+
+    A robust mechanisation of the paper's "angle in the graph": the
+    selected k maximises the (normalised) vertical distance between the
+    curve and the straight line joining its endpoints.
+    """
+    ks = sorted(wcss_by_k)
+    if len(ks) < 3:
+        raise ConfigurationError("elbow needs at least 3 candidate ks")
+    w = np.array([wcss_by_k[k] for k in ks], dtype=np.float64)
+    x = np.array(ks, dtype=np.float64)
+    # Normalise both axes to [0, 1] so the chord distance is scale-free.
+    xn = (x - x[0]) / (x[-1] - x[0])
+    span = w[0] - w[-1]
+    wn = (w - w[-1]) / span if span > 0 else np.zeros_like(w)
+    chord = 1.0 - xn  # straight line from (0, 1) to (1, 0)
+    distances = chord - wn
+    return ks[int(np.argmax(distances))]
+
+
+def silhouette_score(
+    points: np.ndarray,
+    labels: np.ndarray,
+    sample_size: int | None = 2000,
+    rng=None,
+) -> float:
+    """Mean silhouette over (a sample of) the points.
+
+    Exact per-point silhouettes against full cluster populations would
+    be O(n^2); sampling bounds the cost while keeping an unbiased mean.
+    Singleton clusters contribute silhouette 0 (standard convention).
+    """
+    pts = check_points(points)
+    lab = np.asarray(labels, dtype=np.int64)
+    k = int(lab.max()) + 1
+    if k < 2:
+        raise ConfigurationError("silhouette requires at least 2 clusters")
+    rng = ensure_rng(rng)
+    n = pts.shape[0]
+    if sample_size is not None and sample_size < n:
+        idx = rng.choice(n, size=sample_size, replace=False)
+    else:
+        idx = np.arange(n)
+    sizes = cluster_sizes(lab, k)
+    # Sum of distances from each sampled point to every member of each
+    # cluster; silhouette's a/b terms are means of these sums.
+    totals = np.zeros((idx.size, k))
+    for c in range(k):
+        member = pts[lab == c]
+        if member.shape[0] == 0:
+            continue
+        d = np.sqrt(pairwise_sq_distances(pts[idx], member))
+        totals[:, c] = d.sum(axis=1)
+    scores = np.zeros(idx.size)
+    for row, i in enumerate(idx):
+        own = lab[i]
+        if sizes[own] <= 1:
+            scores[row] = 0.0
+            continue
+        a = totals[row, own] / (sizes[own] - 1)  # exclude the point itself
+        b = math.inf
+        for c in range(k):
+            if c != own and sizes[c] > 0:
+                b = min(b, totals[row, c] / sizes[c])
+        denom = max(a, b)
+        scores[row] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def silhouette_k(points: np.ndarray, sweep: KSweep, rng=None) -> int:
+    """k with the best average silhouette across the sweep."""
+    rng = ensure_rng(rng)
+    best_k, best_score = None, -math.inf
+    for k in sweep.ks:
+        if k < 2:
+            continue
+        fit = sweep.results[k]
+        score = silhouette_score(points, fit.labels, rng=rng)
+        if score > best_score:
+            best_k, best_score = k, score
+    if best_k is None:
+        raise ConfigurationError("silhouette needs candidate ks >= 2")
+    return best_k
+
+
+def jump_k(
+    wcss_by_k: dict[int, float], n_points: int, dimensions: int
+) -> int:
+    """Jump method: largest jump of the transformed distortion
+    ``d_k^(-d/2)`` (Sugar & James 2003)."""
+    ks = sorted(wcss_by_k)
+    if len(ks) < 2:
+        raise ConfigurationError("jump method needs at least 2 candidate ks")
+    power = -dimensions / 2.0
+    transformed = {}
+    for k in ks:
+        distortion = wcss_by_k[k] / (n_points * dimensions)
+        transformed[k] = distortion**power if distortion > 0 else math.inf
+    previous = 0.0  # convention: d_0^(-d/2) = 0
+    best_k, best_jump = ks[0], -math.inf
+    for k in ks:
+        jump = transformed[k] - previous
+        if jump > best_jump:
+            best_k, best_jump = k, jump
+        previous = transformed[k]
+    return best_k
+
+
+def gap_statistic_k(
+    points: np.ndarray,
+    sweep: KSweep,
+    n_references: int = 10,
+    rng=None,
+) -> int:
+    """Gap statistic: smallest k with Gap(k) >= Gap(k+1) - s_{k+1}.
+
+    References are uniform samples over the data's bounding box
+    (Tibshirani et al. 2001, the simplest null model).
+    """
+    pts = check_points(points)
+    rng = ensure_rng(rng)
+    ks = sweep.ks
+    low, high = pts.min(axis=0), pts.max(axis=0)
+    log_wk = {k: math.log(max(sweep.results[k].inertia, 1e-300)) for k in ks}
+    gap, s = {}, {}
+    for k in ks:
+        ref_logs = []
+        for _ in range(n_references):
+            ref = rng.uniform(low, high, size=pts.shape)
+            fit = lloyd_kmeans(ref, k=k, init="kmeans++", max_iterations=10, rng=rng)
+            ref_logs.append(math.log(max(fit.inertia, 1e-300)))
+        ref_logs = np.array(ref_logs)
+        gap[k] = float(ref_logs.mean()) - log_wk[k]
+        s[k] = float(ref_logs.std() * math.sqrt(1.0 + 1.0 / n_references))
+    for k, k_next in zip(ks, ks[1:]):
+        if gap[k] >= gap[k_next] - s[k_next]:
+            return k
+    return ks[-1]
+
+
+def dunn_index(points: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
+    """Dunn index with centroid-based separation and diameter.
+
+    The classic Dunn index uses pairwise point distances (O(n^2)); the
+    common centroid variant — min inter-center distance over max
+    cluster diameter (2x max point-to-center distance) — preserves the
+    ranking at a fraction of the cost.
+    """
+    ctr = check_points(centers, "centers")
+    if ctr.shape[0] < 2:
+        raise ConfigurationError("Dunn index requires at least 2 clusters")
+    lab = np.asarray(labels, dtype=np.int64)
+    _, sq = assign_nearest(points, ctr)
+    diameters = np.zeros(ctr.shape[0])
+    for c in range(ctr.shape[0]):
+        member_sq = sq[lab == c]
+        if member_sq.size:
+            diameters[c] = 2.0 * math.sqrt(float(member_sq.max()))
+    inter = pairwise_sq_distances(ctr, ctr)
+    np.fill_diagonal(inter, np.inf)
+    min_sep = math.sqrt(float(inter.min()))
+    max_diam = float(diameters.max())
+    if max_diam == 0.0:
+        return math.inf
+    return min_sep / max_diam
+
+
+def dunn_k(points: np.ndarray, sweep: KSweep) -> int:
+    """k with the highest Dunn index across the sweep."""
+    best_k, best = None, -math.inf
+    for k in sweep.ks:
+        if k < 2:
+            continue
+        fit = sweep.results[k]
+        value = dunn_index(points, fit.centers, fit.labels)
+        if value > best:
+            best_k, best = k, value
+    if best_k is None:
+        raise ConfigurationError("Dunn index needs candidate ks >= 2")
+    return best_k
+
+
+def bic_k(points: np.ndarray, sweep: KSweep) -> int:
+    """k maximising the spherical-Gaussian BIC."""
+    pts = check_points(points)
+    best_k, best = None, -math.inf
+    for k in sweep.ks:
+        fit = sweep.results[k]
+        value = spherical_bic(pts, fit.centers, fit.labels)
+        if value > best:
+            best_k, best = k, value
+    return best_k
+
+
+def aic_k(points: np.ndarray, sweep: KSweep) -> int:
+    """k maximising the spherical-Gaussian AIC (X-means' alternative)."""
+    pts = check_points(points)
+    n = pts.shape[0]
+    best_k, best = None, -math.inf
+    for k in sweep.ks:
+        fit = sweep.results[k]
+        bic = spherical_bic(pts, fit.centers, fit.labels)
+        # Convert the BIC penalty to AIC's: +0.5 p ln n - p.
+        p = k * (pts.shape[1] + 1)
+        value = bic + 0.5 * p * math.log(n) - p
+        if value > best:
+            best_k, best = k, value
+    return best_k
+
+
+#: Criteria available through :func:`choose_k`.
+CRITERIA = ("elbow", "silhouette", "jump", "gap", "dunn", "bic", "aic")
+
+
+def choose_k(
+    points: np.ndarray,
+    ks: "list[int] | range",
+    method: str = "elbow",
+    rng=None,
+    sweep: KSweep | None = None,
+) -> int:
+    """Run (or reuse) a k sweep and apply the named criterion."""
+    if method not in CRITERIA:
+        raise ConfigurationError(
+            f"unknown criterion {method!r}; choose one of {CRITERIA}"
+        )
+    pts = check_points(points)
+    rng = ensure_rng(rng)
+    if sweep is None:
+        sweep = sweep_kmeans(pts, ks, rng=rng)
+    wcss_by_k = sweep.wcss_curve()
+    if method == "elbow":
+        return elbow_k(wcss_by_k)
+    if method == "silhouette":
+        return silhouette_k(pts, sweep, rng=rng)
+    if method == "jump":
+        return jump_k(wcss_by_k, pts.shape[0], pts.shape[1])
+    if method == "gap":
+        return gap_statistic_k(pts, sweep, rng=rng)
+    if method == "dunn":
+        return dunn_k(pts, sweep)
+    if method == "bic":
+        return bic_k(pts, sweep)
+    return aic_k(pts, sweep)

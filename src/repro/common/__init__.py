@@ -1,0 +1,30 @@
+"""Shared utilities: errors, RNG handling, validation helpers."""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    DataFormatError,
+    JavaHeapSpaceError,
+    JobFailedError,
+)
+from repro.common.rng import ensure_rng, spawn_rng
+from repro.common.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_points,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataFormatError",
+    "JavaHeapSpaceError",
+    "JobFailedError",
+    "ensure_rng",
+    "spawn_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_points",
+]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly, at object-construction time, so misconfiguration is
+    reported before any expensive work starts.
+    """
+
+
+class DataFormatError(ReproError):
+    """A dataset record or file could not be parsed or validated."""
+
+
+class JobFailedError(ReproError):
+    """A MapReduce job failed.
+
+    Mirrors Hadoop's behaviour of failing the whole job when a task
+    fails repeatedly. The ``cause`` attribute carries the task-level
+    exception (for example :class:`JavaHeapSpaceError`).
+    """
+
+    def __init__(self, message: str, cause: Exception | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class JavaHeapSpaceError(ReproError):
+    """A task exceeded its configured JVM heap.
+
+    Named after the ``java.lang.OutOfMemoryError: Java heap space``
+    failure the paper observes in Figure 2 when the ``TestClusters``
+    reducer receives more projections than fit in the task JVM.
+    """
+
+    def __init__(self, required_bytes: int, heap_bytes: int, task: str = ""):
+        self.required_bytes = int(required_bytes)
+        self.heap_bytes = int(heap_bytes)
+        self.task = task
+        mib = 1024 * 1024
+        super().__init__(
+            f"Java heap space: task {task or '<unknown>'} requires "
+            f"{required_bytes / mib:.1f} MiB but heap is {heap_bytes / mib:.1f} MiB"
+        )

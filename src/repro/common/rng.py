@@ -1,0 +1,37 @@
+"""Deterministic random-number handling.
+
+Every stochastic component of the library accepts either a seed or a
+``numpy.random.Generator``. These helpers normalise the two forms and
+derive independent child generators, so that a single top-level seed
+makes a whole experiment reproducible while parallel components (for
+example the simulated map tasks) stay statistically independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    ``None`` yields a fresh, OS-seeded generator; an ``int`` seeds a new
+    generator; an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected int, Generator or None, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

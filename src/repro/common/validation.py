@@ -1,0 +1,49 @@
+"""Small argument-validation helpers used across the library.
+
+They raise :class:`~repro.common.errors.ConfigurationError` (for
+parameters) or :class:`~repro.common.errors.DataFormatError` (for data)
+with messages naming the offending argument, so failures surface at the
+API boundary rather than deep inside a MapReduce job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, DataFormatError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_points(points: np.ndarray, name: str = "points") -> np.ndarray:
+    """Validate and canonicalise a point matrix.
+
+    Returns a C-contiguous ``float64`` array of shape ``(n, d)`` with
+    ``n >= 1`` and ``d >= 1`` and no NaN/inf entries.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataFormatError(f"{name} must be 2-D (n, d), got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise DataFormatError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise DataFormatError(f"{name} contains NaN or infinite coordinates")
+    return np.ascontiguousarray(arr)

@@ -1,0 +1,94 @@
+"""The paper's contribution: MapReduce G-means and its baselines.
+
+* :class:`MRGMeans` — Algorithm 1: PickInitialCenters, then chained
+  KMeans / KMeansAndFindNewCenters / TestClusters(+TestFewClusters)
+  rounds until every cluster passes the Anderson-Darling test.
+* :class:`MRKMeans` — classical fixed-k MapReduce k-means.
+* :class:`MultiKMeans` — the paper's baseline: one job refines the
+  clusterings of every candidate k simultaneously (Algorithm 6).
+"""
+
+from repro.core.config import (
+    HEAP_BYTES_PER_PROJECTION,
+    MIN_MAPPER_SAMPLE,
+    MRGMeansConfig,
+    STRATEGIES,
+    VOTE_RULES,
+)
+from repro.core.gmeans_mr import IterationStats, MRGMeans, MRGMeansResult
+from repro.core.kmeans_job import (
+    KMeansCombiner,
+    KMeansMapper,
+    KMeansReducer,
+    decode_kmeans_output,
+    make_kmeans_job,
+)
+from repro.core.kmeans_find_new import (
+    KMeansAndFindNewCentersCombiner,
+    KMeansAndFindNewCentersMapper,
+    KMeansAndFindNewCentersReducer,
+    decode_find_new_centers_output,
+    make_find_new_centers_job,
+    merge_candidate_samples,
+)
+from repro.core.kmeans_mr import MRKMeans, MRKMeansResult
+from repro.core.kmeans_parallel import kmeans_parallel_init
+from repro.core.multi_kmeans import (
+    MultiKMeans,
+    MultiKMeansResult,
+    make_multi_kmeans_job,
+)
+from repro.core.pick_initial import pick_initial_pairs
+from repro.core.xmeans_mr import MRXMeans, MRXMeansResult
+from repro.core.state import ClusterNode, FlatCenters, GMeansState
+from repro.core.strategy import MAPPER_SIDE, REDUCER_SIDE, choose_test_strategy
+from repro.core.test_clusters import (
+    TestVerdict,
+    decode_test_output,
+    estimate_reducer_heap_bytes,
+    make_test_clusters_job,
+)
+from repro.core.test_few_clusters import MapperVote, make_test_few_clusters_job
+
+__all__ = [
+    "HEAP_BYTES_PER_PROJECTION",
+    "MIN_MAPPER_SAMPLE",
+    "MRGMeansConfig",
+    "STRATEGIES",
+    "VOTE_RULES",
+    "IterationStats",
+    "MRGMeans",
+    "MRGMeansResult",
+    "KMeansCombiner",
+    "KMeansMapper",
+    "KMeansReducer",
+    "decode_kmeans_output",
+    "make_kmeans_job",
+    "KMeansAndFindNewCentersCombiner",
+    "KMeansAndFindNewCentersMapper",
+    "KMeansAndFindNewCentersReducer",
+    "decode_find_new_centers_output",
+    "make_find_new_centers_job",
+    "merge_candidate_samples",
+    "MRKMeans",
+    "MRKMeansResult",
+    "kmeans_parallel_init",
+    "MultiKMeans",
+    "MultiKMeansResult",
+    "make_multi_kmeans_job",
+    "pick_initial_pairs",
+    "MRXMeans",
+    "MRXMeansResult",
+    "ClusterNode",
+    "FlatCenters",
+    "GMeansState",
+    "MAPPER_SIDE",
+    "REDUCER_SIDE",
+    "choose_test_strategy",
+    "TestVerdict",
+    "decode_test_output",
+    "estimate_reducer_heap_bytes",
+    "make_test_clusters_job",
+    "MapperVote",
+    "make_test_few_clusters_job",
+]

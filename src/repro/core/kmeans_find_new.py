@@ -1,0 +1,185 @@
+"""The ``KMeansAndFindNewCenters`` job (paper, Section 3.1).
+
+The last k-means refinement pass of every G-means iteration is merged
+with the selection of each cluster's two *next-iteration* candidate
+centers, saving one full dataset read per iteration. The mapper emits
+every point's contribution twice:
+
+* under ``centerid`` — the classical k-means partial;
+* under ``centerid + OFFSET`` — a candidate-center sample, where
+  ``OFFSET = 2**62`` (half the largest Java long) cleanly separates the
+  two key populations inside a single shuffle.
+
+The combiner and reducer dispatch on the key: above the offset they
+keep only two candidate points per cluster ("chosen randomly" — a
+weighted reservoir here, so the merge of per-split samples stays close
+to uniform over the cluster); below it they perform the classical
+k-means reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import record_point, split_points
+
+from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.mapreduce.counters import USER_GROUP, UserCounter
+from repro.mapreduce.hdfs import Split
+from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
+from repro.mapreduce.types import OFFSET
+from repro.core.kmeans_job import CENTERS_KEY, VECTORIZED_KEY, load_centers
+
+
+def merge_candidate_samples(
+    samples: list[tuple[np.ndarray, int]], rng: np.random.Generator
+) -> tuple[np.ndarray, int]:
+    """Merge per-split candidate samples into one 2-point sample.
+
+    Each sample is ``(points, weight)`` where ``points`` holds up to
+    two rows drawn from ``weight`` cluster members. Rows are kept with
+    probability proportional to their source weights, approximating a
+    uniform 2-sample over the whole cluster regardless of how its
+    points were split across map tasks.
+    """
+    merged_points, merged_weight = samples[0]
+    merged_points = np.asarray(merged_points, dtype=np.float64)
+    for points, weight in samples[1:]:
+        points = np.asarray(points, dtype=np.float64)
+        total = merged_weight + weight
+        rows = []
+        pool_a = list(merged_points)
+        pool_b = list(points)
+        for _ in range(2):
+            take_a = (
+                pool_a
+                and (not pool_b or rng.random() < merged_weight / total)
+            )
+            source = pool_a if take_a else pool_b
+            if not source:
+                break
+            rows.append(source.pop(rng.integers(len(source))))
+        if rows:
+            merged_points = np.vstack(rows)
+        merged_weight = total
+    return merged_points, merged_weight
+
+
+class KMeansAndFindNewCentersMapper(Mapper):
+    """Emits each point twice: k-means partial + candidate sample."""
+
+    def setup(self, ctx: MapContext) -> None:
+        self.centers = load_centers(ctx)
+        self.vectorized = bool(ctx.config.get(VECTORIZED_KEY, True))
+
+    def map(self, key: object, value: np.ndarray, ctx: MapContext) -> None:
+        point = record_point(value, ctx)
+        k, d = self.centers.shape
+        ctx.count_distances(k, d)
+        nearest = int(np.argmin(np.linalg.norm(self.centers - point, axis=1)))
+        ctx.emit(nearest, (point.copy(), 1))
+        ctx.emit(nearest + OFFSET, (point.reshape(1, -1).copy(), 1))
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        if not self.vectorized:
+            super().map_split(split, ctx)
+            return
+        points = split_points(split, ctx)
+        k, d = self.centers.shape
+        labels, _ = assign_nearest(points, self.centers)
+        ctx.count_distances(points.shape[0] * k, d)
+        sums = np.zeros((k, d))
+        np.add.at(sums, labels, points)
+        counts = cluster_sizes(labels, k)
+        for cid in np.flatnonzero(counts):
+            count = int(counts[cid])
+            ctx.emit(int(cid), (sums[cid].copy(), count), records=count)
+            members = points[labels == cid]
+            picked = ctx.rng.choice(
+                members.shape[0], size=min(2, members.shape[0]), replace=False
+            )
+            # The second emission of every point (the paper doubles the
+            # map output); the combiner-equivalent sampling keeps 2.
+            ctx.emit(
+                int(cid) + OFFSET,
+                (members[picked].copy(), count),
+                records=count,
+            )
+
+
+class KMeansAndFindNewCentersCombiner(Reducer):
+    """Key-dispatching combiner: k-means partials vs candidate samples."""
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        if key >= OFFSET:
+            ctx.emit(key, merge_candidate_samples(values, ctx.rng))
+            return
+        total = np.zeros_like(np.asarray(values[0][0], dtype=np.float64))
+        count = 0
+        for partial_sum, partial_count in values:
+            total += partial_sum
+            count += partial_count
+        ctx.emit(key, (total, count))
+
+
+class KMeansAndFindNewCentersReducer(Reducer):
+    """Key-dispatching reducer: new center position or final 2-sample."""
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        if key >= OFFSET:
+            points, weight = merge_candidate_samples(values, ctx.rng)
+            ctx.emit(key, (points, weight))
+            return
+        total = np.zeros_like(np.asarray(values[0][0], dtype=np.float64))
+        count = 0
+        for partial_sum, partial_count in values:
+            total += partial_sum
+            count += partial_count
+        ctx.counters.set_max(
+            USER_GROUP, UserCounter.POINTS_PER_CLUSTER_MAX, count
+        )
+        ctx.emit(key, (total / count, count))
+
+
+def make_find_new_centers_job(
+    centers: np.ndarray,
+    num_reduce_tasks: int,
+    name: str = "KMeansAndFindNewCenters",
+    vectorized: bool = True,
+) -> Job:
+    """Build the merged last-iteration + candidate-picking job."""
+    return Job(
+        name=name,
+        mapper=KMeansAndFindNewCentersMapper,
+        combiner=KMeansAndFindNewCentersCombiner,
+        reducer=KMeansAndFindNewCentersReducer,
+        num_reduce_tasks=num_reduce_tasks,
+        config={
+            CENTERS_KEY: np.asarray(centers, dtype=np.float64),
+            VECTORIZED_KEY: vectorized,
+        },
+    )
+
+
+def decode_find_new_centers_output(
+    result_output: list, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, dict[int, np.ndarray]]:
+    """Split the job output into k-means results and candidate pairs.
+
+    Returns ``(new_centers, sizes, candidates)`` where ``candidates``
+    maps each center id to the (up to 2) sampled points for the next
+    iteration. Ids that received no points are absent from
+    ``candidates`` and keep their old center position.
+    """
+    new_centers = np.asarray(centers, dtype=np.float64).copy()
+    sizes = np.zeros(new_centers.shape[0], dtype=np.int64)
+    candidates: dict[int, np.ndarray] = {}
+    for key, value in result_output:
+        if key >= OFFSET:
+            points, _weight = value
+            candidates[key - OFFSET] = np.asarray(points, dtype=np.float64)
+        else:
+            center, count = value
+            new_centers[key] = center
+            sizes[key] = count
+    return new_centers, sizes, candidates

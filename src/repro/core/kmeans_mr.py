@@ -1,0 +1,146 @@
+"""Plain MapReduce k-means driver (fixed k).
+
+The building block the paper's baselines are made of: chained
+``KMeans`` jobs until convergence or an iteration budget. Used by the
+quality comparison (Table 3 runs the baseline at the k G-means found)
+and by the equivalence tests against serial Lloyd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.records import first_split_points
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.clustering.init import kmeans_pp_init
+from repro.mapreduce.driver import ChainTotals, JobChainDriver
+from repro.mapreduce.hdfs import DFSFile
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.core.kmeans_job import decode_kmeans_output, make_kmeans_job
+
+
+@dataclass
+class MRKMeansResult:
+    """Outcome of an MR k-means run."""
+
+    centers: np.ndarray
+    sizes: np.ndarray
+    iterations: int
+    converged: bool
+    totals: ChainTotals = field(default_factory=ChainTotals)
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.totals.simulated_seconds
+
+
+class MRKMeans:
+    """Fixed-k MapReduce k-means."""
+
+    def __init__(
+        self,
+        runtime: MapReduceRuntime,
+        k: int,
+        init: str = "random",
+        max_iterations: int = 10,
+        tolerance: float = 1e-4,
+        vectorized: bool = True,
+        seed: int | None = None,
+        cache_input: bool = False,
+    ):
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
+        self.runtime = runtime
+        self.k = k
+        self.init = init
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.vectorized = vectorized
+        self.seed = seed
+        self.cache_input = cache_input
+
+    def _initial_centers(
+        self, f: DFSFile, rng: np.random.Generator, driver: JobChainDriver
+    ) -> np.ndarray:
+        if self.init in ("kmeans||", "kmeans-parallel"):
+            # Bahmani's scalable k-means++: runs as MapReduce jobs whose
+            # cost folds into this run's chain accounting.
+            from repro.core.kmeans_parallel import kmeans_parallel_init
+
+            return kmeans_parallel_init(
+                self.runtime,
+                f,
+                self.k,
+                seed=int(rng.integers(2**63 - 1)),
+                driver=driver,
+            )
+        sample = first_split_points(f)
+        if sample.shape[0] < self.k:
+            raise ConfigurationError(
+                f"first split holds {sample.shape[0]} points; cannot seed k={self.k}"
+            )
+        if self.init == "random":
+            idx = rng.choice(sample.shape[0], size=self.k, replace=False)
+            return sample[idx].copy()
+        if self.init in ("kmeans++", "k-means++"):
+            return kmeans_pp_init(sample, self.k, rng=rng)
+        raise ConfigurationError(f"unknown init method {self.init!r}")
+
+    def fit(
+        self,
+        dataset: "DFSFile | str",
+        initial_centers: np.ndarray | None = None,
+    ) -> MRKMeansResult:
+        """Iterate MR k-means to convergence (or the iteration budget)."""
+        rng = ensure_rng(self.seed)
+        f = (
+            self.runtime.dfs.open(dataset)
+            if isinstance(dataset, str)
+            else dataset
+        )
+        driver = JobChainDriver(self.runtime, cache_input=self.cache_input)
+        if initial_centers is None:
+            centers = self._initial_centers(f, rng, driver)
+        else:
+            centers = np.asarray(initial_centers, dtype=np.float64).copy()
+            if centers.shape[0] != self.k:
+                raise ConfigurationError(
+                    f"initial_centers has {centers.shape[0]} rows but k={self.k}"
+                )
+        reduce_tasks = self.runtime.cluster.total_reduce_slots
+        sizes = np.zeros(self.k, dtype=np.int64)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            job = make_kmeans_job(
+                centers,
+                reduce_tasks,
+                name=f"KMeans-{iteration}",
+                vectorized=self.vectorized,
+            )
+            result = driver.run(job, f)
+            new_centers, sizes = decode_kmeans_output(result.output, centers)
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift <= self.tolerance:
+                converged = True
+                break
+        return MRKMeansResult(
+            centers=centers,
+            sizes=sizes,
+            iterations=iteration,
+            converged=converged,
+            totals=driver.totals,
+        )

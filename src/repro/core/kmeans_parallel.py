@@ -1,0 +1,210 @@
+"""Scalable k-means++ initialisation — k-means|| (Bahmani et al. 2012).
+
+The paper's ``PickInitialCenters`` is a serial random pick, but it
+notes that "other distributed or more efficient algorithms can be found
+in the literature and can perfectly be used instead", citing Bahmani's
+MapReduce version of k-means++ explicitly. This module implements it as
+MapReduce jobs on the simulated runtime:
+
+1. seed with one random point;
+2. for a few rounds, each point joins the candidate set independently
+   with probability ``min(1, l * d^2(x, C) / phi_X(C))`` where ``l`` is
+   the oversampling factor (~2k) and ``phi`` the current clustering
+   cost — one MapReduce job per round (mapper samples and sums partial
+   costs; reducer merges);
+3. weight every candidate by the number of points nearest to it (one
+   more job), then recluster the small weighted candidate set down to
+   ``k`` centers with weighted k-means++ / Lloyd on the driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import first_split_points, split_points
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.mapreduce.driver import JobChainDriver
+from repro.mapreduce.hdfs import DFSFile, Split
+from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
+from repro.mapreduce.runtime import MapReduceRuntime
+
+CENTERS_KEY = "centers"
+SAMPLING_RATE_KEY = "sampling_rate"  # l / phi
+
+#: Reducer output keys.
+COST_KEY = 0
+CANDIDATES_KEY = 1
+
+
+class CostAndSampleMapper(Mapper):
+    """Per split: partial clustering cost + independently sampled
+    candidate points (one round of k-means|| oversampling)."""
+
+    def setup(self, ctx: MapContext) -> None:
+        self.centers = np.asarray(ctx.config[CENTERS_KEY], dtype=np.float64)
+        self.rate = float(ctx.config[SAMPLING_RATE_KEY])
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        points = split_points(split, ctx)
+        k, d = self.centers.shape
+        _, sq = assign_nearest(points, self.centers)
+        ctx.count_distances(points.shape[0] * k, d)
+        ctx.emit(COST_KEY, (float(sq.sum()), points.shape[0]), records=points.shape[0])
+        if self.rate > 0.0:
+            probs = np.minimum(1.0, self.rate * sq)
+            picked = points[ctx.rng.random(points.shape[0]) < probs]
+            if picked.shape[0]:
+                ctx.emit(CANDIDATES_KEY, picked.copy(), records=picked.shape[0])
+
+
+class CostAndSampleReducer(Reducer):
+    """Sums partial costs; concatenates sampled candidates."""
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        if key == COST_KEY:
+            cost = sum(v[0] for v in values)
+            count = sum(v[1] for v in values)
+            ctx.emit(COST_KEY, (cost, count))
+        else:
+            ctx.emit(CANDIDATES_KEY, np.vstack(values))
+
+
+class WeightCandidatesMapper(Mapper):
+    """Counts, per split, how many points are nearest to each candidate."""
+
+    def setup(self, ctx: MapContext) -> None:
+        self.centers = np.asarray(ctx.config[CENTERS_KEY], dtype=np.float64)
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        points = split_points(split, ctx)
+        k, d = self.centers.shape
+        labels, _ = assign_nearest(points, self.centers)
+        ctx.count_distances(points.shape[0] * k, d)
+        counts = cluster_sizes(labels, k)
+        for cid in np.flatnonzero(counts):
+            ctx.emit(int(cid), int(counts[cid]), records=int(counts[cid]))
+
+
+class SumReducer(Reducer):
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        ctx.emit(key, sum(values))
+
+
+def _weighted_kmeans_pp(
+    candidates: np.ndarray, weights: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Weighted k-means++ seeding over the (small) candidate set."""
+    n = candidates.shape[0]
+    centers = np.empty((k, candidates.shape[1]))
+    probs = weights / weights.sum()
+    centers[0] = candidates[rng.choice(n, p=probs)]
+    sq = np.sum((candidates - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        scores = weights * sq
+        total = scores.sum()
+        if total == 0.0:
+            centers[i:] = candidates[rng.choice(n, size=k - i, p=probs)]
+            break
+        centers[i] = candidates[rng.choice(n, p=scores / total)]
+        sq = np.minimum(sq, np.sum((candidates - centers[i]) ** 2, axis=1))
+    return centers
+
+
+def _weighted_lloyd(
+    candidates: np.ndarray,
+    weights: np.ndarray,
+    centers: np.ndarray,
+    iterations: int,
+) -> np.ndarray:
+    """A few weighted Lloyd steps over the candidate set."""
+    for _ in range(iterations):
+        labels, _ = assign_nearest(candidates, centers)
+        new_centers = centers.copy()
+        for c in range(centers.shape[0]):
+            mask = labels == c
+            if np.any(mask):
+                new_centers[c] = np.average(
+                    candidates[mask], axis=0, weights=weights[mask]
+                )
+        centers = new_centers
+    return centers
+
+
+def kmeans_parallel_init(
+    runtime: MapReduceRuntime,
+    dataset: "DFSFile | str",
+    k: int,
+    rounds: int = 5,
+    oversampling: float | None = None,
+    recluster_iterations: int = 5,
+    seed: int | None = None,
+    driver: JobChainDriver | None = None,
+) -> np.ndarray:
+    """Run k-means|| and return ``k`` initial centers.
+
+    ``oversampling`` is the per-round expected sample size ``l``
+    (default ``2k``, Bahmani's recommendation). Pass an existing
+    ``driver`` to fold the jobs into a larger chain's accounting.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    rng = ensure_rng(seed)
+    f = runtime.dfs.open(dataset) if isinstance(dataset, str) else dataset
+    driver = driver or JobChainDriver(runtime)
+
+    # Step 1: one uniform random seed from the first split (serial, as
+    # in PickInitialCenters).
+    sample = first_split_points(f)
+    centers = sample[rng.integers(sample.shape[0])].reshape(1, -1)
+    oversampling = float(oversampling if oversampling is not None else 2 * k)
+
+    # Step 2: sampling rounds. The first pass only measures phi.
+    phi = None
+    for round_index in range(rounds + 1):
+        rate = 0.0 if phi is None else oversampling / max(phi, 1e-300)
+        job = Job(
+            name=f"KMeansParallel-round{round_index}",
+            mapper=CostAndSampleMapper,
+            reducer=CostAndSampleReducer,
+            num_reduce_tasks=2,
+            config={CENTERS_KEY: centers, SAMPLING_RATE_KEY: rate},
+        )
+        output = driver.run(job, f).output_dict()
+        phi = output[COST_KEY][0][0]
+        if round_index == 0:
+            continue
+        picked = output.get(CANDIDATES_KEY)
+        if picked:
+            centers = np.vstack([centers] + picked)
+
+    if centers.shape[0] < k:
+        # Not enough candidates (tiny data): pad with random points.
+        extra = sample[
+            rng.choice(sample.shape[0], size=k - centers.shape[0], replace=False)
+        ]
+        centers = np.vstack([centers, extra])
+
+    # Step 3: weight candidates by attracted points, then recluster.
+    job = Job(
+        name="KMeansParallel-weights",
+        mapper=WeightCandidatesMapper,
+        combiner=SumReducer,
+        reducer=SumReducer,
+        num_reduce_tasks=2,
+        config={CENTERS_KEY: centers},
+    )
+    result = driver.run(job, f)
+    weights = np.zeros(centers.shape[0])
+    for cid, count in result.output:
+        weights[cid] = count
+    # Candidates that attracted nothing carry epsilon weight so the
+    # reclustering stays well defined.
+    weights = np.maximum(weights, 1e-12)
+
+    seeded = _weighted_kmeans_pp(centers, weights, k, rng)
+    return _weighted_lloyd(centers, weights, seeded, recluster_iterations)

@@ -1,0 +1,61 @@
+"""``PickInitialCenters`` — the serial seeding step of MR G-means.
+
+"A classical step of any k-means algorithm. The main difference with
+respect to classical k-means implementations is that it picks *pairs*
+of centers (c1 and c2). We use a serial implementation, that picks
+initial centers at random, but other distributed or more efficient
+algorithms ... can perfectly be used instead."
+
+The implementation samples from the first split of the dataset (a
+serial driver-side read, as in the paper) and supports the cited
+alternatives via ``method``: random or k-means++ pair seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import first_split_points
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.clustering.init import kmeans_pp_init
+from repro.mapreduce.hdfs import DFSFile
+
+
+def pick_initial_pairs(
+    dataset: DFSFile,
+    k_init: int,
+    rng=None,
+    method: str = "random",
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Pick ``k_init`` initial (parent center, children pair) seeds.
+
+    Returns a list of ``(parent_center, children)`` tuples where
+    ``children`` is a ``(2, d)`` matrix. The parent center is the pair
+    midpoint — with ``k_init=1`` every point belongs to the single
+    initial cluster regardless, exactly as in the paper.
+    """
+    if k_init < 1:
+        raise ConfigurationError(f"k_init must be >= 1, got {k_init}")
+    rng = ensure_rng(rng)
+    sample = first_split_points(dataset)
+    needed = 2 * k_init
+    if sample.shape[0] < needed:
+        raise ConfigurationError(
+            f"first split holds {sample.shape[0]} points; "
+            f"cannot pick {needed} initial centers"
+        )
+    if method == "random":
+        idx = rng.choice(sample.shape[0], size=needed, replace=False)
+        picked = sample[idx]
+    elif method in ("kmeans++", "k-means++"):
+        picked = kmeans_pp_init(sample, needed, rng=rng)
+    else:
+        raise ConfigurationError(f"unknown init method {method!r}")
+    seeds = []
+    for i in range(k_init):
+        pair = picked[2 * i : 2 * i + 2].copy()
+        parent = pair.mean(axis=0)
+        seeds.append((parent, pair))
+    return seeds

@@ -1,0 +1,162 @@
+"""Center bookkeeping across MR G-means iterations.
+
+One subtlety of the MapReduce port (paper, Section 3) is that every
+iteration juggles three generations of centers:
+
+* **previous** — the parent centers that define cluster membership when
+  testing (``TestClusters`` assigns each point to its nearest previous
+  center);
+* **current** — the candidate children pairs being refined by k-means
+  this iteration (plus the centers of clusters already marked found);
+* **next** — the candidate pairs picked by ``KMeansAndFindNewCenters``
+  for the iteration after this one.
+
+:class:`GMeansState` owns that bookkeeping: it flattens the current
+generation into the dense center array the jobs consume and maps the
+results back onto the cluster tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Role of a flat center slot: the single center of a found cluster, or
+#: one of the two candidate children of an active cluster.
+ROLE_FOUND = -1
+ROLE_CHILD_A = 0
+ROLE_CHILD_B = 1
+
+
+@dataclass
+class ClusterNode:
+    """One cluster of the current generation."""
+
+    cluster_id: int
+    center: np.ndarray
+    found: bool = False
+    children: np.ndarray | None = None  # (2, d) candidate pair
+    size: int = 0  # points assigned (from the latest k-means pass)
+    child_sizes: tuple[int, int] = (0, 0)  # per-child point counts
+
+    def has_usable_children(self) -> bool:
+        """True when a non-degenerate candidate pair is attached."""
+        return (
+            self.children is not None
+            and self.children.shape[0] == 2
+            and not np.array_equal(self.children[0], self.children[1])
+        )
+
+    def children_centroid(self) -> np.ndarray:
+        """Size-weighted mean of the two children — where the cluster's
+        mass currently sits (falls back to the stale parent center for
+        an empty pair)."""
+        if self.children is None or sum(self.child_sizes) == 0:
+            return self.center
+        weights = np.asarray(self.child_sizes, dtype=np.float64)
+        return np.average(self.children, axis=0, weights=weights)
+
+
+@dataclass
+class FlatCenters:
+    """The dense center array handed to a job, plus its slot map."""
+
+    centers: np.ndarray  # (K, d)
+    slots: list[tuple[int, int]]  # flat index -> (cluster list index, role)
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+
+@dataclass
+class GMeansState:
+    """All clusters of the current generation."""
+
+    clusters: list[ClusterNode] = field(default_factory=list)
+    _next_id: int = 0
+
+    def new_cluster(
+        self,
+        center: np.ndarray,
+        children: np.ndarray | None,
+        found: bool = False,
+    ) -> ClusterNode:
+        node = ClusterNode(
+            cluster_id=self._next_id,
+            center=np.asarray(center, dtype=np.float64).copy(),
+            found=found,
+            children=None if children is None else np.asarray(children, dtype=np.float64).copy(),
+        )
+        self._next_id += 1
+        self.clusters.append(node)
+        return node
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Current number of clusters."""
+        return len(self.clusters)
+
+    @property
+    def active(self) -> list[ClusterNode]:
+        """Clusters still to be tested."""
+        return [c for c in self.clusters if not c.found]
+
+    @property
+    def all_found(self) -> bool:
+        return all(c.found for c in self.clusters)
+
+    def parent_centers(self) -> np.ndarray:
+        """The previous-generation centers (one per cluster)."""
+        return np.vstack([c.center for c in self.clusters])
+
+    def flatten_current(self, refine_found: bool) -> FlatCenters:
+        """Dense array of the centers k-means refines this iteration.
+
+        Active clusters contribute their two children; found clusters
+        contribute their single center when ``refine_found`` (otherwise
+        they are excluded — their points then gravitate to other
+        centers, which is why the paper keeps refining them).
+        """
+        rows: list[np.ndarray] = []
+        slots: list[tuple[int, int]] = []
+        for index, node in enumerate(self.clusters):
+            if node.found:
+                if refine_found:
+                    rows.append(node.center)
+                    slots.append((index, ROLE_FOUND))
+            elif node.children is not None:
+                rows.append(node.children[0])
+                slots.append((index, ROLE_CHILD_A))
+                rows.append(node.children[1])
+                slots.append((index, ROLE_CHILD_B))
+        return FlatCenters(centers=np.vstack(rows), slots=slots)
+
+    def apply_refined(self, flat: FlatCenters, refined: np.ndarray) -> None:
+        """Write refined center positions back onto the cluster tree."""
+        for (index, role), row in zip(flat.slots, refined):
+            node = self.clusters[index]
+            if role == ROLE_FOUND:
+                node.center = row.copy()
+            else:
+                node.children[role] = row
+
+    def record_sizes(self, flat: FlatCenters, sizes: np.ndarray) -> None:
+        """Store per-cluster point counts from a k-means pass.
+
+        An active cluster's size is the sum over its two children; a
+        found cluster's is its own slot.
+        """
+        for node in self.clusters:
+            node.size = 0
+            node.child_sizes = (0, 0)
+        for (index, role), count in zip(flat.slots, sizes):
+            node = self.clusters[index]
+            node.size += int(count)
+            if role == ROLE_CHILD_A:
+                node.child_sizes = (int(count), node.child_sizes[1])
+            elif role == ROLE_CHILD_B:
+                node.child_sizes = (node.child_sizes[0], int(count))

@@ -1,0 +1,47 @@
+"""The hybrid test-strategy switching rule (paper, Section 3.2).
+
+The driver starts with mapper-side testing (``TestFewClusters``) and
+switches to reducer-side testing (``TestClusters``) only when both
+conditions hold:
+
+1. the number of clusters to test exceeds the total reduce capacity of
+   the cluster (below that, reducer-side parallelism is bounded by k
+   and mapper-side testing wins);
+2. the estimated heap required by the busiest reducer — points in the
+   biggest cluster times the per-projection heap constant (64 bytes,
+   Figure 2) — fits within the usable fraction of the task JVM heap
+   (66%; above that the garbage collector thrashes).
+"""
+
+from __future__ import annotations
+
+from repro.common.validation import check_non_negative, check_positive
+from repro.mapreduce.cluster import ClusterConfig
+from repro.core.config import HEAP_BYTES_PER_PROJECTION
+from repro.core.test_clusters import estimate_reducer_heap_bytes
+
+MAPPER_SIDE = "mapper"
+REDUCER_SIDE = "reducer"
+
+
+def choose_test_strategy(
+    clusters_to_test: int,
+    max_cluster_points: int,
+    cluster: ClusterConfig,
+    heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION,
+) -> str:
+    """Apply the paper's two-condition switching rule.
+
+    Returns :data:`MAPPER_SIDE` (``TestFewClusters``) or
+    :data:`REDUCER_SIDE` (``TestClusters``).
+    """
+    check_positive("clusters_to_test", clusters_to_test)
+    check_non_negative("max_cluster_points", max_cluster_points)
+    enough_parallelism = clusters_to_test > cluster.total_reduce_slots
+    heap_needed = estimate_reducer_heap_bytes(
+        max_cluster_points, heap_bytes_per_projection
+    )
+    heap_fits = heap_needed <= cluster.usable_heap_bytes
+    if enough_parallelism and heap_fits:
+        return REDUCER_SIDE
+    return MAPPER_SIDE

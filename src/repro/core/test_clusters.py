@@ -1,0 +1,190 @@
+"""The ``TestClusters`` job (paper, Section 3.2) — reducer-side testing.
+
+The mapper assigns each point to its cluster (nearest center *from the
+previous iteration*), projects it on the vector joining the cluster's
+two current candidate children, and emits ``vectorid -> projection``.
+The reducer gathers the full projection vector of each cluster,
+normalises it and applies the Anderson-Darling test.
+
+Because the reducer materialises every projection of its cluster, its
+heap need grows with the biggest cluster — 64 bytes per point as
+measured in the paper's Figure 2 — and the job genuinely fails with
+``JavaHeapSpaceError`` when a cluster outgrows the task JVM. That is
+exactly why the driver only switches to this strategy once clusters
+are numerous (parallelism above the reduce capacity) and small enough
+(heap estimate under 66% of the JVM heap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import split_points
+
+from repro.mapreduce.counters import UserCounter
+from repro.mapreduce.hdfs import Split
+from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
+from repro.clustering.metrics import assign_nearest
+from repro.stats.normality import normality_test
+from repro.core.config import HEAP_BYTES_PER_PROJECTION
+
+#: Config keys shared by both test jobs.
+PREV_CENTERS_KEY = "prev_centers"
+PAIRS_KEY = "pairs"  # dict: parent index -> (2, d) current children
+ALPHA_KEY = "alpha"
+NORMALITY_KEY = "normality_test"  # registry name; default "anderson"
+
+
+class TestVerdict(tuple):
+    """Reducer output: ``(statistic, n, is_normal, decided)``.
+
+    A thin tuple subclass so job output stays sizable/serialisable
+    while reading naturally at the driver.
+    """
+
+    __slots__ = ()
+    __test__ = False  # not a pytest class, despite the Test* name
+
+    def __new__(cls, statistic: float, n: int, is_normal: bool, decided: bool):
+        return super().__new__(cls, (float(statistic), int(n), bool(is_normal), bool(decided)))
+
+    @property
+    def statistic(self) -> float:
+        return self[0]
+
+    @property
+    def n(self) -> int:
+        return self[1]
+
+    @property
+    def is_normal(self) -> bool:
+        return self[2]
+
+    @property
+    def decided(self) -> bool:
+        return self[3]
+
+
+class ProjectionMapperBase(Mapper):
+    """Shared setup/projection logic of both test strategies."""
+
+    def setup(self, ctx: MapContext) -> None:
+        self.prev_centers = np.asarray(
+            ctx.config[PREV_CENTERS_KEY], dtype=np.float64
+        )
+        self.vectors: dict[int, np.ndarray] = {}
+        self.offsets: dict[int, np.ndarray] = {}
+        for pid, pair in ctx.config[PAIRS_KEY].items():
+            pair = np.asarray(pair, dtype=np.float64)
+            v = pair[0] - pair[1]
+            norm_sq = float(v @ v)
+            if norm_sq > 0.0:
+                self.vectors[int(pid)] = v / norm_sq
+
+    def project_split(
+        self, split: Split, ctx: MapContext
+    ) -> "dict[int, np.ndarray]":
+        """Assign the split's points and project per active cluster.
+
+        Returns ``parent id -> projection array`` for clusters that own
+        points in this split and have a usable direction vector.
+        """
+        points = split_points(split, ctx)
+        k_prev, d = self.prev_centers.shape
+        labels, _ = assign_nearest(points, self.prev_centers)
+        ctx.count_distances(points.shape[0] * k_prev, d)
+        projections: dict[int, np.ndarray] = {}
+        for pid, v in self.vectors.items():
+            member = points[labels == pid]
+            if member.shape[0] == 0:
+                continue
+            proj = member @ v
+            ctx.count(UserCounter.PROJECTIONS, member.shape[0])
+            ctx.count(UserCounter.COORDINATE_OPS, member.shape[0] * d)
+            projections[pid] = proj
+        return projections
+
+
+class TestClustersMapper(ProjectionMapperBase):
+    """Emits raw projections; the reducer does the testing."""
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        for pid, proj in self.project_split(split, ctx).items():
+            ctx.emit(pid, proj, records=proj.size)
+
+
+class TestClustersReducer(Reducer):
+    """Normalises each cluster's projection vector and runs the test."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        self.alpha = float(ctx.config[ALPHA_KEY])
+        self.method = ctx.config.get(NORMALITY_KEY, "anderson")
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        projections = np.concatenate([np.asarray(v).ravel() for v in values])
+        n = projections.size
+        ctx.count(UserCounter.AD_TESTS)
+        ctx.count(UserCounter.CLUSTER_TESTS)
+        ctx.count(UserCounter.AD_SAMPLE_POINTS, n)
+        if n < 2:
+            ctx.emit(key, TestVerdict(0.0, n, True, True))
+            return
+        result = normality_test(projections, self.alpha, self.method)
+        ctx.emit(key, TestVerdict(result.statistic, n, result.is_normal, True))
+
+
+def make_test_clusters_job(
+    prev_centers: np.ndarray,
+    pairs: dict[int, np.ndarray],
+    alpha: float,
+    num_reduce_tasks: int,
+    heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION,
+    name: str = "TestClusters",
+    partitioner=None,
+    normality: str = "anderson",
+) -> Job:
+    """Build the reducer-side test job.
+
+    ``heap_bytes_per_projection`` models the JVM cost of one buffered
+    projection (64 bytes, the paper's Figure-2 calibration). A custom
+    ``partitioner`` (e.g. the weight-balanced one from
+    :mod:`repro.mapreduce.partitioners`) overrides the hash default —
+    the skew mitigation the paper leaves as future work.
+    """
+    job = Job(
+        name=name,
+        mapper=TestClustersMapper,
+        reducer=TestClustersReducer,
+        num_reduce_tasks=num_reduce_tasks,
+        config={
+            PREV_CENTERS_KEY: np.asarray(prev_centers, dtype=np.float64),
+            PAIRS_KEY: {int(k): np.asarray(v) for k, v in pairs.items()},
+            ALPHA_KEY: float(alpha),
+            NORMALITY_KEY: normality,
+        },
+        heap_bytes_per_value=lambda value: int(
+            np.asarray(value).size * heap_bytes_per_projection
+        ),
+    )
+    if partitioner is not None:
+        job.partitioner = partitioner
+    return job
+
+
+def decode_test_output(result_output: list) -> dict[int, TestVerdict]:
+    """Verdicts keyed by parent cluster index."""
+    verdicts: dict[int, TestVerdict] = {}
+    for pid, value in result_output:
+        verdicts[int(pid)] = TestVerdict(*value)
+    return verdicts
+
+
+def estimate_reducer_heap_bytes(
+    max_cluster_points: int,
+    heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION,
+) -> int:
+    """The driver's heap estimate for the biggest cluster (paper: count
+    points per cluster, multiply by the per-point heap constant)."""
+    if max_cluster_points < 0:
+        raise ValueError(f"max_cluster_points must be >= 0, got {max_cluster_points}")
+    return int(max_cluster_points) * int(heap_bytes_per_projection)

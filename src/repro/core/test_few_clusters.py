@@ -1,0 +1,185 @@
+"""The ``TestFewClusters`` job (paper, Algorithm 5) — mapper-side testing.
+
+While k is small, reducer-side testing has two problems: parallelism is
+bounded by k, and a single reducer may receive the projections of a
+huge cluster (worst case: the whole dataset) and exhaust its heap. The
+alternative strategy runs the Anderson-Darling test *inside each
+mapper*, on the split-local sample of every cluster, in the mapper's
+``close`` hook; reducers merely combine the mapper decisions.
+
+Correctness relies on per-mapper samples being large enough: the job
+only emits a decision for clusters with at least ``min_sample``
+(default 20, the paper's safety margin over the rule-of-thumb 8)
+points in the split. Mapper memory is bounded by the split size —
+``O(split_bytes / dimensions)`` projections — which the mapper
+accounts explicitly against its task heap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.counters import UserCounter
+from repro.mapreduce.hdfs import Split
+from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
+from repro.stats.normality import normality_test
+from repro.core.config import (
+    HEAP_BYTES_PER_PROJECTION,
+    MIN_MAPPER_SAMPLE,
+    VOTE_RULES,
+)
+from repro.core.test_clusters import (
+    ALPHA_KEY,
+    NORMALITY_KEY,
+    PAIRS_KEY,
+    PREV_CENTERS_KEY,
+    ProjectionMapperBase,
+    TestVerdict,
+)
+
+MIN_SAMPLE_KEY = "min_sample"
+VOTE_RULE_KEY = "vote_rule"
+HEAP_PER_PROJECTION_KEY = "heap_bytes_per_projection"
+
+
+class MapperVote(tuple):
+    """One mapper's contribution: ``(statistic, n, decided, rejected)``.
+
+    ``decided`` is False when the mapper's sample was below the
+    ``min_sample`` threshold ("the mapper is then not able to compute a
+    decision"). ``rejected`` carries the mapper's own accept/reject
+    verdict — the critical value can depend on the mapper's sample size
+    (e.g. Lilliefors), so the decision must travel with the vote.
+    """
+
+    __slots__ = ()
+
+    def __new__(
+        cls, statistic: float, n: int, decided: bool, rejected: bool = False
+    ):
+        return super().__new__(
+            cls, (float(statistic), int(n), bool(decided), bool(rejected))
+        )
+
+    @property
+    def statistic(self) -> float:
+        return self[0]
+
+    @property
+    def n(self) -> int:
+        return self[1]
+
+    @property
+    def decided(self) -> bool:
+        return self[2]
+
+    @property
+    def rejected(self) -> bool:
+        return self[3]
+
+
+class TestFewClustersMapper(ProjectionMapperBase):
+    """Buffers projections per cluster; tests them in ``close``."""
+
+    def setup(self, ctx: MapContext) -> None:
+        super().setup(ctx)
+        self.alpha = float(ctx.config[ALPHA_KEY])
+        self.method = ctx.config.get(NORMALITY_KEY, "anderson")
+        self.min_sample = int(ctx.config.get(MIN_SAMPLE_KEY, MIN_MAPPER_SAMPLE))
+        self.heap_per_projection = int(
+            ctx.config.get(HEAP_PER_PROJECTION_KEY, HEAP_BYTES_PER_PROJECTION)
+        )
+        self._buffers: dict[int, list[np.ndarray]] = {}
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        for pid, proj in self.project_split(split, ctx).items():
+            ctx.allocate(proj.size * self.heap_per_projection)
+            self._buffers.setdefault(pid, []).append(proj)
+
+    def close(self, ctx: MapContext) -> None:
+        for pid in sorted(self._buffers):
+            sample = np.concatenate(self._buffers[pid])
+            if sample.size < self.min_sample:
+                ctx.emit(pid, MapperVote(math.nan, sample.size, False))
+                continue
+            ctx.count(UserCounter.AD_TESTS)
+            ctx.count(UserCounter.AD_SAMPLE_POINTS, sample.size)
+            result = normality_test(sample, self.alpha, self.method)
+            ctx.emit(
+                pid,
+                MapperVote(
+                    result.statistic, sample.size, True, not result.is_normal
+                ),
+            )
+
+
+class TestFewClustersReducer(Reducer):
+    """Combines mapper votes into one verdict per cluster.
+
+    Three combination rules are provided (the paper says only that the
+    reducers "combine the decisions taken by mappers"):
+
+    * ``weighted_majority`` (default) — votes weighted by sample size;
+    * ``any_reject`` — split as soon as one mapper rejects normality;
+    * ``all_reject`` — split only when every deciding mapper rejects.
+    """
+
+    def setup(self, ctx: TaskContext) -> None:
+        self.alpha = float(ctx.config[ALPHA_KEY])
+        self.rule = ctx.config.get(VOTE_RULE_KEY, "weighted_majority")
+        if self.rule not in VOTE_RULES:
+            raise ConfigurationError(f"unknown vote rule {self.rule!r}")
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        ctx.count(UserCounter.CLUSTER_TESTS)
+        votes = [MapperVote(*v) for v in values]
+        decided = [v for v in votes if v.decided]
+        total_n = sum(v.n for v in votes)
+        if not decided:
+            ctx.emit(key, TestVerdict(math.nan, total_n, True, False))
+            return
+        rejects = [v for v in decided if v.rejected]
+        accept_weight = sum(v.n for v in decided) - sum(v.n for v in rejects)
+        reject_weight = sum(v.n for v in rejects)
+        if self.rule == "weighted_majority":
+            is_normal = reject_weight <= accept_weight
+        elif self.rule == "any_reject":
+            is_normal = not rejects
+        else:  # all_reject
+            is_normal = len(rejects) < len(decided)
+        mean_stat = sum(v.statistic * v.n for v in decided) / sum(
+            v.n for v in decided
+        )
+        ctx.emit(key, TestVerdict(mean_stat, total_n, is_normal, True))
+
+
+def make_test_few_clusters_job(
+    prev_centers: np.ndarray,
+    pairs: dict[int, np.ndarray],
+    alpha: float,
+    num_reduce_tasks: int,
+    min_sample: int = MIN_MAPPER_SAMPLE,
+    vote_rule: str = "weighted_majority",
+    heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION,
+    name: str = "TestFewClusters",
+    normality: str = "anderson",
+) -> Job:
+    """Build the mapper-side test job."""
+    return Job(
+        name=name,
+        mapper=TestFewClustersMapper,
+        reducer=TestFewClustersReducer,
+        num_reduce_tasks=num_reduce_tasks,
+        config={
+            PREV_CENTERS_KEY: np.asarray(prev_centers, dtype=np.float64),
+            PAIRS_KEY: {int(k): np.asarray(v) for k, v in pairs.items()},
+            ALPHA_KEY: float(alpha),
+            MIN_SAMPLE_KEY: int(min_sample),
+            VOTE_RULE_KEY: vote_rule,
+            HEAP_PER_PROJECTION_KEY: int(heap_bytes_per_projection),
+            NORMALITY_KEY: normality,
+        },
+    )

@@ -1,0 +1,310 @@
+"""MapReduce X-means — the related-work comparator, distributed.
+
+The paper's related-work section weighs G-means against X-means
+(Pelleg & Moore 2000), which splits clusters by comparing the Bayesian
+Information Criterion of a one-center model against a two-center model
+on each cluster's points. This module ports X-means to the same
+MapReduce substrate so the two algorithms can be compared like for
+like (see the ``algorithms`` ablation):
+
+* ``ChildrenKMeans`` — refines every cluster's two candidate children
+  *within* their parent's membership (hierarchical keys
+  ``(parent, child)``), which preserves X-means' local-split semantics;
+* ``BICDecision`` — computes, per cluster, the residual sums and
+  member counts of both models in one pass; the reducer evaluates the
+  spherical-Gaussian BIC of each and votes split/keep.
+
+Candidate children are sampled with the same weighted-reservoir job
+G-means uses (``KMeansAndFindNewCenters``), so the per-iteration job
+structure — refine, pick, decide — matches MR G-means exactly and the
+cost comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.core.kmeans_find_new import (
+    decode_find_new_centers_output,
+    make_find_new_centers_job,
+)
+from repro.core.kmeans_job import decode_kmeans_output, make_kmeans_job
+from repro.core.pick_initial import pick_initial_pairs
+from repro.core.records import split_points
+from repro.mapreduce.driver import ChainTotals, JobChainDriver
+from repro.mapreduce.hdfs import DFSFile, Split
+from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
+from repro.mapreduce.runtime import MapReduceRuntime
+
+PARENTS_KEY = "parents"
+CHILDREN_KEY = "children"  # dict: parent index -> (2, d)
+DIMENSIONS_KEY = "dimensions"
+
+
+class ChildrenKMeansMapper(Mapper):
+    """Per point: nearest parent, then nearest of that parent's two
+    children; emits hierarchical k-means partials."""
+
+    def setup(self, ctx: MapContext) -> None:
+        self.parents = np.asarray(ctx.config[PARENTS_KEY], dtype=np.float64)
+        self.children = {
+            int(p): np.asarray(pair, dtype=np.float64)
+            for p, pair in ctx.config[CHILDREN_KEY].items()
+        }
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        points = split_points(split, ctx)
+        kp, d = self.parents.shape
+        labels, _ = assign_nearest(points, self.parents)
+        ctx.count_distances(points.shape[0] * kp, d)
+        for parent, pair in self.children.items():
+            member = points[labels == parent]
+            if member.shape[0] == 0:
+                continue
+            child_labels, _ = assign_nearest(member, pair)
+            ctx.count_distances(member.shape[0] * 2, d)
+            sums = np.zeros((2, d))
+            np.add.at(sums, child_labels, member)
+            counts = cluster_sizes(child_labels, 2)
+            for child in np.flatnonzero(counts):
+                ctx.emit(
+                    (parent, int(child)),
+                    (sums[child].copy(), int(counts[child])),
+                    records=int(counts[child]),
+                )
+
+
+# The children-refinement job reuses the classical k-means combiner
+# (sums partials) and reducer (divides once, at the end) — a combiner
+# must stay in (sum, count) space or re-combination corrupts the mean.
+from repro.core.kmeans_job import KMeansCombiner, KMeansReducer  # noqa: E402
+
+
+class BICDecisionMapper(Mapper):
+    """Per cluster: residual sums under the 1- and 2-center models."""
+
+    def setup(self, ctx: MapContext) -> None:
+        self.parents = np.asarray(ctx.config[PARENTS_KEY], dtype=np.float64)
+        self.children = {
+            int(p): np.asarray(pair, dtype=np.float64)
+            for p, pair in ctx.config[CHILDREN_KEY].items()
+        }
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        points = split_points(split, ctx)
+        kp, d = self.parents.shape
+        labels, parent_sq = assign_nearest(points, self.parents)
+        ctx.count_distances(points.shape[0] * kp, d)
+        for parent, pair in self.children.items():
+            mask = labels == parent
+            member = points[mask]
+            if member.shape[0] == 0:
+                continue
+            child_labels, child_sq = assign_nearest(member, pair)
+            ctx.count_distances(member.shape[0] * 2, d)
+            counts = cluster_sizes(child_labels, 2)
+            ctx.emit(
+                parent,
+                (
+                    float(parent_sq[mask].sum()),
+                    float(child_sq.sum()),
+                    int(member.shape[0]),
+                    int(counts[0]),
+                    int(counts[1]),
+                ),
+                records=int(member.shape[0]),
+            )
+
+
+def _bic(rss: float, n: int, d: int, k: int, sizes: "list[int]") -> float:
+    """Spherical-Gaussian BIC from aggregates (cf.
+    :func:`repro.clustering.xmeans.spherical_bic`)."""
+    dof = n - k
+    if dof <= 0 or rss <= 0.0:
+        return -math.inf
+    variance = rss / (dof * d)
+    log_likelihood = 0.0
+    for ni in sizes:
+        if ni > 0:
+            log_likelihood += ni * math.log(ni / n)
+    log_likelihood -= 0.5 * n * d * math.log(2.0 * math.pi * variance)
+    log_likelihood -= 0.5 * (n - k) * d
+    return log_likelihood - 0.5 * (k * (d + 1)) * math.log(n)
+
+
+class BICDecisionReducer(Reducer):
+    """Aggregates per-split sums and votes split/keep per cluster."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        self.dimensions = int(ctx.config[DIMENSIONS_KEY])
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        rss_parent = sum(v[0] for v in values)
+        rss_children = sum(v[1] for v in values)
+        n = sum(v[2] for v in values)
+        n_a = sum(v[3] for v in values)
+        n_b = sum(v[4] for v in values)
+        bic_one = _bic(rss_parent, n, self.dimensions, 1, [n])
+        bic_two = _bic(rss_children, n, self.dimensions, 2, [n_a, n_b])
+        should_split = bic_two > bic_one and min(n_a, n_b) > 0
+        ctx.emit(key, (bool(should_split), n, bic_one, bic_two))
+
+
+@dataclass
+class MRXMeansResult:
+    """Outcome of an MR X-means run."""
+
+    centers: np.ndarray
+    k_found: int
+    iterations: int
+    completed: bool
+    totals: ChainTotals = field(default_factory=ChainTotals)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.totals.simulated_seconds
+
+
+class MRXMeans:
+    """Driver: grow k by BIC-guided splits, MapReduce throughout."""
+
+    def __init__(
+        self,
+        runtime: MapReduceRuntime,
+        k_init: int = 1,
+        k_max: int = 4096,
+        max_iterations: int = 30,
+        min_split_size: int = 25,
+        child_refinements: int = 2,
+        seed: int | None = None,
+        cache_input: bool = False,
+    ):
+        if k_init < 1 or k_max < k_init:
+            raise ConfigurationError(
+                f"need 1 <= k_init <= k_max, got {k_init}, {k_max}"
+            )
+        if max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
+        self.runtime = runtime
+        self.k_init = k_init
+        self.k_max = k_max
+        self.max_iterations = max_iterations
+        self.min_split_size = min_split_size
+        self.child_refinements = child_refinements
+        self.seed = seed
+        self.cache_input = cache_input
+
+    def fit(self, dataset: "DFSFile | str") -> MRXMeansResult:
+        """Run MR X-means on ``dataset``."""
+        rng = ensure_rng(self.seed)
+        f = (
+            self.runtime.dfs.open(dataset)
+            if isinstance(dataset, str)
+            else dataset
+        )
+        driver = JobChainDriver(self.runtime, cache_input=self.cache_input)
+        reduce_tasks = self.runtime.cluster.total_reduce_slots
+        seeds = pick_initial_pairs(f, self.k_init, rng=rng)
+        centers = np.vstack([parent for parent, _pair in seeds])
+        found = [False] * centers.shape[0]
+
+        iteration = 0
+        completed = False
+        while not completed and iteration < self.max_iterations:
+            iteration += 1
+            # 1. Refine the global centers; the merged pass also picks
+            #    each cluster's two candidate children.
+            job = make_kmeans_job(
+                centers, reduce_tasks, name=f"XMeans-KMeans-{iteration}"
+            )
+            centers, _ = decode_kmeans_output(driver.run(job, f).output, centers)
+            job = make_find_new_centers_job(
+                centers, reduce_tasks, name=f"XMeans-Pick-{iteration}"
+            )
+            centers, sizes, candidates = decode_find_new_centers_output(
+                driver.run(job, f).output, centers
+            )
+
+            children = {
+                index: candidates[index]
+                for index in range(centers.shape[0])
+                if not found[index]
+                and index in candidates
+                and candidates[index].shape[0] == 2
+                and not np.array_equal(candidates[index][0], candidates[index][1])
+                and sizes[index] >= self.min_split_size
+            }
+            for index in range(centers.shape[0]):
+                if index not in children:
+                    found[index] = True
+            if not children:
+                completed = all(found)
+                break
+
+            # 2. Refine children within their parents.
+            for step in range(self.child_refinements):
+                job = Job(
+                    name=f"XMeans-Children-{iteration}.{step}",
+                    mapper=ChildrenKMeansMapper,
+                    combiner=KMeansCombiner,
+                    reducer=KMeansReducer,
+                    num_reduce_tasks=reduce_tasks,
+                    config={PARENTS_KEY: centers, CHILDREN_KEY: children},
+                )
+                refined = dict(children)
+                for (parent, child), (mean, _count) in driver.run(job, f).output:
+                    refined[parent] = refined[parent].copy()
+                    refined[parent][child] = mean
+                children = refined
+
+            # 3. BIC decision per cluster.
+            job = Job(
+                name=f"XMeans-BIC-{iteration}",
+                mapper=BICDecisionMapper,
+                combiner=None,
+                reducer=BICDecisionReducer,
+                num_reduce_tasks=reduce_tasks,
+                config={
+                    PARENTS_KEY: centers,
+                    CHILDREN_KEY: children,
+                    DIMENSIONS_KEY: centers.shape[1],
+                },
+            )
+            verdicts = dict(driver.run(job, f).output)
+
+            new_centers: list[np.ndarray] = []
+            new_found: list[bool] = []
+            k_budget = self.k_max - centers.shape[0]
+            for index in range(centers.shape[0]):
+                if found[index] or index not in children:
+                    new_centers.append(centers[index])
+                    new_found.append(True)
+                    continue
+                verdict = verdicts.get(index)
+                if verdict is not None and verdict[0] and k_budget > 0:
+                    new_centers.extend(children[index])
+                    new_found.extend([False, False])
+                    k_budget -= 1
+                else:
+                    # Tested and kept: this cluster is finished.
+                    new_centers.append(centers[index])
+                    new_found.append(True)
+            centers = np.vstack(new_centers)
+            found = new_found
+            completed = all(found)
+
+        return MRXMeansResult(
+            centers=centers,
+            k_found=centers.shape[0],
+            iterations=iteration,
+            completed=completed,
+            totals=driver.totals,
+        )

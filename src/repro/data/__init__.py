@@ -1,0 +1,55 @@
+"""Dataset generation and I/O.
+
+Synthetic Gaussian-mixture generators reproducing the paper's dataset
+families (d100...d1600 in R^10 and the 10-cluster R^2 demo set), the
+text codec whose byte model the paper assumes (~15 characters per
+coordinate), and loaders that place datasets on the simulated DFS.
+"""
+
+from repro.data.diskio import (
+    import_points_file,
+    load_points_file,
+    save_points_file,
+)
+from repro.data.families import (
+    anisotropic_mixture,
+    noisy_mixture,
+    uniform_ball_mixture,
+)
+from repro.data.generator import (
+    GaussianMixture,
+    generate_gaussian_mixture,
+    demo_r2_dataset,
+    paper_family_dataset,
+)
+from repro.data.textio import (
+    DEFAULT_PRECISION,
+    bytes_per_record,
+    decode_point,
+    decode_points,
+    encode_point,
+    encode_points,
+)
+from repro.data.loader import read_points, write_points, write_points_as_text
+
+__all__ = [
+    "import_points_file",
+    "load_points_file",
+    "save_points_file",
+    "anisotropic_mixture",
+    "noisy_mixture",
+    "uniform_ball_mixture",
+    "GaussianMixture",
+    "generate_gaussian_mixture",
+    "demo_r2_dataset",
+    "paper_family_dataset",
+    "DEFAULT_PRECISION",
+    "bytes_per_record",
+    "decode_point",
+    "decode_points",
+    "encode_point",
+    "encode_points",
+    "read_points",
+    "write_points",
+    "write_points_as_text",
+]

@@ -1,0 +1,89 @@
+"""Local-filesystem dataset I/O.
+
+Datasets live in the in-memory DFS during simulation, but a real
+workflow needs them on disk: export a generated mixture for another
+tool, or import a CSV-like points file somebody else produced. Files
+use the same one-point-per-line text format as the codec
+(:mod:`repro.data.textio`), with an optional ``#``-comment header and
+transparent gzip (by file suffix).
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+
+import numpy as np
+
+from repro.common.errors import DataFormatError
+from repro.common.validation import check_points
+from repro.data.loader import write_points
+from repro.data.textio import decode_point, encode_points
+from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
+
+
+def _open_text(path: pathlib.Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_points_file(
+    path: "str | pathlib.Path",
+    points: np.ndarray,
+    header: str | None = None,
+) -> pathlib.Path:
+    """Write a point matrix to a text (or ``.gz``) file.
+
+    One encoded point per line; ``header`` (if given) is written as
+    leading ``#`` comment lines.
+    """
+    pts = check_points(points)
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with _open_text(out, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for line in encode_points(pts):
+            handle.write(line + "\n")
+    return out
+
+
+def load_points_file(path: "str | pathlib.Path") -> np.ndarray:
+    """Read a points file written by :func:`save_points_file` (or any
+    compatible one-point-per-line text file)."""
+    src = pathlib.Path(path)
+    if not src.exists():
+        raise DataFormatError(f"no such points file: {src}")
+    rows: list[np.ndarray] = []
+    with _open_text(src, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                rows.append(decode_point(stripped))
+            except DataFormatError as err:
+                raise DataFormatError(
+                    f"{src}:{line_number}: {err}"
+                ) from err
+    if not rows:
+        raise DataFormatError(f"points file {src} holds no data lines")
+    widths = {row.size for row in rows}
+    if len(widths) != 1:
+        raise DataFormatError(
+            f"{src}: inconsistent record widths {sorted(widths)}"
+        )
+    return np.vstack(rows)
+
+
+def import_points_file(
+    dfs: InMemoryDFS,
+    name: str,
+    path: "str | pathlib.Path",
+    overwrite: bool = False,
+) -> DFSFile:
+    """Load a points file from disk straight into the DFS."""
+    points = load_points_file(path)
+    return write_points(dfs, name, points, overwrite=overwrite)

@@ -1,0 +1,162 @@
+"""Stress-test dataset families beyond the paper's isotropic mixtures.
+
+G-means' model is "every cluster is a spherical Gaussian"; these
+generators deliberately violate that assumption in controlled ways so
+the test suite (and the cluster-shapes ablation) can document how the
+algorithm degrades:
+
+* :func:`noisy_mixture` — a Gaussian mixture plus a uniform background
+  of outliers (label ``-1``);
+* :func:`anisotropic_mixture` — full-covariance Gaussian clusters with
+  a controlled condition number (elongated ellipsoids);
+* :func:`uniform_ball_mixture` — clusters drawn uniformly from balls:
+  compact and well separated, but decisively non-Gaussian, which makes
+  G-means over-split them (a known property of the algorithm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.common.validation import check_in_range, check_positive
+from repro.data.generator import GaussianMixture, generate_gaussian_mixture
+
+
+def noisy_mixture(
+    n_points: int,
+    n_clusters: int,
+    dimensions: int,
+    noise_fraction: float = 0.1,
+    rng=None,
+    **mixture_kwargs,
+) -> GaussianMixture:
+    """Gaussian mixture with a uniform-background outlier fraction.
+
+    Outliers carry label ``-1`` and are scattered uniformly over a box
+    that extends 20% beyond the clusters' bounding box.
+    """
+    check_in_range("noise_fraction", noise_fraction, 0.0, 0.9)
+    rng = ensure_rng(rng)
+    n_noise = int(round(n_points * noise_fraction))
+    n_clustered = n_points - n_noise
+    if n_clustered < n_clusters:
+        raise ConfigurationError(
+            f"noise_fraction={noise_fraction} leaves {n_clustered} points "
+            f"for {n_clusters} clusters"
+        )
+    base = generate_gaussian_mixture(
+        n_clustered, n_clusters, dimensions, rng=rng, **mixture_kwargs
+    )
+    if n_noise == 0:
+        return base
+    low = base.points.min(axis=0)
+    high = base.points.max(axis=0)
+    pad = 0.2 * (high - low + 1e-12)
+    noise = rng.uniform(low - pad, high + pad, size=(n_noise, dimensions))
+    points = np.vstack([base.points, noise])
+    labels = np.concatenate(
+        [base.labels, np.full(n_noise, -1, dtype=np.int64)]
+    )
+    order = rng.permutation(points.shape[0])
+    return GaussianMixture(
+        points=points[order],
+        labels=labels[order],
+        centers=base.centers,
+        cluster_std=base.cluster_std,
+    )
+
+
+def anisotropic_mixture(
+    n_points: int,
+    n_clusters: int,
+    dimensions: int,
+    condition_number: float = 8.0,
+    rng=None,
+    center_low: float = 0.0,
+    center_high: float = 100.0,
+    min_separation: float | None = None,
+) -> GaussianMixture:
+    """Full-covariance Gaussian clusters with controlled elongation.
+
+    Each cluster gets a random orthonormal basis and axis standard
+    deviations log-spaced between 1 and ``condition_number`` (so the
+    longest axis is ``condition_number`` times the shortest).
+    """
+    check_positive("n_points", n_points)
+    check_positive("n_clusters", n_clusters)
+    check_positive("dimensions", dimensions)
+    if condition_number < 1.0:
+        raise ConfigurationError(
+            f"condition_number must be >= 1, got {condition_number}"
+        )
+    rng = ensure_rng(rng)
+    if min_separation is None:
+        min_separation = 6.0 * condition_number
+    base = generate_gaussian_mixture(
+        n_points,
+        n_clusters,
+        dimensions,
+        rng=rng,
+        center_low=center_low,
+        center_high=center_high,
+        cluster_std=1.0,
+        min_separation=min_separation,
+    )
+    points = np.empty_like(base.points)
+    axis_stds = np.logspace(0, np.log10(condition_number), dimensions)
+    for c in range(n_clusters):
+        mask = base.labels == c
+        count = int(mask.sum())
+        # Random orthonormal basis via QR of a Gaussian matrix.
+        q, _ = np.linalg.qr(rng.standard_normal((dimensions, dimensions)))
+        local = rng.standard_normal((count, dimensions)) * axis_stds
+        points[mask] = base.centers[c] + local @ q.T
+    return GaussianMixture(
+        points=points,
+        labels=base.labels,
+        centers=base.centers,
+        cluster_std=float(axis_stds.mean()),
+    )
+
+
+def uniform_ball_mixture(
+    n_points: int,
+    n_clusters: int,
+    dimensions: int,
+    radius: float = 3.0,
+    rng=None,
+    center_low: float = 0.0,
+    center_high: float = 100.0,
+) -> GaussianMixture:
+    """Clusters drawn uniformly from balls of the given radius.
+
+    Compact and separable, but the projections G-means tests are far
+    from Gaussian, so the algorithm splits them — the canonical
+    demonstration that G-means estimates "number of Gaussians", not
+    "number of blobs".
+    """
+    check_positive("radius", radius)
+    rng = ensure_rng(rng)
+    base = generate_gaussian_mixture(
+        n_points,
+        n_clusters,
+        dimensions,
+        rng=rng,
+        center_low=center_low,
+        center_high=center_high,
+        cluster_std=1.0,
+        min_separation=6.0 * radius,
+    )
+    n = base.points.shape[0]
+    directions = rng.standard_normal((n, dimensions))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    radii = radius * rng.random(n) ** (1.0 / dimensions)
+    points = base.centers[base.labels] + directions * radii[:, None]
+    return GaussianMixture(
+        points=points,
+        labels=base.labels,
+        centers=base.centers,
+        cluster_std=radius / 2.0,
+    )

@@ -1,0 +1,63 @@
+"""Placing datasets on (and reading them back from) the simulated DFS.
+
+Two storage modes are provided:
+
+* :func:`write_points` — the fast path used by experiments: splits hold
+  numpy row blocks, while byte accounting uses the paper's text-size
+  model (:func:`repro.data.textio.bytes_per_record`);
+* :func:`write_points_as_text` — full-fidelity mode: splits hold actual
+  text lines, exercising the codec end to end (used by small examples
+  and the codec integration tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import check_points
+from repro.data.textio import bytes_per_record, decode_points, encode_points
+from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
+
+
+def write_points(
+    dfs: InMemoryDFS,
+    name: str,
+    points: np.ndarray,
+    replication: int = 3,
+    overwrite: bool = False,
+) -> DFSFile:
+    """Store a point matrix under ``name`` (numpy blocks, text-size
+    accounting)."""
+    pts = check_points(points)
+    return dfs.write(
+        name,
+        pts,
+        bytes_per_record=bytes_per_record(pts.shape[1]),
+        replication=replication,
+        overwrite=overwrite,
+    )
+
+
+def write_points_as_text(
+    dfs: InMemoryDFS,
+    name: str,
+    points: np.ndarray,
+    replication: int = 3,
+    overwrite: bool = False,
+) -> DFSFile:
+    """Store a point matrix as actual text lines (full-fidelity mode)."""
+    pts = check_points(points)
+    lines = encode_points(pts)
+    actual = max(len(line) + 1 for line in lines)  # +1 for the newline
+    return dfs.write(
+        name, lines, bytes_per_record=actual, replication=replication,
+        overwrite=overwrite,
+    )
+
+
+def read_points(dfs: InMemoryDFS, name: str) -> np.ndarray:
+    """Read a dataset back into an ``(n, d)`` matrix (either mode)."""
+    records = dfs.read_all(name)
+    if isinstance(records, np.ndarray):
+        return records
+    return decode_points(list(records))

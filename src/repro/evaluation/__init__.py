@@ -1,0 +1,61 @@
+"""Experiment harness: one entry point per paper table/figure, plus
+ablations of the design choices, table/figure renderers, and the
+paper's reference values."""
+
+from repro.evaluation.ablations import (
+    ablation_anchor_modes,
+    ablation_balanced_partitioning,
+    ablation_cache_input,
+    ablation_init_methods,
+    ablation_kmeans_iterations,
+    ablation_normality_tests,
+    ablation_test_strategy,
+    ablation_vote_rules,
+)
+from repro.evaluation.experiments import (
+    ExperimentResult,
+    costmodel_validation,
+    fig1_center_evolution,
+    fig2_heap_memory,
+    fig3_crossover,
+    fig4_local_minimum,
+    run_gmeans_once,
+    table1_gmeans_scaling,
+    table2_multi_kmeans,
+    table3_quality,
+    table4_node_scaling,
+)
+from repro.evaluation.figures import ascii_scatter, ascii_series, correlation, linear_fit
+from repro.evaluation.harness import World, build_world, target_split_bytes
+from repro.evaluation.tables import render_comparison, render_table
+
+__all__ = [
+    "ablation_anchor_modes",
+    "ablation_balanced_partitioning",
+    "ablation_cache_input",
+    "ablation_init_methods",
+    "ablation_kmeans_iterations",
+    "ablation_normality_tests",
+    "ablation_test_strategy",
+    "ablation_vote_rules",
+    "ExperimentResult",
+    "costmodel_validation",
+    "fig1_center_evolution",
+    "fig2_heap_memory",
+    "fig3_crossover",
+    "fig4_local_minimum",
+    "run_gmeans_once",
+    "table1_gmeans_scaling",
+    "table2_multi_kmeans",
+    "table3_quality",
+    "table4_node_scaling",
+    "ascii_scatter",
+    "ascii_series",
+    "correlation",
+    "linear_fit",
+    "World",
+    "build_world",
+    "target_split_bytes",
+    "render_comparison",
+    "render_table",
+]

@@ -1,0 +1,744 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Every function builds its scaled-down world, runs the same algorithms
+the paper ran, and returns an :class:`ExperimentResult` carrying both
+the raw rows and a rendered paper-vs-measured report. The benchmark
+suite under ``benchmarks/`` is a thin shell over these functions; they
+can also be driven directly::
+
+    from repro.evaluation import experiments
+    print(experiments.table1_gmeans_scaling().text)
+
+Scale note: the paper uses 10M-100M points on a physical Hadoop
+cluster; here the datasets are scaled down (tens of thousands of
+points, k up to ~128) and time is the runtime's simulated seconds. The
+claims being reproduced are *shapes* — linear vs quadratic growth in
+k, the ~1.5x overestimation, the ~10% quality gap, near-linear node
+speedup — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.costmodel import gmeans_cost, multi_kmeans_cost
+from repro.clustering.metrics import assign_nearest, average_distance
+from repro.common.errors import JobFailedError
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans, MRGMeansResult
+from repro.core.kmeans_mr import MRKMeans
+from repro.core.multi_kmeans import MultiKMeans
+from repro.core.test_clusters import make_test_clusters_job
+from repro.data.generator import (
+    demo_r2_dataset,
+    generate_gaussian_mixture,
+    paper_family_dataset,
+)
+from repro.evaluation import paper_values
+from repro.evaluation.figures import ascii_scatter, ascii_series, correlation, linear_fit
+from repro.evaluation.harness import World, build_world
+from repro.evaluation.tables import render_table
+from repro.mapreduce.cluster import MIB
+
+
+#: Significance level used throughout the experiment suite. The EDBT
+#: paper does not state its Anderson-Darling level; at 0.01 the suite
+#: reproduces the paper's consistent ~1.5x overestimation of k, while
+#: the library default (:data:`repro.stats.GMEANS_ALPHA` = 1e-4, the
+#: G-means paper's strict setting) recovers k almost exactly on the
+#: same data.
+EXPERIMENT_ALPHA = 0.01
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendered report of one experiment."""
+
+    name: str
+    rows: list[dict] = field(default_factory=list)
+    text: str = ""
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — evolution of centers across iterations (10 clusters in R^2)
+# ---------------------------------------------------------------------------
+
+
+def fig1_center_evolution(
+    n_points: int = 3000, seed: int = 1, max_plots: int = 3
+) -> ExperimentResult:
+    """Run MR G-means on the 10-cluster R^2 demo set and snapshot the
+    centers it places at each iteration (the paper's Figure 1)."""
+    mixture = demo_r2_dataset(n_points=n_points, rng=seed)
+    world = build_world(mixture, nodes=4, target_splits=8, seed=seed)
+    driver = MRGMeans(
+        world.runtime, MRGMeansConfig(seed=seed, alpha=EXPERIMENT_ALPHA)
+    )
+    result = driver.fit(world.dataset)
+    rows = [
+        {
+            "iteration": h.iteration,
+            "k_before": h.k_before,
+            "k_after": h.k_after,
+            "split": h.clusters_split,
+            "centers": h.centers.shape[0],
+        }
+        for h in result.history
+    ]
+    plots = []
+    for h in result.history[:max_plots]:
+        plots.append(
+            ascii_scatter(
+                [(mixture.points, "."), (h.centers, "#")],
+                width=64,
+                height=18,
+                title=f"Iteration {h.iteration}: {h.centers.shape[0]} centers",
+            )
+        )
+    table = render_table(
+        ["iteration", "k before", "k after", "clusters split", "current centers"],
+        [[r["iteration"], r["k_before"], r["k_after"], r["split"], r["centers"]] for r in rows],
+        title="Figure 1 — G-means center evolution (10 true clusters in R^2)",
+    )
+    text = table + "\n\n" + "\n\n".join(plots)
+    return ExperimentResult(
+        name="fig1",
+        rows=rows,
+        text=text,
+        data={"result": result, "mixture": mixture},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — reducer heap required by TestClusters
+# ---------------------------------------------------------------------------
+
+
+def fig2_heap_memory(
+    points_counts: "list[int] | None" = None,
+    heap_mb_values: "list[int] | None" = None,
+    seed: int = 2,
+) -> ExperimentResult:
+    """Reproduce the Figure-2 heap frontier.
+
+    Single-cluster datasets of growing size are tested by the
+    ``TestClusters`` reducer under varying task heaps; each (size, heap)
+    cell either succeeds or dies with ``JavaHeapSpaceError``. A linear
+    fit through the per-size minimum successful heap recovers the
+    paper's 64 bytes/point slope.
+    """
+    if points_counts is None:
+        # Scaled 1:100 from the paper's 4M-16M points per reducer.
+        points_counts = [40_000, 60_000, 80_000, 100_000, 120_000, 160_000]
+    if heap_mb_values is None:
+        heap_mb_values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]
+
+    rows = []
+    min_heap_by_n: dict[int, int] = {}
+    for n in points_counts:
+        mixture = generate_gaussian_mixture(
+            n_points=n, n_clusters=1, dimensions=10, rng=seed, cluster_std=1.0
+        )
+        for heap_mb in heap_mb_values:
+            world = build_world(
+                mixture,
+                nodes=1,
+                target_splits=4,
+                task_heap_mb=heap_mb,
+                seed=seed,
+                dataset_name=f"fig2-{n}",
+            )
+            center = mixture.points.mean(axis=0, keepdims=True)
+            pair = np.vstack([mixture.points[0], mixture.points[1]])
+            job = make_test_clusters_job(
+                prev_centers=center,
+                pairs={0: pair},
+                alpha=1e-4,
+                num_reduce_tasks=1,
+            )
+            try:
+                world.runtime.run(job, world.dataset)
+                succeeded = True
+            except JobFailedError:
+                succeeded = False
+            rows.append(
+                {"points": n, "heap_mb": heap_mb, "succeeded": succeeded}
+            )
+            if succeeded and n not in min_heap_by_n:
+                min_heap_by_n[n] = heap_mb
+
+    xs = [n / 1e6 for n in sorted(min_heap_by_n)]  # millions of points
+    ys = [min_heap_by_n[n] for n in sorted(min_heap_by_n)]
+    slope_mb_per_million, intercept_mb = linear_fit(xs, ys)
+    slope_bytes_per_point = slope_mb_per_million * MIB / 1e6
+    table = render_table(
+        ["points", "min heap (MB)", "exact need (MB)"],
+        [
+            [n, min_heap_by_n[n], n * 64 / MIB]
+            for n in sorted(min_heap_by_n)
+        ],
+        title="Figure 2 — minimum reducer heap vs points per reducer",
+    )
+    text = (
+        table
+        + f"\n\nlinear fit: {slope_mb_per_million:.1f} MB per million points"
+        f" (= {slope_bytes_per_point:.1f} bytes/point), intercept"
+        f" {intercept_mb:.2f} MB"
+        + f"\npaper:      {paper_values.FIG2_SLOPE_BYTES_PER_POINT:.1f}"
+        f" bytes/point, intercept {paper_values.FIG2_INTERCEPT_MB:.2f} MB"
+        " (JVM baseline overhead, absent from the simulation)"
+    )
+    return ExperimentResult(
+        name="fig2",
+        rows=rows,
+        text=text,
+        data={
+            "slope_bytes_per_point": slope_bytes_per_point,
+            "intercept_mb": intercept_mb,
+            "min_heap_by_n": min_heap_by_n,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — G-means scaling with k
+# ---------------------------------------------------------------------------
+
+
+def run_gmeans_once(
+    k_real: int,
+    n_points: int,
+    nodes: int = 4,
+    seed: int = 3,
+    target_splits: int = 16,
+    config: MRGMeansConfig | None = None,
+) -> tuple[MRGMeansResult, World]:
+    """One Table-1-style G-means run on a scaled paper-family dataset."""
+    mixture = paper_family_dataset(n_clusters=k_real, n_points=n_points, rng=seed)
+    world = build_world(
+        mixture, nodes=nodes, target_splits=target_splits, seed=seed
+    )
+    cfg = config or MRGMeansConfig(seed=seed, alpha=EXPERIMENT_ALPHA)
+    result = MRGMeans(world.runtime, cfg).fit(world.dataset)
+    return result, world
+
+
+def table1_gmeans_scaling(
+    ks: "list[int] | None" = None,
+    n_points: int = 60_000,
+    seed: int = 3,
+) -> ExperimentResult:
+    """G-means across the scaled d-family: discovered k, iterations,
+    simulated time (the paper's Table 1)."""
+    ks = ks or [8, 16, 32, 64, 128]
+    rows = []
+    for k in ks:
+        result, _world = run_gmeans_once(k, n_points, seed=seed)
+        rows.append(
+            {
+                "clusters": k,
+                "discovered": result.k_found,
+                "time_seconds": result.simulated_seconds,
+                "iterations": result.iterations,
+                "ratio": result.k_found / k,
+            }
+        )
+    times = [r["time_seconds"] for r in rows]
+    r_linear = correlation(ks, times)
+    table = render_table(
+        ["clusters", "discovered", "ratio", "time (sim s)", "iterations"],
+        [
+            [r["clusters"], r["discovered"], r["ratio"], r["time_seconds"], r["iterations"]]
+            for r in rows
+        ],
+        title=f"Table 1 — G-means clustering ({n_points} points in R^10, scaled 1:"
+        f"{paper_values.TABLE1['clusters'][0] // ks[0]} in k)",
+    )
+    paper_table = render_table(
+        ["clusters", "discovered", "ratio", "time (s)", "iterations"],
+        [
+            [c, d, d / c, t, i]
+            for c, d, t, i in zip(
+                paper_values.TABLE1["clusters"],
+                paper_values.TABLE1["discovered"],
+                paper_values.TABLE1["time_seconds"],
+                paper_values.TABLE1["iterations"],
+            )
+        ],
+        title="Paper Table 1 (10M points, 4 nodes)",
+    )
+    text = (
+        table
+        + f"\n\ncorrelation(time, k) = {r_linear:.4f} (paper: time scales"
+        " linearly with k)\n\n"
+        + paper_table
+    )
+    return ExperimentResult(
+        name="table1", rows=rows, text=text, data={"correlation": r_linear}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — average time of one multi-k-means iteration
+# ---------------------------------------------------------------------------
+
+
+def table2_multi_kmeans(
+    ks: "list[int] | None" = None,
+    n_points: int = 20_000,
+    iterations: int = 2,
+    seed: int = 4,
+) -> ExperimentResult:
+    """Average simulated time of a single multi-k-means iteration for
+    growing k_max (the paper's Table 2: quadratic growth)."""
+    ks = ks or [12, 25, 35, 50, 100]
+    rows = []
+    for k_max in ks:
+        mixture = paper_family_dataset(
+            n_clusters=k_max, n_points=n_points, rng=seed
+        )
+        world = build_world(
+            mixture, nodes=4, target_splits=16, seed=seed
+        )
+        driver = MultiKMeans(
+            world.runtime, k_min=1, k_max=k_max, iterations=iterations, seed=seed
+        )
+        result = driver.fit(world.dataset)
+        rows.append(
+            {
+                "clusters": k_max,
+                "time_seconds": result.average_iteration_seconds,
+                "distances_per_iteration": (
+                    result.totals.distance_computations // (iterations + 1)
+                ),
+            }
+        )
+    times = [r["time_seconds"] for r in rows]
+    # Quadratic check: time against k^2 should be far more linear than
+    # time against k.
+    r_k = correlation(ks, times)
+    r_k2 = correlation([k * k for k in ks], times)
+    table = render_table(
+        ["clusters", "avg iteration time (sim s)", "distances/iteration"],
+        [[r["clusters"], r["time_seconds"], r["distances_per_iteration"]] for r in rows],
+        title=f"Table 2 — multi-k-means single-iteration time ({n_points} points)",
+    )
+    paper_table = render_table(
+        ["clusters", "time (s)"],
+        list(map(list, zip(paper_values.TABLE2["clusters"], paper_values.TABLE2["time_seconds"]))),
+        title="Paper Table 2",
+    )
+    text = (
+        table
+        + f"\n\ncorrelation(time, k) = {r_k:.4f}; correlation(time, k^2) ="
+        f" {r_k2:.4f} (paper: superlinear, ~quadratic growth)\n\n"
+        + paper_table
+    )
+    return ExperimentResult(
+        name="table2",
+        rows=rows,
+        text=text,
+        data={"correlation_k": r_k, "correlation_k2": r_k2},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — running time of G-means vs multi-k-means
+# ---------------------------------------------------------------------------
+
+
+def fig3_crossover(
+    ks: "list[int] | None" = None,
+    n_points: int = 30_000,
+    seed: int = 5,
+) -> ExperimentResult:
+    """Total G-means running time vs a single multi-k-means iteration
+    across k (the paper's Figure 3: the curves cross around k ~ 100-200
+    and multi-k-means grows away quadratically).
+
+    Unlike the Table 1/2 scale-down, the *crossover position* is in
+    absolute k units: it falls where ``sum(1..k) ~ k^2/2`` distance
+    computations of one multi-k-means iteration overtake G-means'
+    ``~2k x jobs x iterations``, i.e. near k of a hundred or two —
+    directly comparable to the paper's plot.
+    """
+    ks = ks or [16, 32, 64, 128, 192]
+    g_rows = table1_gmeans_scaling(ks=ks, n_points=n_points, seed=seed).rows
+    m_rows = table2_multi_kmeans(
+        ks=ks, n_points=n_points, iterations=1, seed=seed
+    ).rows
+    g_times = [r["time_seconds"] for r in g_rows]
+    m_times = [r["time_seconds"] for r in m_rows]
+    crossover = None
+    for k, g, m in zip(ks, g_times, m_times):
+        if m > g:
+            crossover = k
+            break
+    table = render_table(
+        ["k", "G-means total (sim s)", "multi-k-means 1 iter (sim s)"],
+        list(map(list, zip(ks, g_times, m_times))),
+        title=f"Figure 3 — running time vs k ({n_points} points)",
+    )
+    plot = ascii_series(
+        [(ks, g_times, "G"), (ks, m_times, "M")],
+        title="Figure 3 — G (G-means total) vs M (multi-k-means, one iteration)",
+        x_label="k",
+        y_label="sim seconds",
+    )
+    text = (
+        table
+        + f"\n\nmulti-k-means overtakes G-means at k = {crossover}"
+        " (paper: already at k = 100 one multi-k-means iteration exceeds"
+        " the whole G-means run)\n\n"
+        + plot
+    )
+    return ExperimentResult(
+        name="fig3",
+        rows=[{"k": k, "gmeans": g, "multi": m} for k, g, m in zip(ks, g_times, m_times)],
+        text=text,
+        data={"crossover_k": crossover},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — clustering quality (average point-to-center distance)
+# ---------------------------------------------------------------------------
+
+
+def table3_quality(
+    ks: "list[int] | None" = None,
+    n_points: int = 60_000,
+    seed: int = 3,
+    baseline_iterations: int = 10,
+) -> ExperimentResult:
+    """Average point-to-center distance of G-means vs k-means run at
+    the same k for 10 iterations (the paper's Table 3: G-means wins by
+    ~10% because it adds centers progressively and dodges local
+    minima).
+
+    Two baselines are reported: randomly-initialised k-means (the
+    paper's setup — its deficit can be dramatic when whole cluster
+    groups end up seedless) and k-means++ (the better-init production
+    fix the paper's related work discusses).
+    """
+    ks = ks or [8, 16, 32]
+    rows = []
+    for k_real in ks:
+        result, world = run_gmeans_once(k_real, n_points, seed=seed)
+        g_distance = average_distance(world.points, result.centers)
+        random_baseline = MRKMeans(
+            world.runtime,
+            k=result.k_found,
+            max_iterations=baseline_iterations,
+            seed=seed,
+        ).fit(world.dataset)
+        m_distance = average_distance(world.points, random_baseline.centers)
+        pp_baseline = MRKMeans(
+            world.runtime,
+            k=result.k_found,
+            init="kmeans++",
+            max_iterations=baseline_iterations,
+            seed=seed,
+        ).fit(world.dataset)
+        pp_distance = average_distance(world.points, pp_baseline.centers)
+        rows.append(
+            {
+                "k_real": k_real,
+                "k_found": result.k_found,
+                "gmeans": g_distance,
+                "multi_kmeans": m_distance,
+                "multi_kmeans_pp": pp_distance,
+                "advantage": 1.0 - g_distance / m_distance,
+                "advantage_pp": 1.0 - g_distance / pp_distance,
+            }
+        )
+    table = render_table(
+        ["k_real", "k_found", "G-means", "k-means (random)", "k-means (++)",
+         "adv. vs random", "adv. vs ++"],
+        [
+            [r["k_real"], r["k_found"], r["gmeans"], r["multi_kmeans"],
+             r["multi_kmeans_pp"],
+             f"{100 * r['advantage']:.1f}%", f"{100 * r['advantage_pp']:.1f}%"]
+            for r in rows
+        ],
+        title=f"Table 3 — quality at equal k ({n_points} points in R^10)",
+    )
+    paper_table = render_table(
+        ["k_real", "k_found", "G-means", "multi-k-means"],
+        [
+            list(row)
+            for row in zip(
+                paper_values.TABLE3["k_real"],
+                paper_values.TABLE3["k_found"],
+                paper_values.TABLE3["gmeans_avg_distance"],
+                paper_values.TABLE3["multi_kmeans_avg_distance"],
+            )
+        ],
+        title="Paper Table 3 (advantage ~10%)",
+    )
+    mean_adv = float(np.mean([r["advantage"] for r in rows]))
+    text = (
+        table
+        + f"\n\nmean G-means advantage: {100 * mean_adv:.1f}%"
+        " (paper: ~10%)\n\n" + paper_table
+    )
+    return ExperimentResult(
+        name="table3", rows=rows, text=text, data={"mean_advantage": mean_adv}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — local minimum of multi-k-means on the 10-cluster demo
+# ---------------------------------------------------------------------------
+
+
+def _centers_per_true_cluster(
+    centers: np.ndarray, mixture
+) -> np.ndarray:
+    """How many found centers sit nearest to each true cluster center."""
+    labels, _ = assign_nearest(centers, mixture.centers)
+    return np.bincount(labels, minlength=mixture.n_clusters)
+
+
+def fig4_local_minimum(
+    n_points: int = 4000,
+    seed: int = 1,
+    baseline_seeds: "list[int] | None" = None,
+) -> ExperimentResult:
+    """The Figure 4 tableau: G-means covers every true cluster (with a
+    few extra centers); k-means at the true k=10, randomly initialised,
+    regularly leaves one true cluster uncovered while doubling another
+    (a local minimum) and ends with a worse average distance."""
+    baseline_seeds = baseline_seeds or list(range(12))
+    mixture = demo_r2_dataset(n_points=n_points, rng=seed)
+    world = build_world(mixture, nodes=4, target_splits=8, seed=seed)
+    gmeans_result = MRGMeans(
+        world.runtime, MRGMeansConfig(seed=seed, alpha=EXPERIMENT_ALPHA)
+    ).fit(world.dataset)
+    g_coverage = _centers_per_true_cluster(gmeans_result.centers, mixture)
+    g_distance = average_distance(world.points, gmeans_result.centers)
+
+    # Run the fixed-k baseline from several random seeds; keep the first
+    # run stuck in a local minimum (some true cluster uncovered) and
+    # count how often that happens.
+    stuck_runs = 0
+    stuck_example = None
+    baseline_distances = []
+    for s in baseline_seeds:
+        baseline = MRKMeans(
+            world.runtime, k=mixture.n_clusters, max_iterations=10, seed=s
+        ).fit(world.dataset)
+        coverage = _centers_per_true_cluster(baseline.centers, mixture)
+        baseline_distances.append(
+            average_distance(world.points, baseline.centers)
+        )
+        if coverage.min() == 0:
+            stuck_runs += 1
+            if stuck_example is None:
+                stuck_example = baseline
+    rows = [
+        {
+            "algorithm": "MR G-means",
+            "centers": gmeans_result.k_found,
+            "uncovered_true_clusters": int((g_coverage == 0).sum()),
+            "avg_distance": g_distance,
+        },
+        {
+            "algorithm": f"k-means (k=10, {len(baseline_seeds)} seeds)",
+            "centers": mixture.n_clusters,
+            "uncovered_true_clusters": (
+                None if stuck_example is None
+                else int((_centers_per_true_cluster(stuck_example.centers, mixture) == 0).sum())
+            ),
+            "avg_distance": float(np.mean(baseline_distances)),
+        },
+    ]
+    plots = [
+        ascii_scatter(
+            [(mixture.points, "."), (gmeans_result.centers, "#")],
+            width=64,
+            height=18,
+            title=f"{gmeans_result.k_found} centers found by G-means",
+        )
+    ]
+    if stuck_example is not None:
+        plots.append(
+            ascii_scatter(
+                [(mixture.points, "."), (stuck_example.centers, "#")],
+                width=64,
+                height=18,
+                title="10 centers found by k-means (local minimum: one true"
+                " cluster holds 2 centers, another holds none)",
+            )
+        )
+    table = render_table(
+        ["algorithm", "centers", "uncovered true clusters", "avg distance"],
+        [
+            [r["algorithm"], r["centers"], r["uncovered_true_clusters"], r["avg_distance"]]
+            for r in rows
+        ],
+        title="Figure 4 — local-minimum behaviour on the 10-cluster demo",
+    )
+    text = (
+        table
+        + f"\n\nbaseline runs stuck in a local minimum: {stuck_runs}/"
+        f"{len(baseline_seeds)}; G-means uncovered clusters:"
+        f" {int((g_coverage == 0).sum())} (paper: G-means finds 14 centers"
+        " covering all 10 clusters; multi-k-means at k=10 leaves a cluster"
+        " uncovered)\n\n" + "\n\n".join(plots)
+    )
+    return ExperimentResult(
+        name="fig4",
+        rows=rows,
+        text=text,
+        data={
+            "stuck_runs": stuck_runs,
+            "total_runs": len(baseline_seeds),
+            "gmeans_k": gmeans_result.k_found,
+            "gmeans_distance": g_distance,
+            "baseline_mean_distance": float(np.mean(baseline_distances)),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 / Figure 5 — node scaling
+# ---------------------------------------------------------------------------
+
+
+def table4_node_scaling(
+    nodes_list: "list[int] | None" = None,
+    n_points: int = 120_000,
+    k_real: int = 32,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Simulated G-means running time on 4/8/12 nodes (the paper's
+    Table 4 and Figure 5: near-linear speedup)."""
+    nodes_list = nodes_list or [4, 8, 12]
+    mixture = paper_family_dataset(n_clusters=k_real, n_points=n_points, rng=seed)
+    rows = []
+    for nodes in nodes_list:
+        world = build_world(
+            mixture,
+            nodes=nodes,
+            target_splits=16 * max(nodes_list),
+            seed=seed,
+            dataset_name=f"scaling-{nodes}",
+        )
+        # Fixed reducer count + forced reducer-side testing keep the
+        # algorithm's trajectory byte-identical across node counts, so
+        # only scheduling differs — the paper ran the same job on all
+        # three cluster sizes ("All tests completed after 13 iterations").
+        # The strict G-means alpha keeps the trajectory short here; the
+        # point of this experiment is scheduling, not k estimation.
+        cfg = MRGMeansConfig(
+            seed=seed,
+            alpha=1e-4,
+            strategy="reducer",
+            num_reduce_tasks=32,
+        )
+        result = MRGMeans(world.runtime, cfg).fit(world.dataset)
+        rows.append(
+            {
+                "nodes": nodes,
+                "time_seconds": result.simulated_seconds,
+                "iterations": result.iterations,
+                "k_found": result.k_found,
+            }
+        )
+    t0 = rows[0]["time_seconds"]
+    n0 = rows[0]["nodes"]
+    for r in rows:
+        r["speedup"] = t0 / r["time_seconds"]
+        r["ideal_speedup"] = r["nodes"] / n0
+    table = render_table(
+        ["nodes", "time (sim s)", "speedup", "ideal", "k_found", "iterations"],
+        [
+            [r["nodes"], r["time_seconds"], r["speedup"], r["ideal_speedup"],
+             r["k_found"], r["iterations"]]
+            for r in rows
+        ],
+        title=f"Table 4 / Figure 5 — node scaling ({n_points} points,"
+        f" {k_real} true clusters)",
+    )
+    paper_rows = [
+        [n, t, paper_values.TABLE4["time_minutes"][0] / t]
+        for n, t in zip(
+            paper_values.TABLE4["nodes"], paper_values.TABLE4["time_minutes"]
+        )
+    ]
+    paper_table = render_table(
+        ["nodes", "time (min)", "speedup"],
+        paper_rows,
+        title="Paper Table 4 (100M points, 1000 clusters)",
+    )
+    plot = ascii_series(
+        [(
+            [r["nodes"] for r in rows],
+            [r["time_seconds"] for r in rows],
+            "*",
+        )],
+        title="Figure 5 — running time vs nodes",
+        x_label="nodes",
+        y_label="sim seconds",
+        height=14,
+    )
+    text = table + "\n\n" + paper_table + "\n\n" + plot
+    return ExperimentResult(name="table4_fig5", rows=rows, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Section 4 — closed-form cost model vs simulator counters
+# ---------------------------------------------------------------------------
+
+
+def costmodel_validation(
+    k_real: int = 16,
+    n_points: int = 10_000,
+    seed: int = 8,
+) -> ExperimentResult:
+    """Check the Section-4 closed-form estimates against the counters
+    the simulator actually recorded."""
+    result, world = run_gmeans_once(k_real, n_points, seed=seed)
+    predicted = gmeans_cost(
+        n_points, k_real, kmeans_iterations=2,
+        extra_iterations=max(0, result.iterations - max(1, int(np.ceil(np.log2(k_real))))),
+    )
+    measured_reads = result.totals.dataset_reads
+    measured_distances = result.totals.distance_computations
+    measured_ad = result.totals.cluster_tests
+
+    mixture = paper_family_dataset(n_clusters=k_real, n_points=n_points, rng=seed)
+    world2 = build_world(mixture, nodes=4, target_splits=16, seed=seed, dataset_name="mk")
+    mk = MultiKMeans(world2.runtime, k_min=1, k_max=k_real, iterations=3, seed=seed)
+    mk_result = mk.fit(world2.dataset)
+    mk_predicted = multi_kmeans_cost(n_points, k_real, iterations=3)
+
+    rows = [
+        {"quantity": "G-means dataset reads", "predicted": predicted.dataset_reads,
+         "measured": measured_reads},
+        {"quantity": "G-means distance computations",
+         "predicted": predicted.distance_computations, "measured": measured_distances},
+        {"quantity": "G-means AD tests", "predicted": predicted.ad_tests,
+         "measured": measured_ad},
+        {"quantity": "multi-k-means dataset reads",
+         "predicted": mk_predicted.dataset_reads,
+         "measured": mk_result.totals.dataset_reads},
+        {"quantity": "multi-k-means distance computations",
+         "predicted": mk_predicted.distance_computations,
+         "measured": mk_result.totals.distance_computations},
+    ]
+    for r in rows:
+        r["ratio"] = r["measured"] / r["predicted"] if r["predicted"] else float("nan")
+    table = render_table(
+        ["quantity", "predicted (closed form)", "measured (counters)", "ratio"],
+        [[r["quantity"], r["predicted"], r["measured"], r["ratio"]] for r in rows],
+        title="Section 4 — cost model vs simulator counters",
+    )
+    return ExperimentResult(name="costmodel", rows=rows, text=table)

@@ -1,0 +1,117 @@
+"""ASCII rendering of the paper's figures.
+
+Terminal-friendly stand-ins for the paper's plots: 2-D scatter plots
+(Figures 1 and 4) and x/y series (Figures 3 and 5) rendered as
+character rasters, so the benchmark output is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_scatter(
+    layers: "Sequence[tuple[np.ndarray, str]]",
+    width: int = 72,
+    height: int = 24,
+    title: str | None = None,
+) -> str:
+    """Render point layers as a character raster.
+
+    ``layers`` is a sequence of ``(points, marker)`` with points of
+    shape ``(n, 2)``; later layers draw on top (put centers last).
+    """
+    arrays = [np.asarray(points, dtype=np.float64) for points, _ in layers]
+    stacked = np.vstack([a for a in arrays if a.size])
+    x_min, y_min = stacked.min(axis=0)
+    x_max, y_max = stacked.max(axis=0)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for points, marker in layers:
+        for x, y in np.asarray(points, dtype=np.float64):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"x: [{x_min:.1f}, {x_max:.1f}]  y: [{y_min:.1f}, {y_max:.1f}]"
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: "Sequence[tuple[Sequence[float], Sequence[float], str]]",
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (xs, ys, marker) series on shared axes."""
+    all_x = np.concatenate([np.asarray(s[0], dtype=np.float64) for s in series])
+    all_y = np.concatenate([np.asarray(s[1], dtype=np.float64) for s in series])
+    layers = [
+        (np.column_stack([np.asarray(xs, dtype=np.float64), np.asarray(ys, dtype=np.float64)]), marker)
+        for xs, ys, marker in series
+    ]
+    plot = ascii_scatter(layers, width=width, height=height, title=title)
+    legend = "  ".join(f"{marker}={y_label}[{i}]" for i, (_, _, marker) in enumerate(series))
+    return f"{plot}\n{x_label} vs {y_label}; min/max from data. {legend}"
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 40,
+    height: int = 10,
+    title: str | None = None,
+) -> str:
+    """Vertical-bar ASCII histogram of a 1-D sample.
+
+    Used to *show* what the Anderson-Darling test sees: a Gaussian
+    projection draws one bell, a hidden pair of modes draws two.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        return (title + "\n" if title else "") + "(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    top = counts.max()
+    lines = []
+    if title:
+        lines.append(title)
+    if top == 0:
+        top = 1
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        row = "".join("#" if c >= threshold else " " for c in counts)
+        lines.append(f"|{row}|")
+    lines.append("+" + "-" * bins + "+")
+    lines.append(f"{edges[0]:<{bins // 2}.2f}{edges[-1]:>{bins - bins // 2 + 2}.2f}")
+    return "\n".join(lines)
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares slope and intercept (used for the Figure 2
+    heap regression and the linearity checks)."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("linear fit needs at least 2 points")
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation (linearity diagnostics in the benches)."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,56 @@
+"""Reference values transcribed from the paper's evaluation section.
+
+Used by the benchmark harness to print paper-vs-measured comparisons
+(EXPERIMENTS.md is generated from the same data). Absolute times are
+testbed-specific; the quantities to match are the *shapes*: linearity
+in k, the ~1.5x overestimation factor, the ~10% quality advantage, the
+near-linear node speedup.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — Results of G-means clustering (10M points in R^10).
+TABLE1 = {
+    "clusters": [100, 200, 400, 800, 1600],
+    "discovered": [134, 305, 626, 1264, 2455],
+    "time_seconds": [1286, 1667, 2291, 4208, 5593],
+    "iterations": [9, 10, 11, 13, 13],
+}
+
+#: Table 2 — Average time of a single multi-k-means iteration.
+TABLE2 = {
+    "clusters": [50, 100, 141, 200, 400],
+    "time_seconds": [237, 751, 1356, 2637, 10252],
+}
+
+#: Table 3 — Quality: average point-to-center distance.
+TABLE3 = {
+    "k_real": [100, 200, 400],
+    "k_found": [150, 279, 639],
+    "gmeans_avg_distance": [3.34, 3.33, 3.23],
+    "multi_kmeans_avg_distance": [3.71, 3.60, 3.39],
+}
+
+#: Table 4 / Figure 5 — Node scaling (100M points, 1000 clusters).
+TABLE4 = {
+    "nodes": [4, 8, 12],
+    "time_minutes": [798, 447, 323],
+}
+
+#: Figure 2 — Reducer heap regression: ``heap_MB = 64 * millions_of_points - 42.67``.
+FIG2_SLOPE_BYTES_PER_POINT = 64.0
+FIG2_INTERCEPT_MB = -42.67
+
+#: Figure 4 — The 10-cluster demo: G-means finds 14 centers (all 10
+#: clusters covered); multi-k-means at k=10 leaves one cluster split
+#: between two centers (a local minimum).
+FIG4_GMEANS_CENTERS = 14
+FIG4_TRUE_CLUSTERS = 10
+
+#: Table 1's overestimation: "the proportion of discovered clusters to
+#: the real number of clusters seems to be quite constant (1.5)".
+OVERESTIMATION_FACTOR = 1.5
+
+#: Table 3's quality gap: "G-means consistently outperforms
+#: multi-k-means, by approximatively 10%".
+QUALITY_ADVANTAGE = 0.10

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly cell formatting (floats get 3 significant-ish
+    decimals, large floats none)."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    label: str,
+    xs: Sequence[object],
+    paper: Sequence[float],
+    measured: Sequence[float],
+    x_name: str = "k",
+    paper_name: str = "paper",
+    measured_name: str = "measured",
+) -> str:
+    """Side-by-side paper-vs-measured table with normalised columns.
+
+    Both series are also shown relative to their first entry, which is
+    the honest way to compare shapes measured on different substrates.
+    """
+    if not (len(xs) == len(paper) == len(measured)):
+        raise ValueError("xs, paper and measured must have equal lengths")
+    p0 = paper[0] if paper and paper[0] else 1.0
+    m0 = measured[0] if measured and measured[0] else 1.0
+    rows = [
+        [x, p, m, p / p0, m / m0]
+        for x, p, m in zip(xs, paper, measured)
+    ]
+    return render_table(
+        [x_name, paper_name, measured_name, f"{paper_name} (rel)", f"{measured_name} (rel)"],
+        rows,
+        title=label,
+    )

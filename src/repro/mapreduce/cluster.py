@@ -1,0 +1,64 @@
+"""Simulated cluster topology.
+
+The paper's testbed is 4-12 nodes, each with two quad-core Xeons and
+32 GB of RAM, running Hadoop 1.x. A :class:`ClusterConfig` captures the
+aspects of that topology that the algorithms actually react to: the
+number of nodes, map/reduce slots per node (which bound parallelism and
+drive the ``TestFewClusters`` -> ``TestClusters`` switching rule), and
+the per-task JVM heap (which bounds the reducer-side projection vector
+and reproduces the Figure-2 failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import check_in_range, check_positive
+
+MIB = 1024 * 1024
+
+#: Fraction of task heap the algorithm allows itself to plan for; above
+#: this the JVM spends its time in garbage collection (paper, Section 3.2).
+DEFAULT_MAX_HEAP_USAGE = 0.66
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated Hadoop cluster."""
+
+    nodes: int = 4
+    map_slots_per_node: int = 8
+    reduce_slots_per_node: int = 8
+    task_heap_mb: int = 1024
+    max_heap_usage: float = DEFAULT_MAX_HEAP_USAGE
+
+    def __post_init__(self) -> None:
+        check_positive("nodes", self.nodes)
+        check_positive("map_slots_per_node", self.map_slots_per_node)
+        check_positive("reduce_slots_per_node", self.reduce_slots_per_node)
+        check_positive("task_heap_mb", self.task_heap_mb)
+        check_in_range("max_heap_usage", self.max_heap_usage, 0.0, 1.0)
+
+    @property
+    def total_map_slots(self) -> int:
+        """Map tasks the cluster can run concurrently."""
+        return self.nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Reduce tasks the cluster can run concurrently — the "total
+        reduce capacity" of the paper's switching rule."""
+        return self.nodes * self.reduce_slots_per_node
+
+    @property
+    def task_heap_bytes(self) -> int:
+        return self.task_heap_mb * MIB
+
+    @property
+    def usable_heap_bytes(self) -> int:
+        """Heap a task may plan to use without thrashing the GC."""
+        return int(self.task_heap_bytes * self.max_heap_usage)
+
+
+#: The paper's 4-node testbed (2 quad-core Xeons per node).
+PAPER_CLUSTER = ClusterConfig(nodes=4, map_slots_per_node=8, reduce_slots_per_node=8)

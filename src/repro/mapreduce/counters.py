@@ -1,0 +1,119 @@
+"""Hadoop-style counters.
+
+Counters are the measurement backbone of the reproduction: the paper's
+Section-4 cost model is stated in terms of dataset reads, distance
+computations, Anderson-Darling tests and shuffled bytes, and the
+benchmark harness validates the closed-form model against the counters
+the runtime actually records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class MRCounter:
+    """Names of the framework counters maintained by the runtime."""
+
+    MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+    MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+    COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+    COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
+    REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+    REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+    REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+    SHUFFLE_BYTES = "SHUFFLE_BYTES"
+    HDFS_BYTES_READ = "HDFS_BYTES_READ"
+    HDFS_BYTES_WRITTEN = "HDFS_BYTES_WRITTEN"
+    DATASET_READS = "DATASET_READS"
+    CACHED_READS = "CACHED_READS"
+    MAP_TASKS = "MAP_TASKS"
+    REDUCE_TASKS = "REDUCE_TASKS"
+
+
+class UserCounter:
+    """Names of the algorithm-level counters incremented by jobs."""
+
+    DISTANCE_COMPUTATIONS = "DISTANCE_COMPUTATIONS"
+    COORDINATE_OPS = "COORDINATE_OPS"
+    PROJECTIONS = "PROJECTIONS"
+    AD_TESTS = "AD_TESTS"
+    AD_SAMPLE_POINTS = "AD_SAMPLE_POINTS"
+    CLUSTER_TESTS = "CLUSTER_TESTS"
+    POINTS_PER_CLUSTER_MAX = "POINTS_PER_CLUSTER_MAX"
+
+
+FRAMEWORK_GROUP = "framework"
+USER_GROUP = "user"
+
+
+class Counters:
+    """A two-level (group, name) -> integer counter map.
+
+    Supports increment, max-update (for high-water marks such as the
+    biggest cluster size), merging of per-task counters into per-job
+    counters, and snapshot/diff — which the cost model uses to charge
+    each task only for the work it performed.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def inc(self, group: str, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``(group, name)``."""
+        self._data[group][name] += int(amount)
+
+    def set_max(self, group: str, name: str, value: int) -> None:
+        """Raise counter ``(group, name)`` to ``value`` if smaller."""
+        current = self._data[group][name]
+        if value > current:
+            self._data[group][name] = int(value)
+
+    def get(self, group: str, name: str) -> int:
+        """Current value of counter ``(group, name)`` (0 if never set)."""
+        return self._data.get(group, {}).get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold every counter of ``other`` into this object.
+
+        Counters whose name ends in ``_MAX`` are high-water marks and
+        merge by maximum (e.g. the biggest cluster seen by any task);
+        everything else merges by sum.
+        """
+        for group, names in other._data.items():
+            for name, value in names.items():
+                if name.endswith("_MAX"):
+                    self.set_max(group, name, value)
+                else:
+                    self._data[group][name] += value
+
+    def merge_max(self, other: "Counters", group: str, name: str) -> None:
+        """Merge one counter of ``other`` by maximum instead of sum."""
+        self.set_max(group, name, other.get(group, name))
+
+    def snapshot(self) -> dict[tuple[str, str], int]:
+        """Flat copy of all counters, keyed by ``(group, name)``."""
+        return {
+            (group, name): value
+            for group, names in self._data.items()
+            for name, value in names.items()
+        }
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Nested plain-dict copy (for reports and JSON output)."""
+        return {group: dict(names) for group, names in self._data.items()}
+
+    def __iter__(self) -> Iterator[tuple[str, str, int]]:
+        for group, names in self._data.items():
+            for name, value in names.items():
+                yield group, name, value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{g}.{n}={v}" for g, n, v in self)
+        return f"Counters({parts})"
+
+
+def framework(counters: Counters, name: str, amount: int = 1) -> None:
+    """Increment a framework counter (shorthand used by the runtime)."""
+    counters.inc(FRAMEWORK_GROUP, name, amount)

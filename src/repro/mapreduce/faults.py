@@ -1,0 +1,106 @@
+"""Task-level fault injection: failures, retries, stragglers,
+speculative execution.
+
+Hadoop's fault tolerance shapes real job times: a task that dies is
+re-executed (up to ``mapred.map.max.attempts`` = 4 by default, after
+which the whole job fails), and slow tasks ("stragglers") are raced
+against speculative clones. The simulation reproduces those dynamics
+so that chained G-means runs exhibit realistic tail behaviour — and so
+the test suite can verify the algorithms are agnostic to them (faults
+perturb *time*, never *results*, because re-executed tasks are
+deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.validation import check_in_range, check_positive
+from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
+
+
+class TaskPermanentlyFailedError(ReproError):
+    """A task failed on every allowed attempt (Hadoop then kills the job)."""
+
+    def __init__(self, task: str, attempts: int):
+        self.task = task
+        self.attempts = attempts
+        super().__init__(f"task {task} failed after {attempts} attempts")
+
+
+#: Framework counters maintained by the fault model.
+TASK_FAILURES = "TASK_FAILURES"
+SPECULATIVE_TASKS = "SPECULATIVE_TASKS"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Stochastic task-level fault behaviour.
+
+    ``task_failure_probability`` applies independently per attempt; a
+    failed attempt burns half its duration before dying (the task died
+    mid-flight). ``straggler_probability`` slows a task by
+    ``straggler_slowdown``; with ``speculative_execution`` a clone is
+    launched and the effective duration becomes the clone's (plus a
+    detection overhead), as in Hadoop's speculative execution.
+    """
+
+    task_failure_probability: float = 0.0
+    max_attempts: int = 4
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 6.0
+    speculative_execution: bool = False
+    speculative_overhead: float = 1.2
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            "task_failure_probability", self.task_failure_probability, 0.0, 1.0
+        )
+        check_positive("max_attempts", self.max_attempts)
+        check_in_range(
+            "straggler_probability", self.straggler_probability, 0.0, 1.0
+        )
+        check_positive("straggler_slowdown", self.straggler_slowdown)
+        check_positive("speculative_overhead", self.speculative_overhead)
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.task_failure_probability > 0.0
+            or self.straggler_probability > 0.0
+        )
+
+    def apply(
+        self,
+        base_seconds: float,
+        task_id: str,
+        rng: np.random.Generator,
+        counters: Counters,
+    ) -> float:
+        """Effective duration of one task under the fault model.
+
+        Raises :class:`TaskPermanentlyFailedError` when every attempt
+        fails.
+        """
+        if not self.enabled:
+            return base_seconds
+        total = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            duration = base_seconds
+            if rng.random() < self.straggler_probability:
+                slowed = base_seconds * self.straggler_slowdown
+                if self.speculative_execution:
+                    duration = min(
+                        slowed, base_seconds * self.speculative_overhead
+                    )
+                    counters.inc(FRAMEWORK_GROUP, SPECULATIVE_TASKS)
+                else:
+                    duration = slowed
+            if rng.random() >= self.task_failure_probability:
+                return total + duration
+            counters.inc(FRAMEWORK_GROUP, TASK_FAILURES)
+            total += duration * 0.5  # the attempt died mid-flight
+        raise TaskPermanentlyFailedError(task_id, self.max_attempts)

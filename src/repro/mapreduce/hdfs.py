@@ -1,0 +1,172 @@
+"""In-memory distributed file system with HDFS-like split semantics.
+
+Files are stored as a sequence of fixed-size input splits (64 MB by
+default, matching a stock Hadoop installation — the split size the
+paper uses when reasoning about ``TestFewClusters`` mapper memory).
+Each split carries a block of records plus its accounted byte size, so
+every job knows exactly how many bytes it read, without the simulation
+having to materialise text.
+
+Records are numpy row-matrices for point data (the common case) or
+plain Python lists for small side files. Byte accounting uses a
+per-record size supplied at write time; for point data that is the
+text-encoding size the paper assumes (~15 characters per coordinate,
+see :mod:`repro.data.textio`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, DataFormatError
+from repro.common.validation import check_positive
+
+#: Default HDFS block/split size (bytes): 64 MB, stock Hadoop 1.x.
+DEFAULT_SPLIT_SIZE = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Split:
+    """One input split: a contiguous block of records of a file."""
+
+    file_name: str
+    index: int
+    records: "np.ndarray | list"
+    size_bytes: int
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class DFSFile:
+    """A file stored in the DFS: metadata plus its list of splits."""
+
+    name: str
+    splits: list[Split] = field(default_factory=list)
+    bytes_per_record: int = 0
+    replication: int = 3
+
+    @property
+    def num_records(self) -> int:
+        return sum(s.num_records for s in self.splits)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes for s in self.splits)
+
+    @property
+    def num_splits(self) -> int:
+        return len(self.splits)
+
+    def all_records(self) -> "np.ndarray | list":
+        """Concatenate every split back into one record block."""
+        blocks = [s.records for s in self.splits]
+        if not blocks:
+            return []
+        if isinstance(blocks[0], np.ndarray):
+            return np.concatenate(blocks, axis=0)
+        merged: list = []
+        for block in blocks:
+            merged.extend(block)
+        return merged
+
+
+class InMemoryDFS:
+    """A miniature HDFS: named files, splits, and byte counters.
+
+    ``bytes_read`` / ``bytes_written`` accumulate over the life of the
+    filesystem and are also mirrored into each job's counters by the
+    runtime.
+    """
+
+    def __init__(self, split_size_bytes: int = DEFAULT_SPLIT_SIZE):
+        check_positive("split_size_bytes", split_size_bytes)
+        self.split_size_bytes = int(split_size_bytes)
+        self._files: dict[str, DFSFile] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- write ---------------------------------------------------------
+
+    def write(
+        self,
+        name: str,
+        records: "np.ndarray | list",
+        bytes_per_record: int,
+        replication: int = 3,
+        overwrite: bool = False,
+    ) -> DFSFile:
+        """Store ``records`` under ``name``, chunked into splits.
+
+        ``bytes_per_record`` is the on-disk (serialised) size of one
+        record and drives all byte accounting for the file.
+        """
+        if name in self._files and not overwrite:
+            raise ConfigurationError(f"file already exists: {name!r}")
+        check_positive("bytes_per_record", bytes_per_record)
+        if len(records) == 0:
+            raise DataFormatError(f"refusing to write empty file {name!r}")
+        records_per_split = max(1, self.split_size_bytes // bytes_per_record)
+        num_splits = math.ceil(len(records) / records_per_split)
+        splits = []
+        for i in range(num_splits):
+            block = records[i * records_per_split : (i + 1) * records_per_split]
+            splits.append(
+                Split(
+                    file_name=name,
+                    index=i,
+                    records=block,
+                    size_bytes=len(block) * bytes_per_record,
+                )
+            )
+        f = DFSFile(
+            name=name,
+            splits=splits,
+            bytes_per_record=int(bytes_per_record),
+            replication=replication,
+        )
+        self._files[name] = f
+        self.bytes_written += f.size_bytes * replication
+        return f
+
+    # -- read ----------------------------------------------------------
+
+    def open(self, name: str) -> DFSFile:
+        """Return the file object (metadata + splits) for ``name``."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise DataFormatError(f"no such file in DFS: {name!r}") from None
+
+    def read_all(self, name: str) -> "np.ndarray | list":
+        """Read the whole file content, charging the read bytes."""
+        f = self.open(name)
+        self.bytes_read += f.size_bytes
+        return f.all_records()
+
+    def charge_read(self, f: DFSFile) -> None:
+        """Account a full scan of ``f`` (used by the job runtime)."""
+        self.bytes_read += f.size_bytes
+
+    # -- namespace -----------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise DataFormatError(f"no such file in DFS: {name!r}")
+        del self._files[name]
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Bytes currently stored, counting replication."""
+        return sum(f.size_bytes * f.replication for f in self._files.values())

@@ -1,0 +1,199 @@
+"""The user-facing MapReduce programming model.
+
+Jobs are written exactly as for Hadoop: a :class:`Mapper` with
+``setup`` / ``map`` / ``close`` (``close`` is what lets
+``TestFewClusters`` run its Anderson-Darling tests mapper-side after
+seeing the whole split), an optional combiner, and a :class:`Reducer`.
+Mappers may override :meth:`Mapper.map_split` to process a whole input
+split vectorised — the "hybrid design" knob that makes the simulation
+fast without changing job semantics, mirroring how production Hadoop
+jobs push work into per-split buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, JavaHeapSpaceError
+from repro.mapreduce.counters import (
+    FRAMEWORK_GROUP,
+    USER_GROUP,
+    Counters,
+    MRCounter,
+    UserCounter,
+)
+from repro.mapreduce.hdfs import Split
+from repro.mapreduce.types import sizeof_value, stable_hash
+
+
+class TaskContext:
+    """Execution context shared by map, combine and reduce tasks.
+
+    Exposes the job configuration, a per-task deterministic RNG,
+    per-task counters, and explicit heap accounting: tasks call
+    :meth:`allocate` for buffers they materialise, and exceeding the
+    simulated JVM heap raises :class:`JavaHeapSpaceError` — exactly the
+    failure mode the paper measures in Figure 2.
+    """
+
+    def __init__(
+        self,
+        config: dict,
+        counters: Counters,
+        rng: np.random.Generator,
+        heap_bytes: int,
+        task_id: str,
+    ):
+        self.config = config
+        self.counters = counters
+        self.rng = rng
+        self.task_id = task_id
+        self._heap_limit = int(heap_bytes)
+        self._heap_used = 0
+        self.heap_high_water = 0
+
+    # -- heap ------------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> None:
+        """Account ``nbytes`` of task-heap usage; fail like a JVM OOM."""
+        self._heap_used += int(nbytes)
+        if self._heap_used > self.heap_high_water:
+            self.heap_high_water = self._heap_used
+        if self._heap_used > self._heap_limit:
+            raise JavaHeapSpaceError(self._heap_used, self._heap_limit, self.task_id)
+
+    def free(self, nbytes: int) -> None:
+        """Release previously allocated task-heap bytes."""
+        self._heap_used = max(0, self._heap_used - int(nbytes))
+
+    # -- counters --------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a user counter."""
+        self.counters.inc(USER_GROUP, name, amount)
+
+    def count_distances(self, n_distances: int, dimensions: int) -> None:
+        """Record ``n_distances`` point-center distance evaluations in
+        ``dimensions``-dimensional space (both the count the paper's
+        cost model tracks and the coordinate ops the simulator bills)."""
+        self.counters.inc(USER_GROUP, UserCounter.DISTANCE_COMPUTATIONS, n_distances)
+        self.counters.inc(
+            USER_GROUP, UserCounter.COORDINATE_OPS, n_distances * dimensions
+        )
+
+
+class MapContext(TaskContext):
+    """Context handed to mappers; collects emitted key/value pairs."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emitted: list[tuple[object, object]] = []
+
+    def emit(self, key: object, value: object, records: int = 1) -> None:
+        """Emit one intermediate pair.
+
+        ``records`` is the *logical* record count of the value: a
+        mapper batching a whole split's projections into one numpy
+        array passes ``records=len(array)`` so framework counters (and
+        the paper-facing cost accounting) stay identical to a
+        one-pair-per-point implementation.
+        """
+        self.emitted.append((key, value))
+        self.counters.inc(FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS, records)
+
+
+class ReduceContext(TaskContext):
+    """Context handed to reducers; collects final output pairs."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emitted: list[tuple[object, object]] = []
+
+    def emit(self, key: object, value: object, records: int = 1) -> None:
+        self.emitted.append((key, value))
+        self.counters.inc(FRAMEWORK_GROUP, MRCounter.REDUCE_OUTPUT_RECORDS, records)
+
+
+class CombineContext(TaskContext):
+    """Context for combiner invocations (output feeds the shuffle)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emitted: list[tuple[object, object]] = []
+
+    def emit(self, key: object, value: object, records: int = 1) -> None:
+        self.emitted.append((key, value))
+        self.counters.inc(FRAMEWORK_GROUP, MRCounter.COMBINE_OUTPUT_RECORDS, records)
+
+
+class Mapper:
+    """Base mapper. Subclasses override :meth:`map` (per record) or
+    :meth:`map_split` (whole split, vectorised)."""
+
+    def setup(self, ctx: MapContext) -> None:
+        """Called once per task before any input (Hadoop ``setup``)."""
+
+    def map(self, key: object, value: object, ctx: MapContext) -> None:
+        """Process one input record."""
+        raise NotImplementedError
+
+    def map_split(self, split: Split, ctx: MapContext) -> None:
+        """Process one whole split; defaults to record-at-a-time."""
+        for offset, record in enumerate(split.records):
+            self.map(offset, record, ctx)
+
+    def close(self, ctx: MapContext) -> None:
+        """Called once per task after all input (Hadoop ``cleanup``)."""
+
+
+class Reducer:
+    """Base reducer (also the base for combiners)."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Called once per task before any group."""
+
+    def reduce(self, key: object, values: list, ctx: TaskContext) -> None:
+        """Process one key group."""
+        raise NotImplementedError
+
+    def close(self, ctx: TaskContext) -> None:
+        """Called once per task after the last group."""
+
+
+def default_partitioner(key: object, num_reducers: int) -> int:
+    """Hash partitioner (Hadoop's default)."""
+    return stable_hash(key) % num_reducers
+
+
+@dataclass
+class Job:
+    """Declarative description of one MapReduce job.
+
+    ``heap_bytes_per_value`` models reduce-side materialisation: when
+    set, the runtime charges ``sum(heap_bytes_per_value(v))`` of task
+    heap per key group before calling :meth:`Reducer.reduce`, so a
+    reducer that buffers every projection of a huge cluster fails with
+    ``JavaHeapSpaceError`` just as the paper's Figure 2 shows. ``None``
+    means the reducer streams its values (classic k-means reduction).
+    """
+
+    name: str
+    mapper: Callable[[], Mapper]
+    reducer: Callable[[], Reducer] | None = None
+    combiner: Callable[[], Reducer] | None = None
+    num_reduce_tasks: int = 0
+    partitioner: Callable[[object, int], int] = default_partitioner
+    config: dict = field(default_factory=dict)
+    heap_bytes_per_value: Callable[[object], int] | None = None
+    value_size: Callable[[object], int] = sizeof_value
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("job name must be non-empty")
+        if self.reducer is not None and self.num_reduce_tasks < 0:
+            raise ConfigurationError(
+                f"num_reduce_tasks must be >= 0, got {self.num_reduce_tasks}"
+            )

@@ -1,0 +1,72 @@
+"""Partitioning strategies beyond the default hash partitioner.
+
+The paper closes Section 4 with: "there is a risk that because of
+skewed data, some reducers will have a higher workload, thus reducing
+the global efficiency of the algorithm. Handling skewed data in
+MapReduce is a whole subject by itself and is left as future work."
+
+This module implements that future work for the case that actually
+arises in G-means: reducer load is driven by the *value volume per
+key* (points per cluster), and the driver knows each cluster's size
+from the previous k-means pass. A weight-balanced partitioner assigns
+keys to reduce tasks with the LPT rule over those known weights, so
+one huge cluster no longer serialises the whole reduce phase behind a
+single task.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.runtime import JobResult
+from repro.mapreduce.types import stable_hash
+
+
+def make_weight_balanced_partitioner(
+    weights: dict, num_reducers: int
+) -> Callable[[object, int], int]:
+    """Build a partitioner that balances known per-key loads.
+
+    Keys listed in ``weights`` are assigned to reduce tasks with the
+    LPT greedy rule (heaviest first onto the least-loaded task); keys
+    not listed fall back to hash partitioning. The returned callable
+    has the standard ``(key, num_reducers) -> index`` signature but is
+    pinned to the ``num_reducers`` it was built for.
+    """
+    if num_reducers < 1:
+        raise ConfigurationError(f"num_reducers must be >= 1, got {num_reducers}")
+    loads = [0.0] * num_reducers
+    assignment: dict = {}
+    for key in sorted(weights, key=lambda k: (-weights[k], stable_hash(k))):
+        target = min(range(num_reducers), key=loads.__getitem__)
+        assignment[key] = target
+        loads[target] += float(weights[key])
+
+    def partitioner(key: object, n: int) -> int:
+        if n != num_reducers:
+            raise ConfigurationError(
+                f"balanced partitioner built for {num_reducers} reducers, "
+                f"job configured {n}"
+            )
+        if key in assignment:
+            return assignment[key]
+        return stable_hash(key) % n
+
+    return partitioner
+
+
+def reduce_load_imbalance(result: JobResult) -> float:
+    """Max/mean ratio of reduce-task durations for a finished job.
+
+    1.0 is perfect balance; a job whose slowest reducer did all the
+    work on an R-task job approaches R. Tasks that only paid startup
+    still count — idle reducers are how skew shows up.
+    """
+    times = result.reduce_task_seconds
+    if not times:
+        return 1.0
+    mean = sum(times) / len(times)
+    if mean == 0:
+        return 1.0
+    return max(times) / mean

@@ -1,0 +1,289 @@
+"""The job executor: runs one MapReduce job over a DFS file.
+
+Semantics follow Hadoop 1.x:
+
+* one map task per input split; ``setup`` / ``map_split`` / ``close``;
+* the combiner (when configured) runs once on each map task's output;
+* combined pairs are hash-partitioned over ``num_reduce_tasks`` buckets
+  and sort-merged by key inside each reduce task;
+* reduce-side materialisation is charged against the task JVM heap and
+  fails with :class:`~repro.common.errors.JavaHeapSpaceError`, which the
+  runtime wraps into :class:`~repro.common.errors.JobFailedError`
+  (Hadoop kills the job after repeated task failures);
+* every task runs with its own counters, which the cost model converts
+  into a simulated duration before they are merged into job counters.
+
+The runtime is deterministic: task RNGs are spawned from the runtime
+RNG in split order, and partitioning uses a stable hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import JavaHeapSpaceError, JobFailedError
+from repro.common.rng import ensure_rng, spawn_rng
+from repro.mapreduce.faults import FaultModel, TaskPermanentlyFailedError
+from repro.mapreduce.cluster import ClusterConfig, PAPER_CLUSTER
+from repro.mapreduce.costmodel import CostModel, CostParameters, JobTiming
+from repro.mapreduce.counters import Counters, MRCounter, framework
+from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
+from repro.mapreduce.job import Job, MapContext, ReduceContext
+from repro.mapreduce.shuffle import (
+    group_by_key,
+    partition_pairs,
+    run_combiner,
+    sorted_keys,
+)
+
+
+@dataclass
+class JobResult:
+    """Everything one job run produced."""
+
+    job_name: str
+    output: list[tuple[object, object]]
+    counters: Counters
+    timing: JobTiming
+    num_map_tasks: int
+    num_reduce_tasks: int
+    max_reduce_heap_bytes: int = 0
+    map_task_seconds: list[float] = field(default_factory=list)
+    reduce_task_seconds: list[float] = field(default_factory=list)
+
+    def output_dict(self) -> dict:
+        """Output pairs grouped as ``key -> [values]``."""
+        return dict(group_by_key(self.output))
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.timing.total_seconds
+
+
+class MapReduceRuntime:
+    """Executes jobs on a simulated cluster over an in-memory DFS."""
+
+    def __init__(
+        self,
+        dfs: InMemoryDFS,
+        cluster: ClusterConfig = PAPER_CLUSTER,
+        cost: CostParameters | None = None,
+        rng=None,
+        faults: FaultModel | None = None,
+        locality: bool = False,
+    ):
+        self.dfs = dfs
+        self.cluster = cluster
+        self.locality = locality
+        self.cost_model = CostModel(cost or CostParameters(), cluster)
+        self._rng = ensure_rng(rng)
+        # Faults draw from their own stream so enabling them perturbs
+        # task *durations* without changing any algorithmic result.
+        self.faults = faults
+        self._fault_rng = np.random.default_rng(
+            int(self._rng.integers(2**63 - 1))
+        )
+        self.jobs_run = 0
+
+    # -- public ----------------------------------------------------------
+
+    def run(
+        self, job: Job, input_file: "DFSFile | str", cached: bool = False
+    ) -> JobResult:
+        """Run ``job`` over ``input_file`` and return its result.
+
+        ``cached=True`` models a Spark-style in-memory dataset (the
+        optimisation the paper's future-work section targets): the read
+        is counted as a cached read and costs no disk time.
+        """
+        f = self.dfs.open(input_file) if isinstance(input_file, str) else input_file
+        self.jobs_run += 1
+        counters = Counters()
+        if cached:
+            framework(counters, MRCounter.CACHED_READS)
+        else:
+            framework(counters, MRCounter.DATASET_READS)
+            framework(counters, MRCounter.HDFS_BYTES_READ, f.size_bytes)
+            self.dfs.charge_read(f)
+
+        try:
+            pairs, map_seconds, shuffle_bytes = self._run_map_phase(
+                job, f, counters, cached
+            )
+            map_makespan = self._locality_map_makespan(
+                f, map_seconds, counters, cached
+            )
+            if job.reducer is None:
+                timing = self.cost_model.job_timing(
+                    map_seconds, [], 0, map_makespan_override=map_makespan
+                )
+                return JobResult(
+                    job_name=job.name,
+                    output=pairs,
+                    counters=counters,
+                    timing=timing,
+                    num_map_tasks=f.num_splits,
+                    num_reduce_tasks=0,
+                    map_task_seconds=map_seconds,
+                )
+            output, reduce_seconds, max_heap, num_reduce = self._run_reduce_phase(
+                job, pairs, counters
+            )
+        except (JavaHeapSpaceError, TaskPermanentlyFailedError) as err:
+            raise JobFailedError(
+                f"job {job.name!r} failed: {err}", cause=err
+            ) from err
+
+        framework(counters, MRCounter.SHUFFLE_BYTES, shuffle_bytes)
+        timing = self.cost_model.job_timing(
+            map_seconds,
+            reduce_seconds,
+            shuffle_bytes,
+            map_makespan_override=map_makespan,
+        )
+        return JobResult(
+            job_name=job.name,
+            output=output,
+            counters=counters,
+            timing=timing,
+            num_map_tasks=f.num_splits,
+            num_reduce_tasks=num_reduce,
+            max_reduce_heap_bytes=max_heap,
+            map_task_seconds=map_seconds,
+            reduce_task_seconds=reduce_seconds,
+        )
+
+    # -- phases ----------------------------------------------------------
+
+    def _locality_map_makespan(
+        self,
+        f: DFSFile,
+        map_seconds: list[float],
+        counters: Counters,
+        cached: bool,
+    ) -> "float | None":
+        """Locality-aware map makespan (None when locality is off).
+
+        A cached dataset lives in memory everywhere, so every task is
+        data-local and no fetch penalty applies.
+        """
+        if not self.locality:
+            return None
+        from repro.mapreduce.locality import (
+            DATA_LOCAL_TASKS,
+            MapTaskSpec,
+            REMOTE_TASKS,
+            fetch_seconds,
+            replica_nodes,
+            schedule_map_tasks,
+        )
+
+        specs = []
+        for split, seconds in zip(f.splits, map_seconds):
+            if cached:
+                replicas = tuple(range(self.cluster.nodes))
+                fetch = 0.0
+            else:
+                replicas = replica_nodes(
+                    split, self.cluster.nodes, f.replication
+                )
+                fetch = fetch_seconds(
+                    split.size_bytes, self.cost_model.params.network_mbps_per_node
+                )
+            specs.append(
+                MapTaskSpec(seconds=seconds, fetch_seconds=fetch, replicas=replicas)
+            )
+        schedule = schedule_map_tasks(specs, self.cluster)
+        framework(counters, DATA_LOCAL_TASKS, schedule.data_local_tasks)
+        framework(counters, REMOTE_TASKS, schedule.remote_tasks)
+        return schedule.makespan
+
+    def _run_map_phase(
+        self, job: Job, f: DFSFile, counters: Counters, cached: bool
+    ) -> tuple[list, list[float], int]:
+        """Run all map tasks; returns (shuffle pairs, task times, bytes)."""
+        heap = self.cluster.task_heap_bytes
+        rngs = spawn_rng(self._rng, f.num_splits)
+        all_pairs: list[tuple[object, object]] = []
+        map_seconds: list[float] = []
+        shuffle_bytes = 0
+        for split, rng in zip(f.splits, rngs):
+            task_id = f"{job.name}-m-{split.index:05d}"
+            task_counters = Counters()
+            framework(task_counters, MRCounter.MAP_TASKS)
+            framework(
+                task_counters, MRCounter.MAP_INPUT_RECORDS, split.num_records
+            )
+            ctx = MapContext(job.config, task_counters, rng, heap, task_id)
+            mapper = job.mapper()
+            mapper.setup(ctx)
+            mapper.map_split(split, ctx)
+            mapper.close(ctx)
+            pairs = ctx.emitted
+            if job.combiner is not None:
+                pairs = run_combiner(
+                    job.combiner,
+                    pairs,
+                    job.config,
+                    task_counters,
+                    rng,
+                    heap,
+                    task_id,
+                )
+            for key, value in pairs:
+                shuffle_bytes += 8 + job.value_size(value)
+            all_pairs.extend(pairs)
+            seconds = self.cost_model.map_task_seconds(
+                task_counters, split.size_bytes, cached
+            )
+            if self.faults is not None:
+                seconds = self.faults.apply(
+                    seconds, task_id, self._fault_rng, task_counters
+                )
+            map_seconds.append(seconds)
+            counters.merge(task_counters)
+        return all_pairs, map_seconds, shuffle_bytes
+
+    def _run_reduce_phase(
+        self, job: Job, pairs: list, counters: Counters
+    ) -> tuple[list, list[float], int, int]:
+        """Run all reduce tasks; returns (output, times, max heap, R)."""
+        num_reduce = job.num_reduce_tasks or self.cluster.total_reduce_slots
+        heap = self.cluster.task_heap_bytes
+        buckets = partition_pairs(pairs, num_reduce, job.partitioner)
+        rngs = spawn_rng(self._rng, num_reduce)
+        output: list[tuple[object, object]] = []
+        reduce_seconds: list[float] = []
+        max_heap_seen = 0
+        for index, (bucket, rng) in enumerate(zip(buckets, rngs)):
+            task_id = f"{job.name}-r-{index:05d}"
+            task_counters = Counters()
+            framework(task_counters, MRCounter.REDUCE_TASKS)
+            ctx = ReduceContext(job.config, task_counters, rng, heap, task_id)
+            reducer = job.reducer()
+            reducer.setup(ctx)
+            groups = group_by_key(bucket)
+            framework(task_counters, MRCounter.REDUCE_INPUT_GROUPS, len(groups))
+            framework(task_counters, MRCounter.REDUCE_INPUT_RECORDS, len(bucket))
+            for key in sorted_keys(groups):
+                values = groups[key]
+                if job.heap_bytes_per_value is not None:
+                    group_bytes = sum(job.heap_bytes_per_value(v) for v in values)
+                    ctx.allocate(group_bytes)
+                    reducer.reduce(key, values, ctx)
+                    ctx.free(group_bytes)
+                else:
+                    reducer.reduce(key, values, ctx)
+            reducer.close(ctx)
+            output.extend(ctx.emitted)
+            max_heap_seen = max(max_heap_seen, ctx.heap_high_water)
+            seconds = self.cost_model.reduce_task_seconds(task_counters)
+            if self.faults is not None:
+                seconds = self.faults.apply(
+                    seconds, task_id, self._fault_rng, task_counters
+                )
+            reduce_seconds.append(seconds)
+            counters.merge(task_counters)
+        return output, reduce_seconds, max_heap_seen, num_reduce

@@ -1,0 +1,71 @@
+"""Shuffle machinery: grouping, combiner application, partitioning.
+
+Mirrors Hadoop's data path: map output is combined once per map task
+(Hadoop applies the combiner per spill; one spill per task in this
+simulation), hash-partitioned across reduce tasks, then sort-merged by
+key inside each reduce task.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters, MRCounter
+from repro.mapreduce.job import CombineContext, Reducer
+
+
+def group_by_key(pairs: list[tuple[object, object]]) -> dict:
+    """Group ``(key, value)`` pairs into ``key -> [values]``."""
+    groups: dict = defaultdict(list)
+    for key, value in pairs:
+        groups[key].append(value)
+    return groups
+
+
+def sorted_keys(groups: dict) -> list:
+    """Keys in the deterministic shuffle order (Hadoop sorts keys)."""
+    return sorted(groups)
+
+
+def run_combiner(
+    combiner_factory: Callable[[], Reducer],
+    pairs: list[tuple[object, object]],
+    config: dict,
+    counters: Counters,
+    rng: np.random.Generator,
+    heap_bytes: int,
+    task_id: str,
+) -> list[tuple[object, object]]:
+    """Apply the job's combiner to one map task's output.
+
+    Returns the combined pairs that will actually enter the shuffle.
+    """
+    groups = group_by_key(pairs)
+    counters.inc(FRAMEWORK_GROUP, MRCounter.COMBINE_INPUT_RECORDS, len(pairs))
+    ctx = CombineContext(config, counters, rng, heap_bytes, f"{task_id}-combine")
+    combiner = combiner_factory()
+    combiner.setup(ctx)
+    for key in sorted_keys(groups):
+        combiner.reduce(key, groups[key], ctx)
+    combiner.close(ctx)
+    return ctx.emitted
+
+
+def partition_pairs(
+    pairs: list[tuple[object, object]],
+    num_reducers: int,
+    partitioner: Callable[[object, int], int],
+) -> list[list[tuple[object, object]]]:
+    """Split pairs into one bucket per reduce task."""
+    buckets: list[list[tuple[object, object]]] = [[] for _ in range(num_reducers)]
+    for key, value in pairs:
+        index = partitioner(key, num_reducers)
+        if not 0 <= index < num_reducers:
+            raise ValueError(
+                f"partitioner returned {index} for {num_reducers} reducers"
+            )
+        buckets[index].append((key, value))
+    return buckets

@@ -1,0 +1,127 @@
+"""Execution tracing: task schedules and ASCII Gantt charts.
+
+The cost model reduces a job to phase makespans; this module rebuilds
+the underlying schedule (which task ran on which slot, when) with the
+same LPT rule, so an operator can *see* why a phase took as long as it
+did — stragglers, skewed reducers, under-filled waves.
+
+::
+
+    result = runtime.run(job, dataset)
+    print(render_job_trace(result, runtime.cluster))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import check_positive
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.runtime import JobResult
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement in the rebuilt schedule."""
+
+    task_index: int
+    slot: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def build_schedule(
+    task_seconds: "list[float]", slots: int
+) -> list[ScheduledTask]:
+    """Recreate the LPT schedule used by the cost model.
+
+    Tasks are placed longest-first onto the least-loaded slot, exactly
+    as :func:`repro.mapreduce.costmodel.makespan` totals them, so
+    ``max(end)`` here equals the reported makespan.
+    """
+    check_positive("slots", slots)
+    order = sorted(range(len(task_seconds)), key=lambda i: -task_seconds[i])
+    loads = [0.0] * min(slots, max(1, len(task_seconds)))
+    scheduled = []
+    for index in order:
+        slot = min(range(len(loads)), key=loads.__getitem__)
+        start = loads[slot]
+        end = start + task_seconds[index]
+        loads[slot] = end
+        scheduled.append(
+            ScheduledTask(task_index=index, slot=slot, start=start, end=end)
+        )
+    return sorted(scheduled, key=lambda t: (t.slot, t.start))
+
+
+def render_gantt(
+    schedule: "list[ScheduledTask]",
+    width: int = 64,
+    title: str | None = None,
+) -> str:
+    """ASCII Gantt: one row per slot, one block per task.
+
+    Blocks are labelled with the task index modulo 10; a ``.`` marks
+    idle time at the end of a slot's row.
+    """
+    if not schedule:
+        return (title + "\n" if title else "") + "(no tasks)"
+    makespan = max(t.end for t in schedule)
+    slots = sorted({t.slot for t in schedule})
+    scale = width / makespan if makespan > 0 else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+    for slot in slots:
+        row = [" "] * width
+        for task in schedule:
+            if task.slot != slot:
+                continue
+            start = int(task.start * scale)
+            end = max(start + 1, int(task.end * scale))
+            label = str(task.task_index % 10)
+            for x in range(start, min(end, width)):
+                row[x] = label
+        filled = max(
+            (int(t.end * scale) for t in schedule if t.slot == slot),
+            default=0,
+        )
+        for x in range(filled, width):
+            row[x] = "."
+        lines.append(f"slot {slot:>3} |{''.join(row)}|")
+    lines.append(f"0{'':{width - 8}}{makespan:8.2f}s")
+    return "\n".join(lines)
+
+
+def render_job_trace(result: JobResult, cluster: ClusterConfig) -> str:
+    """Full per-job trace: phase summary plus map and reduce Gantts."""
+    t = result.timing
+    header = (
+        f"job {result.job_name!r}: {result.simulated_seconds:.2f}s simulated "
+        f"(startup {t.startup_seconds:.2f}s, map {t.map_seconds:.2f}s, "
+        f"shuffle {t.shuffle_seconds:.2f}s, reduce {t.reduce_seconds:.2f}s)"
+    )
+    sections = [header]
+    if result.map_task_seconds:
+        sections.append(
+            render_gantt(
+                build_schedule(result.map_task_seconds, cluster.total_map_slots),
+                title=f"map phase ({len(result.map_task_seconds)} tasks over "
+                f"{cluster.total_map_slots} slots)",
+            )
+        )
+    if result.reduce_task_seconds:
+        sections.append(
+            render_gantt(
+                build_schedule(
+                    result.reduce_task_seconds, cluster.total_reduce_slots
+                ),
+                title=f"reduce phase ({len(result.reduce_task_seconds)} tasks "
+                f"over {cluster.total_reduce_slots} slots)",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,45 @@
+"""Statistics substrate: normal distribution, Anderson-Darling test,
+streaming descriptive statistics, and 1-D projection utilities.
+
+Everything here is implemented from scratch (no scipy dependency);
+scipy is used only in the test suite as an independent oracle.
+"""
+
+from repro.stats.normal import normal_cdf, normal_pdf, normal_quantile
+from repro.stats.descriptive import StreamingMoments
+from repro.stats.projection import project_onto, normalize
+from repro.stats.anderson import (
+    AndersonDarlingResult,
+    anderson_darling_statistic,
+    anderson_darling_normality,
+    anderson_darling_pvalue,
+    critical_value,
+    GMEANS_ALPHA,
+)
+from repro.stats.normality import (
+    NORMALITY_TESTS,
+    NormalityVerdict,
+    jarque_bera_normality,
+    lilliefors_normality,
+    normality_test,
+)
+
+__all__ = [
+    "normal_cdf",
+    "normal_pdf",
+    "normal_quantile",
+    "StreamingMoments",
+    "project_onto",
+    "normalize",
+    "AndersonDarlingResult",
+    "anderson_darling_statistic",
+    "anderson_darling_normality",
+    "anderson_darling_pvalue",
+    "critical_value",
+    "GMEANS_ALPHA",
+    "NORMALITY_TESTS",
+    "NormalityVerdict",
+    "jarque_bera_normality",
+    "lilliefors_normality",
+    "normality_test",
+]

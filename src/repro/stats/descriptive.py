@@ -1,0 +1,74 @@
+"""Streaming descriptive statistics (Welford's algorithm).
+
+MapReduce combiners and reducers need to merge partial statistics
+computed independently per split; ``StreamingMoments`` supports both
+one-at-a-time updates and exact pairwise merging (Chan et al.), so the
+result is independent of how the data was partitioned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class StreamingMoments:
+    """Running count, mean and M2 (sum of squared deviations)."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+
+    def add_many(self, xs: np.ndarray) -> None:
+        """Fold a batch of observations (vectorised, then merged)."""
+        arr = np.asarray(xs, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        batch = StreamingMoments(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            m2=float(((arr - arr.mean()) ** 2).sum()),
+        )
+        self.merge(batch)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Merge another partial aggregate into this one (in place)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``m2 / count``); 0 for fewer than 2 points."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (``m2 / (count - 1)``)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)

@@ -1,0 +1,56 @@
+"""Projection of points onto a direction vector, and z-normalisation.
+
+G-means reduces each cluster to one dimension by projecting its points
+onto ``v = c1 - c2``, the segment joining the two candidate children
+centers — "the direction that k-means believes is important for
+clustering" — then normalises the projections to zero mean and unit
+variance before applying the Anderson-Darling test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import DataFormatError
+
+
+def project_onto(points: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Project each row of ``points`` onto ``vector``.
+
+    Returns the scalar projections ``<x, v> / ||v||^2`` as used by
+    G-means (Hamerly & Elkan 2003, eq. for x'_i). A zero vector cannot
+    define a direction and raises :class:`DataFormatError`.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    v = np.asarray(vector, dtype=np.float64).ravel()
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    if pts.shape[1] != v.size:
+        raise DataFormatError(
+            f"dimension mismatch: points have d={pts.shape[1]}, vector has d={v.size}"
+        )
+    norm_sq = float(np.dot(v, v))
+    if norm_sq == 0.0:
+        raise DataFormatError("cannot project onto a zero vector")
+    return pts @ (v / norm_sq)
+
+
+def normalize(values: np.ndarray, ddof: int = 0) -> np.ndarray:
+    """Return ``values`` shifted/scaled to zero mean and unit variance.
+
+    ``ddof`` selects the variance estimator: 0 for the population
+    (maximum-likelihood) variance, 1 for the unbiased sample variance —
+    the convention of the case-4 Anderson-Darling test. A constant
+    vector has no scale; it is returned as all zeros (the test layer
+    treats that case explicitly).
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        return arr.copy()
+    if ddof >= arr.size:
+        return np.zeros_like(arr)
+    centered = arr - arr.mean()
+    std = centered.std(ddof=ddof)
+    if std == 0.0:
+        return np.zeros_like(arr)
+    return centered / std

@@ -1,0 +1,92 @@
+"""Closed-form Section-4 cost model."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    crossover_k,
+    gmeans_cost,
+    gmeans_iterations,
+    multi_kmeans_cost,
+    paper_gmeans_cost,
+)
+from repro.common.errors import ConfigurationError
+
+
+def test_iterations_log2_plus_extra():
+    assert gmeans_iterations(1) == 1 + 1
+    assert gmeans_iterations(100) == 7 + 1  # ceil(log2 100) = 7
+    assert gmeans_iterations(1024, extra_iterations=2) == 12
+    assert gmeans_iterations(100, extra_iterations=0) == 7
+
+
+def test_gmeans_linear_in_k():
+    """Doubling k roughly doubles distance computations (linear), with
+    only a log factor on reads."""
+    a = gmeans_cost(10**6, 100)
+    b = gmeans_cost(10**6, 200)
+    assert 1.8 <= b.distance_computations / a.distance_computations <= 2.4
+    assert b.dataset_reads - a.dataset_reads == 3  # one extra iteration
+
+
+def test_gmeans_reads_per_iteration():
+    cost = gmeans_cost(1000, 16, kmeans_iterations=2)
+    assert cost.dataset_reads == 3 * cost.iterations
+    cost4 = gmeans_cost(1000, 16, kmeans_iterations=3)
+    assert cost4.dataset_reads == 4 * cost4.iterations
+
+
+def test_gmeans_ad_tests_about_2k():
+    cost = gmeans_cost(1000, 128)
+    assert cost.ad_tests == 2 * 128
+
+
+def test_paper_constants():
+    """The paper's example: k=100 -> 7 iterations, 28 reads, O(800n)
+    distances, O(200) AD tests."""
+    cost = paper_gmeans_cost(10**6, 100)
+    assert cost.iterations == 7
+    assert cost.dataset_reads == 28
+    assert cost.distance_computations == 8 * 10**6 * 100
+    assert cost.ad_tests == 200
+
+
+def test_multi_kmeans_quadratic_in_k():
+    a = multi_kmeans_cost(10**6, 100, iterations=1)
+    b = multi_kmeans_cost(10**6, 200, iterations=1)
+    ratio = (
+        b.distance_computations_per_iteration
+        / a.distance_computations_per_iteration
+    )
+    assert 3.5 <= ratio <= 4.5  # sum(1..k) ~ k^2/2
+
+
+def test_multi_kmeans_paper_example():
+    """k=100: 'already requires O(10000n) distance computations at each
+    iteration' — sum(1..100) = 5050 ~ k^2/2."""
+    cost = multi_kmeans_cost(10**6, 100, iterations=1)
+    assert cost.distance_computations_per_iteration == 10**6 * 5050
+
+
+def test_multi_kmeans_reads_and_step():
+    cost = multi_kmeans_cost(1000, 10, iterations=5, k_min=2, k_step=2)
+    assert cost.dataset_reads == 6  # 5 iterations + scoring
+    # candidates 2,4,6,8,10 -> sum 30
+    assert cost.distance_computations_per_iteration == 1000 * 30
+
+
+def test_crossover_in_papers_region():
+    """G-means beats a full multi-k-means sweep somewhere below a few
+    hundred clusters (the paper's Figure 3 crossing)."""
+    k = crossover_k(10**6)
+    assert 10 <= k <= 400
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        gmeans_cost(0, 10)
+    with pytest.raises(ConfigurationError):
+        gmeans_cost(10, 0)
+    with pytest.raises(ConfigurationError):
+        multi_kmeans_cost(10, 5, iterations=0)
+    with pytest.raises(ConfigurationError):
+        gmeans_iterations(0)

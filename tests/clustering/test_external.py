@@ -1,0 +1,92 @@
+"""External metrics: ARI, NMI, purity."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.clustering.external import (
+    adjusted_rand_index,
+    clustering_report,
+    normalized_mutual_information,
+    purity,
+)
+
+
+def test_identical_partitions_are_perfect():
+    labels = np.array([0, 0, 1, 1, 2, 2])
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+    assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+    assert purity(labels, labels) == pytest.approx(1.0)
+
+
+def test_permuted_label_ids_are_still_perfect():
+    a = np.array([0, 0, 1, 1, 2, 2])
+    b = np.array([2, 2, 0, 0, 1, 1])
+    assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+    assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+    assert purity(a, b) == pytest.approx(1.0)
+
+
+def test_ari_hand_computed():
+    """Classic example: two 3-cluster partitions of 6 points."""
+    a = np.array([0, 0, 0, 1, 1, 1])
+    b = np.array([0, 0, 1, 1, 2, 2])
+    # Contingency: rows (a) x cols (b) = [[2,1,0],[0,1,2]]
+    # sum_cells C2 = 1 + 0 + 0 + 0 + 0 + 1 = 2; rows: C2(3)+C2(3)=6;
+    # cols: C2(2)*3 = 3; total C2(6)=15.
+    # ARI = (2 - 6*3/15) / (0.5*(6+3) - 6*3/15) = (2-1.2)/(4.5-1.2)
+    assert adjusted_rand_index(a, b) == pytest.approx(0.8 / 3.3)
+
+
+def test_random_labels_score_near_zero_ari():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 5, size=3000)
+    b = rng.integers(0, 5, size=3000)
+    assert abs(adjusted_rand_index(a, b)) < 0.02
+    assert normalized_mutual_information(a, b) < 0.02
+
+
+def test_single_cluster_vs_many():
+    a = np.array([0, 0, 1, 1])
+    b = np.zeros(4, dtype=int)
+    assert adjusted_rand_index(a, b) == pytest.approx(0.0, abs=1e-12)
+    assert purity(a, b) == pytest.approx(0.5)
+
+
+def test_purity_increases_with_oversplitting():
+    truth = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    coarse = np.array([0, 0, 0, 1, 1, 1, 1, 1])
+    shattered = np.arange(8)
+    assert purity(truth, shattered) == 1.0
+    assert purity(truth, coarse) < 1.0
+    # ...which is why ARI penalises the shattering instead.
+    assert adjusted_rand_index(truth, shattered) < adjusted_rand_index(
+        truth, coarse
+    )
+
+
+def test_report_bundles_all():
+    labels = np.array([0, 1, 0, 1])
+    report = clustering_report(labels, labels)
+    assert set(report) == {"ari", "nmi", "purity"}
+    assert all(v == pytest.approx(1.0) for v in report.values())
+
+
+def test_validation():
+    with pytest.raises(DataFormatError):
+        adjusted_rand_index(np.array([0, 1]), np.array([0]))
+    with pytest.raises(DataFormatError):
+        purity(np.array([]), np.array([]))
+    with pytest.raises(DataFormatError):
+        normalized_mutual_information(np.array([-1, 0]), np.array([0, 0]))
+
+
+def test_gmeans_clustering_scores_high_on_demo(demo_mixture):
+    """Integration: serial G-means labels vs generator truth."""
+    from repro.clustering import gmeans
+
+    result = gmeans(demo_mixture.points, rng=9)
+    report = clustering_report(demo_mixture.labels, result.labels)
+    assert report["ari"] > 0.9
+    assert report["nmi"] > 0.9
+    assert report["purity"] > 0.95

@@ -1,0 +1,116 @@
+"""Serial G-means: recovers k, split decisions, options."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.clustering.gmeans import (
+    GMeansOptions,
+    gmeans,
+    pick_children,
+    split_decision,
+)
+
+
+def test_recovers_k_on_demo(demo_mixture):
+    result = gmeans(demo_mixture.points, rng=1)
+    assert 10 <= result.k <= 14
+    assert result.k_history[0] == 1
+    assert result.iterations == len(result.k_history)
+
+
+def test_single_gaussian_stays_one_cluster(rng):
+    pts = rng.normal(size=(1000, 3))
+    result = gmeans(pts, rng=2)
+    assert result.k == 1
+    assert result.ad_tests >= 1
+
+
+def test_two_blobs_split_once(rng):
+    pts = np.vstack(
+        [rng.normal(-10, 1, (400, 2)), rng.normal(10, 1, (400, 2))]
+    )
+    result = gmeans(pts, rng=3)
+    assert result.k == 2
+
+
+def test_k_max_caps_growth(demo_mixture):
+    result = gmeans(demo_mixture.points, GMeansOptions(k_max=4), rng=4)
+    assert result.k <= 4
+
+
+def test_k_init_seeds_multiple(demo_mixture):
+    result = gmeans(demo_mixture.points, GMeansOptions(k_init=4), rng=5)
+    assert result.k >= 4
+    assert result.k_history[0] == 4
+
+
+def test_min_split_size_blocks_small_clusters(rng):
+    pts = np.vstack([rng.normal(-5, 1, (30, 2)), rng.normal(5, 1, (30, 2))])
+    result = gmeans(pts, GMeansOptions(min_split_size=1000), rng=6)
+    assert result.k == 1
+
+
+def test_random_child_init_also_works(demo_mixture):
+    result = gmeans(
+        demo_mixture.points, GMeansOptions(child_init="random"), rng=7
+    )
+    assert 8 <= result.k <= 16
+
+
+def test_invalid_options():
+    with pytest.raises(ConfigurationError):
+        GMeansOptions(child_init="magic")
+    with pytest.raises(ConfigurationError):
+        GMeansOptions(k_init=0)
+
+
+def test_pick_children_pca_direction(rng):
+    """PCA children straddle the center along the dominant axis."""
+    pts = np.column_stack([rng.normal(0, 10, 500), rng.normal(0, 0.1, 500)])
+    children = pick_children(pts, pts.mean(axis=0), "pca", rng)
+    v = children[0] - children[1]
+    assert abs(v[0]) > 10 * abs(v[1])
+
+
+def test_pick_children_random_returns_member_points(rng):
+    pts = rng.normal(size=(50, 2))
+    children = pick_children(pts, pts.mean(axis=0), "random", rng)
+    for c in children:
+        assert np.any(np.all(pts == c, axis=1))
+
+
+def test_pick_children_degenerate_cluster(rng):
+    assert pick_children(np.ones((1, 2)), np.ones(2), "random", rng) is None
+    assert pick_children(np.ones((10, 2)), np.ones(2), "pca", rng) is None
+
+
+def test_split_decision_gaussian_vs_bimodal(rng):
+    gaussian = rng.normal(size=(2000, 2))
+    children = np.array([[1.0, 0.0], [-1.0, 0.0]])
+    should_split, stat = split_decision(gaussian, children, alpha=1e-4)
+    assert not should_split
+
+    bimodal = np.vstack(
+        [rng.normal(-6, 1, (1000, 2)), rng.normal(6, 1, (1000, 2))]
+    )
+    children = np.array([[6.0, 0.0], [-6.0, 0.0]])
+    should_split, stat = split_decision(bimodal, children, alpha=1e-4)
+    assert should_split
+    assert stat > 1.8692
+
+
+def test_split_decision_degenerate_direction(rng):
+    pts = rng.normal(size=(100, 2))
+    children = np.array([[1.0, 1.0], [1.0, 1.0]])
+    should_split, stat = split_decision(pts, children, alpha=1e-4)
+    assert not should_split
+    assert stat == 0.0
+
+
+def test_inertia_reported_matches_assignment(demo_mixture):
+    result = gmeans(demo_mixture.points, rng=8)
+    d = np.linalg.norm(
+        demo_mixture.points[:, None, :] - result.centers[None, :, :], axis=2
+    )
+    assert result.inertia == pytest.approx((d.min(axis=1) ** 2).sum(), rel=1e-9)

@@ -1,0 +1,104 @@
+"""Initialisation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.clustering.init import (
+    canopy_init,
+    farthest_point_from,
+    init_centers,
+    kmeans_pp_init,
+    random_init,
+)
+
+
+@pytest.fixture
+def points(rng):
+    return rng.normal(size=(200, 3))
+
+
+def test_random_init_picks_distinct_points(points):
+    centers = random_init(points, 5, rng=0)
+    assert centers.shape == (5, 3)
+    # Each center is an actual dataset point.
+    for c in centers:
+        assert np.any(np.all(points == c, axis=1))
+    assert len(np.unique(centers, axis=0)) == 5
+
+
+def test_random_init_too_many_centers(points):
+    with pytest.raises(ConfigurationError):
+        random_init(points, 201, rng=0)
+
+
+def test_random_init_does_not_alias_input(points):
+    centers = random_init(points, 2, rng=0)
+    centers[0, 0] = 1e9
+    assert points.max() < 1e9
+
+
+def test_kmeans_pp_spreads_centers():
+    """On two far blobs, k-means++ with k=2 lands one center per blob
+    (random init does so only ~half the time)."""
+    rng = np.random.default_rng(5)
+    blob_a = rng.normal(-100, 1, size=(100, 2))
+    blob_b = rng.normal(100, 1, size=(100, 2))
+    pts = np.vstack([blob_a, blob_b])
+    hits = 0
+    for seed in range(20):
+        centers = kmeans_pp_init(pts, 2, rng=seed)
+        sides = set(np.sign(centers[:, 0]).tolist())
+        hits += sides == {-1.0, 1.0}
+    assert hits == 20
+
+
+def test_kmeans_pp_all_duplicate_points():
+    pts = np.ones((10, 2))
+    centers = kmeans_pp_init(pts, 3, rng=0)
+    assert centers.shape == (3, 2)
+    assert np.all(centers == 1.0)
+
+
+def test_kmeans_pp_k_exceeds_n():
+    with pytest.raises(ConfigurationError):
+        kmeans_pp_init(np.ones((2, 2)), 3, rng=0)
+
+
+def test_canopy_covers_blobs():
+    rng = np.random.default_rng(6)
+    pts = np.vstack(
+        [rng.normal(c, 0.5, size=(50, 2)) for c in ((0, 0), (20, 0), (0, 20))]
+    )
+    centers = canopy_init(pts, t1=10.0, t2=5.0, rng=1)
+    # Every blob center is near some canopy center.
+    for blob in ((0, 0), (20, 0), (0, 20)):
+        d = np.linalg.norm(centers - np.array(blob), axis=1)
+        assert d.min() < 3.0
+
+
+def test_canopy_max_canopies_cap():
+    pts = np.random.default_rng(7).uniform(0, 100, size=(200, 2))
+    centers = canopy_init(pts, t1=2.0, t2=1.0, rng=0, max_canopies=5)
+    assert centers.shape[0] == 5
+
+
+def test_canopy_invalid_thresholds():
+    pts = np.ones((5, 2))
+    with pytest.raises(ConfigurationError):
+        canopy_init(pts, t1=1.0, t2=2.0)
+    with pytest.raises(ConfigurationError):
+        canopy_init(pts, t1=1.0, t2=0.0)
+
+
+def test_init_centers_dispatch(points):
+    assert init_centers(points, 3, "random", rng=0).shape == (3, 3)
+    assert init_centers(points, 3, "kmeans++", rng=0).shape == (3, 3)
+    with pytest.raises(ConfigurationError):
+        init_centers(points, 3, "magic", rng=0)
+
+
+def test_farthest_point_from():
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [50.0, 0.0]])
+    far = farthest_point_from(pts, np.array([[0.0, 0.0]]))
+    assert np.array_equal(far, [50.0, 0.0])

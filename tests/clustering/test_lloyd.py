@@ -1,0 +1,99 @@
+"""Lloyd's algorithm: steps, convergence, empty clusters."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.clustering.lloyd import lloyd_kmeans, lloyd_step
+from repro.clustering.metrics import wcss
+
+
+def test_lloyd_step_recomputes_means():
+    pts = np.array([[0.0], [2.0], [10.0], [12.0]])
+    centers = np.array([[1.0], [9.0]])
+    new_centers, labels, inertia = lloyd_step(pts, centers)
+    assert labels.tolist() == [0, 0, 1, 1]
+    assert new_centers == pytest.approx(np.array([[1.0], [11.0]]))
+    assert inertia == pytest.approx(1 + 1 + 1 + 9)
+
+
+def test_lloyd_step_keeps_empty_cluster_center():
+    pts = np.array([[0.0], [1.0]])
+    centers = np.array([[0.5], [100.0]])
+    new_centers, labels, _ = lloyd_step(pts, centers)
+    assert np.all(labels == 0)
+    assert new_centers[1, 0] == 100.0
+
+
+def test_lloyd_recovers_separated_clusters(small_mixture):
+    result = lloyd_kmeans(
+        small_mixture.points, k=3, init="kmeans++", rng=0
+    )
+    assert result.k == 3
+    assert result.converged
+    # Each true center has a fitted center within 1 std.
+    for true_center in small_mixture.centers:
+        d = np.linalg.norm(result.centers - true_center, axis=1)
+        assert d.min() < 1.0
+
+
+def test_wcss_never_increases_over_iterations(small_mixture):
+    pts = small_mixture.points
+    centers = lloyd_kmeans(pts, k=5, init="random", rng=3, max_iterations=1).centers
+    previous = wcss(pts, centers)
+    for _ in range(10):
+        centers, _, _ = lloyd_step(pts, centers)
+        current = wcss(pts, centers)
+        assert current <= previous + 1e-9
+        previous = current
+
+
+def test_explicit_init_matrix():
+    pts = np.array([[0.0], [1.0], [10.0]])
+    result = lloyd_kmeans(pts, init=np.array([[0.0], [10.0]]))
+    assert result.k == 2
+    assert result.centers == pytest.approx(np.array([[0.5], [10.0]]))
+
+
+def test_init_matrix_k_mismatch():
+    with pytest.raises(ConfigurationError):
+        lloyd_kmeans(np.ones((5, 1)), k=3, init=np.ones((2, 1)))
+
+
+def test_init_method_requires_k():
+    with pytest.raises(ConfigurationError):
+        lloyd_kmeans(np.ones((5, 1)), init="random")
+
+
+def test_iteration_budget_respected():
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(500, 4))
+    result = lloyd_kmeans(pts, k=20, init="random", rng=1, max_iterations=2)
+    assert result.iterations <= 2
+
+
+def test_converged_flag_on_stable_input():
+    pts = np.array([[0.0], [0.0], [10.0], [10.0]])
+    result = lloyd_kmeans(pts, init=np.array([[0.0], [10.0]]))
+    assert result.converged
+    assert result.iterations == 1
+
+
+def test_reseed_empty_recovers_lost_cluster():
+    pts = np.vstack(
+        [np.zeros((50, 2)), np.full((50, 2), 100.0), np.full((2, 2), 200.0)]
+    )
+    # Third center starts far away from everything, glued to nothing.
+    init = np.array([[0.0, 0.0], [100.0, 100.0], [-500.0, -500.0]])
+    frozen = lloyd_kmeans(pts, init=init, reseed_empty=False, max_iterations=5)
+    reseeded = lloyd_kmeans(pts, init=init, reseed_empty=True, max_iterations=5)
+    assert reseeded.inertia < frozen.inertia
+
+
+def test_labels_match_final_centers(small_mixture):
+    result = lloyd_kmeans(small_mixture.points, k=3, init="kmeans++", rng=5)
+    d = np.linalg.norm(
+        small_mixture.points[:, None, :] - result.centers[None, :, :], axis=2
+    )
+    assert np.array_equal(result.labels, np.argmin(d, axis=1))
+    assert result.inertia == pytest.approx((d.min(axis=1) ** 2).sum())

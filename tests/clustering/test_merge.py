@@ -1,0 +1,73 @@
+"""Center merging (the paper's future-work post-processing)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.clustering.merge import (
+    merge_centers,
+    merge_gmeans_centers,
+    suggest_merge_threshold,
+)
+
+
+def test_merge_pairs_below_threshold():
+    centers = np.array([[0.0, 0.0], [0.5, 0.0], [10.0, 0.0]])
+    merged = merge_centers(centers, threshold=1.0)
+    assert merged.shape[0] == 2
+    assert np.any(np.all(np.isclose(merged, [0.25, 0.0]), axis=1))
+
+
+def test_merge_single_link_chains():
+    centers = np.array([[0.0], [0.9], [1.8], [10.0]])
+    merged = merge_centers(centers, threshold=1.0)
+    # 0-0.9-1.8 chain collapses even though 0 and 1.8 are > 1 apart.
+    assert merged.shape[0] == 2
+
+
+def test_merge_weighted_by_sizes():
+    centers = np.array([[0.0], [1.0]])
+    merged = merge_centers(centers, threshold=2.0, sizes=np.array([3, 1]))
+    assert merged[0, 0] == pytest.approx(0.25)
+
+
+def test_merge_zero_threshold_is_identity():
+    centers = np.array([[0.0], [1.0], [2.0]])
+    assert merge_centers(centers, threshold=0.0).shape[0] == 3
+
+
+def test_merge_validations():
+    with pytest.raises(ConfigurationError):
+        merge_centers(np.ones((2, 2)), threshold=-1.0)
+    with pytest.raises(ConfigurationError):
+        merge_centers(np.ones((2, 2)), threshold=1.0, sizes=np.ones(3))
+
+
+def test_suggest_threshold_scales_with_dispersion(rng):
+    tight = rng.normal(0, 0.5, size=(500, 2))
+    loose = rng.normal(0, 4.0, size=(500, 2))
+    center = np.zeros((1, 2))
+    assert suggest_merge_threshold(loose, center) > suggest_merge_threshold(
+        tight, center
+    )
+
+
+def test_merge_gmeans_centers_fixes_overestimate(demo_mixture):
+    """Duplicate each true center slightly perturbed -> merge restores k."""
+    rng = np.random.default_rng(3)
+    doubled = np.vstack(
+        [demo_mixture.centers, demo_mixture.centers + rng.normal(0, 0.3, demo_mixture.centers.shape)]
+    )
+    merged = merge_gmeans_centers(demo_mixture.points, doubled, rng=4)
+    assert merged.shape[0] == demo_mixture.n_clusters
+
+
+def test_merge_gmeans_no_polish(demo_mixture):
+    merged = merge_gmeans_centers(
+        demo_mixture.points,
+        demo_mixture.centers,
+        threshold=0.0,
+        polish_iterations=0,
+    )
+    assert merged.shape == demo_mixture.centers.shape
+    assert np.allclose(merged, demo_mixture.centers)

@@ -1,0 +1,104 @@
+"""Clustering metrics: distances, assignment, WCSS."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.clustering.metrics import (
+    assign_nearest,
+    average_distance,
+    cluster_sizes,
+    explained_variance_ratio,
+    pairwise_sq_distances,
+    wcss,
+)
+
+
+def test_pairwise_sq_distances_hand_computed():
+    pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+    ctr = np.array([[0.0, 0.0], [6.0, 8.0]])
+    d = pairwise_sq_distances(pts, ctr)
+    assert d == pytest.approx(np.array([[0.0, 100.0], [25.0, 25.0]]))
+
+
+def test_pairwise_never_negative():
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(100, 5)) * 1e-8  # rounding-prone scale
+    d = pairwise_sq_distances(pts, pts[:10])
+    assert np.all(d >= 0.0)
+
+
+def test_pairwise_dimension_mismatch():
+    with pytest.raises(DataFormatError):
+        pairwise_sq_distances(np.ones((2, 3)), np.ones((2, 2)))
+
+
+def test_assign_nearest_basic():
+    pts = np.array([[0.1], [0.9], [2.1]])
+    ctr = np.array([[0.0], [1.0], [2.0]])
+    labels, sq = assign_nearest(pts, ctr)
+    assert labels.tolist() == [0, 1, 2]
+    assert sq == pytest.approx(np.array([0.01, 0.01, 0.01]))
+
+
+def test_assign_nearest_chunked_matches_direct():
+    rng = np.random.default_rng(1)
+    pts = rng.normal(size=(40000, 3))  # forces multiple chunks
+    ctr = rng.normal(size=(7, 3))
+    labels, sq = assign_nearest(pts, ctr)
+    direct = pairwise_sq_distances(pts, ctr)
+    assert np.array_equal(labels, np.argmin(direct, axis=1))
+    assert np.allclose(sq, direct.min(axis=1))
+
+
+def test_assign_nearest_tie_goes_to_lowest_index():
+    pts = np.array([[0.5]])
+    ctr = np.array([[0.0], [1.0]])
+    labels, _ = assign_nearest(pts, ctr)
+    assert labels[0] == 0
+
+
+def test_wcss_optimal_vs_given_labels():
+    pts = np.array([[0.0], [1.0], [10.0]])
+    ctr = np.array([[0.0], [10.0]])
+    optimal = wcss(pts, ctr)
+    forced = wcss(pts, ctr, labels=np.array([1, 1, 1]))
+    assert optimal == pytest.approx(1.0)
+    assert forced > optimal
+
+
+def test_wcss_zero_for_perfect_centers():
+    pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+    assert wcss(pts, pts) == 0.0
+
+
+def test_wcss_rejects_bad_labels_shape():
+    with pytest.raises(DataFormatError):
+        wcss(np.ones((3, 1)), np.ones((1, 1)), labels=np.array([0, 0]))
+
+
+def test_average_distance_hand_computed():
+    pts = np.array([[0.0, 0.0], [0.0, 2.0]])
+    ctr = np.array([[0.0, 1.0]])
+    assert average_distance(pts, ctr) == pytest.approx(1.0)
+
+
+def test_cluster_sizes_counts_and_validates():
+    sizes = cluster_sizes(np.array([0, 0, 2]), k=4)
+    assert sizes.tolist() == [2, 0, 1, 0]
+    with pytest.raises(DataFormatError):
+        cluster_sizes(np.array([0, 5]), k=3)
+
+
+def test_explained_variance_bounds():
+    rng = np.random.default_rng(2)
+    pts = np.concatenate([rng.normal(-5, 1, (100, 2)), rng.normal(5, 1, (100, 2))])
+    good = explained_variance_ratio(pts, np.array([[-5.0, -5.0], [5.0, 5.0]]))
+    bad = explained_variance_ratio(pts, pts.mean(axis=0, keepdims=True))
+    assert 0.0 <= bad < 0.05
+    assert 0.9 < good <= 1.0
+
+
+def test_explained_variance_degenerate_data():
+    pts = np.ones((10, 2))
+    assert explained_variance_ratio(pts, np.ones((1, 2))) == 1.0

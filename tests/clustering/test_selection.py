@@ -1,0 +1,127 @@
+"""k-selection criteria from the related-work section."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.clustering.lloyd import lloyd_kmeans
+from repro.clustering.selection import (
+    CRITERIA,
+    choose_k,
+    dunn_index,
+    elbow_k,
+    gap_statistic_k,
+    jump_k,
+    silhouette_k,
+    silhouette_score,
+    sweep_kmeans,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """4 well-separated clusters in R^2."""
+    rng = np.random.default_rng(21)
+    centers = np.array([[0, 0], [30, 0], [0, 30], [30, 30]], dtype=float)
+    pts = np.vstack([rng.normal(c, 1.0, size=(150, 2)) for c in centers])
+    return pts
+
+
+@pytest.fixture(scope="module")
+def sweep(blobs):
+    return sweep_kmeans(blobs, range(2, 9), rng=1, restarts=2)
+
+
+def test_sweep_covers_requested_ks(sweep):
+    assert sweep.ks == list(range(2, 9))
+    assert set(sweep.results) == set(sweep.ks)
+
+
+def test_sweep_wcss_decreases_with_k(sweep):
+    curve = sweep.wcss_curve()
+    values = [curve[k] for k in sweep.ks]
+    assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+
+
+def test_sweep_rejects_bad_ks(blobs):
+    with pytest.raises(ConfigurationError):
+        sweep_kmeans(blobs, [0, 1], rng=0)
+    with pytest.raises(ConfigurationError):
+        sweep_kmeans(blobs, [], rng=0)
+
+
+def test_elbow_finds_true_k(sweep):
+    assert elbow_k(sweep.wcss_curve()) == 4
+
+
+def test_elbow_needs_three_points():
+    with pytest.raises(ConfigurationError):
+        elbow_k({2: 10.0, 3: 5.0})
+
+
+def test_silhouette_score_range_and_quality(blobs):
+    good = lloyd_kmeans(blobs, k=4, init="kmeans++", rng=2)
+    bad = lloyd_kmeans(blobs, k=2, init="kmeans++", rng=2)
+    s_good = silhouette_score(blobs, good.labels, rng=3)
+    s_bad = silhouette_score(blobs, bad.labels, rng=3)
+    assert -1.0 <= s_bad < s_good <= 1.0
+    assert s_good > 0.75
+
+
+def test_silhouette_sampling_close_to_full(blobs):
+    fit = lloyd_kmeans(blobs, k=4, init="kmeans++", rng=4)
+    full = silhouette_score(blobs, fit.labels, sample_size=None)
+    sampled = silhouette_score(blobs, fit.labels, sample_size=200, rng=5)
+    assert sampled == pytest.approx(full, abs=0.1)
+
+
+def test_silhouette_requires_two_clusters(blobs):
+    with pytest.raises(ConfigurationError):
+        silhouette_score(blobs, np.zeros(blobs.shape[0], dtype=int))
+
+
+def test_silhouette_k(blobs, sweep):
+    assert silhouette_k(blobs, sweep, rng=6) == 4
+
+
+def test_jump_k(blobs, sweep):
+    k = jump_k(sweep.wcss_curve(), blobs.shape[0], blobs.shape[1])
+    assert k == 4
+
+
+def test_gap_statistic_k(blobs, sweep):
+    k = gap_statistic_k(blobs, sweep, n_references=5, rng=7)
+    assert 3 <= k <= 5
+
+
+def test_dunn_index_better_for_true_k(blobs):
+    good = lloyd_kmeans(blobs, k=4, init="kmeans++", rng=8)
+    bad = lloyd_kmeans(blobs, k=6, init="kmeans++", rng=8)
+    assert dunn_index(blobs, good.centers, good.labels) > dunn_index(
+        blobs, bad.centers, bad.labels
+    )
+
+
+def test_dunn_requires_two_clusters(blobs):
+    with pytest.raises(ConfigurationError):
+        dunn_index(blobs, blobs.mean(axis=0, keepdims=True), np.zeros(len(blobs), dtype=int))
+
+
+@pytest.mark.parametrize("method", ["elbow", "silhouette", "jump", "bic"])
+def test_choose_k_near_truth(blobs, sweep, method):
+    k = choose_k(blobs, range(2, 9), method=method, rng=9, sweep=sweep)
+    assert 3 <= k <= 5
+
+
+def test_choose_k_aic(blobs, sweep):
+    k = choose_k(blobs, range(2, 9), method="aic", rng=10, sweep=sweep)
+    assert 3 <= k <= 6
+
+
+def test_choose_k_unknown_method(blobs):
+    with pytest.raises(ConfigurationError):
+        choose_k(blobs, range(2, 5), method="vibes")
+
+
+def test_criteria_constant_lists_all():
+    assert set(CRITERIA) == {"elbow", "silhouette", "jump", "gap", "dunn", "bic", "aic"}

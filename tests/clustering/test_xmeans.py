@@ -1,0 +1,65 @@
+"""X-means and the spherical BIC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering.lloyd import lloyd_kmeans
+from repro.clustering.xmeans import spherical_bic, xmeans
+from repro.data.generator import paper_family_dataset
+
+
+def test_bic_prefers_true_structure(rng):
+    pts = np.vstack(
+        [rng.normal(-8, 1, (300, 4)), rng.normal(8, 1, (300, 4))]
+    )
+    one = lloyd_kmeans(pts, k=1, init="random", rng=0)
+    two = lloyd_kmeans(pts, k=2, init="kmeans++", rng=0)
+    bic1 = spherical_bic(pts, one.centers, one.labels)
+    bic2 = spherical_bic(pts, two.centers, two.labels)
+    assert bic2 > bic1
+
+
+def test_bic_penalises_overfitting(rng):
+    pts = rng.normal(size=(400, 4))
+    one = lloyd_kmeans(pts, k=1, init="random", rng=1)
+    many = lloyd_kmeans(pts, k=8, init="kmeans++", rng=1)
+    assert spherical_bic(pts, one.centers, one.labels) > spherical_bic(
+        pts, many.centers, many.labels
+    )
+
+
+def test_bic_degenerate_fit_is_minus_inf():
+    pts = np.ones((10, 2))
+    labels = np.zeros(10, dtype=np.int64)
+    assert spherical_bic(pts, np.ones((1, 2)), labels) == -math.inf
+
+
+def test_xmeans_recovers_k_high_dim():
+    mixture = paper_family_dataset(n_clusters=6, n_points=3000, rng=9)
+    result = xmeans(mixture.points, rng=10)
+    assert 5 <= result.k <= 9
+
+
+def test_xmeans_single_gaussian(rng):
+    pts = rng.normal(size=(800, 6))
+    result = xmeans(pts, rng=11)
+    assert result.k == 1
+
+
+def test_xmeans_respects_k_max(demo_mixture):
+    result = xmeans(demo_mixture.points, k_init=2, k_max=4, rng=12)
+    assert result.k <= 4
+
+
+def test_xmeans_k_init_floor(demo_mixture):
+    result = xmeans(demo_mixture.points, k_init=3, rng=13)
+    assert result.k >= 3
+    assert result.k_history[0] == 3
+
+
+def test_xmeans_low_dim_needs_k_init_2(demo_mixture):
+    """The documented BIC caveat: k_init=2 recovers the demo clusters."""
+    result = xmeans(demo_mixture.points, k_init=2, rng=14)
+    assert 8 <= result.k <= 13

@@ -1,0 +1,51 @@
+"""Error hierarchy behaviour."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    DataFormatError,
+    JavaHeapSpaceError,
+    JobFailedError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for cls in (
+        ConfigurationError,
+        DataFormatError,
+        JavaHeapSpaceError,
+        JobFailedError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_heap_error_carries_sizes():
+    err = JavaHeapSpaceError(required_bytes=2 * 1024**2, heap_bytes=1024**2, task="r-0")
+    assert err.required_bytes == 2 * 1024**2
+    assert err.heap_bytes == 1024**2
+    assert err.task == "r-0"
+    assert "Java heap space" in str(err)
+    assert "2.0 MiB" in str(err)
+
+
+def test_heap_error_unknown_task_message():
+    err = JavaHeapSpaceError(100, 50)
+    assert "<unknown>" in str(err)
+
+
+def test_job_failed_error_wraps_cause():
+    cause = JavaHeapSpaceError(100, 50)
+    err = JobFailedError("job x failed", cause=cause)
+    assert err.cause is cause
+    assert "job x failed" in str(err)
+
+
+def test_job_failed_error_without_cause():
+    assert JobFailedError("boom").cause is None
+
+
+def test_errors_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise JavaHeapSpaceError(1, 0)

@@ -1,0 +1,55 @@
+"""RNG normalisation and spawning."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import ensure_rng, spawn_rng
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_accepts_numpy_integer():
+    gen = ensure_rng(np.int64(7))
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_ensure_rng_rejects_bad_type():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")
+
+
+def test_spawn_rng_children_differ():
+    parent = ensure_rng(1)
+    children = spawn_rng(parent, 4)
+    assert len(children) == 4
+    draws = [c.random() for c in children]
+    assert len(set(draws)) == 4
+
+
+def test_spawn_rng_deterministic_given_parent_state():
+    a = spawn_rng(ensure_rng(5), 3)
+    b = spawn_rng(ensure_rng(5), 3)
+    for x, y in zip(a, b):
+        assert x.random() == y.random()
+
+
+def test_spawn_rng_zero():
+    assert spawn_rng(ensure_rng(0), 0) == []
+
+
+def test_spawn_rng_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rng(ensure_rng(0), -1)

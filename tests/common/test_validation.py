@@ -1,0 +1,71 @@
+"""Argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, DataFormatError
+from repro.common.validation import (
+    check_in_range,
+    check_non_negative,
+    check_points,
+    check_positive,
+)
+
+
+def test_check_positive_accepts_positive():
+    check_positive("x", 1)
+    check_positive("x", 0.001)
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_check_positive_rejects(value):
+    with pytest.raises(ConfigurationError, match="x must be > 0"):
+        check_positive("x", value)
+
+
+def test_check_non_negative():
+    check_non_negative("x", 0)
+    with pytest.raises(ConfigurationError):
+        check_non_negative("x", -1e-9)
+
+
+def test_check_in_range_bounds_inclusive():
+    check_in_range("x", 0.0, 0.0, 1.0)
+    check_in_range("x", 1.0, 0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        check_in_range("x", 1.0001, 0.0, 1.0)
+
+
+def test_check_points_canonicalises_1d():
+    out = check_points(np.array([1.0, 2.0, 3.0]))
+    assert out.shape == (3, 1)
+    assert out.dtype == np.float64
+
+
+def test_check_points_preserves_2d_and_contiguity():
+    arr = np.asfortranarray(np.ones((4, 3)))
+    out = check_points(arr)
+    assert out.shape == (4, 3)
+    assert out.flags["C_CONTIGUOUS"]
+
+
+def test_check_points_rejects_empty():
+    with pytest.raises(DataFormatError):
+        check_points(np.empty((0, 2)))
+
+
+def test_check_points_rejects_3d():
+    with pytest.raises(DataFormatError):
+        check_points(np.ones((2, 2, 2)))
+
+
+def test_check_points_rejects_nan_and_inf():
+    with pytest.raises(DataFormatError):
+        check_points(np.array([[1.0, np.nan]]))
+    with pytest.raises(DataFormatError):
+        check_points(np.array([[np.inf, 1.0]]))
+
+
+def test_check_points_names_argument_in_message():
+    with pytest.raises(DataFormatError, match="centers"):
+        check_points(np.ones((2, 2, 2)), "centers")

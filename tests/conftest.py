@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Everything is seeded; any test that fails must fail deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import demo_r2_dataset, generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_mixture():
+    """3 well-separated clusters in R^2, 600 points."""
+    return generate_gaussian_mixture(
+        n_points=600, n_clusters=3, dimensions=2, rng=7, cluster_std=1.0
+    )
+
+
+@pytest.fixture
+def demo_mixture():
+    """The 10-cluster R^2 demo set at small scale."""
+    return demo_r2_dataset(n_points=1500, rng=11)
+
+
+@pytest.fixture
+def dfs() -> InMemoryDFS:
+    """A DFS with small splits so multi-split behaviour is exercised."""
+    return InMemoryDFS(split_size_bytes=4096)
+
+
+@pytest.fixture
+def runtime(dfs) -> MapReduceRuntime:
+    return MapReduceRuntime(
+        dfs, cluster=ClusterConfig(nodes=2, task_heap_mb=64), rng=99
+    )
+
+
+@pytest.fixture
+def small_dataset(dfs, small_mixture):
+    """The small mixture written to the DFS."""
+    return write_points(dfs, "points", small_mixture.points)

@@ -1,0 +1,52 @@
+"""MRGMeansConfig validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import (
+    HEAP_BYTES_PER_PROJECTION,
+    MIN_MAPPER_SAMPLE,
+    MRGMeansConfig,
+)
+
+
+def test_defaults_follow_the_paper():
+    cfg = MRGMeansConfig()
+    assert cfg.kmeans_iterations == 2  # "two k-means iterations are sufficient"
+    assert cfg.min_mapper_sample == MIN_MAPPER_SAMPLE == 20
+    assert cfg.heap_bytes_per_projection == HEAP_BYTES_PER_PROJECTION == 64
+    assert cfg.strategy == "auto"
+    # The MR default compensates mapper-vote power loss; the canonical
+    # serial strictness (1e-4) remains available via config.
+    assert cfg.alpha == pytest.approx(0.01)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"alpha": 0.0},
+        {"alpha": 0.9},
+        {"k_init": 0},
+        {"k_max": 0},
+        {"k_init": 10, "k_max": 5},
+        {"kmeans_iterations": 0},
+        {"max_iterations": 0},
+        {"min_split_size": 0},
+        {"min_mapper_sample": -1},
+        {"heap_bytes_per_projection": 0},
+        {"vote_rule": "coin_flip"},
+        {"strategy": "both"},
+        {"undecided_policy": "panic"},
+        {"anchor": "nowhere"},
+        {"num_reduce_tasks": 0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        MRGMeansConfig(**kwargs)
+
+
+def test_valid_variants_accepted():
+    MRGMeansConfig(strategy="mapper", vote_rule="any_reject", anchor="previous")
+    MRGMeansConfig(strategy="reducer", undecided_policy="defer")
+    MRGMeansConfig(kmeans_iterations=5, num_reduce_tasks=8)

@@ -1,0 +1,188 @@
+"""The MR G-means driver end to end (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.metrics import assign_nearest
+from repro.core import MRGMeans, MRGMeansConfig
+from repro.data.generator import demo_r2_dataset, generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def fit(points, config=None, nodes=2, split_bytes=8192, seed=5, cache=False):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=nodes), rng=seed)
+    driver = MRGMeans(runtime, config or MRGMeansConfig(seed=seed), cache_input=cache)
+    return driver.fit(f)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return demo_r2_dataset(n_points=2500, rng=31)
+
+
+def test_recovers_k_on_demo(demo):
+    result = fit(demo.points)
+    assert result.completed
+    assert 9 <= result.k_found <= 15
+    # Every true cluster is covered by at least one found center.
+    labels, _ = assign_nearest(result.centers, demo.centers)
+    assert set(labels.tolist()) == set(range(demo.n_clusters))
+
+
+def test_single_gaussian_found_immediately(rng):
+    pts = rng.normal(size=(1200, 3))
+    result = fit(pts)
+    assert result.k_found == 1
+    assert result.iterations <= 2
+
+
+def test_three_jobs_per_iteration(demo):
+    """kmeans_iterations=2 -> KMeans + KMeansAndFindNewCenters + Test."""
+    result = fit(demo.points)
+    assert result.totals.dataset_reads == 3 * result.iterations
+
+
+def test_extra_kmeans_iterations_add_reads(demo):
+    cfg = MRGMeansConfig(seed=5, kmeans_iterations=4)
+    result = fit(demo.points, cfg)
+    assert result.totals.dataset_reads == 5 * result.iterations
+
+
+def test_iterations_near_log2_k(demo):
+    result = fit(demo.points)
+    assert result.iterations >= int(np.ceil(np.log2(result.k_found)))
+    assert result.iterations <= int(np.ceil(np.log2(result.k_found))) + 4
+
+
+def test_k_history_doubles_early(demo):
+    result = fit(demo.points)
+    ks = [h.k_before for h in result.history]
+    assert ks[0] == 1
+    assert ks[1] == 2
+    assert ks[2] == 4
+
+
+def test_k_max_respected(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, k_max=4))
+    assert result.k_found <= 4
+
+
+def test_max_iterations_bounds_run(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, max_iterations=2))
+    assert result.iterations == 2
+    assert not result.completed
+
+
+def test_forced_strategies_agree_on_easy_data(demo):
+    mapper = fit(demo.points, MRGMeansConfig(seed=5, strategy="mapper"))
+    reducer = fit(demo.points, MRGMeansConfig(seed=5, strategy="reducer"))
+    assert abs(mapper.k_found - reducer.k_found) <= 3
+    assert {h.strategy for h in mapper.history if h.strategy != "none"} == {"mapper"}
+    assert {h.strategy for h in reducer.history if h.strategy != "none"} == {"reducer"}
+
+
+def test_auto_strategy_starts_mapper_side(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, strategy="auto"))
+    assert result.history[0].strategy == "mapper"
+
+
+def test_determinism(demo):
+    a = fit(demo.points)
+    b = fit(demo.points)
+    assert a.k_found == b.k_found
+    assert np.allclose(np.sort(a.centers, axis=0), np.sort(b.centers, axis=0))
+
+
+def test_cache_input_reduces_reads(demo):
+    cold = fit(demo.points, cache=False)
+    warm = fit(demo.points, cache=True)
+    assert warm.totals.dataset_reads == 1
+    assert warm.totals.cached_reads == cold.totals.dataset_reads - 1
+    assert warm.k_found == cold.k_found
+    assert warm.totals.simulated_seconds < cold.totals.simulated_seconds
+
+
+def test_post_merge_shrinks_overestimate(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, post_merge=True, alpha=0.01))
+    assert result.merged_centers is not None
+    assert result.merged_centers.shape[0] <= result.k_found
+
+
+def test_history_records_timing_and_centers(demo):
+    result = fit(demo.points)
+    assert len(result.history) == result.iterations
+    for h in result.history:
+        assert h.simulated_seconds > 0
+        assert h.centers.ndim == 2
+    assert result.simulated_seconds == pytest.approx(
+        sum(h.simulated_seconds for h in result.history)
+    )
+
+
+def test_k_init_seeds_multiple_clusters(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, k_init=4))
+    assert result.history[0].k_before == 4
+    assert result.k_found >= 4
+
+
+def test_previous_anchor_mode_runs(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, anchor="previous"))
+    assert result.completed
+    assert result.k_found >= 8
+
+
+def test_vectorized_off_agrees_with_on(demo):
+    """The per-record path (slow; reduced sample) must find essentially
+    the same clustering. Exact equality is not required: candidate
+    sampling consumes randomness differently on the two paths."""
+    sample = demo.points[::5]
+    fast = fit(sample, MRGMeansConfig(seed=5, vectorized=True))
+    slow = fit(sample, MRGMeansConfig(seed=5, vectorized=False))
+    assert fast.completed and slow.completed
+    assert abs(fast.k_found - slow.k_found) <= 2
+
+
+def test_min_split_size_stops_early(demo):
+    result = fit(demo.points, MRGMeansConfig(seed=5, min_split_size=10**6))
+    assert result.k_found == 1
+
+
+def test_balanced_partitioning_reducer_path(demo):
+    """Reducer-side testing with weight-balanced partitioning finds the
+    same clustering; only the key->reducer assignment differs."""
+    balanced = fit(
+        demo.points,
+        MRGMeansConfig(seed=5, strategy="reducer", balanced_partitioning=True),
+    )
+    hashed = fit(
+        demo.points,
+        MRGMeansConfig(seed=5, strategy="reducer", balanced_partitioning=False),
+    )
+    assert balanced.k_found == hashed.k_found
+    assert np.allclose(
+        np.sort(balanced.centers, axis=0), np.sort(hashed.centers, axis=0)
+    )
+
+
+def test_alternative_normality_tests_run(demo):
+    """All three pluggable tests drive the driver to a sensible k."""
+    for method in ("anderson", "jarque_bera", "lilliefors"):
+        result = fit(
+            demo.points, MRGMeansConfig(seed=5, normality_test=method)
+        )
+        assert result.completed, method
+        assert 6 <= result.k_found <= 18, method
+
+
+def test_invalid_normality_test_rejected():
+    import pytest as _pytest
+
+    from repro.common.errors import ConfigurationError
+
+    with _pytest.raises(ConfigurationError):
+        MRGMeansConfig(normality_test="shapiro")

@@ -1,0 +1,115 @@
+"""KMeansAndFindNewCenters: OFFSET multiplexing + candidate sampling."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.lloyd import lloyd_step
+from repro.core.kmeans_find_new import (
+    decode_find_new_centers_output,
+    make_find_new_centers_job,
+    merge_candidate_samples,
+)
+from repro.data.loader import write_points
+from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.mapreduce.types import OFFSET
+
+
+def run_job(points, centers, vectorized=True, split_bytes=2048, seed=0):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(dfs, rng=seed)
+    job = make_find_new_centers_job(centers, 4, vectorized=vectorized)
+    result = runtime.run(job, f)
+    return decode_find_new_centers_output(result.output, centers), result
+
+
+def test_kmeans_part_matches_lloyd(small_mixture):
+    centers = small_mixture.points[[0, 100, 400]]
+    (new_centers, sizes, _), _ = run_job(small_mixture.points, centers)
+    serial_centers, labels, _ = lloyd_step(small_mixture.points, centers)
+    assert np.allclose(new_centers, serial_centers, atol=1e-9)
+    assert np.array_equal(sizes, np.bincount(labels, minlength=3))
+
+
+def test_candidates_are_two_members_of_the_cluster(small_mixture):
+    centers = small_mixture.points[[0, 100, 400]]
+    (_, _, candidates), _ = run_job(small_mixture.points, centers)
+    _, labels, _ = lloyd_step(small_mixture.points, centers)
+    assert set(candidates) == {0, 1, 2}
+    for cid, sample in candidates.items():
+        assert sample.shape == (2, small_mixture.dimensions)
+        member = small_mixture.points[labels == cid]
+        for row in sample:
+            assert np.any(np.all(np.isclose(member, row), axis=1))
+        assert not np.array_equal(sample[0], sample[1])
+
+
+def test_map_output_doubled(small_mixture):
+    """The mapper emits every point twice (paper, Algorithm 2)."""
+    centers = small_mixture.points[[0, 200]]
+    _, result = run_job(small_mixture.points, centers)
+    assert (
+        result.counters.get(FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS)
+        == 2 * small_mixture.n_points
+    )
+
+
+def test_vectorized_matches_per_record_kmeans_part(small_mixture):
+    centers = small_mixture.points[[3, 333]]
+    (fast, fast_sizes, _), _ = run_job(small_mixture.points, centers, vectorized=True)
+    (slow, slow_sizes, _), _ = run_job(small_mixture.points, centers, vectorized=False)
+    assert np.allclose(fast, slow, atol=1e-9)
+    assert np.array_equal(fast_sizes, slow_sizes)
+
+
+def test_single_point_cluster_yields_one_candidate():
+    pts = np.vstack([np.zeros((40, 2)) + np.random.default_rng(0).normal(0, 0.1, (40, 2)), [[100.0, 100.0]]])
+    centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+    (_, sizes, candidates), _ = run_job(pts, centers)
+    assert sizes[1] == 1
+    assert candidates[1].shape[0] == 1  # cannot sample 2 from 1 point
+
+
+def test_merge_candidate_samples_weight_sums():
+    rng = np.random.default_rng(0)
+    a = (np.array([[0.0, 0.0], [1.0, 1.0]]), 10)
+    b = (np.array([[5.0, 5.0], [6.0, 6.0]]), 30)
+    points, weight = merge_candidate_samples([a, b], rng)
+    assert weight == 40
+    assert 1 <= points.shape[0] <= 2
+
+
+def test_merge_candidate_samples_weighted_preference():
+    """A sample backed by 100x more points wins most merges."""
+    rng = np.random.default_rng(1)
+    heavy_wins = 0
+    for _ in range(200):
+        heavy = (np.array([[1.0]]), 1000)
+        light = (np.array([[2.0]]), 10)
+        points, _ = merge_candidate_samples([heavy, light], rng)
+        heavy_wins += points[0, 0] == 1.0
+    assert heavy_wins > 150
+
+
+def test_merge_single_sample_identity():
+    rng = np.random.default_rng(2)
+    sample = (np.array([[1.0, 2.0], [3.0, 4.0]]), 7)
+    points, weight = merge_candidate_samples([sample], rng)
+    assert np.array_equal(points, sample[0])
+    assert weight == 7
+
+
+def test_offset_keys_separate_populations(small_mixture):
+    centers = small_mixture.points[[0, 100]]
+    dfs = InMemoryDFS(split_size_bytes=4096)
+    f = write_points(dfs, "pts", small_mixture.points)
+    runtime = MapReduceRuntime(dfs, rng=3)
+    job = make_find_new_centers_job(centers, 4)
+    result = runtime.run(job, f)
+    keys = [k for k, _ in result.output]
+    low = [k for k in keys if k < OFFSET]
+    high = [k for k in keys if k >= OFFSET]
+    assert sorted(low) == [0, 1]
+    assert sorted(high) == [OFFSET, OFFSET + 1]

@@ -1,0 +1,82 @@
+"""The MR k-means job: equivalence with serial Lloyd, both code paths."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.lloyd import lloyd_step
+from repro.core.kmeans_job import decode_kmeans_output, make_kmeans_job
+from repro.data.loader import write_points
+from repro.mapreduce.counters import USER_GROUP, UserCounter
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def run_one_iteration(points, centers, vectorized=True, num_reduce=4, split_bytes=2048):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(dfs, rng=0)
+    job = make_kmeans_job(centers, num_reduce, vectorized=vectorized)
+    result = runtime.run(job, f)
+    new_centers, sizes = decode_kmeans_output(result.output, centers)
+    return new_centers, sizes, result
+
+
+def test_one_mr_iteration_equals_one_lloyd_step(small_mixture):
+    centers = small_mixture.points[[0, 100, 400]]
+    mr_centers, sizes, _ = run_one_iteration(small_mixture.points, centers)
+    serial_centers, labels, _ = lloyd_step(small_mixture.points, centers)
+    assert np.allclose(mr_centers, serial_centers, atol=1e-9)
+    assert sizes.sum() == small_mixture.n_points
+    assert np.array_equal(sizes, np.bincount(labels, minlength=3))
+
+
+def test_vectorized_and_per_record_paths_agree(small_mixture):
+    centers = small_mixture.points[[5, 50, 500]]
+    fast, fast_sizes, fast_res = run_one_iteration(
+        small_mixture.points, centers, vectorized=True
+    )
+    slow, slow_sizes, slow_res = run_one_iteration(
+        small_mixture.points, centers, vectorized=False
+    )
+    assert np.allclose(fast, slow, atol=1e-9)
+    assert np.array_equal(fast_sizes, slow_sizes)
+    # Identical framework accounting: one logical map-output per point.
+    for name in (UserCounter.DISTANCE_COMPUTATIONS, UserCounter.COORDINATE_OPS):
+        assert fast_res.counters.get(USER_GROUP, name) == slow_res.counters.get(
+            USER_GROUP, name
+        )
+
+
+def test_distance_counter_is_n_times_k(small_mixture):
+    centers = small_mixture.points[:4]
+    _, _, result = run_one_iteration(small_mixture.points, centers)
+    assert (
+        result.counters.get(USER_GROUP, UserCounter.DISTANCE_COMPUTATIONS)
+        == small_mixture.n_points * 4
+    )
+
+
+def test_empty_cluster_keeps_position(small_mixture):
+    centers = np.vstack(
+        [small_mixture.points[:2], np.full((1, 2), 1e6)]
+    )
+    new_centers, sizes, _ = run_one_iteration(small_mixture.points, centers)
+    assert sizes[2] == 0
+    assert np.array_equal(new_centers[2], centers[2])
+
+
+def test_max_cluster_counter_reported(small_mixture):
+    centers = small_mixture.points[[0, 1]]
+    _, sizes, result = run_one_iteration(small_mixture.points, centers)
+    assert result.counters.get(
+        USER_GROUP, UserCounter.POINTS_PER_CLUSTER_MAX
+    ) == sizes.max()
+
+
+def test_single_split_single_reducer(small_mixture):
+    centers = small_mixture.points[[0, 300]]
+    mr_centers, _, _ = run_one_iteration(
+        small_mixture.points, centers, num_reduce=1, split_bytes=10**7
+    )
+    serial_centers, _, _ = lloyd_step(small_mixture.points, centers)
+    assert np.allclose(mr_centers, serial_centers, atol=1e-9)

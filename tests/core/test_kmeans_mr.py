@@ -1,0 +1,72 @@
+"""Plain MR k-means driver."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.lloyd import lloyd_kmeans
+from repro.common.errors import ConfigurationError
+from repro.core.kmeans_mr import MRKMeans
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def make_runtime(points, split_bytes=4096, seed=9):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    return MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=seed), f
+
+
+def test_matches_serial_lloyd_from_same_init(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    init = small_mixture.points[[0, 200, 500]]
+    mr = MRKMeans(runtime, k=3, max_iterations=20, tolerance=1e-9).fit(
+        f, initial_centers=init
+    )
+    serial = lloyd_kmeans(
+        small_mixture.points, init=init, max_iterations=20, tolerance=1e-9
+    )
+    assert np.allclose(mr.centers, serial.centers, atol=1e-8)
+    assert mr.converged == serial.converged
+
+
+def test_converges_and_reports_sizes(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MRKMeans(runtime, k=3, init="kmeans++", seed=1).fit(f)
+    assert result.converged
+    assert result.sizes.sum() == small_mixture.n_points
+    assert result.k == 3
+
+
+def test_iteration_budget(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MRKMeans(runtime, k=10, max_iterations=2, seed=2).fit(f)
+    assert result.iterations <= 2
+    assert result.totals.dataset_reads <= 2
+
+
+def test_one_read_per_iteration(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MRKMeans(runtime, k=3, init="kmeans++", seed=3).fit(f)
+    assert result.totals.dataset_reads == result.iterations
+
+
+def test_validation_errors(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    with pytest.raises(ConfigurationError):
+        MRKMeans(runtime, k=0)
+    with pytest.raises(ConfigurationError):
+        MRKMeans(runtime, k=2, max_iterations=0)
+    with pytest.raises(ConfigurationError):
+        MRKMeans(runtime, k=2, init="nope", seed=0).fit(f)
+    with pytest.raises(ConfigurationError):
+        MRKMeans(runtime, k=2, seed=0).fit(f, initial_centers=np.ones((3, 2)))
+
+
+def test_seed_determinism(small_mixture):
+    results = []
+    for _ in range(2):
+        runtime, f = make_runtime(small_mixture.points)
+        results.append(MRKMeans(runtime, k=3, seed=11).fit(f))
+    assert np.allclose(results[0].centers, results[1].centers)

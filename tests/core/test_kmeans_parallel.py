@@ -1,0 +1,95 @@
+"""k-means|| initialisation (Bahmani et al.), run as MR jobs."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.metrics import average_distance, wcss
+from repro.common.errors import ConfigurationError
+from repro.core.kmeans_mr import MRKMeans
+from repro.core.kmeans_parallel import kmeans_parallel_init
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.driver import JobChainDriver
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(scope="module")
+def world():
+    mixture = generate_gaussian_mixture(
+        n_points=4000, n_clusters=8, dimensions=3, rng=101, cluster_std=1.0
+    )
+    dfs = InMemoryDFS(split_size_bytes=16384)
+    dataset = write_points(dfs, "pts", mixture.points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=103)
+    return mixture, runtime, dataset
+
+
+def test_returns_k_centers(world):
+    mixture, runtime, dataset = world
+    centers = kmeans_parallel_init(runtime, dataset, k=8, seed=1)
+    assert centers.shape == (8, mixture.dimensions)
+    assert np.all(np.isfinite(centers))
+
+
+def test_covers_every_true_cluster(world):
+    """The whole point of k-means||: no true cluster is left seedless."""
+    mixture, runtime, dataset = world
+    centers = kmeans_parallel_init(runtime, dataset, k=8, seed=2)
+    for true_center in mixture.centers:
+        d = np.linalg.norm(centers - true_center, axis=1)
+        assert d.min() < 3.0
+
+
+def test_better_than_random_init(world):
+    """Seeding cost beats a uniform random pick (the k-means++ family
+    guarantee, checked empirically across seeds)."""
+    mixture, runtime, dataset = world
+    rng = np.random.default_rng(3)
+    wins = 0
+    for seed in range(5):
+        parallel = kmeans_parallel_init(runtime, dataset, k=8, seed=seed)
+        idx = rng.choice(mixture.n_points, size=8, replace=False)
+        random_centers = mixture.points[idx]
+        if wcss(mixture.points, parallel) < wcss(mixture.points, random_centers):
+            wins += 1
+    assert wins >= 4
+
+
+def test_job_accounting_folds_into_driver(world):
+    mixture, runtime, dataset = world
+    driver = JobChainDriver(runtime)
+    kmeans_parallel_init(runtime, dataset, k=4, rounds=3, seed=4, driver=driver)
+    # rounds+1 sampling/cost jobs + 1 weighting job
+    assert driver.totals.jobs == 5
+    assert driver.totals.dataset_reads == 5
+    assert driver.totals.distance_computations > 0
+
+
+def test_small_data_pads_candidates(world):
+    """With a tiny oversampling rate the candidate set may come up
+    short of k; the driver pads from the sample instead of failing."""
+    mixture, runtime, dataset = world
+    centers = kmeans_parallel_init(
+        runtime, dataset, k=10, rounds=1, oversampling=0.5, seed=5
+    )
+    assert centers.shape[0] == 10
+
+
+def test_validation(world):
+    _, runtime, dataset = world
+    with pytest.raises(ConfigurationError):
+        kmeans_parallel_init(runtime, dataset, k=0)
+    with pytest.raises(ConfigurationError):
+        kmeans_parallel_init(runtime, dataset, k=2, rounds=0)
+
+
+def test_mrkmeans_accepts_kmeans_parallel_init(world):
+    mixture, runtime, dataset = world
+    result = MRKMeans(
+        runtime, k=8, init="kmeans||", max_iterations=10, seed=6
+    ).fit(dataset)
+    assert result.k == 8
+    # Quality close to ideal (every cluster seeded -> ~cluster_std).
+    assert average_distance(mixture.points, result.centers) < 2.5

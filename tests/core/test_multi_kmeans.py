@@ -1,0 +1,123 @@
+"""Multi-k-means baseline (Algorithm 6)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.multi_kmeans import MultiKMeans, make_multi_kmeans_job
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import FRAMEWORK_GROUP, USER_GROUP, MRCounter, UserCounter
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def make_runtime(points, split_bytes=4096, seed=4):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    return MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=seed), f
+
+
+def test_refines_all_candidate_ks(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    driver = MultiKMeans(runtime, k_min=1, k_max=5, iterations=4, seed=0)
+    result = driver.fit(f)
+    assert set(result.centers_by_k) == {1, 2, 3, 4, 5}
+    for k, centers in result.centers_by_k.items():
+        assert centers.shape == (k, small_mixture.dimensions)
+    assert set(result.wcss_by_k) == {1, 2, 3, 4, 5}
+
+
+def test_wcss_decreases_with_k(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MultiKMeans(runtime, k_min=1, k_max=6, iterations=5, seed=1).fit(f)
+    values = [result.wcss_by_k[k] for k in sorted(result.wcss_by_k)]
+    # Generally decreasing (random init may wobble slightly at one step).
+    assert values[0] > values[-1]
+    assert sum(a < b for a, b in zip(values, values[1:])) <= 1
+
+
+def test_elbow_picks_true_k(small_mixture):
+    # Start the scan at k=2: including the trivial k=1 lets its huge
+    # variance drop mask the real knee (a standard elbow-method caveat).
+    runtime, f = make_runtime(small_mixture.points)
+    result = MultiKMeans(
+        runtime, k_min=2, k_max=8, iterations=6, criterion="elbow",
+        init="kmeans++", seed=2,
+    ).fit(f)
+    assert result.best_k == small_mixture.n_clusters
+    assert result.best_centers.shape[0] == result.best_k
+
+
+def test_distance_computations_scale_with_sum_k(small_mixture):
+    n = small_mixture.n_points
+    runtime, f = make_runtime(small_mixture.points)
+    result = MultiKMeans(runtime, k_min=1, k_max=4, iterations=1, seed=3).fit(f)
+    # 1 refinement iteration + 1 scoring job, each n * sum(1..4) distances.
+    assert result.totals.distance_computations == 2 * n * 10
+
+
+def test_reads_one_per_iteration_plus_scoring(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MultiKMeans(runtime, k_min=1, k_max=3, iterations=5, seed=4).fit(f)
+    assert result.totals.dataset_reads == 6
+    assert len(result.iteration_seconds) == 5
+    assert result.average_iteration_seconds == pytest.approx(
+        float(np.mean(result.iteration_seconds))
+    )
+
+
+def test_k_step_skips_candidates(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MultiKMeans(runtime, k_min=2, k_max=8, k_step=3, iterations=2, seed=5).fit(f)
+    assert set(result.centers_by_k) == {2, 5, 8}
+
+
+def test_jump_criterion(small_mixture):
+    runtime, f = make_runtime(small_mixture.points)
+    result = MultiKMeans(
+        runtime, k_min=1, k_max=8, iterations=6, criterion="jump",
+        init="kmeans++", seed=6,
+    ).fit(f)
+    assert 2 <= result.best_k <= 5
+
+
+def test_mapper_emits_per_candidate_k(small_mixture):
+    runtime, f = make_runtime(small_mixture.points, split_bytes=10**7)
+    centers_by_k = {
+        1: small_mixture.points[:1].copy(),
+        2: small_mixture.points[:2].copy(),
+    }
+    job = make_multi_kmeans_job(centers_by_k, 2)
+    result = runtime.run(job, f)
+    n = small_mixture.n_points
+    c = result.counters
+    assert c.get(FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS) == 2 * n
+    assert c.get(USER_GROUP, UserCounter.DISTANCE_COMPUTATIONS) == 3 * n
+
+
+def test_vectorized_matches_per_record(small_mixture):
+    sample = small_mixture.points[::3]
+    outs = []
+    for vectorized in (True, False):
+        runtime, f = make_runtime(sample)
+        result = MultiKMeans(
+            runtime, k_min=1, k_max=3, iterations=3, seed=7, vectorized=vectorized
+        ).fit(f)
+        outs.append(result)
+    for k in (1, 2, 3):
+        assert np.allclose(outs[0].centers_by_k[k], outs[1].centers_by_k[k])
+
+
+def test_validation():
+    runtime, _ = make_runtime(np.ones((5, 2)))
+    with pytest.raises(ConfigurationError):
+        MultiKMeans(runtime, k_min=0, k_max=3)
+    with pytest.raises(ConfigurationError):
+        MultiKMeans(runtime, k_min=5, k_max=3)
+    with pytest.raises(ConfigurationError):
+        MultiKMeans(runtime, k_min=1, k_max=3, k_step=0)
+    with pytest.raises(ConfigurationError):
+        MultiKMeans(runtime, k_min=1, k_max=3, iterations=0)
+    with pytest.raises(ConfigurationError):
+        MultiKMeans(runtime, k_min=1, k_max=3, criterion="gap")

@@ -1,0 +1,73 @@
+"""PickInitialCenters seeding."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.pick_initial import pick_initial_pairs
+from repro.data.loader import write_points
+from repro.mapreduce.hdfs import InMemoryDFS
+
+
+def make_dataset(points, split_bytes=10**6):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    return write_points(dfs, "pts", points)
+
+
+def test_pick_single_pair(small_mixture):
+    f = make_dataset(small_mixture.points)
+    seeds = pick_initial_pairs(f, 1, rng=0)
+    assert len(seeds) == 1
+    parent, pair = seeds[0]
+    assert pair.shape == (2, small_mixture.dimensions)
+    assert np.allclose(parent, pair.mean(axis=0))
+    # Picked points are actual dataset points.
+    for row in pair:
+        assert np.any(np.all(small_mixture.points == row, axis=1))
+
+
+def test_pick_multiple_pairs_distinct(small_mixture):
+    f = make_dataset(small_mixture.points)
+    seeds = pick_initial_pairs(f, 3, rng=1)
+    assert len(seeds) == 3
+    all_rows = np.vstack([pair for _, pair in seeds])
+    assert len(np.unique(all_rows, axis=0)) == 6
+
+
+def test_kmeans_pp_method(small_mixture):
+    f = make_dataset(small_mixture.points)
+    seeds = pick_initial_pairs(f, 2, rng=2, method="kmeans++")
+    assert len(seeds) == 2
+
+
+def test_samples_only_first_split(small_mixture):
+    """The paper's serial step reads a driver-side sample, not the
+    whole dataset."""
+    f = make_dataset(small_mixture.points, split_bytes=1024)  # many splits
+    first_split_points = np.asarray(f.splits[0].records)
+    seeds = pick_initial_pairs(f, 1, rng=3)
+    for row in seeds[0][1]:
+        assert np.any(np.all(first_split_points == row, axis=1))
+
+
+def test_too_few_points_raises():
+    f = make_dataset(np.ones((3, 2)) * np.arange(3)[:, None])
+    with pytest.raises(ConfigurationError):
+        pick_initial_pairs(f, 2, rng=0)  # needs 4 points
+
+
+def test_invalid_inputs(small_mixture):
+    f = make_dataset(small_mixture.points)
+    with pytest.raises(ConfigurationError):
+        pick_initial_pairs(f, 0, rng=0)
+    with pytest.raises(ConfigurationError):
+        pick_initial_pairs(f, 1, rng=0, method="sorcery")
+
+
+def test_deterministic_with_seed(small_mixture):
+    f = make_dataset(small_mixture.points)
+    a = pick_initial_pairs(f, 2, rng=7)
+    b = pick_initial_pairs(f, 2, rng=7)
+    for (pa, ca), (pb, cb) in zip(a, b):
+        assert np.array_equal(pa, pb)
+        assert np.array_equal(ca, cb)

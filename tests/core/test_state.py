@@ -1,0 +1,118 @@
+"""GMeansState bookkeeping across generations."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import (
+    ClusterNode,
+    GMeansState,
+    ROLE_CHILD_A,
+    ROLE_CHILD_B,
+    ROLE_FOUND,
+)
+
+
+def make_state():
+    state = GMeansState()
+    pair = np.array([[0.0, 0.0], [1.0, 1.0]])
+    state.new_cluster(np.array([0.5, 0.5]), pair)  # active
+    state.new_cluster(np.array([9.0, 9.0]), None, found=True)  # found
+    return state
+
+
+def test_new_cluster_assigns_unique_ids():
+    state = make_state()
+    ids = [c.cluster_id for c in state.clusters]
+    assert ids == [0, 1]
+    third = state.new_cluster(np.zeros(2), None)
+    assert third.cluster_id == 2
+
+
+def test_active_and_all_found():
+    state = make_state()
+    assert [c.cluster_id for c in state.active] == [0]
+    assert not state.all_found
+    state.clusters[0].found = True
+    assert state.all_found
+
+
+def test_parent_centers_stacks_all():
+    state = make_state()
+    centers = state.parent_centers()
+    assert centers.shape == (2, 2)
+    assert np.array_equal(centers[1], [9.0, 9.0])
+
+
+def test_flatten_with_refine_found():
+    state = make_state()
+    flat = state.flatten_current(refine_found=True)
+    assert flat.k == 3
+    assert flat.slots == [(0, ROLE_CHILD_A), (0, ROLE_CHILD_B), (1, ROLE_FOUND)]
+
+
+def test_flatten_without_refine_found():
+    state = make_state()
+    flat = state.flatten_current(refine_found=False)
+    assert flat.k == 2
+    assert all(role != ROLE_FOUND for _, role in flat.slots)
+
+
+def test_apply_refined_writes_back():
+    state = make_state()
+    flat = state.flatten_current(refine_found=True)
+    refined = np.array([[0.1, 0.1], [1.1, 1.1], [8.0, 8.0]])
+    state.apply_refined(flat, refined)
+    assert np.array_equal(state.clusters[0].children[0], [0.1, 0.1])
+    assert np.array_equal(state.clusters[0].children[1], [1.1, 1.1])
+    assert np.array_equal(state.clusters[1].center, [8.0, 8.0])
+
+
+def test_record_sizes_sums_children():
+    state = make_state()
+    flat = state.flatten_current(refine_found=True)
+    state.record_sizes(flat, np.array([30, 20, 7]))
+    assert state.clusters[0].size == 50
+    assert state.clusters[0].child_sizes == (30, 20)
+    assert state.clusters[1].size == 7
+
+
+def test_children_centroid_weighted():
+    node = ClusterNode(
+        cluster_id=0,
+        center=np.array([5.0, 5.0]),
+        children=np.array([[0.0, 0.0], [4.0, 0.0]]),
+        child_sizes=(3, 1),
+    )
+    assert np.allclose(node.children_centroid(), [1.0, 0.0])
+
+
+def test_children_centroid_falls_back_to_center():
+    node = ClusterNode(cluster_id=0, center=np.array([5.0, 5.0]))
+    assert np.array_equal(node.children_centroid(), [5.0, 5.0])
+    node2 = ClusterNode(
+        cluster_id=1,
+        center=np.array([2.0, 2.0]),
+        children=np.zeros((2, 2)),
+        child_sizes=(0, 0),
+    )
+    assert np.array_equal(node2.children_centroid(), [2.0, 2.0])
+
+
+def test_has_usable_children():
+    good = ClusterNode(0, np.zeros(2), children=np.array([[0.0, 0.0], [1.0, 1.0]]))
+    assert good.has_usable_children()
+    none = ClusterNode(1, np.zeros(2), children=None)
+    assert not none.has_usable_children()
+    equal = ClusterNode(2, np.zeros(2), children=np.ones((2, 2)))
+    assert not equal.has_usable_children()
+
+
+def test_new_cluster_copies_inputs():
+    state = GMeansState()
+    center = np.zeros(2)
+    pair = np.ones((2, 2))
+    node = state.new_cluster(center, pair)
+    center[0] = 99.0
+    pair[0, 0] = 99.0
+    assert node.center[0] == 0.0
+    assert node.children[0, 0] == 1.0

@@ -1,0 +1,58 @@
+"""The hybrid switching rule (paper, Section 3.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.strategy import MAPPER_SIDE, REDUCER_SIDE, choose_test_strategy
+from repro.mapreduce.cluster import MIB, ClusterConfig
+
+
+CLUSTER = ClusterConfig(
+    nodes=4, reduce_slots_per_node=8, task_heap_mb=100, max_heap_usage=0.66
+)
+# total reduce capacity = 32; usable heap = 66 MB.
+
+
+def test_few_clusters_stays_mapper_side():
+    assert choose_test_strategy(10, 1000, CLUSTER) == MAPPER_SIDE
+    assert choose_test_strategy(32, 1000, CLUSTER) == MAPPER_SIDE  # not >
+
+
+def test_many_small_clusters_switch_to_reducer():
+    assert choose_test_strategy(33, 1000, CLUSTER) == REDUCER_SIDE
+
+
+def test_huge_cluster_blocks_switch():
+    # 2M points x 64 B = 128 MB > 66 MB usable -> stay mapper-side even
+    # though parallelism would justify switching.
+    assert choose_test_strategy(100, 2_000_000, CLUSTER) == MAPPER_SIDE
+
+
+def test_boundary_heap_exactly_usable():
+    usable_points = CLUSTER.usable_heap_bytes // 64
+    assert choose_test_strategy(100, usable_points, CLUSTER) == REDUCER_SIDE
+    assert choose_test_strategy(100, usable_points + 1, CLUSTER) == MAPPER_SIDE
+
+
+def test_custom_bytes_per_projection():
+    # Halving the per-projection cost doubles the switchable size.
+    big = CLUSTER.usable_heap_bytes // 32
+    assert (
+        choose_test_strategy(100, big, CLUSTER, heap_bytes_per_projection=32)
+        == REDUCER_SIDE
+    )
+    assert choose_test_strategy(100, big, CLUSTER) == MAPPER_SIDE
+
+
+def test_capacity_scales_with_cluster():
+    small = ClusterConfig(nodes=1, reduce_slots_per_node=4, task_heap_mb=100)
+    assert choose_test_strategy(5, 1000, small) == REDUCER_SIDE
+    big = ClusterConfig(nodes=8, reduce_slots_per_node=8, task_heap_mb=100)
+    assert choose_test_strategy(5, 1000, big) == MAPPER_SIDE
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        choose_test_strategy(0, 100, CLUSTER)
+    with pytest.raises(ConfigurationError):
+        choose_test_strategy(1, -1, CLUSTER)

@@ -1,0 +1,124 @@
+"""TestClusters: reducer-side Anderson-Darling with heap accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import JavaHeapSpaceError, JobFailedError
+from repro.core.test_clusters import (
+    TestVerdict,
+    decode_test_output,
+    estimate_reducer_heap_bytes,
+    make_test_clusters_job,
+)
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import USER_GROUP, UserCounter
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def run_test_job(points, prev_centers, pairs, heap_mb=256, alpha=1e-4, seed=0):
+    dfs = InMemoryDFS(split_size_bytes=4096)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(
+        dfs, cluster=ClusterConfig(nodes=2, task_heap_mb=heap_mb), rng=seed
+    )
+    job = make_test_clusters_job(prev_centers, pairs, alpha, num_reduce_tasks=4)
+    result = runtime.run(job, f)
+    return decode_test_output(result.output), result
+
+
+def two_blob_setup(rng, gap=12.0):
+    points = np.vstack(
+        [rng.normal(-gap / 2, 1, (500, 2)), rng.normal(gap / 2, 1, (500, 2))]
+    )
+    prev = np.zeros((1, 2))
+    pairs = {0: np.array([[-gap / 2, -gap / 2], [gap / 2, gap / 2]])}
+    return points, prev, pairs
+
+
+def test_bimodal_cluster_rejected(rng):
+    points, prev, pairs = two_blob_setup(rng)
+    verdicts, _ = run_test_job(points, prev, pairs)
+    assert not verdicts[0].is_normal
+    assert verdicts[0].decided
+    assert verdicts[0].n == 1000
+
+
+def test_gaussian_cluster_accepted(rng):
+    points = rng.normal(5.0, 1.0, size=(1000, 2))
+    prev = np.array([[5.0, 5.0]])
+    pairs = {0: np.array([[4.0, 5.0], [6.0, 5.0]])}
+    verdicts, _ = run_test_job(points, prev, pairs)
+    assert verdicts[0].is_normal
+
+
+def test_only_paired_clusters_tested(rng):
+    points = np.vstack(
+        [rng.normal(-10, 1, (300, 2)), rng.normal(10, 1, (300, 2))]
+    )
+    prev = np.array([[-10.0, -10.0], [10.0, 10.0]])
+    pairs = {1: np.array([[9.0, 10.0], [11.0, 10.0]])}  # only cluster 1
+    verdicts, result = run_test_job(points, prev, pairs)
+    assert set(verdicts) == {1}
+    assert result.counters.get(USER_GROUP, UserCounter.AD_TESTS) == 1
+    assert result.counters.get(USER_GROUP, UserCounter.CLUSTER_TESTS) == 1
+
+
+def test_projection_counters(rng):
+    points, prev, pairs = two_blob_setup(rng)
+    _, result = run_test_job(points, prev, pairs)
+    assert result.counters.get(USER_GROUP, UserCounter.PROJECTIONS) == 1000
+    assert result.counters.get(USER_GROUP, UserCounter.AD_SAMPLE_POINTS) == 1000
+
+
+def test_heap_failure_at_64_bytes_per_point(rng):
+    """The Figure-2 failure: projections exceed the task JVM heap."""
+    points, prev, pairs = two_blob_setup(rng)
+    # 1000 points x 64 B = 64000 B > a 0.05 MB heap... heap is in MB (int),
+    # so give 1000 points a heap far smaller than needed via many points.
+    many = np.tile(points, (40, 1))  # 40k points -> 2.56 MB needed
+    with pytest.raises(JobFailedError) as err:
+        run_test_job(many, prev, pairs, heap_mb=1)
+    assert isinstance(err.value.cause, JavaHeapSpaceError)
+
+
+def test_heap_success_when_it_fits(rng):
+    points, prev, pairs = two_blob_setup(rng)
+    verdicts, result = run_test_job(points, prev, pairs, heap_mb=1)
+    assert 0 in verdicts
+    assert result.max_reduce_heap_bytes == 1000 * 64
+
+
+def test_degenerate_pair_vector_not_projected(rng):
+    points = rng.normal(size=(100, 2))
+    prev = np.zeros((1, 2))
+    pairs = {0: np.array([[1.0, 1.0], [1.0, 1.0]])}  # zero direction
+    verdicts, _ = run_test_job(points, prev, pairs)
+    assert verdicts == {}
+
+
+def test_tiny_cluster_verdict_is_normal(rng):
+    points = np.array([[0.0, 0.0]])
+    prev = np.zeros((1, 2))
+    pairs = {0: np.array([[-1.0, 0.0], [1.0, 0.0]])}
+    verdicts, _ = run_test_job(points, prev, pairs)
+    assert verdicts[0].is_normal
+    assert verdicts[0].n == 1
+
+
+def test_verdict_tuple_protocol():
+    v = TestVerdict(1.5, 100, False, True)
+    assert v.statistic == 1.5
+    assert v.n == 100
+    assert not v.is_normal
+    assert v.decided
+    assert tuple(v) == (1.5, 100, False, True)
+
+
+def test_estimate_reducer_heap_bytes():
+    assert estimate_reducer_heap_bytes(10**6) == 64 * 10**6
+    assert estimate_reducer_heap_bytes(0) == 0
+    assert estimate_reducer_heap_bytes(100, heap_bytes_per_projection=8) == 800
+    with pytest.raises(ValueError):
+        estimate_reducer_heap_bytes(-1)

@@ -1,0 +1,99 @@
+"""MapReduce X-means."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.xmeans_mr import MRXMeans, _bic
+from repro.clustering.xmeans import spherical_bic
+from repro.data.generator import demo_r2_dataset, generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def fit(points, seed=7, **kwargs):
+    dfs = InMemoryDFS(split_size_bytes=16384)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=seed)
+    return MRXMeans(runtime, seed=seed, **kwargs).fit(f)
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    return generate_gaussian_mixture(6000, 8, 10, rng=5)
+
+
+def test_recovers_k_high_dim(mixture):
+    result = fit(mixture.points)
+    assert result.completed
+    assert 7 <= result.k_found <= 10
+    for true_center in mixture.centers:
+        d = np.linalg.norm(result.centers - true_center, axis=1)
+        assert d.min() < 2.0
+
+
+def test_single_gaussian_keeps_one_cluster(rng):
+    points = rng.normal(size=(2000, 6))
+    result = fit(points)
+    assert result.k_found == 1
+
+
+def test_low_dim_needs_k_init_like_serial():
+    """The documented BIC caveat holds for the MR port too."""
+    demo = demo_r2_dataset(3000, rng=1)
+    from_one = fit(demo.points, k_init=1)
+    from_two = fit(demo.points, k_init=2)
+    assert from_one.k_found == 1
+    assert from_two.k_found >= 8
+
+
+def test_k_max_respected(mixture):
+    result = fit(mixture.points, k_max=4)
+    assert result.k_found <= 4
+
+
+def test_max_iterations_bounds(mixture):
+    result = fit(mixture.points, max_iterations=2)
+    assert result.iterations <= 2
+
+
+def test_accounting_accumulates(mixture):
+    result = fit(mixture.points)
+    # refine + pick + children*2 + bic per productive iteration.
+    assert result.totals.jobs >= 4 * (result.iterations - 1)
+    assert result.totals.distance_computations > 0
+
+
+def test_bic_aggregate_matches_serial_formula(rng):
+    """The streaming _bic from (rss, n, sizes) equals spherical_bic
+    computed from full data."""
+    points = np.vstack([rng.normal(-5, 1, (300, 4)), rng.normal(5, 1, (300, 4))])
+    centers = np.array([[-5.0] * 4, [5.0] * 4])
+    from repro.clustering.metrics import assign_nearest, cluster_sizes
+
+    labels, sq = assign_nearest(points, centers)
+    sizes = cluster_sizes(labels, 2)
+    serial = spherical_bic(points, centers, labels)
+    streamed = _bic(float(sq.sum()), 600, 4, 2, list(sizes))
+    assert streamed == pytest.approx(serial, rel=1e-12)
+
+
+def test_validation(mixture):
+    dfs = InMemoryDFS()
+    f = write_points(dfs, "pts", mixture.points)
+    runtime = MapReduceRuntime(dfs, rng=0)
+    with pytest.raises(ConfigurationError):
+        MRXMeans(runtime, k_init=0)
+    with pytest.raises(ConfigurationError):
+        MRXMeans(runtime, k_init=5, k_max=3)
+    with pytest.raises(ConfigurationError):
+        MRXMeans(runtime, max_iterations=0)
+
+
+def test_determinism(mixture):
+    a = fit(mixture.points)
+    b = fit(mixture.points)
+    assert a.k_found == b.k_found
+    assert np.allclose(np.sort(a.centers, axis=0), np.sort(b.centers, axis=0))

@@ -1,0 +1,79 @@
+"""Local-disk dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.data.diskio import (
+    import_points_file,
+    load_points_file,
+    save_points_file,
+)
+from repro.mapreduce.hdfs import InMemoryDFS
+
+
+def test_roundtrip_plain_text(tmp_path, small_mixture):
+    path = save_points_file(tmp_path / "pts.txt", small_mixture.points)
+    back = load_points_file(path)
+    assert np.array_equal(back, small_mixture.points)
+
+
+def test_roundtrip_gzip(tmp_path, small_mixture):
+    path = save_points_file(tmp_path / "pts.txt.gz", small_mixture.points)
+    assert path.suffix == ".gz"
+    back = load_points_file(path)
+    assert np.array_equal(back, small_mixture.points)
+
+
+def test_header_written_and_skipped(tmp_path):
+    points = np.array([[1.0, 2.0], [3.0, 4.0]])
+    path = save_points_file(
+        tmp_path / "pts.txt", points, header="demo dataset\nk=2"
+    )
+    text = path.read_text()
+    assert text.startswith("# demo dataset\n# k=2\n")
+    assert np.array_equal(load_points_file(path), points)
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "pts.txt"
+    path.write_text("1,2\n\n3,4\n")
+    assert load_points_file(path).shape == (2, 2)
+
+
+def test_malformed_line_reports_location(tmp_path):
+    path = tmp_path / "pts.txt"
+    path.write_text("1,2\nbad,line\n")
+    with pytest.raises(DataFormatError, match="pts.txt:2"):
+        load_points_file(path)
+
+
+def test_inconsistent_widths_rejected(tmp_path):
+    path = tmp_path / "pts.txt"
+    path.write_text("1,2\n1,2,3\n")
+    with pytest.raises(DataFormatError, match="inconsistent"):
+        load_points_file(path)
+
+
+def test_missing_and_empty_files(tmp_path):
+    with pytest.raises(DataFormatError, match="no such points file"):
+        load_points_file(tmp_path / "ghost.txt")
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# only comments\n")
+    with pytest.raises(DataFormatError, match="no data lines"):
+        load_points_file(empty)
+
+
+def test_import_into_dfs(tmp_path, small_mixture):
+    path = save_points_file(tmp_path / "pts.txt", small_mixture.points)
+    dfs = InMemoryDFS(split_size_bytes=4096)
+    f = import_points_file(dfs, "imported", path)
+    assert f.num_records == small_mixture.n_points
+    assert np.array_equal(f.all_records(), small_mixture.points)
+
+
+def test_creates_parent_directories(tmp_path):
+    path = save_points_file(
+        tmp_path / "a" / "b" / "pts.txt", np.ones((2, 2))
+    )
+    assert path.exists()

@@ -1,0 +1,110 @@
+"""Stress-test dataset families."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.data.families import (
+    anisotropic_mixture,
+    noisy_mixture,
+    uniform_ball_mixture,
+)
+
+
+def test_noisy_mixture_labels_and_counts():
+    mix = noisy_mixture(2000, 4, 3, noise_fraction=0.2, rng=1)
+    assert mix.points.shape == (2000, 3)
+    noise = mix.labels == -1
+    assert noise.sum() == 400
+    assert set(mix.labels[~noise].tolist()) == {0, 1, 2, 3}
+
+
+def test_noisy_mixture_zero_noise_is_plain_mixture():
+    mix = noisy_mixture(500, 3, 2, noise_fraction=0.0, rng=2)
+    assert (mix.labels >= 0).all()
+
+
+def test_noisy_mixture_noise_spans_beyond_clusters():
+    mix = noisy_mixture(3000, 3, 2, noise_fraction=0.3, rng=3)
+    clustered = mix.points[mix.labels >= 0]
+    noise = mix.points[mix.labels == -1]
+    assert noise.min() < clustered.min()
+    assert noise.max() > clustered.max()
+
+
+def test_noisy_mixture_validation():
+    with pytest.raises(ConfigurationError):
+        noisy_mixture(100, 2, 2, noise_fraction=0.95, rng=0)
+    with pytest.raises(ConfigurationError):
+        noisy_mixture(10, 9, 2, noise_fraction=0.5, rng=0)
+
+
+def test_anisotropic_clusters_are_elongated():
+    mix = anisotropic_mixture(4000, 2, 4, condition_number=10.0, rng=4)
+    for c in range(2):
+        member = mix.points[mix.labels == c] - mix.centers[c]
+        cov = member.T @ member / member.shape[0]
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues[-1] / eigenvalues[0] > 20.0  # (10x std)^2 = 100x var
+
+
+def test_anisotropic_condition_one_is_isotropic():
+    mix = anisotropic_mixture(4000, 1, 3, condition_number=1.0, rng=5)
+    member = mix.points - mix.centers[0]
+    stds = member.std(axis=0)
+    assert stds.max() / stds.min() < 1.2
+
+
+def test_anisotropic_validation():
+    with pytest.raises(ConfigurationError):
+        anisotropic_mixture(100, 2, 2, condition_number=0.5, rng=0)
+
+
+def test_uniform_ball_radius_respected():
+    mix = uniform_ball_mixture(3000, 3, 3, radius=2.0, rng=6)
+    for c in range(3):
+        member = mix.points[mix.labels == c]
+        distances = np.linalg.norm(member - mix.centers[c], axis=1)
+        assert distances.max() <= 2.0 + 1e-9
+        # Uniform in the ball, not concentrated at the center.
+        assert np.median(distances) > 1.2
+
+
+def test_uniform_ball_projections_rejected_by_ad():
+    """The reason G-means over-splits these: the projection of a
+    uniform ball is visibly non-Gaussian at scale."""
+    from repro.stats.anderson import anderson_darling_normality
+
+    mix = uniform_ball_mixture(20000, 1, 3, radius=3.0, rng=7)
+    projections = mix.points[:, 0]
+    assert not anderson_darling_normality(projections, alpha=0.01).is_normal
+
+
+def test_gmeans_oversplits_uniform_balls():
+    """Documented G-means property: it counts Gaussians, not blobs."""
+    from repro.clustering import gmeans, GMeansOptions
+
+    mix = uniform_ball_mixture(12000, 3, 3, radius=3.0, rng=8)
+    result = gmeans(mix.points, GMeansOptions(alpha=0.01), rng=8)
+    assert result.k > 3
+
+
+def test_gmeans_under_background_noise():
+    """Documented weakness + the fix: uniform background noise is
+    never Gaussian, so G-means keeps splitting it and k explodes — but
+    the *real* clusters are shattered, never mixed (purity 1), and the
+    center-merge post-processing recovers them exactly."""
+    from repro.clustering import gmeans, merge_gmeans_centers
+    from repro.clustering.external import adjusted_rand_index, purity
+    from repro.clustering.metrics import assign_nearest
+
+    mix = noisy_mixture(6000, 4, 3, noise_fraction=0.05, rng=9, cluster_std=1.0)
+    result = gmeans(mix.points, rng=9)
+    clustered = mix.labels >= 0
+    assert result.k > 4 * 5  # k explodes on the noise
+    assert purity(mix.labels[clustered], result.labels[clustered]) > 0.99
+
+    merged = merge_gmeans_centers(mix.points, result.centers, rng=9)
+    labels, _ = assign_nearest(mix.points, merged)
+    ari = adjusted_rand_index(mix.labels[clustered], labels[clustered])
+    assert ari > 0.95  # true clusters recovered exactly on real points

@@ -1,0 +1,116 @@
+"""Dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.data.generator import (
+    demo_r2_dataset,
+    generate_gaussian_mixture,
+    paper_family_dataset,
+)
+
+
+def test_shapes_and_ground_truth():
+    mix = generate_gaussian_mixture(500, 4, 3, rng=0)
+    assert mix.points.shape == (500, 3)
+    assert mix.labels.shape == (500,)
+    assert mix.centers.shape == (4, 3)
+    assert mix.n_points == 500
+    assert mix.n_clusters == 4
+    assert mix.dimensions == 3
+
+
+def test_every_cluster_represented():
+    mix = generate_gaussian_mixture(10, 10, 2, rng=1)
+    assert set(mix.labels.tolist()) == set(range(10))
+
+
+def test_points_scatter_around_their_centers():
+    mix = generate_gaussian_mixture(2000, 3, 5, rng=2, cluster_std=0.5)
+    for c in range(3):
+        member = mix.points[mix.labels == c]
+        assert np.linalg.norm(member.mean(axis=0) - mix.centers[c]) < 0.5
+        assert member.std(axis=0).mean() == pytest.approx(0.5, rel=0.25)
+
+
+def test_min_separation_respected():
+    mix = generate_gaussian_mixture(
+        100, 8, 2, rng=3, min_separation=10.0, center_low=0, center_high=100
+    )
+    d = np.linalg.norm(
+        mix.centers[:, None, :] - mix.centers[None, :, :], axis=2
+    )
+    np.fill_diagonal(d, np.inf)
+    assert d.min() >= 10.0
+
+
+def test_impossible_separation_raises():
+    with pytest.raises(ConfigurationError, match="min_separation"):
+        generate_gaussian_mixture(
+            100, 50, 1, rng=4, min_separation=10.0, center_low=0, center_high=20
+        )
+
+
+def test_weights_shift_cluster_sizes():
+    mix = generate_gaussian_mixture(
+        3000, 2, 2, rng=5, weights=np.array([0.9, 0.1])
+    )
+    sizes = np.bincount(mix.labels)
+    assert sizes[0] > 4 * sizes[1]
+
+
+def test_invalid_weights():
+    with pytest.raises(ConfigurationError):
+        generate_gaussian_mixture(100, 2, 2, rng=6, weights=np.array([1.0]))
+    with pytest.raises(ConfigurationError):
+        generate_gaussian_mixture(100, 2, 2, rng=6, weights=np.array([-1.0, 2.0]))
+
+
+def test_more_clusters_than_points_rejected():
+    with pytest.raises(ConfigurationError):
+        generate_gaussian_mixture(3, 5, 2, rng=7)
+
+
+def test_determinism():
+    a = generate_gaussian_mixture(100, 3, 2, rng=42)
+    b = generate_gaussian_mixture(100, 3, 2, rng=42)
+    assert np.array_equal(a.points, b.points)
+    assert np.array_equal(a.centers, b.centers)
+
+
+def test_demo_r2_matches_paper_figure():
+    mix = demo_r2_dataset(rng=8)
+    assert mix.n_clusters == 10
+    assert mix.dimensions == 2
+    assert mix.points.min() > -20 and mix.points.max() < 120
+
+
+def test_paper_family_heterogeneous_stds():
+    mix = paper_family_dataset(12, 6000, rng=9)
+    stds = [mix.points[mix.labels == c].std(axis=0).mean() for c in range(12)]
+    assert max(stds) > 1.5 * min(stds)  # drawn from (0.5, 2.0)
+
+
+def test_paper_family_group_structure():
+    """Clusters come in close neighbourhoods: every cluster has a
+    neighbour within ~separation_factor * combined stds."""
+    mix = paper_family_dataset(12, 1200, rng=10, separation_factor=4.0)
+    d = np.linalg.norm(
+        mix.centers[:, None, :] - mix.centers[None, :, :], axis=2
+    )
+    np.fill_diagonal(d, np.inf)
+    nn = d.min(axis=1)
+    assert np.median(nn) < 4.0 * 2.0 * 1.4 * 2  # loose upper bound
+
+
+def test_paper_family_single_cluster():
+    mix = paper_family_dataset(1, 100, rng=11)
+    assert mix.n_clusters == 1
+
+
+def test_paper_family_validation():
+    with pytest.raises(ConfigurationError):
+        paper_family_dataset(4, 100, rng=0, std_range=(2.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        paper_family_dataset(4, 100, rng=0, separation_factor=0.0)

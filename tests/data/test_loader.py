@@ -1,0 +1,50 @@
+"""DFS loaders (fast numpy mode and full-fidelity text mode)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import read_points, write_points, write_points_as_text
+from repro.data.textio import bytes_per_record
+from repro.mapreduce.hdfs import InMemoryDFS
+
+
+def test_write_points_uses_text_size_model(small_mixture):
+    dfs = InMemoryDFS(split_size_bytes=1 << 20)
+    f = write_points(dfs, "pts", small_mixture.points)
+    assert f.bytes_per_record == bytes_per_record(small_mixture.dimensions)
+    assert f.size_bytes == small_mixture.n_points * f.bytes_per_record
+
+
+def test_write_read_roundtrip_numpy(small_mixture):
+    dfs = InMemoryDFS(split_size_bytes=4096)
+    write_points(dfs, "pts", small_mixture.points)
+    back = read_points(dfs, "pts")
+    assert np.array_equal(back, small_mixture.points)
+
+
+def test_write_read_roundtrip_text(small_mixture):
+    dfs = InMemoryDFS(split_size_bytes=4096)
+    f = write_points_as_text(dfs, "pts", small_mixture.points)
+    assert isinstance(f.splits[0].records[0], str)
+    back = read_points(dfs, "pts")
+    assert np.array_equal(back, small_mixture.points)
+
+
+def test_text_mode_sizes_reflect_actual_lines(small_mixture):
+    dfs = InMemoryDFS(split_size_bytes=1 << 20)
+    f = write_points_as_text(dfs, "pts", small_mixture.points)
+    longest = max(len(line) + 1 for line in f.splits[0].records)
+    assert f.bytes_per_record >= longest
+
+
+def test_write_points_validates(small_mixture):
+    dfs = InMemoryDFS()
+    with pytest.raises(Exception):
+        write_points(dfs, "bad", np.array([[np.nan, 1.0]]))
+
+
+def test_overwrite_flag(small_mixture):
+    dfs = InMemoryDFS()
+    write_points(dfs, "pts", small_mixture.points)
+    write_points(dfs, "pts", small_mixture.points[:10], overwrite=True)
+    assert read_points(dfs, "pts").shape[0] == 10

@@ -1,0 +1,76 @@
+"""The point text codec."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.data.textio import (
+    BYTES_PER_COORDINATE,
+    bytes_per_record,
+    decode_point,
+    decode_points,
+    encode_point,
+    encode_points,
+)
+
+
+def test_bytes_per_record_is_papers_model():
+    assert BYTES_PER_COORDINATE == 16  # ~15 significant chars + separator
+    assert bytes_per_record(10) == 160
+    with pytest.raises(Exception):
+        bytes_per_record(0)
+
+
+def test_roundtrip_exact_at_default_precision(rng):
+    pts = rng.normal(size=(50, 7)) * 10.0 ** rng.integers(-8, 8, size=(50, 7))
+    lines = encode_points(pts)
+    back = decode_points(lines)
+    assert np.array_equal(back, pts)  # bit-exact with 17 digits
+
+
+def test_encode_single_point():
+    line = encode_point(np.array([1.5, -2.25]))
+    assert line == "1.5,-2.25"
+
+
+def test_decode_validates_dimensions():
+    assert decode_point("1,2,3", dimensions=3).tolist() == [1.0, 2.0, 3.0]
+    with pytest.raises(DataFormatError):
+        decode_point("1,2", dimensions=3)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(DataFormatError):
+        decode_point("1,banana")
+    with pytest.raises(DataFormatError):
+        decode_point("")
+    with pytest.raises(DataFormatError):
+        decode_point("nan,1")
+    with pytest.raises(DataFormatError):
+        decode_point("inf,1")
+
+
+def test_decode_strips_whitespace():
+    assert decode_point("  1.0,2.0\n").tolist() == [1.0, 2.0]
+
+
+def test_decode_points_consistent_width():
+    with pytest.raises(DataFormatError):
+        decode_points(["1,2", "1,2,3"])
+    with pytest.raises(DataFormatError):
+        decode_points([])
+
+
+def test_encode_rejects_bad_shapes():
+    with pytest.raises(DataFormatError):
+        encode_point(np.array([]))
+    with pytest.raises(DataFormatError):
+        encode_points(np.ones((2, 2, 2)))
+
+
+def test_lower_precision_shortens_lines():
+    pts = np.array([[1.0 / 3.0]])
+    long_line = encode_points(pts, precision=17)[0]
+    short_line = encode_points(pts, precision=6)[0]
+    assert len(short_line) < len(long_line)
+    assert decode_point(short_line)[0] == pytest.approx(1 / 3, rel=1e-5)

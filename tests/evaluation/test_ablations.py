@@ -1,0 +1,84 @@
+"""Ablation entry points at tiny scale (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.evaluation import ablations
+
+
+def test_kmeans_iterations_tiny():
+    result = ablations.ablation_kmeans_iterations(
+        iterations_list=[1, 2], k_real=4, n_points=4000, seed=13
+    )
+    assert [r["kmeans_iterations"] for r in result.rows] == [1, 2]
+    assert result.rows[1]["dataset_reads"] > result.rows[0]["dataset_reads"]
+    assert "Ablation" in result.text
+
+
+def test_test_strategy_tiny():
+    result = ablations.ablation_test_strategy(k_real=4, n_points=4000, seed=17)
+    modes = {r["strategy"] for r in result.rows}
+    assert modes == {"mapper", "reducer", "auto"}
+    for r in result.rows:
+        assert r["k_found"] >= 2
+
+
+def test_vote_rules_tiny():
+    result = ablations.ablation_vote_rules(k_real=4, n_points=4000, seed=19)
+    by_rule = {r["vote_rule"]: r for r in result.rows}
+    assert (
+        by_rule["any_reject"]["k_found"] >= by_rule["all_reject"]["k_found"]
+    )
+
+
+def test_anchor_modes_tiny():
+    result = ablations.ablation_anchor_modes(k_real=8, n_points=6000, seed=2)
+    assert len(result.rows) == 2
+    for r in result.rows:
+        assert 0 <= r["coverage_holes"] <= r["seeds"]
+
+
+def test_balanced_partitioning_tiny():
+    result = ablations.ablation_balanced_partitioning(n_points=8000, seed=23)
+    by_mode = {r["partitioner"]: r for r in result.rows}
+    assert by_mode["balanced"]["reduce_imbalance"] <= by_mode["hash"][
+        "reduce_imbalance"
+    ] + 1e-9
+
+
+def test_init_methods_tiny():
+    result = ablations.ablation_init_methods(k=6, n_points=5000, seed=29)
+    by_init = {r["init"]: r for r in result.rows}
+    assert set(by_init) == {"random", "kmeans++", "kmeans||"}
+    assert by_init["kmeans++"]["avg_distance"] <= by_init["random"]["avg_distance"]
+
+
+def test_cache_input_tiny():
+    result = ablations.ablation_cache_input(k_real=4, n_points=4000, seed=31)
+    cold, warm = result.rows
+    assert warm["disk_reads"] == 1
+    assert warm["time_seconds"] <= cold["time_seconds"]
+
+
+def test_normality_tests_tiny():
+    result = ablations.ablation_normality_tests(k_real=4, n_points=4000, seed=37)
+    methods = {r["normality_test"] for r in result.rows}
+    assert methods == {"anderson", "jarque_bera", "lilliefors"}
+    for r in result.rows:
+        assert -1.0 <= r["ari"] <= 1.0
+
+
+def test_cluster_shapes_tiny():
+    result = ablations.ablation_cluster_shapes(k_real=3, n_points=5000, seed=41)
+    assert len(result.rows) == 4
+    for r in result.rows:
+        assert r["k_found"] >= 2
+        assert 0.0 <= r["purity"] <= 1.0
+
+
+def test_algorithms_tiny():
+    result = ablations.ablation_algorithms(k_real=4, n_points=5000, seed=43)
+    algorithms = {r["algorithm"] for r in result.rows}
+    assert len(algorithms) == 3
+    for r in result.rows:
+        assert r["k_found"] >= 1
+        assert r["time_seconds"] > 0

@@ -1,0 +1,66 @@
+"""The experiment CLI."""
+
+import pytest
+
+from repro.cli import ABLATIONS, DESCRIPTIONS, EXPERIMENTS, build_parser, main
+
+
+def test_every_entry_has_a_description():
+    for name in list(EXPERIMENTS) + list(ABLATIONS):
+        assert name in DESCRIPTIONS
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    for name in ABLATIONS:
+        assert name in out
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "table99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiment_command_runs_and_writes(tmp_path, capsys, monkeypatch):
+    # Patch in a tiny experiment so the CLI test stays fast.
+    from repro.evaluation.experiments import ExperimentResult
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "table1", lambda: ExperimentResult(name="t", text="TINY")
+    )
+    out_file = tmp_path / "report.txt"
+    assert main(["experiment", "table1", "--out", str(out_file)]) == 0
+    assert "TINY" in capsys.readouterr().out
+    assert out_file.read_text() == "TINY\n"
+
+
+def test_ablation_command_runs(capsys, monkeypatch):
+    from repro.evaluation.experiments import ExperimentResult
+
+    monkeypatch.setitem(
+        ABLATIONS, "vote_rules", lambda: ExperimentResult(name="a", text="ABL")
+    )
+    assert main(["ablation", "vote_rules"]) == 0
+    assert "ABL" in capsys.readouterr().out
+
+
+def test_all_command_writes_directory(tmp_path, capsys, monkeypatch):
+    from repro.evaluation.experiments import ExperimentResult
+
+    tiny = lambda: ExperimentResult(name="x", text="X")
+    for name in list(EXPERIMENTS):
+        monkeypatch.setitem(EXPERIMENTS, name, tiny)
+    for name in list(ABLATIONS):
+        monkeypatch.setitem(ABLATIONS, name, tiny)
+    assert main(["all", "--out-dir", str(tmp_path)]) == 0
+    written = {p.name for p in tmp_path.iterdir()}
+    assert "table1.txt" in written
+    assert "vote_rules.txt" in written

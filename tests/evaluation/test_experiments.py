@@ -1,0 +1,84 @@
+"""Experiment entry points at tiny scale (fast smoke of every
+table/figure; the real runs live in benchmarks/)."""
+
+import pytest
+
+from repro.evaluation import experiments as E
+
+
+def test_fig1_snapshots_and_plots():
+    result = E.fig1_center_evolution(n_points=800, seed=1)
+    assert result.name == "fig1"
+    assert len(result.rows) >= 3
+    assert result.rows[0]["k_before"] == 1
+    assert "Iteration 1" in result.text
+
+
+def test_fig2_heap_frontier_small():
+    result = E.fig2_heap_memory(
+        points_counts=[40_000, 80_000], heap_mb_values=[1, 2, 3, 4, 5, 6]
+    )
+    slope = result.data["slope_bytes_per_point"]
+    assert 40 <= slope <= 90  # 64 B/point up to 1-MB heap granularity
+    assert result.data["min_heap_by_n"][80_000] > result.data["min_heap_by_n"][40_000]
+    statuses = {(r["points"], r["heap_mb"]): r["succeeded"] for r in result.rows}
+    assert statuses[(80_000, 1)] is False
+    assert statuses[(80_000, 6)] is True
+
+
+def test_table1_tiny():
+    result = E.table1_gmeans_scaling(ks=[4, 8], n_points=4000, seed=3)
+    assert [r["clusters"] for r in result.rows] == [4, 8]
+    for r in result.rows:
+        assert r["discovered"] >= 2
+        assert r["time_seconds"] > 0
+    assert result.rows[1]["time_seconds"] > result.rows[0]["time_seconds"] * 0.8
+
+
+def test_table2_tiny_quadratic():
+    result = E.table2_multi_kmeans(ks=[4, 8, 16], n_points=4000, iterations=1, seed=4)
+    times = [r["time_seconds"] for r in result.rows]
+    assert times[-1] > times[0]
+    assert result.data["correlation_k2"] > 0.95
+
+
+def test_fig3_tiny():
+    result = E.fig3_crossover(ks=[4, 8], n_points=3000, seed=5)
+    assert len(result.rows) == 2
+    assert "crossover_k" in result.data
+
+
+def test_table3_tiny():
+    result = E.table3_quality(ks=[4], n_points=6000, seed=3)
+    row = result.rows[0]
+    assert row["k_found"] >= 3
+    assert row["gmeans"] > 0
+    assert row["multi_kmeans"] > 0
+
+
+def test_fig4_tiny():
+    result = E.fig4_local_minimum(n_points=1200, seed=1, baseline_seeds=[0, 1, 2])
+    assert result.data["total_runs"] == 3
+    assert result.data["gmeans_k"] >= 8
+    assert result.data["gmeans_distance"] < result.data["baseline_mean_distance"] * 1.5
+
+
+def test_table4_tiny():
+    result = E.table4_node_scaling(
+        nodes_list=[2, 4], n_points=20_000, k_real=8, seed=7
+    )
+    assert len(result.rows) == 2
+    # Identical work on both topologies.
+    assert result.rows[0]["k_found"] == result.rows[1]["k_found"]
+    assert result.rows[0]["iterations"] == result.rows[1]["iterations"]
+    # More nodes -> faster.
+    assert result.rows[1]["time_seconds"] < result.rows[0]["time_seconds"]
+    assert result.rows[1]["speedup"] > 1.2
+
+
+def test_costmodel_validation_tiny():
+    result = E.costmodel_validation(k_real=8, n_points=5000, seed=8)
+    by_name = {r["quantity"]: r for r in result.rows}
+    assert by_name["G-means dataset reads"]["ratio"] == pytest.approx(1.0)
+    assert by_name["multi-k-means distance computations"]["ratio"] == pytest.approx(1.0)
+    assert 0.2 <= by_name["G-means distance computations"]["ratio"] <= 3.0

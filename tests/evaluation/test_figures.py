@@ -1,0 +1,80 @@
+"""ASCII figure rendering and fit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import (
+    ascii_scatter,
+    ascii_series,
+    correlation,
+    linear_fit,
+)
+
+
+def test_scatter_contains_markers_and_bounds():
+    pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+    out = ascii_scatter([(pts, "*")], width=20, height=10, title="plot")
+    assert out.startswith("plot")
+    assert out.count("*") == 2
+    assert "x: [0.0, 10.0]" in out
+
+
+def test_scatter_layering_order():
+    pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+    out = ascii_scatter([(pts, "."), (pts, "#")], width=10, height=5)
+    assert "#" in out
+    assert "." not in out.split("\n", 1)[1].replace("x: [0.0, 1.0]  y: [0.0, 1.0]", "")
+
+
+def test_scatter_degenerate_single_point():
+    out = ascii_scatter([(np.array([[5.0, 5.0]]), "o")], width=8, height=4)
+    assert out.count("o") == 1
+
+
+def test_series_renders_each_marker():
+    out = ascii_series(
+        [([1, 2, 3], [1.0, 2.0, 3.0], "G"), ([1, 2, 3], [3.0, 2.0, 1.0], "M")],
+        title="fig",
+    )
+    assert "G" in out and "M" in out
+
+
+def test_linear_fit_recovers_line():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    ys = [64.0 * x - 42.67 for x in xs]
+    slope, intercept = linear_fit(xs, ys)
+    assert slope == pytest.approx(64.0)
+    assert intercept == pytest.approx(-42.67)
+
+
+def test_linear_fit_needs_two_points():
+    with pytest.raises(ValueError):
+        linear_fit([1.0], [2.0])
+
+
+def test_correlation_perfect_and_none():
+    assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+    assert correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+    assert correlation([1, 2, 3], [5, 5, 5]) == 0.0
+
+
+def test_histogram_bimodal_shows_two_humps():
+    from repro.evaluation.figures import ascii_histogram
+
+    rng = np.random.default_rng(0)
+    values = np.concatenate([rng.normal(-5, 0.5, 500), rng.normal(5, 0.5, 500)])
+    out = ascii_histogram(values, bins=30, height=6, title="bimodal")
+    # The lowest level (last bar row) shows two separated mark regions
+    # with an empty valley between the modes.
+    bottom_row = out.split("\n")[-3]
+    interior = bottom_row.strip("|")
+    segments = [s for s in interior.split(" ") if "#" in s]
+    assert len(segments) >= 2
+
+
+def test_histogram_empty_and_constant():
+    from repro.evaluation.figures import ascii_histogram
+
+    assert "(no data)" in ascii_histogram(np.array([]), title="t")
+    out = ascii_histogram(np.full(10, 3.0), bins=5, height=3)
+    assert "#" in out

@@ -1,0 +1,61 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.report import generate_report, write_report
+
+
+def stub(name: str, text: str):
+    return lambda: ExperimentResult(name=name, text=text)
+
+
+def test_report_contains_sections_in_order():
+    runners = {"table1": stub("table1", "T1"), "fig2": stub("fig2", "F2")}
+    md = generate_report(runners=runners)
+    assert md.index("## table1") < md.index("## fig2")
+    assert "```text\nT1\n```" in md
+    assert "```text\nF2\n```" in md
+
+
+def test_report_respects_names_subset_and_order():
+    runners = {"a": stub("a", "A"), "b": stub("b", "B")}
+    md = generate_report(names=["b"], runners=runners)
+    assert "## b" in md
+    assert "## a" not in md
+
+
+def test_report_unknown_name_raises():
+    with pytest.raises(ConfigurationError, match="unknown experiment names"):
+        generate_report(names=["ghost"], runners={"a": stub("a", "A")})
+
+
+def test_report_progress_callback():
+    seen = []
+    runners = {"x": stub("x", "X"), "y": stub("y", "Y")}
+    generate_report(runners=runners, progress=seen.append)
+    assert seen == ["x", "y"]
+
+
+def test_write_report_creates_directories(tmp_path):
+    out = tmp_path / "deep" / "nested" / "report.md"
+    path = write_report(out, runners={"x": stub("x", "X")})
+    assert path == out
+    assert out.read_text().startswith("# Reproduction report")
+
+
+def test_cli_report_command(tmp_path, capsys, monkeypatch):
+    from repro import cli
+    from repro.evaluation import report as report_module
+
+    monkeypatch.setattr(
+        report_module,
+        "EXPERIMENTS",
+        {"table1": stub("table1", "CLI")},
+    )
+    monkeypatch.setattr(report_module, "ABLATIONS", {})
+    out = tmp_path / "r.md"
+    assert cli.main(["report", "--out", str(out)]) == 0
+    assert "CLI" in out.read_text()
+    assert "report written" in capsys.readouterr().out

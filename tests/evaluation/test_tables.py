@@ -1,0 +1,43 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.evaluation.tables import format_cell, render_comparison, render_table
+
+
+def test_format_cell_variants():
+    assert format_cell(3) == "3"
+    assert format_cell(None) == "-"
+    assert format_cell(float("nan")) == "-"
+    assert format_cell(3.14159) == "3.142"
+    assert format_cell(42.123) == "42.1"
+    assert format_cell(12345.6) == "12,346"
+    assert format_cell("text") == "text"
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "long_header"], [[1, 2], [333, 4]], title="T")
+    lines = out.split("\n")
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows aligned to equal width
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_comparison_relative_columns():
+    out = render_comparison(
+        "cmp", [1, 2], [10.0, 20.0], [5.0, 15.0], paper_name="p", measured_name="m"
+    )
+    assert "p (rel)" in out
+    assert "2.000" in out  # 20/10
+    assert "3.000" in out  # 15/5
+
+
+def test_render_comparison_validates_lengths():
+    with pytest.raises(ValueError):
+        render_comparison("x", [1], [1.0, 2.0], [1.0])

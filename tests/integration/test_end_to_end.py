@@ -1,0 +1,104 @@
+"""Full-pipeline integration: all three drivers on shared worlds."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.metrics import assign_nearest, average_distance, wcss
+from repro.core import MRGMeans, MRGMeansConfig, MRKMeans, MultiKMeans
+from repro.data.generator import generate_gaussian_mixture, paper_family_dataset
+from repro.data.loader import write_points, write_points_as_text
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(scope="module")
+def world():
+    mixture = generate_gaussian_mixture(
+        n_points=3000, n_clusters=6, dimensions=4, rng=17, cluster_std=1.0
+    )
+    dfs = InMemoryDFS(split_size_bytes=16384)
+    dataset = write_points(dfs, "pts", mixture.points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=4), rng=23)
+    return mixture, runtime, dataset
+
+
+def test_gmeans_vs_multikmeans_agree_on_k(world):
+    mixture, runtime, dataset = world
+    g = MRGMeans(runtime, MRGMeansConfig(seed=1)).fit(dataset)
+    m = MultiKMeans(
+        runtime, k_min=2, k_max=10, iterations=8, init="kmeans++", seed=1
+    ).fit(dataset)
+    assert 5 <= g.k_found <= 9
+    # Elbow on a 6-cluster mixture: within one of the truth is as sharp
+    # as the criterion gets (the paper's whole point is that these
+    # sweep-and-score criteria are blunt as well as expensive).
+    assert 4 <= m.best_k <= 8
+
+
+def test_gmeans_quality_close_to_dedicated_kmeans(world):
+    mixture, runtime, dataset = world
+    g = MRGMeans(runtime, MRGMeansConfig(seed=2)).fit(dataset)
+    baseline = MRKMeans(
+        runtime, k=g.k_found, init="kmeans++", max_iterations=15, seed=2
+    ).fit(dataset)
+    g_dist = average_distance(mixture.points, g.centers)
+    b_dist = average_distance(mixture.points, baseline.centers)
+    assert g_dist <= b_dist * 1.15
+
+
+def test_found_centers_near_true_centers(world):
+    mixture, runtime, dataset = world
+    g = MRGMeans(runtime, MRGMeansConfig(seed=3)).fit(dataset)
+    for true_center in mixture.centers:
+        d = np.linalg.norm(g.centers - true_center, axis=1)
+        assert d.min() < 2.0  # within 2 sigma
+
+
+def test_text_mode_pipeline_end_to_end():
+    """Full-fidelity mode: the dataset lives as text lines and the jobs
+    consume decoded points (exercises the codec in the data path)."""
+    mixture = generate_gaussian_mixture(800, 3, 2, rng=29)
+    dfs = InMemoryDFS(split_size_bytes=8192)
+    f = write_points_as_text(dfs, "pts", mixture.points)
+
+    # Decode each split back to points and rewrite in numpy mode: this is
+    # what a RecordReader does between HDFS and the mapper.
+    from repro.data.textio import decode_points
+
+    decoded = decode_points(list(f.all_records()))
+    assert np.array_equal(decoded, mixture.points)
+    g = write_points(dfs, "pts-decoded", decoded)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=31)
+    result = MRGMeans(runtime, MRGMeansConfig(seed=4)).fit(g)
+    assert 2 <= result.k_found <= 5
+
+
+def test_unbalanced_clusters_still_found():
+    mixture = generate_gaussian_mixture(
+        4000, 3, 3, rng=41, weights=np.array([0.7, 0.2, 0.1])
+    )
+    dfs = InMemoryDFS(split_size_bytes=16384)
+    dataset = write_points(dfs, "pts", mixture.points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=43)
+    result = MRGMeans(runtime, MRGMeansConfig(seed=5)).fit(dataset)
+    assert 3 <= result.k_found <= 5
+    labels, _ = assign_nearest(result.centers, mixture.centers)
+    assert set(labels.tolist()) == {0, 1, 2}
+
+
+def test_overestimate_then_merge_recovers_k():
+    """The paper's overestimation + future-work merge, end to end."""
+    mixture = paper_family_dataset(n_clusters=12, n_points=12_000, rng=47)
+    dfs = InMemoryDFS(split_size_bytes=32768)
+    dataset = write_points(dfs, "pts", mixture.points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=4), rng=53)
+    result = MRGMeans(
+        runtime, MRGMeansConfig(seed=6, alpha=0.01, post_merge=True)
+    ).fit(dataset)
+    assert result.k_found >= 12
+    assert result.merged_centers.shape[0] <= result.k_found
+    merged_wcss = wcss(mixture.points, result.merged_centers)
+    raw_wcss = wcss(mixture.points, result.centers)
+    # Merging loses little quality while shedding duplicate centers.
+    assert merged_wcss <= raw_wcss * 2.0

@@ -1,0 +1,74 @@
+"""MR implementations vs serial oracles on identical inputs."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.gmeans import GMeansOptions, gmeans
+from repro.clustering.lloyd import lloyd_kmeans
+from repro.core import MRGMeans, MRGMeansConfig, MRKMeans
+from repro.data.generator import demo_r2_dataset, generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def make_runtime(points, split_bytes=8192, seed=61):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    return MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=seed), f
+
+
+def test_mr_kmeans_bitwise_tracks_lloyd_per_iteration(small_mixture):
+    """Iteration by iteration, MR k-means reproduces serial Lloyd."""
+    pts = small_mixture.points
+    init = pts[[10, 310, 590]]
+    runtime, f = make_runtime(pts)
+    serial = init.copy()
+    mr = init.copy()
+    from repro.clustering.lloyd import lloyd_step
+    from repro.core.kmeans_job import decode_kmeans_output, make_kmeans_job
+
+    for i in range(5):
+        serial, _, _ = lloyd_step(pts, serial)
+        result = runtime.run(make_kmeans_job(mr, 4, name=f"it{i}"), f)
+        mr, _ = decode_kmeans_output(result.output, mr)
+        assert np.allclose(mr, serial, atol=1e-9), f"diverged at iteration {i}"
+
+
+def test_mr_gmeans_k_close_to_serial_gmeans(demo_mixture):
+    serial = gmeans(
+        demo_mixture.points, GMeansOptions(child_init="random"), rng=3
+    )
+    runtime, f = make_runtime(demo_mixture.points)
+    mr = MRGMeans(runtime, MRGMeansConfig(seed=3)).fit(f)
+    assert abs(mr.k_found - serial.k) <= 3
+    # Quality within 20% of the serial oracle.
+    from repro.clustering.metrics import wcss
+
+    mr_wcss = wcss(demo_mixture.points, mr.centers)
+    assert mr_wcss <= serial.inertia * 1.2
+
+
+def test_mr_kmeans_quality_matches_serial_with_same_budget(small_mixture):
+    pts = small_mixture.points
+    runtime, f = make_runtime(pts)
+    init = pts[[1, 101, 201]]
+    mr = MRKMeans(runtime, k=3, max_iterations=10).fit(f, initial_centers=init)
+    serial = lloyd_kmeans(pts, init=init, max_iterations=10)
+    from repro.clustering.metrics import wcss
+
+    assert wcss(pts, mr.centers) == pytest.approx(serial.inertia, rel=1e-6)
+
+
+def test_split_layout_does_not_change_kmeans_result(small_mixture):
+    """Sum-based reduction is associative: 2 splits or 20 splits give
+    identical centers."""
+    pts = small_mixture.points
+    init = pts[[7, 77, 377]]
+    results = []
+    for split_bytes in (2048, 32768):
+        runtime, f = make_runtime(pts, split_bytes=split_bytes)
+        mr = MRKMeans(runtime, k=3, max_iterations=8).fit(f, initial_centers=init)
+        results.append(mr.centers)
+    assert np.allclose(results[0], results[1], atol=1e-9)

@@ -1,0 +1,76 @@
+"""Heap-pressure behaviour and the hybrid strategy switch, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import JobFailedError
+from repro.core import MRGMeans, MRGMeansConfig
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def build(points, heap_mb, reduce_slots=2, nodes=2, split_bytes=16384, seed=71):
+    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(
+            nodes=nodes,
+            reduce_slots_per_node=reduce_slots,
+            task_heap_mb=heap_mb,
+        ),
+        rng=seed,
+    )
+    return runtime, f
+
+
+def test_forced_reducer_strategy_crashes_on_tight_heap():
+    """The misconfiguration the paper's switching rule exists to avoid:
+    reducer-side testing of a huge cluster on a small JVM."""
+    mixture = generate_gaussian_mixture(40_000, 2, 3, rng=73)
+    runtime, f = build(mixture.points, heap_mb=1)
+    driver = MRGMeans(runtime, MRGMeansConfig(seed=7, strategy="reducer"))
+    with pytest.raises(JobFailedError, match="Java heap space"):
+        driver.fit(f)
+
+
+def test_auto_strategy_survives_tight_heap():
+    """Same data, same heap: the paper's rule keeps testing mapper-side
+    (per-split samples fit) and the run completes."""
+    mixture = generate_gaussian_mixture(40_000, 2, 3, rng=73)
+    runtime, f = build(mixture.points, heap_mb=1)
+    result = MRGMeans(runtime, MRGMeansConfig(seed=7, strategy="auto")).fit(f)
+    assert result.completed
+    assert {h.strategy for h in result.history if h.strategy != "none"} == {"mapper"}
+    assert 2 <= result.k_found <= 4
+
+
+def test_auto_switches_to_reducer_when_conditions_met():
+    """Many clusters (above reduce capacity) + small per-cluster heap
+    need -> the rule switches to reducer-side testing."""
+    mixture = generate_gaussian_mixture(
+        6000, 12, 3, rng=79, center_low=0, center_high=200, cluster_std=1.0
+    )
+    runtime, f = build(
+        mixture.points, heap_mb=512, reduce_slots=2, nodes=2, seed=83
+    )  # capacity 4 < clusters to test once k grows
+    result = MRGMeans(runtime, MRGMeansConfig(seed=11, strategy="auto")).fit(f)
+    strategies = [h.strategy for h in result.history if h.strategy != "none"]
+    assert strategies[0] == "mapper"
+    assert "reducer" in strategies
+
+
+def test_heap_high_water_matches_biggest_cluster():
+    mixture = generate_gaussian_mixture(10_000, 1, 4, rng=89)
+    runtime, f = build(mixture.points, heap_mb=16)
+    from repro.core.test_clusters import make_test_clusters_job
+
+    pair = np.vstack([mixture.points[0], mixture.points[1]])
+    job = make_test_clusters_job(
+        mixture.points.mean(axis=0, keepdims=True), {0: pair}, 1e-4, 1
+    )
+    result = runtime.run(job, f)
+    assert result.max_reduce_heap_bytes == 10_000 * 64

@@ -1,0 +1,52 @@
+"""End-to-end reproducibility: experiments are bit-for-bit repeatable.
+
+The whole repository's claim — "regenerating EXPERIMENTS.md reproduces
+it byte for byte" — rests on every experiment being a pure function of
+its seeds. These tests run representative experiments twice and demand
+identical *rendered output*, which transitively pins every counter,
+every center, and every simulated second.
+"""
+
+import pytest
+
+from repro.evaluation import ablations, experiments
+
+
+@pytest.mark.parametrize(
+    "runner, kwargs",
+    [
+        (experiments.fig1_center_evolution, {"n_points": 800, "seed": 1}),
+        (
+            experiments.table1_gmeans_scaling,
+            {"ks": [4, 8], "n_points": 4000, "seed": 3},
+        ),
+        (
+            experiments.table2_multi_kmeans,
+            {"ks": [4, 8], "n_points": 3000, "iterations": 1, "seed": 4},
+        ),
+        (
+            experiments.table4_node_scaling,
+            {"nodes_list": [2, 4], "n_points": 10_000, "k_real": 4, "seed": 7},
+        ),
+        (
+            ablations.ablation_vote_rules,
+            {"k_real": 4, "n_points": 4000, "seed": 19},
+        ),
+    ],
+)
+def test_experiment_output_is_bit_identical(runner, kwargs):
+    first = runner(**kwargs)
+    second = runner(**kwargs)
+    assert first.text == second.text
+    assert first.rows == second.rows
+
+
+def test_report_generation_is_deterministic(tmp_path):
+    from repro.evaluation.report import generate_report
+
+    runners = {
+        "tiny": lambda: experiments.fig1_center_evolution(
+            n_points=600, seed=2
+        )
+    }
+    assert generate_report(runners=runners) == generate_report(runners=runners)

@@ -1,0 +1,87 @@
+"""Runtime features (faults, locality) under the full algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import MRGMeans, MRGMeansConfig, MRXMeans
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import FRAMEWORK_GROUP
+from repro.mapreduce.faults import FaultModel, TASK_FAILURES
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.locality import DATA_LOCAL_TASKS, REMOTE_TASKS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    return generate_gaussian_mixture(3000, 5, 4, rng=301)
+
+
+def make_runtime(points, seed=303, **runtime_kwargs):
+    dfs = InMemoryDFS(split_size_bytes=8192)
+    f = write_points(dfs, "pts", points)
+    runtime = MapReduceRuntime(
+        dfs, cluster=ClusterConfig(nodes=3), rng=seed, **runtime_kwargs
+    )
+    return runtime, f
+
+
+def test_gmeans_result_invariant_under_faults(mixture):
+    clean_runtime, clean_f = make_runtime(mixture.points)
+    clean = MRGMeans(clean_runtime, MRGMeansConfig(seed=9)).fit(clean_f)
+
+    faulty_runtime, faulty_f = make_runtime(
+        mixture.points,
+        faults=FaultModel(
+            task_failure_probability=0.2,
+            straggler_probability=0.2,
+            max_attempts=20,
+        ),
+    )
+    faulty = MRGMeans(faulty_runtime, MRGMeansConfig(seed=9)).fit(faulty_f)
+
+    assert faulty.k_found == clean.k_found
+    assert np.allclose(
+        np.sort(faulty.centers, axis=0), np.sort(clean.centers, axis=0)
+    )
+    assert faulty.totals.simulated_seconds > clean.totals.simulated_seconds
+    assert faulty.totals.counters.get(FRAMEWORK_GROUP, TASK_FAILURES) > 0
+
+
+def test_gmeans_result_invariant_under_locality(mixture):
+    plain_runtime, plain_f = make_runtime(mixture.points)
+    plain = MRGMeans(plain_runtime, MRGMeansConfig(seed=9)).fit(plain_f)
+
+    local_runtime, local_f = make_runtime(mixture.points, locality=True)
+    local = MRGMeans(local_runtime, MRGMeansConfig(seed=9)).fit(local_f)
+
+    assert local.k_found == plain.k_found
+    counters = local.totals.counters
+    scheduled = counters.get(FRAMEWORK_GROUP, DATA_LOCAL_TASKS) + counters.get(
+        FRAMEWORK_GROUP, REMOTE_TASKS
+    )
+    assert scheduled > 0
+
+
+def test_xmeans_runs_under_speculative_faults(mixture):
+    runtime, f = make_runtime(
+        mixture.points,
+        faults=FaultModel(
+            straggler_probability=0.3, speculative_execution=True
+        ),
+    )
+    result = MRXMeans(runtime, seed=9).fit(f)
+    assert 4 <= result.k_found <= 7
+
+
+def test_fault_storm_kills_the_run(mixture):
+    from repro.common.errors import JobFailedError
+
+    runtime, f = make_runtime(
+        mixture.points,
+        faults=FaultModel(task_failure_probability=1.0, max_attempts=2),
+    )
+    with pytest.raises(JobFailedError):
+        MRGMeans(runtime, MRGMeansConfig(seed=9)).fit(f)

@@ -1,0 +1,85 @@
+"""Full-fidelity text mode: every job consumes text splits directly.
+
+Datasets written with ``write_points_as_text`` store actual encoded
+lines; the RecordReader shim in ``repro.core.records`` decodes them
+inside each mapper, exercising the codec through the whole pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MRGMeans, MRGMeansConfig, MRKMeans, MultiKMeans
+from repro.core.records import RECORDS_PARSED, first_split_points, record_point, split_points
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points, write_points_as_text
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import USER_GROUP
+from repro.mapreduce.hdfs import InMemoryDFS, Split
+from repro.mapreduce.job import MapContext
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """The same mixture stored in numpy mode and in text mode."""
+    mixture = generate_gaussian_mixture(1500, 4, 3, rng=201)
+    dfs = InMemoryDFS(split_size_bytes=8192)
+    write_points(dfs, "binary", mixture.points)
+    write_points_as_text(dfs, "text", mixture.points)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=203)
+    return mixture, runtime
+
+
+def test_split_points_decodes_text(worlds):
+    mixture, runtime = worlds
+    text_split = runtime.dfs.open("text").splits[0]
+    ctx = MapContext({}, Counters(), np.random.default_rng(0), 1 << 20, "t")
+    decoded = split_points(text_split, ctx)
+    assert decoded.shape[1] == mixture.dimensions
+    assert ctx.counters.get(USER_GROUP, RECORDS_PARSED) == decoded.shape[0]
+
+
+def test_split_points_passthrough_numpy(worlds):
+    mixture, runtime = worlds
+    binary_split = runtime.dfs.open("binary").splits[0]
+    ctx = MapContext({}, Counters(), np.random.default_rng(0), 1 << 20, "t")
+    out = split_points(binary_split, ctx)
+    assert out is binary_split.records
+    assert ctx.counters.get(USER_GROUP, RECORDS_PARSED) == 0
+
+
+def test_record_point_both_forms():
+    assert np.array_equal(record_point("1.5,2.5"), [1.5, 2.5])
+    assert np.array_equal(record_point(np.array([1.5, 2.5])), [1.5, 2.5])
+
+
+def test_first_split_points_text(worlds):
+    _, runtime = worlds
+    pts = first_split_points(runtime.dfs.open("text"))
+    assert pts.ndim == 2
+
+
+def test_mr_kmeans_identical_results_in_both_modes(worlds):
+    mixture, runtime = worlds
+    init = mixture.points[[3, 33, 333, 999]]
+    binary = MRKMeans(runtime, k=4, max_iterations=8).fit(
+        "binary", initial_centers=init
+    )
+    text = MRKMeans(runtime, k=4, max_iterations=8).fit(
+        "text", initial_centers=init
+    )
+    assert np.allclose(binary.centers, text.centers, atol=1e-9)
+
+
+def test_mr_gmeans_runs_on_text_dataset(worlds):
+    mixture, runtime = worlds
+    result = MRGMeans(runtime, MRGMeansConfig(seed=5)).fit("text")
+    assert result.completed
+    assert 3 <= result.k_found <= 6
+
+
+def test_multi_kmeans_runs_on_text_dataset(worlds):
+    mixture, runtime = worlds
+    result = MultiKMeans(runtime, k_min=2, k_max=5, iterations=3, seed=7).fit("text")
+    assert set(result.centers_by_k) == {2, 3, 4, 5}

@@ -1,0 +1,51 @@
+"""Cluster topology configuration."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.cluster import MIB, PAPER_CLUSTER, ClusterConfig
+
+
+def test_paper_cluster_matches_testbed():
+    """4 nodes, 2 quad-core Xeons each -> 8 slots per node."""
+    assert PAPER_CLUSTER.nodes == 4
+    assert PAPER_CLUSTER.total_map_slots == 32
+    assert PAPER_CLUSTER.total_reduce_slots == 32
+
+
+def test_slot_totals_scale_with_nodes():
+    c = ClusterConfig(nodes=12, map_slots_per_node=8, reduce_slots_per_node=4)
+    assert c.total_map_slots == 96
+    assert c.total_reduce_slots == 48
+
+
+def test_heap_bytes_and_usable_fraction():
+    c = ClusterConfig(task_heap_mb=100, max_heap_usage=0.66)
+    assert c.task_heap_bytes == 100 * MIB
+    assert c.usable_heap_bytes == int(100 * MIB * 0.66)
+
+
+def test_default_max_heap_usage_is_two_thirds():
+    assert ClusterConfig().max_heap_usage == pytest.approx(0.66)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"nodes": 0},
+        {"map_slots_per_node": 0},
+        {"reduce_slots_per_node": -1},
+        {"task_heap_mb": 0},
+        {"max_heap_usage": 1.5},
+        {"max_heap_usage": -0.1},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(**kwargs)
+
+
+def test_config_is_frozen():
+    c = ClusterConfig()
+    with pytest.raises(AttributeError):
+        c.nodes = 8

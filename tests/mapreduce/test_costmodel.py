@@ -1,0 +1,110 @@
+"""Cost model: task pricing, makespan scheduling, job timing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.cluster import MIB, ClusterConfig
+from repro.mapreduce.costmodel import CostModel, CostParameters, JobTiming, makespan
+from repro.mapreduce.counters import (
+    FRAMEWORK_GROUP,
+    USER_GROUP,
+    Counters,
+    MRCounter,
+    UserCounter,
+)
+
+
+def make_model(**cost_kwargs) -> CostModel:
+    return CostModel(CostParameters(**cost_kwargs), ClusterConfig(nodes=2))
+
+
+def test_makespan_single_slot_is_sum():
+    assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+
+def test_makespan_ample_slots_is_max():
+    assert makespan([1.0, 2.0, 3.0], 10) == pytest.approx(3.0)
+
+
+def test_makespan_lpt_hand_computed():
+    # LPT, 2 slots, tasks sorted desc 5,4,3,3,3:
+    # 5 -> slot1(5); 4 -> slot2(4); 3 -> slot2(7); 3 -> slot1(8); 3 -> slot2(10)
+    assert makespan([5, 4, 3, 3, 3], 2) == pytest.approx(10.0)
+
+
+def test_makespan_empty_and_invalid():
+    assert makespan([], 4) == 0.0
+    with pytest.raises(ConfigurationError):
+        makespan([1.0], 0)
+
+
+def test_map_task_seconds_components():
+    model = make_model(
+        disk_read_mbps=100.0,
+        seconds_per_map_record=1e-6,
+        seconds_per_shuffle_record=0.0,
+        seconds_per_coordinate_op=1e-9,
+        task_startup_seconds=1.0,
+    )
+    c = Counters()
+    c.inc(FRAMEWORK_GROUP, MRCounter.MAP_INPUT_RECORDS, 1000)
+    c.inc(USER_GROUP, UserCounter.COORDINATE_OPS, 10**9)
+    seconds = model.map_task_seconds(c, input_bytes=100 * MIB)
+    # startup 1 + read 1 + records 0.001 + coord ops 1
+    assert seconds == pytest.approx(3.001, rel=1e-6)
+
+
+def test_cached_input_skips_disk():
+    model = make_model(disk_read_mbps=100.0, task_startup_seconds=0.0)
+    c = Counters()
+    hot = model.map_task_seconds(c, input_bytes=100 * MIB, cached=False)
+    cold = model.map_task_seconds(c, input_bytes=100 * MIB, cached=True)
+    assert hot == pytest.approx(1.0)
+    assert cold == pytest.approx(0.0)
+
+
+def test_reduce_task_seconds():
+    model = make_model(
+        seconds_per_reduce_record=1e-3,
+        seconds_per_ad_point=1e-6,
+        task_startup_seconds=0.5,
+    )
+    c = Counters()
+    c.inc(FRAMEWORK_GROUP, MRCounter.REDUCE_INPUT_RECORDS, 100)
+    c.inc(USER_GROUP, UserCounter.AD_SAMPLE_POINTS, 10**6)
+    assert model.reduce_task_seconds(c) == pytest.approx(0.5 + 0.1 + 1.0)
+
+
+def test_shuffle_seconds_scales_with_nodes():
+    params = CostParameters(network_mbps_per_node=100.0)
+    two = CostModel(params, ClusterConfig(nodes=2))
+    four = CostModel(params, ClusterConfig(nodes=4))
+    nbytes = 400 * MIB
+    assert two.shuffle_seconds(nbytes) == pytest.approx(2.0)
+    assert four.shuffle_seconds(nbytes) == pytest.approx(1.0)
+
+
+def test_job_timing_total():
+    timing = JobTiming(
+        startup_seconds=5.0,
+        map_seconds=10.0,
+        shuffle_seconds=2.0,
+        reduce_seconds=3.0,
+    )
+    assert timing.total_seconds == pytest.approx(20.0)
+
+
+def test_job_timing_assembly_uses_slots():
+    model = make_model(job_startup_seconds=1.0)
+    cluster_slots = model.cluster.total_map_slots
+    tasks = [1.0] * (2 * cluster_slots)  # exactly two waves
+    timing = model.job_timing(tasks, [], 0)
+    assert timing.map_seconds == pytest.approx(2.0)
+    assert timing.startup_seconds == 1.0
+
+
+def test_invalid_cost_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        CostParameters(disk_read_mbps=0.0)
+    with pytest.raises(ConfigurationError):
+        CostParameters(seconds_per_coordinate_op=-1.0)

@@ -1,0 +1,84 @@
+"""Counter semantics: increments, max-merge, snapshots."""
+
+from repro.mapreduce.counters import (
+    FRAMEWORK_GROUP,
+    USER_GROUP,
+    Counters,
+    MRCounter,
+    UserCounter,
+    framework,
+)
+
+
+def test_get_unset_counter_is_zero():
+    assert Counters().get("g", "n") == 0
+
+
+def test_inc_accumulates():
+    c = Counters()
+    c.inc("g", "n", 3)
+    c.inc("g", "n")
+    assert c.get("g", "n") == 4
+
+
+def test_groups_are_independent():
+    c = Counters()
+    c.inc("a", "n", 1)
+    c.inc("b", "n", 2)
+    assert c.get("a", "n") == 1
+    assert c.get("b", "n") == 2
+
+
+def test_set_max_only_raises():
+    c = Counters()
+    c.set_max("g", "HIGH_MAX", 10)
+    c.set_max("g", "HIGH_MAX", 5)
+    assert c.get("g", "HIGH_MAX") == 10
+    c.set_max("g", "HIGH_MAX", 20)
+    assert c.get("g", "HIGH_MAX") == 20
+
+
+def test_merge_sums_regular_counters():
+    a, b = Counters(), Counters()
+    a.inc("g", "n", 2)
+    b.inc("g", "n", 5)
+    a.merge(b)
+    assert a.get("g", "n") == 7
+
+
+def test_merge_maxes_counters_with_max_suffix():
+    a, b = Counters(), Counters()
+    a.set_max(USER_GROUP, UserCounter.POINTS_PER_CLUSTER_MAX, 100)
+    b.set_max(USER_GROUP, UserCounter.POINTS_PER_CLUSTER_MAX, 40)
+    a.merge(b)
+    assert a.get(USER_GROUP, UserCounter.POINTS_PER_CLUSTER_MAX) == 100
+    b.merge(a)
+    assert b.get(USER_GROUP, UserCounter.POINTS_PER_CLUSTER_MAX) == 100
+
+
+def test_merge_max_helper():
+    a, b = Counters(), Counters()
+    b.inc("g", "n", 9)
+    a.merge_max(b, "g", "n")
+    assert a.get("g", "n") == 9
+
+
+def test_snapshot_and_as_dict():
+    c = Counters()
+    c.inc("g", "x", 1)
+    c.inc("h", "y", 2)
+    assert c.snapshot() == {("g", "x"): 1, ("h", "y"): 2}
+    assert c.as_dict() == {"g": {"x": 1}, "h": {"y": 2}}
+
+
+def test_iteration_yields_all():
+    c = Counters()
+    c.inc("g", "x", 1)
+    c.inc("g", "y", 2)
+    assert sorted(c) == [("g", "x", 1), ("g", "y", 2)]
+
+
+def test_framework_helper_targets_framework_group():
+    c = Counters()
+    framework(c, MRCounter.MAP_TASKS, 2)
+    assert c.get(FRAMEWORK_GROUP, MRCounter.MAP_TASKS) == 2

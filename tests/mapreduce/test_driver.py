@@ -1,0 +1,81 @@
+"""Chained-job driver: totals and the Spark-style cache option."""
+
+import pytest
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.driver import JobChainDriver
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+class CountMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit("n", 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def build():
+    dfs = InMemoryDFS(split_size_bytes=64)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=1), rng=1)
+    f = dfs.write("data", [f"r{i}" for i in range(20)], bytes_per_record=8)
+    return runtime, f
+
+
+def job(name="count"):
+    return Job(name=name, mapper=CountMapper, reducer=SumReducer, num_reduce_tasks=1)
+
+
+def test_totals_accumulate_across_jobs():
+    runtime, f = build()
+    driver = JobChainDriver(runtime)
+    for i in range(3):
+        driver.run(job(f"j{i}"), f)
+    assert driver.totals.jobs == 3
+    assert driver.totals.dataset_reads == 3
+    assert driver.totals.cached_reads == 0
+    assert driver.totals.simulated_seconds > 0
+
+
+def test_cache_input_pays_first_read_only():
+    runtime, f = build()
+    driver = JobChainDriver(runtime, cache_input=True)
+    first = driver.run(job("j0"), f)
+    second = driver.run(job("j1"), f)
+    assert driver.totals.dataset_reads == 1
+    assert driver.totals.cached_reads == 1
+    # Cached job spends less simulated time on its map phase.
+    assert second.timing.map_seconds <= first.timing.map_seconds
+
+
+def test_cache_tracks_files_independently():
+    runtime, f = build()
+    g = runtime.dfs.write("other", ["x"] * 4, bytes_per_record=8)
+    driver = JobChainDriver(runtime, cache_input=True)
+    driver.run(job("a"), f)
+    driver.run(job("b"), g)
+    driver.run(job("c"), f)
+    assert driver.totals.dataset_reads == 2
+    assert driver.totals.cached_reads == 1
+
+
+def test_totals_expose_algorithm_counters():
+    runtime, f = build()
+    driver = JobChainDriver(runtime)
+    driver.run(job(), f)
+    assert driver.totals.distance_computations == 0
+    assert driver.totals.ad_tests == 0
+    assert driver.totals.cluster_tests == 0
+    assert driver.totals.shuffle_bytes > 0
+
+
+def test_run_accepts_file_name():
+    runtime, f = build()
+    driver = JobChainDriver(runtime, cache_input=True)
+    driver.run(job("a"), "data")
+    driver.run(job("b"), "data")
+    assert driver.totals.cached_reads == 1

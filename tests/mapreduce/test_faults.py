@@ -1,0 +1,114 @@
+"""Fault injection: failures, retries, stragglers, speculation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, JobFailedError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters
+from repro.mapreduce.faults import (
+    SPECULATIVE_TASKS,
+    TASK_FAILURES,
+    FaultModel,
+    TaskPermanentlyFailedError,
+)
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+class EchoMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value % 5, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def run_job(faults=None, seed=3):
+    dfs = InMemoryDFS(split_size_bytes=64)
+    f = dfs.write("data", list(range(100)), bytes_per_record=8)
+    runtime = MapReduceRuntime(
+        dfs, cluster=ClusterConfig(nodes=2), rng=seed, faults=faults
+    )
+    job = Job(name="j", mapper=EchoMapper, reducer=SumReducer, num_reduce_tasks=3)
+    return runtime.run(job, f)
+
+
+def test_disabled_model_is_identity():
+    model = FaultModel()
+    assert not model.enabled
+    counters = Counters()
+    assert model.apply(10.0, "t", np.random.default_rng(0), counters) == 10.0
+    assert counters.get(FRAMEWORK_GROUP, TASK_FAILURES) == 0
+
+
+def test_failures_add_retry_time():
+    model = FaultModel(task_failure_probability=0.5, max_attempts=10)
+    rng = np.random.default_rng(1)
+    counters = Counters()
+    durations = [model.apply(10.0, "t", rng, counters) for _ in range(200)]
+    # Retries only ever add time, in half-attempt increments.
+    assert min(durations) == 10.0
+    assert max(durations) > 10.0
+    assert counters.get(FRAMEWORK_GROUP, TASK_FAILURES) > 0
+
+
+def test_certain_failure_exhausts_attempts():
+    model = FaultModel(task_failure_probability=1.0, max_attempts=4)
+    with pytest.raises(TaskPermanentlyFailedError, match="4 attempts"):
+        model.apply(1.0, "t-0", np.random.default_rng(0), Counters())
+
+
+def test_straggler_slowdown_applied():
+    model = FaultModel(straggler_probability=1.0, straggler_slowdown=6.0)
+    counters = Counters()
+    assert model.apply(10.0, "t", np.random.default_rng(0), counters) == 60.0
+
+
+def test_speculative_execution_caps_stragglers():
+    model = FaultModel(
+        straggler_probability=1.0,
+        straggler_slowdown=6.0,
+        speculative_execution=True,
+        speculative_overhead=1.2,
+    )
+    counters = Counters()
+    duration = model.apply(10.0, "t", np.random.default_rng(0), counters)
+    assert duration == pytest.approx(12.0)
+    assert counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS) == 1
+
+
+def test_job_results_unchanged_by_faults():
+    """Faults perturb time, never output (re-execution is deterministic)."""
+    clean = run_job(faults=None)
+    faulty = run_job(
+        faults=FaultModel(task_failure_probability=0.3, straggler_probability=0.3)
+    )
+    assert sorted(clean.output) == sorted(faulty.output)
+    assert faulty.simulated_seconds >= clean.simulated_seconds
+    assert faulty.counters.get(FRAMEWORK_GROUP, TASK_FAILURES) > 0
+
+
+def test_job_fails_when_task_exhausts_attempts():
+    with pytest.raises(JobFailedError, match="failed after"):
+        run_job(faults=FaultModel(task_failure_probability=1.0))
+
+
+def test_speculation_recovers_most_straggler_time():
+    slow = run_job(faults=FaultModel(straggler_probability=0.5))
+    raced = run_job(
+        faults=FaultModel(straggler_probability=0.5, speculative_execution=True)
+    )
+    assert raced.simulated_seconds < slow.simulated_seconds
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        FaultModel(task_failure_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultModel(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        FaultModel(straggler_slowdown=0.0)

@@ -1,0 +1,103 @@
+"""In-memory DFS: splitting, byte accounting, namespace semantics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, DataFormatError
+from repro.mapreduce.hdfs import DEFAULT_SPLIT_SIZE, InMemoryDFS
+
+
+def test_default_split_size_is_64mb():
+    assert DEFAULT_SPLIT_SIZE == 64 * 1024 * 1024
+    assert InMemoryDFS().split_size_bytes == DEFAULT_SPLIT_SIZE
+
+
+def test_write_chunks_into_splits():
+    dfs = InMemoryDFS(split_size_bytes=100)
+    records = np.arange(50, dtype=np.float64).reshape(25, 2)
+    f = dfs.write("f", records, bytes_per_record=10)
+    # 10 records per split -> 3 splits of 10/10/5
+    assert f.num_splits == 3
+    assert [s.num_records for s in f.splits] == [10, 10, 5]
+    assert f.num_records == 25
+    assert f.size_bytes == 250
+    assert [s.size_bytes for s in f.splits] == [100, 100, 50]
+
+
+def test_split_indices_and_file_name():
+    dfs = InMemoryDFS(split_size_bytes=40)
+    f = dfs.write("name", np.ones((9, 1)), bytes_per_record=10)
+    assert [s.index for s in f.splits] == [0, 1, 2]
+    assert all(s.file_name == "name" for s in f.splits)
+
+
+def test_all_records_roundtrip_numpy():
+    dfs = InMemoryDFS(split_size_bytes=64)
+    records = np.random.default_rng(0).random((37, 3))
+    dfs.write("f", records, bytes_per_record=16)
+    assert np.array_equal(dfs.open("f").all_records(), records)
+
+
+def test_all_records_roundtrip_list():
+    dfs = InMemoryDFS(split_size_bytes=8)
+    lines = [f"line{i}" for i in range(10)]
+    dfs.write("f", lines, bytes_per_record=6)
+    assert dfs.open("f").all_records() == lines
+
+
+def test_record_larger_than_split_still_stored():
+    dfs = InMemoryDFS(split_size_bytes=4)
+    f = dfs.write("f", np.ones((3, 1)), bytes_per_record=100)
+    assert f.num_splits == 3  # one record per split minimum
+
+
+def test_write_counts_replicated_bytes():
+    dfs = InMemoryDFS(split_size_bytes=1000)
+    dfs.write("f", np.ones((10, 1)), bytes_per_record=10, replication=3)
+    assert dfs.bytes_written == 300
+    assert dfs.total_stored_bytes == 300
+
+
+def test_read_all_charges_bytes():
+    dfs = InMemoryDFS(split_size_bytes=1000)
+    dfs.write("f", np.ones((10, 1)), bytes_per_record=10)
+    dfs.read_all("f")
+    dfs.read_all("f")
+    assert dfs.bytes_read == 200
+
+
+def test_write_existing_requires_overwrite():
+    dfs = InMemoryDFS()
+    dfs.write("f", np.ones((2, 1)), bytes_per_record=8)
+    with pytest.raises(ConfigurationError):
+        dfs.write("f", np.ones((2, 1)), bytes_per_record=8)
+    dfs.write("f", np.zeros((3, 1)), bytes_per_record=8, overwrite=True)
+    assert dfs.open("f").num_records == 3
+
+
+def test_write_empty_rejected():
+    dfs = InMemoryDFS()
+    with pytest.raises(DataFormatError):
+        dfs.write("f", np.empty((0, 2)), bytes_per_record=8)
+
+
+def test_open_missing_raises():
+    with pytest.raises(DataFormatError):
+        InMemoryDFS().open("ghost")
+
+
+def test_delete_and_listdir():
+    dfs = InMemoryDFS()
+    dfs.write("b", np.ones((1, 1)), bytes_per_record=8)
+    dfs.write("a", np.ones((1, 1)), bytes_per_record=8)
+    assert dfs.listdir() == ["a", "b"]
+    assert dfs.exists("a")
+    dfs.delete("a")
+    assert not dfs.exists("a")
+    with pytest.raises(DataFormatError):
+        dfs.delete("a")
+
+
+def test_invalid_split_size():
+    with pytest.raises(ConfigurationError):
+        InMemoryDFS(split_size_bytes=0)

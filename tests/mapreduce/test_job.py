@@ -1,0 +1,100 @@
+"""Job API: contexts, heap accounting, counters, validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, JavaHeapSpaceError
+from repro.mapreduce.counters import (
+    FRAMEWORK_GROUP,
+    USER_GROUP,
+    Counters,
+    MRCounter,
+    UserCounter,
+)
+from repro.mapreduce.job import (
+    Job,
+    MapContext,
+    Mapper,
+    ReduceContext,
+    Reducer,
+    default_partitioner,
+)
+
+
+def make_ctx(cls=MapContext, heap=1024):
+    return cls({}, Counters(), np.random.default_rng(0), heap, "t-0")
+
+
+def test_emit_collects_and_counts():
+    ctx = make_ctx()
+    ctx.emit("k", 1)
+    ctx.emit("k", 2, records=5)
+    assert ctx.emitted == [("k", 1), ("k", 2)]
+    assert ctx.counters.get(FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS) == 6
+
+
+def test_reduce_context_counts_output():
+    ctx = make_ctx(ReduceContext)
+    ctx.emit("k", "v")
+    assert ctx.counters.get(FRAMEWORK_GROUP, MRCounter.REDUCE_OUTPUT_RECORDS) == 1
+
+
+def test_heap_allocate_and_free():
+    ctx = make_ctx(heap=100)
+    ctx.allocate(60)
+    ctx.free(30)
+    ctx.allocate(60)  # 90 in use
+    assert ctx.heap_high_water == 90
+    with pytest.raises(JavaHeapSpaceError):
+        ctx.allocate(20)
+
+
+def test_heap_free_never_negative():
+    ctx = make_ctx(heap=100)
+    ctx.free(1000)
+    ctx.allocate(100)  # would fail if usage had gone negative oddly
+    assert ctx.heap_high_water == 100
+
+
+def test_count_helpers():
+    ctx = make_ctx()
+    ctx.count("MY_COUNTER", 3)
+    ctx.count_distances(10, 4)
+    assert ctx.counters.get(USER_GROUP, "MY_COUNTER") == 3
+    assert ctx.counters.get(USER_GROUP, UserCounter.DISTANCE_COMPUTATIONS) == 10
+    assert ctx.counters.get(USER_GROUP, UserCounter.COORDINATE_OPS) == 40
+
+
+def test_default_mapper_map_split_iterates_records():
+    class Collect(Mapper):
+        def map(self, key, value, ctx):
+            ctx.emit(key, value)
+
+    from repro.mapreduce.hdfs import Split
+
+    split = Split("f", 0, ["a", "b", "c"], 3)
+    ctx = make_ctx()
+    Collect().map_split(split, ctx)
+    assert ctx.emitted == [(0, "a"), (1, "b"), (2, "c")]
+
+
+def test_base_classes_require_overrides():
+    with pytest.raises(NotImplementedError):
+        Mapper().map(None, None, make_ctx())
+    with pytest.raises(NotImplementedError):
+        Reducer().reduce(None, [], make_ctx())
+
+
+def test_default_partitioner_in_range_and_stable():
+    for key in (0, 7, "word", (3, 4)):
+        p = default_partitioner(key, 5)
+        assert 0 <= p < 5
+        assert p == default_partitioner(key, 5)
+
+
+def test_job_validation():
+    with pytest.raises(ConfigurationError):
+        Job(name="", mapper=Mapper)
+    job = Job(name="ok", mapper=Mapper)
+    assert job.reducer is None
+    assert job.num_reduce_tasks == 0

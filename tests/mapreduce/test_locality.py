@@ -1,0 +1,133 @@
+"""Data-locality-aware map scheduling."""
+
+import pytest
+
+from repro.mapreduce.cluster import MIB, ClusterConfig
+from repro.mapreduce.counters import FRAMEWORK_GROUP
+from repro.mapreduce.hdfs import InMemoryDFS, Split
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.locality import (
+    DATA_LOCAL_TASKS,
+    REMOTE_TASKS,
+    LocalitySchedule,
+    MapTaskSpec,
+    fetch_seconds,
+    replica_nodes,
+    schedule_map_tasks,
+)
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def split(index, name="f", size=64):
+    return Split(name, index, [0] * 4, size)
+
+
+def test_replica_nodes_deterministic_and_consecutive():
+    nodes = replica_nodes(split(0), nodes=8, replication=3)
+    assert nodes == replica_nodes(split(0), nodes=8, replication=3)
+    assert len(nodes) == 3
+    assert len(set(nodes)) == 3
+    # HDFS-style: consecutive modulo the cluster size.
+    assert nodes[1] == (nodes[0] + 1) % 8
+
+
+def test_replica_count_capped_by_cluster():
+    assert len(replica_nodes(split(1), nodes=2, replication=3)) == 2
+    assert len(replica_nodes(split(1), nodes=1, replication=3)) == 1
+
+
+def test_different_splits_spread_over_nodes():
+    placements = {replica_nodes(split(i), nodes=16)[0] for i in range(64)}
+    assert len(placements) > 8
+
+
+def test_schedule_all_local_when_replicas_everywhere():
+    cluster = ClusterConfig(nodes=2, map_slots_per_node=2)
+    tasks = [
+        MapTaskSpec(seconds=1.0, fetch_seconds=10.0, replicas=(0, 1))
+        for _ in range(8)
+    ]
+    schedule = schedule_map_tasks(tasks, cluster)
+    assert schedule.remote_tasks == 0
+    assert schedule.locality_fraction == 1.0
+    assert schedule.makespan == pytest.approx(2.0)  # 8 tasks over 4 slots
+
+
+def test_schedule_prefers_local_but_accepts_remote_to_balance():
+    """All replicas on node 0: with a big fetch cost tasks pile up
+    locally, with a tiny one they spill to node 1."""
+    cluster = ClusterConfig(nodes=2, map_slots_per_node=1)
+    sticky = [
+        MapTaskSpec(seconds=1.0, fetch_seconds=100.0, replicas=(0,))
+        for _ in range(4)
+    ]
+    schedule = schedule_map_tasks(sticky, cluster)
+    assert schedule.remote_tasks == 0
+    assert schedule.makespan == pytest.approx(4.0)
+
+    cheap_fetch = [
+        MapTaskSpec(seconds=1.0, fetch_seconds=0.1, replicas=(0,))
+        for _ in range(4)
+    ]
+    schedule = schedule_map_tasks(cheap_fetch, cluster)
+    assert schedule.remote_tasks == 2
+    assert schedule.makespan == pytest.approx(2.2)
+
+
+def test_schedule_empty():
+    cluster = ClusterConfig(nodes=2)
+    schedule = schedule_map_tasks([], cluster)
+    assert schedule.makespan == 0.0
+    assert schedule.locality_fraction == 1.0
+
+
+def test_fetch_seconds():
+    assert fetch_seconds(120 * MIB, 120.0) == pytest.approx(1.0)
+
+
+class CountMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit("n", 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def run_with_locality(nodes=4, locality=True, cached=False):
+    dfs = InMemoryDFS(split_size_bytes=64)
+    f = dfs.write("data", list(range(64)), bytes_per_record=8)
+    runtime = MapReduceRuntime(
+        dfs, cluster=ClusterConfig(nodes=nodes), rng=1, locality=locality
+    )
+    job = Job(name="j", mapper=CountMapper, reducer=SumReducer, num_reduce_tasks=1)
+    return runtime.run(job, f, cached=cached)
+
+
+def test_runtime_counts_locality():
+    result = run_with_locality()
+    c = result.counters
+    total = c.get(FRAMEWORK_GROUP, DATA_LOCAL_TASKS) + c.get(
+        FRAMEWORK_GROUP, REMOTE_TASKS
+    )
+    assert total == result.num_map_tasks
+    # Replication 3 over 4 nodes: the vast majority of tasks run local.
+    assert c.get(FRAMEWORK_GROUP, DATA_LOCAL_TASKS) >= total * 0.7
+
+
+def test_runtime_without_locality_has_no_counters():
+    result = run_with_locality(locality=False)
+    assert result.counters.get(FRAMEWORK_GROUP, DATA_LOCAL_TASKS) == 0
+    assert result.counters.get(FRAMEWORK_GROUP, REMOTE_TASKS) == 0
+
+
+def test_cached_input_is_always_local():
+    result = run_with_locality(cached=True)
+    assert result.counters.get(FRAMEWORK_GROUP, REMOTE_TASKS) == 0
+
+
+def test_locality_does_not_change_results():
+    with_loc = run_with_locality(locality=True)
+    without = run_with_locality(locality=False)
+    assert sorted(with_loc.output) == sorted(without.output)

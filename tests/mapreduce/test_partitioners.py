@@ -1,0 +1,111 @@
+"""Weight-balanced partitioning (the paper's skew future work)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.partitioners import (
+    make_weight_balanced_partitioner,
+    reduce_load_imbalance,
+)
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+def test_balances_known_weights():
+    weights = {0: 100, 1: 50, 2: 50}
+    p = make_weight_balanced_partitioner(weights, 2)
+    buckets = {0: 0.0, 1: 0.0}
+    for key, w in weights.items():
+        buckets[p(key, 2)] += w
+    assert buckets[0] == buckets[1] == 100
+
+
+def test_heaviest_keys_spread_first():
+    weights = {i: 10 - i for i in range(10)}
+    p = make_weight_balanced_partitioner(weights, 5)
+    loads = [0] * 5
+    for key, w in weights.items():
+        loads[p(key, 5)] += w
+    assert max(loads) - min(loads) <= 2
+
+
+def test_unknown_keys_fall_back_to_hash():
+    p = make_weight_balanced_partitioner({0: 10}, 4)
+    for key in (99, "other", (1, 2)):
+        index = p(key, 4)
+        assert 0 <= index < 4
+        assert index == p(key, 4)
+
+
+def test_reducer_count_pinned():
+    p = make_weight_balanced_partitioner({0: 1}, 4)
+    with pytest.raises(ConfigurationError):
+        p(0, 8)
+
+
+def test_invalid_reducer_count():
+    with pytest.raises(ConfigurationError):
+        make_weight_balanced_partitioner({}, 0)
+
+
+class SkewMapper(Mapper):
+    """Emits one heavy key and several light ones."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(value, np.zeros(100))
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, len(values))
+
+
+def run_skewed_job(partitioner=None):
+    dfs = InMemoryDFS(split_size_bytes=64)
+    # Key 0 carries 80% of the records; keys 1..4 share the rest.
+    records = [0] * 160 + [1, 2, 3, 4] * 10
+    f = dfs.write("data", records, bytes_per_record=8)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=1), rng=0)
+    job = Job(
+        name="skew",
+        mapper=SkewMapper,
+        reducer=CountReducer,
+        num_reduce_tasks=4,
+    )
+    if partitioner is not None:
+        job.partitioner = partitioner
+    return runtime.run(job, f)
+
+
+def test_reduce_load_imbalance_measures_skew():
+    hashed = run_skewed_job()
+    assert reduce_load_imbalance(hashed) > 1.0
+
+
+def test_balanced_beats_hash_on_skew():
+    weights = {0: 160, 1: 10, 2: 10, 3: 10, 4: 10}
+    balanced = run_skewed_job(make_weight_balanced_partitioner(weights, 4))
+    hashed = run_skewed_job()
+    assert sorted(balanced.output) == sorted(hashed.output)
+    assert (
+        reduce_load_imbalance(balanced) <= reduce_load_imbalance(hashed) + 1e-9
+    )
+
+
+def test_imbalance_of_empty_job():
+    from repro.mapreduce.runtime import JobResult
+    from repro.mapreduce.costmodel import JobTiming
+    from repro.mapreduce.counters import Counters
+
+    result = JobResult(
+        job_name="x",
+        output=[],
+        counters=Counters(),
+        timing=JobTiming(0, 0, 0, 0),
+        num_map_tasks=0,
+        num_reduce_tasks=0,
+    )
+    assert reduce_load_imbalance(result) == 1.0

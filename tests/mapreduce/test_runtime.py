@@ -1,0 +1,232 @@
+"""The job executor: semantics, counters, heap failures, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import JavaHeapSpaceError, JobFailedError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import (
+    FRAMEWORK_GROUP,
+    Counters,
+    MRCounter,
+)
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+class WordMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def build(split_size=32, nodes=2, heap_mb=64, seed=7):
+    dfs = InMemoryDFS(split_size_bytes=split_size)
+    runtime = MapReduceRuntime(
+        dfs, cluster=ClusterConfig(nodes=nodes, task_heap_mb=heap_mb), rng=seed
+    )
+    return dfs, runtime
+
+
+def write_lines(dfs, lines, per_record=16):
+    return dfs.write("text", lines, bytes_per_record=per_record)
+
+
+def wordcount_job(**kwargs) -> Job:
+    defaults = dict(
+        name="wc",
+        mapper=WordMapper,
+        reducer=SumReducer,
+        combiner=SumReducer,
+        num_reduce_tasks=3,
+    )
+    defaults.update(kwargs)
+    return Job(**defaults)
+
+
+def test_wordcount_correctness():
+    dfs, runtime = build()
+    f = write_lines(dfs, ["a b a", "c a b", "b b"])
+    result = runtime.run(wordcount_job(), f)
+    assert sorted(result.output) == [("a", 3), ("b", 4), ("c", 1)]
+
+
+def test_output_dict_groups_values():
+    dfs, runtime = build()
+    f = write_lines(dfs, ["x y", "x"])
+    result = runtime.run(wordcount_job(), f)
+    assert result.output_dict() == {"x": [2], "y": [1]}
+
+
+def test_run_by_file_name():
+    dfs, runtime = build()
+    write_lines(dfs, ["a"])
+    result = runtime.run(wordcount_job(), "text")
+    assert result.output == [("a", 1)]
+
+
+def test_framework_counters_exact():
+    dfs, runtime = build(split_size=32)  # 2 records per split
+    f = write_lines(dfs, ["a b", "a c", "b b"])
+    assert f.num_splits == 2
+    result = runtime.run(wordcount_job(), f)
+    c = result.counters
+    assert c.get(FRAMEWORK_GROUP, MRCounter.MAP_TASKS) == 2
+    assert c.get(FRAMEWORK_GROUP, MRCounter.MAP_INPUT_RECORDS) == 3
+    assert c.get(FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS) == 6
+    assert c.get(FRAMEWORK_GROUP, MRCounter.REDUCE_TASKS) == 3
+    assert c.get(FRAMEWORK_GROUP, MRCounter.DATASET_READS) == 1
+    assert c.get(FRAMEWORK_GROUP, MRCounter.HDFS_BYTES_READ) == f.size_bytes
+    # combiner output feeds reducers
+    assert (
+        c.get(FRAMEWORK_GROUP, MRCounter.REDUCE_INPUT_RECORDS)
+        == c.get(FRAMEWORK_GROUP, MRCounter.COMBINE_OUTPUT_RECORDS)
+    )
+
+
+def test_combiner_reduces_shuffle_bytes():
+    dfs, runtime = build(split_size=1024)
+    lines = ["a a a a a a a a"] * 4
+    f = write_lines(dfs, lines)
+    with_combiner = runtime.run(wordcount_job(name="with"), f)
+    without_combiner = runtime.run(wordcount_job(name="without", combiner=None), f)
+    assert sorted(with_combiner.output) == sorted(without_combiner.output)
+    assert with_combiner.counters.get(
+        FRAMEWORK_GROUP, MRCounter.SHUFFLE_BYTES
+    ) < without_combiner.counters.get(FRAMEWORK_GROUP, MRCounter.SHUFFLE_BYTES)
+
+
+def test_same_key_lands_in_one_reduce_task():
+    class TaskTagReducer(Reducer):
+        def reduce(self, key, values, ctx):
+            ctx.emit(key, (ctx.task_id, len(values)))
+
+    dfs, runtime = build(split_size=16)  # 1 record per split
+    f = write_lines(dfs, ["k v", "k w", "k x"])
+    job = Job(name="tag", mapper=WordMapper, reducer=TaskTagReducer, num_reduce_tasks=4)
+    result = runtime.run(job, f)
+    groups = result.output_dict()
+    # "k" appears in all three splits but is reduced exactly once.
+    assert len(groups["k"]) == 1
+    assert groups["k"][0][1] == 3
+
+
+def test_map_only_job():
+    class Identity(Mapper):
+        def map(self, key, value, ctx):
+            ctx.emit(key, value)
+
+    dfs, runtime = build()
+    f = write_lines(dfs, ["a b"])
+    result = runtime.run(Job(name="id", mapper=Identity), f)
+    assert result.num_reduce_tasks == 0
+    assert result.output == [(0, "a b")]
+
+
+def test_mapper_lifecycle_hooks_called_per_task():
+    events = []
+
+    class Hooked(Mapper):
+        def setup(self, ctx):
+            events.append(("setup", ctx.task_id))
+
+        def map(self, key, value, ctx):
+            pass
+
+        def close(self, ctx):
+            events.append(("close", ctx.task_id))
+
+    dfs, runtime = build(split_size=16)
+    f = write_lines(dfs, ["a", "b", "c"])
+    runtime.run(Job(name="hooks", mapper=Hooked, reducer=SumReducer), f)
+    setups = [e for e in events if e[0] == "setup"]
+    closes = [e for e in events if e[0] == "close"]
+    assert len(setups) == len(closes) == f.num_splits
+
+
+def test_reduce_heap_failure_wrapped_as_job_failure():
+    class BigValueMapper(Mapper):
+        def map(self, key, value, ctx):
+            ctx.emit("big", np.zeros(1000))
+
+    dfs, runtime = build(heap_mb=1)  # 1 MiB heap
+    f = write_lines(dfs, ["x"] * 200)
+    job = Job(
+        name="heap",
+        mapper=BigValueMapper,
+        reducer=SumReducer,
+        num_reduce_tasks=1,
+        heap_bytes_per_value=lambda v: v.nbytes * 10,  # 80 KB per value
+    )
+    with pytest.raises(JobFailedError) as exc_info:
+        runtime.run(job, f)
+    assert isinstance(exc_info.value.cause, JavaHeapSpaceError)
+
+
+def test_reduce_heap_freed_between_groups():
+    """Each key group is charged separately; many small groups fit."""
+
+    class SpreadMapper(Mapper):
+        def map(self, key, value, ctx):
+            ctx.emit(value, np.zeros(1000))
+
+    dfs, runtime = build(heap_mb=1)
+    f = write_lines(dfs, [f"k{i}" for i in range(100)])
+    job = Job(
+        name="groups",
+        mapper=SpreadMapper,
+        reducer=SumReducer,
+        num_reduce_tasks=1,
+        heap_bytes_per_value=lambda v: 500 * 1024,  # half the heap per group
+    )
+    result = runtime.run(job, f)  # must not raise
+    assert result.max_reduce_heap_bytes == 500 * 1024
+
+
+def test_determinism_same_seed_same_output():
+    class RandomishMapper(Mapper):
+        def map(self, key, value, ctx):
+            ctx.emit(int(ctx.rng.integers(100)), 1)
+
+    outputs = []
+    for _ in range(2):
+        dfs, runtime = build(seed=42)
+        f = write_lines(dfs, [f"r{i}" for i in range(20)])
+        job = Job(name="rand", mapper=RandomishMapper, reducer=SumReducer)
+        outputs.append(sorted(runtime.run(job, f).output))
+    assert outputs[0] == outputs[1]
+
+
+def test_cached_run_counts_cached_read():
+    dfs, runtime = build()
+    f = write_lines(dfs, ["a"])
+    result = runtime.run(wordcount_job(), f, cached=True)
+    c = result.counters
+    assert c.get(FRAMEWORK_GROUP, MRCounter.CACHED_READS) == 1
+    assert c.get(FRAMEWORK_GROUP, MRCounter.DATASET_READS) == 0
+    assert c.get(FRAMEWORK_GROUP, MRCounter.HDFS_BYTES_READ) == 0
+
+
+def test_simulated_time_positive_and_composed():
+    dfs, runtime = build()
+    f = write_lines(dfs, ["a b c"] * 10)
+    result = runtime.run(wordcount_job(), f)
+    t = result.timing
+    assert result.simulated_seconds == pytest.approx(
+        t.startup_seconds + t.map_seconds + t.shuffle_seconds + t.reduce_seconds
+    )
+    assert result.simulated_seconds > 0
+
+
+def test_num_reduce_defaults_to_cluster_capacity():
+    dfs, runtime = build(nodes=2)
+    f = write_lines(dfs, ["a"])
+    job = wordcount_job(num_reduce_tasks=0)
+    result = runtime.run(job, f)
+    assert result.num_reduce_tasks == runtime.cluster.total_reduce_slots

@@ -1,0 +1,67 @@
+"""Shuffle: grouping, combiner application, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters, MRCounter
+from repro.mapreduce.job import Reducer
+from repro.mapreduce.shuffle import (
+    group_by_key,
+    partition_pairs,
+    run_combiner,
+    sorted_keys,
+)
+
+
+class SumCombiner(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def test_group_by_key_preserves_value_order():
+    groups = group_by_key([("a", 1), ("b", 2), ("a", 3)])
+    assert groups["a"] == [1, 3]
+    assert groups["b"] == [2]
+
+
+def test_sorted_keys():
+    assert sorted_keys({3: [], 1: [], 2: []}) == [1, 2, 3]
+
+
+def test_run_combiner_combines_per_key():
+    counters = Counters()
+    pairs = [("a", 1), ("a", 2), ("b", 5)]
+    out = run_combiner(
+        SumCombiner, pairs, {}, counters, np.random.default_rng(0), 1024, "m-0"
+    )
+    assert sorted(out) == [("a", 3), ("b", 5)]
+    assert counters.get(FRAMEWORK_GROUP, MRCounter.COMBINE_INPUT_RECORDS) == 3
+    assert counters.get(FRAMEWORK_GROUP, MRCounter.COMBINE_OUTPUT_RECORDS) == 2
+
+
+def test_run_combiner_deterministic_key_order():
+    counters = Counters()
+    pairs = [(2, 1), (1, 1), (3, 1)]
+    out = run_combiner(
+        SumCombiner, pairs, {}, counters, np.random.default_rng(0), 1024, "m"
+    )
+    assert [k for k, _ in out] == [1, 2, 3]
+
+
+def test_partition_pairs_buckets_by_partitioner():
+    pairs = [(i, i) for i in range(10)]
+    buckets = partition_pairs(pairs, 3, lambda k, n: k % n)
+    assert [k for k, _ in buckets[0]] == [0, 3, 6, 9]
+    assert [k for k, _ in buckets[1]] == [1, 4, 7]
+    assert sum(len(b) for b in buckets) == 10
+
+
+def test_partition_pairs_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        partition_pairs([(1, 1)], 2, lambda k, n: 5)
+    with pytest.raises(ValueError):
+        partition_pairs([(1, 1)], 2, lambda k, n: -1)
+
+
+def test_partition_empty():
+    assert partition_pairs([], 3, lambda k, n: 0) == [[], [], []]

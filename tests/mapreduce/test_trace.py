@@ -1,0 +1,72 @@
+"""Execution tracing and Gantt rendering."""
+
+import pytest
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.costmodel import makespan
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.mapreduce.trace import build_schedule, render_gantt, render_job_trace
+
+
+def test_schedule_matches_makespan():
+    tasks = [5.0, 4.0, 3.0, 3.0, 3.0]
+    schedule = build_schedule(tasks, slots=2)
+    assert max(t.end for t in schedule) == pytest.approx(makespan(tasks, 2))
+
+
+def test_schedule_no_overlap_within_slot():
+    tasks = [2.0, 1.0, 4.0, 3.0, 2.5]
+    schedule = build_schedule(tasks, slots=2)
+    by_slot: dict[int, list] = {}
+    for t in schedule:
+        by_slot.setdefault(t.slot, []).append(t)
+    for slot_tasks in by_slot.values():
+        slot_tasks.sort(key=lambda t: t.start)
+        for a, b in zip(slot_tasks, slot_tasks[1:]):
+            assert a.end <= b.start + 1e-12
+
+
+def test_schedule_every_task_placed_once():
+    tasks = [1.0] * 7
+    schedule = build_schedule(tasks, slots=3)
+    assert sorted(t.task_index for t in schedule) == list(range(7))
+
+
+def test_schedule_empty():
+    assert build_schedule([], slots=4) == []
+
+
+def test_gantt_renders_rows_per_slot():
+    schedule = build_schedule([3.0, 2.0, 1.0], slots=2)
+    out = render_gantt(schedule, width=30, title="demo")
+    lines = out.split("\n")
+    assert lines[0] == "demo"
+    assert sum(1 for line in lines if line.startswith("slot")) == 2
+    assert "3.00s" in lines[-1]
+
+
+def test_gantt_empty():
+    assert "(no tasks)" in render_gantt([], title="t")
+
+
+def test_render_job_trace_end_to_end():
+    class M(Mapper):
+        def map(self, key, value, ctx):
+            ctx.emit(value % 3, 1)
+
+    class R(Reducer):
+        def reduce(self, key, values, ctx):
+            ctx.emit(key, sum(values))
+
+    dfs = InMemoryDFS(split_size_bytes=64)
+    f = dfs.write("d", list(range(40)), bytes_per_record=8)
+    cluster = ClusterConfig(nodes=2)
+    runtime = MapReduceRuntime(dfs, cluster=cluster, rng=0)
+    result = runtime.run(Job(name="traced", mapper=M, reducer=R, num_reduce_tasks=3), f)
+    trace = render_job_trace(result, cluster)
+    assert "job 'traced'" in trace
+    assert "map phase" in trace
+    assert "reduce phase" in trace
+    assert "simulated" in trace

@@ -1,0 +1,71 @@
+"""Stable hashing, value sizing, and the OFFSET constant."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.types import OFFSET, sizeof_value, stable_hash
+
+
+def test_offset_is_2_to_62():
+    assert OFFSET == 2**62
+
+
+def test_stable_hash_int_is_nonnegative_and_stable():
+    assert stable_hash(42) == stable_hash(42)
+    assert stable_hash(-5) >= 0
+    assert stable_hash(2**63 - 1) >= 0
+
+
+def test_stable_hash_numpy_int():
+    assert stable_hash(np.int64(7)) == stable_hash(7)
+
+
+def test_stable_hash_string_is_crc_based():
+    assert stable_hash("abc") == stable_hash("abc")
+    assert stable_hash("abc") != stable_hash("abd")
+
+
+def test_stable_hash_tuple_order_sensitive():
+    assert stable_hash((1, 2)) != stable_hash((2, 1))
+    assert stable_hash((1, "x")) == stable_hash((1, "x"))
+
+
+def test_stable_hash_bool():
+    assert stable_hash(True) == 1
+    assert stable_hash(False) == 0
+
+
+def test_stable_hash_rejects_unhashable_types():
+    with pytest.raises(TypeError):
+        stable_hash([1, 2])
+
+
+def test_sizeof_scalars():
+    assert sizeof_value(None) == 0
+    assert sizeof_value(1) == 8
+    assert sizeof_value(1.5) == 8
+    assert sizeof_value(True) == 1
+    assert sizeof_value(np.float64(2.0)) == 8
+
+
+def test_sizeof_ndarray_is_buffer_size():
+    arr = np.zeros(10, dtype=np.float64)
+    assert sizeof_value(arr) == 80
+    assert sizeof_value(np.zeros((3, 4))) == 96
+
+
+def test_sizeof_string_utf8():
+    assert sizeof_value("abc") == 3
+    assert sizeof_value("é") == 2
+    assert sizeof_value(b"abcd") == 4
+
+
+def test_sizeof_containers_recursive():
+    assert sizeof_value((np.zeros(2), 1)) == 24
+    assert sizeof_value([1, 2, 3]) == 24
+    assert sizeof_value({"a": 1}) == 9
+
+
+def test_sizeof_rejects_unknown():
+    with pytest.raises(TypeError):
+        sizeof_value(object())

@@ -1,0 +1,89 @@
+"""Property-based tests of clustering invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.clustering.lloyd import lloyd_step
+from repro.clustering.merge import merge_centers
+from repro.clustering.metrics import assign_nearest, pairwise_sq_distances, wcss
+
+points_arrays = npst.arrays(
+    np.float64,
+    st.tuples(st.integers(3, 80), st.integers(1, 5)),
+    elements=st.floats(-1e4, 1e4),
+)
+
+
+@given(points_arrays, st.integers(1, 5), st.integers(0, 2**31 - 1))
+@settings(max_examples=60)
+def test_lloyd_step_never_increases_wcss(points, k, seed):
+    k = min(k, points.shape[0])
+    rng = np.random.default_rng(seed)
+    centers = points[rng.choice(points.shape[0], size=k, replace=False)]
+    before = wcss(points, centers)
+    new_centers, _, _ = lloyd_step(points, centers)
+    after = wcss(points, new_centers)
+    # Exact-arithmetic invariant; allow rounding noise scaled to the
+    # data's magnitude (mean computation can shift coords by ~1 ulp).
+    noise = 1e-12 * (1.0 + float(np.abs(points).max()) ** 2 * points.shape[0])
+    assert after <= before + 1e-6 * max(1.0, before) + noise
+
+
+@given(points_arrays)
+def test_assignment_is_argmin(points):
+    centers = points[: min(4, points.shape[0])]
+    labels, sq = assign_nearest(points, centers)
+    full = pairwise_sq_distances(points, centers)
+    assert np.allclose(sq, full.min(axis=1))
+    # Chosen distance equals the distance to the chosen center.
+    chosen = full[np.arange(points.shape[0]), labels]
+    assert np.allclose(chosen, sq)
+
+
+@given(points_arrays)
+def test_pairwise_distances_nonnegative_and_self_zero(points):
+    d = pairwise_sq_distances(points, points)
+    assert np.all(d >= 0)
+    assert np.allclose(np.diag(d), 0.0, atol=1e-6)
+
+
+@given(
+    npst.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 20), st.integers(1, 4)),
+        elements=st.floats(-1e3, 1e3),
+    ),
+    st.floats(min_value=0.0, max_value=1e4),
+)
+def test_merge_centers_never_grows(centers, threshold):
+    merged = merge_centers(centers, threshold)
+    assert 1 <= merged.shape[0] <= centers.shape[0]
+    assert merged.shape[1] == centers.shape[1]
+
+
+@given(
+    npst.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 20), st.integers(1, 4)),
+        elements=st.floats(-1e3, 1e3),
+    ),
+)
+def test_merge_with_huge_threshold_collapses_to_one(centers):
+    merged = merge_centers(centers, threshold=1e9)
+    assert merged.shape[0] == 1
+    assert np.allclose(merged[0], centers.mean(axis=0), rtol=1e-6, atol=1e-6)
+
+
+@given(
+    npst.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 20), st.integers(1, 4)),
+        elements=st.floats(-100, 100),
+    ),
+)
+def test_merge_threshold_zero_is_identity_up_to_order(centers):
+    merged = merge_centers(centers, threshold=0.0)
+    assert merged.shape[0] == centers.shape[0]

@@ -1,0 +1,45 @@
+"""Property-based round-trip tests for the text codec and DFS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.data.textio import decode_point, decode_points, encode_point, encode_points
+from repro.mapreduce.hdfs import InMemoryDFS
+
+point_matrices = npst.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.integers(1, 8)),
+    elements=st.floats(
+        min_value=-1e15, max_value=1e15, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(point_matrices)
+def test_codec_roundtrip_bit_exact(points):
+    assert np.array_equal(decode_points(encode_points(points)), points)
+
+
+@given(
+    npst.arrays(
+        np.float64,
+        st.integers(1, 10),
+        elements=st.floats(-1e308, 1e308, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_single_point_roundtrip_extreme_magnitudes(vec):
+    assert np.array_equal(decode_point(encode_point(vec)), vec)
+
+
+@given(point_matrices, st.integers(16, 4096))
+@settings(max_examples=30, deadline=None)
+def test_dfs_split_roundtrip(points, split_size):
+    """Whatever the split size, concatenating splits restores the data."""
+    dfs = InMemoryDFS(split_size_bytes=split_size)
+    f = dfs.write("f", points, bytes_per_record=16 * points.shape[1])
+    assert np.array_equal(f.all_records(), points)
+    assert sum(s.num_records for s in f.splits) == points.shape[0]
+    assert all(s.num_records > 0 for s in f.splits)

@@ -1,0 +1,85 @@
+"""Property-based tests: external metrics and normality tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.external import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    purity,
+)
+from repro.stats.normality import NORMALITY_TESTS, normality_test
+
+labelings = st.lists(st.integers(0, 6), min_size=2, max_size=120)
+
+
+@given(labelings)
+def test_metrics_perfect_on_self(labels):
+    a = np.array(labels)
+    assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+    assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+    assert purity(a, a) == pytest.approx(1.0)
+
+
+@given(labelings, st.integers(0, 5040 - 1))
+def test_metrics_invariant_under_label_permutation(labels, perm_index):
+    """Relabeling cluster ids never changes any score."""
+    import itertools
+
+    a = np.array(labels)
+    ids = list(range(7))
+    perm = list(itertools.permutations(ids))[perm_index % 5040]
+    mapping = np.array(perm)
+    b = mapping[a]
+    assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+    assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+
+@given(labelings, labelings)
+@settings(max_examples=60)
+def test_metrics_symmetric_and_bounded(labels_a, labels_b):
+    n = min(len(labels_a), len(labels_b))
+    a = np.array(labels_a[:n])
+    b = np.array(labels_b[:n])
+    ari_ab = adjusted_rand_index(a, b)
+    ari_ba = adjusted_rand_index(b, a)
+    assert ari_ab == pytest.approx(ari_ba)
+    assert -1.0 <= ari_ab <= 1.0
+    nmi_ab = normalized_mutual_information(a, b)
+    assert nmi_ab == pytest.approx(normalized_mutual_information(b, a))
+    assert 0.0 <= nmi_ab <= 1.0
+    assert 0.0 < purity(a, b) <= 1.0
+
+
+@given(
+    st.sampled_from(sorted(NORMALITY_TESTS)),
+    st.integers(10, 400),
+    st.floats(-50, 50),
+    st.floats(0.1, 20.0),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60)
+def test_normality_tests_affine_invariant(method, n, shift, scale, seed):
+    """All tests decide on z-scores: location/scale cannot matter."""
+    x = np.random.default_rng(seed).normal(size=n)
+    base = normality_test(x, 0.05, method)
+    moved = normality_test(shift + scale * x, 0.05, method)
+    assert base.is_normal == moved.is_normal
+    assert base.statistic == pytest.approx(moved.statistic, rel=1e-6, abs=1e-9)
+
+
+@given(
+    st.sampled_from(sorted(NORMALITY_TESTS)),
+    st.integers(20, 300),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40)
+def test_normality_verdict_well_formed(method, n, seed):
+    x = np.random.default_rng(seed).uniform(size=n)
+    verdict = normality_test(x, 0.01, method)
+    assert verdict.n == n
+    assert verdict.statistic >= 0.0 or method == "jarque_bera"
+    assert verdict.critical > 0.0
+    assert verdict.method == method

@@ -1,0 +1,125 @@
+"""Property-based tests for partitioners, faults, locality, tracing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import FaultModel
+from repro.mapreduce.hdfs import Split
+from repro.mapreduce.locality import (
+    MapTaskSpec,
+    replica_nodes,
+    schedule_map_tasks,
+)
+from repro.mapreduce.partitioners import make_weight_balanced_partitioner
+from repro.mapreduce.trace import build_schedule
+from repro.mapreduce.costmodel import makespan
+
+weights_strategy = st.dictionaries(
+    st.integers(0, 50), st.integers(1, 1000), min_size=1, max_size=30
+)
+
+
+@given(weights_strategy, st.integers(1, 16))
+def test_balanced_partitioner_total_and_range(weights, num_reducers):
+    p = make_weight_balanced_partitioner(weights, num_reducers)
+    for key in weights:
+        assert 0 <= p(key, num_reducers) < num_reducers
+
+
+@given(weights_strategy, st.integers(2, 8))
+def test_balanced_partitioner_no_worse_than_one_key_per_slot(weights, num_reducers):
+    """LPT guarantee: max load <= sum/slots + max single weight."""
+    p = make_weight_balanced_partitioner(weights, num_reducers)
+    loads = [0] * num_reducers
+    for key, w in weights.items():
+        loads[p(key, num_reducers)] += w
+    bound = sum(weights.values()) / num_reducers + max(weights.values())
+    assert max(loads) <= bound + 1e-9
+
+
+@given(
+    st.floats(0.0, 0.8),
+    st.floats(0.0, 1.0),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50)
+def test_fault_model_never_shortens_tasks(failure_p, straggler_p, seed):
+    model = FaultModel(
+        task_failure_probability=failure_p,
+        straggler_probability=straggler_p,
+        max_attempts=50,
+    )
+    rng = np.random.default_rng(seed)
+    duration = model.apply(3.0, "t", rng, Counters())
+    assert duration >= 3.0 - 1e-12
+
+
+@given(st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+@settings(max_examples=50)
+def test_speculation_bounds_straggler_cost(straggler_p, seed):
+    model = FaultModel(
+        straggler_probability=straggler_p,
+        straggler_slowdown=10.0,
+        speculative_execution=True,
+        speculative_overhead=1.5,
+    )
+    rng = np.random.default_rng(seed)
+    duration = model.apply(2.0, "t", rng, Counters())
+    assert duration <= 2.0 * 1.5 + 1e-12
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.1, 10.0), st.floats(0.0, 5.0)),
+        min_size=0,
+        max_size=40,
+    ),
+    st.integers(1, 6),
+    st.integers(1, 4),
+)
+@settings(max_examples=50)
+def test_locality_schedule_bounds(task_params, nodes, slots_per_node):
+    cluster = ClusterConfig(nodes=nodes, map_slots_per_node=slots_per_node)
+    tasks = [
+        MapTaskSpec(
+            seconds=base,
+            fetch_seconds=fetch,
+            replicas=(i % nodes,),
+        )
+        for i, (base, fetch) in enumerate(task_params)
+    ]
+    schedule = schedule_map_tasks(tasks, cluster)
+    assert schedule.data_local_tasks + schedule.remote_tasks == len(tasks)
+    if tasks:
+        # Never better than the perfectly parallel all-local bound,
+        # never worse than running everything serially with fetches.
+        lower = max(t.seconds for t in tasks)
+        upper = sum(t.seconds + t.fetch_seconds for t in tasks)
+        assert lower - 1e-9 <= schedule.makespan <= upper + 1e-9
+
+
+@given(st.integers(1, 64), st.integers(1, 8), st.integers(1, 10))
+def test_replica_nodes_valid(index, nodes, replication):
+    split = Split("file", index, [0], 8)
+    replicas = replica_nodes(split, nodes, replication)
+    assert 1 <= len(replicas) <= min(replication, nodes)
+    assert all(0 <= r < nodes for r in replicas)
+    assert len(set(replicas)) == len(replicas)
+
+
+@given(
+    st.lists(st.floats(0.01, 100.0), min_size=0, max_size=60),
+    st.integers(1, 16),
+)
+def test_trace_schedule_consistent_with_makespan(tasks, slots):
+    schedule = build_schedule(tasks, slots)
+    if tasks:
+        assert max(t.end for t in schedule) == pytest.approx(
+            makespan(tasks, slots)
+        )
+    durations = sorted(t.duration for t in schedule)
+    assert durations == pytest.approx(sorted(tasks))

@@ -1,0 +1,107 @@
+"""Property-based tests for the statistics substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.stats.anderson import anderson_darling_statistic, critical_value
+from repro.stats.descriptive import StreamingMoments
+from repro.stats.normal import normal_cdf, normal_pdf, normal_quantile
+from repro.stats.projection import normalize, project_onto
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.floats(min_value=-30, max_value=30))
+def test_cdf_monotone_and_bounded(x):
+    assert 0.0 <= normal_cdf(x) <= 1.0
+    assert normal_cdf(x) <= normal_cdf(x + 0.5)
+
+
+@given(st.floats(min_value=-8, max_value=8))
+def test_cdf_complement_symmetry(x):
+    assert normal_cdf(x) + normal_cdf(-x) == pytest.approx(1.0, abs=1e-12)
+
+
+@given(st.floats(min_value=1e-12, max_value=1 - 1e-12))
+def test_quantile_is_cdf_inverse(p):
+    assert normal_cdf(normal_quantile(p)) == pytest.approx(p, rel=1e-8, abs=1e-12)
+
+
+@given(st.floats(min_value=-10, max_value=10))
+def test_pdf_positive(x):
+    assert normal_pdf(x) > 0.0
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=200),
+    st.lists(finite_floats, min_size=1, max_size=200),
+)
+def test_moments_merge_equals_concat(xs, ys):
+    merged = StreamingMoments()
+    merged.add_many(np.array(xs))
+    other = StreamingMoments()
+    other.add_many(np.array(ys))
+    merged.merge(other)
+    whole = StreamingMoments()
+    whole.add_many(np.array(xs + ys))
+    assert merged.count == whole.count
+    assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
+    assert merged.m2 == pytest.approx(whole.m2, rel=1e-6, abs=1e-3)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=300))
+def test_normalize_idempotent_shape(values):
+    arr = np.array(values)
+    z = normalize(arr)
+    assert z.shape == (len(values),)
+    # Idempotence holds wherever the first normalisation wasn't working
+    # at the edge of float precision (subnormal spreads lose digits).
+    if arr.std() > 1e-100 and z.std() > 0:
+        z2 = normalize(z)
+        assert np.allclose(z, z2, atol=1e-9)
+
+
+@given(
+    npst.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 60), st.integers(1, 6)),
+        elements=st.floats(-1e3, 1e3),
+    ),
+)
+def test_projection_linearity(points):
+    """project(a x + b y) = a project(x) + b project(y) row-wise."""
+    d = points.shape[1]
+    v = np.arange(1.0, d + 1.0)
+    proj = project_onto(points, v)
+    doubled = project_onto(2.0 * points, v)
+    assert np.allclose(doubled, 2.0 * proj, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=8, max_value=500),
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=0.01, max_value=100),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_ad_statistic_affine_invariant(n, shift, scale, seed):
+    x = np.random.default_rng(seed).normal(size=n)
+    a = anderson_darling_statistic(x)
+    b = anderson_darling_statistic(shift + scale * x)
+    assert a == pytest.approx(b, rel=1e-6, abs=1e-9)
+
+
+@given(
+    st.floats(min_value=1e-6, max_value=0.4),
+    st.floats(min_value=1e-6, max_value=0.4),
+)
+def test_critical_value_monotonicity(a1, a2):
+    lo, hi = sorted((a1, a2))
+    assert critical_value(lo) >= critical_value(hi)

@@ -1,0 +1,150 @@
+"""Anderson-Darling test: statistic vs scipy, decisions, edge cases."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.common.errors import ConfigurationError, DataFormatError
+# scipy's anderson() warns about its future p-value API; we only use
+# the statistic as an oracle.
+pytestmark = pytest.mark.filterwarnings("ignore::FutureWarning")
+
+from repro.stats.anderson import (
+    GMEANS_ALPHA,
+    MIN_RELIABLE_SAMPLE,
+    anderson_darling_normality,
+    anderson_darling_statistic,
+    critical_value,
+)
+
+
+@pytest.mark.parametrize("n", [10, 50, 500, 3000])
+def test_statistic_matches_scipy(n):
+    x = np.random.default_rng(n).normal(size=n)
+    mine = anderson_darling_statistic(x)
+    correction = 1 + 4.0 / n - 25.0 / n**2
+    ref = sps.anderson(x, "norm").statistic * correction
+    assert mine == pytest.approx(ref, rel=1e-10)
+
+
+def test_statistic_location_scale_invariant():
+    x = np.random.default_rng(1).normal(size=300)
+    a = anderson_darling_statistic(x)
+    b = anderson_darling_statistic(7.0 + 3.0 * x)
+    assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_gaussian_sample_accepted():
+    x = np.random.default_rng(2).normal(size=2000)
+    assert anderson_darling_normality(x).is_normal
+
+
+def test_bimodal_sample_rejected():
+    rng = np.random.default_rng(3)
+    x = np.concatenate([rng.normal(-4, 1, 500), rng.normal(4, 1, 500)])
+    assert not anderson_darling_normality(x).is_normal
+
+
+def test_uniform_sample_rejected_at_large_n():
+    x = np.random.default_rng(4).uniform(size=5000)
+    assert not anderson_darling_normality(x).is_normal
+
+
+def test_false_rejection_rate_near_alpha():
+    """At alpha=0.05 roughly 5% of true-Gaussian samples get rejected."""
+    rng = np.random.default_rng(5)
+    rejections = sum(
+        not anderson_darling_normality(rng.normal(size=200), alpha=0.05).is_normal
+        for _ in range(400)
+    )
+    assert 4 <= rejections <= 42  # ~20 expected, generous binomial bounds
+
+
+def test_constant_sample_is_normal_verdict():
+    result = anderson_darling_normality(np.full(100, 2.0))
+    assert result.is_normal
+    assert result.statistic == 0.0
+
+
+def test_statistic_rejects_tiny_and_constant():
+    with pytest.raises(DataFormatError):
+        anderson_darling_statistic(np.array([1.0]))
+    with pytest.raises(DataFormatError):
+        anderson_darling_statistic(np.full(10, 1.0))
+
+
+def test_reliability_flag():
+    x = np.random.default_rng(6).normal(size=MIN_RELIABLE_SAMPLE - 1)
+    assert not anderson_darling_normality(x).reliable
+    y = np.random.default_rng(6).normal(size=MIN_RELIABLE_SAMPLE)
+    assert anderson_darling_normality(y).reliable
+
+
+def test_critical_values_table_anchors():
+    assert critical_value(0.10) == pytest.approx(0.631)
+    assert critical_value(0.05) == pytest.approx(0.752)
+    assert critical_value(0.01) == pytest.approx(1.035)
+    assert critical_value(GMEANS_ALPHA) == pytest.approx(1.8692)
+
+
+def test_critical_value_monotone_in_alpha():
+    alphas = [0.25, 0.1, 0.05, 0.01, 0.003, 0.001, 0.0002, 0.0001]
+    values = [critical_value(a) for a in alphas]
+    assert values == sorted(values)
+
+
+def test_critical_value_interpolation_between_anchors():
+    v = critical_value(0.02)
+    assert 0.873 < v < 1.035
+
+
+def test_critical_value_clamps_extremes():
+    assert critical_value(0.9) == pytest.approx(0.470)
+    assert critical_value(1e-9) == pytest.approx(1.8692)
+
+
+@pytest.mark.parametrize("alpha", [0.0, 1.0, -1.0, 2.0])
+def test_critical_value_rejects_invalid_alpha(alpha):
+    with pytest.raises(ConfigurationError):
+        critical_value(alpha)
+
+
+def test_result_records_inputs():
+    x = np.random.default_rng(7).normal(size=64)
+    r = anderson_darling_normality(x, alpha=0.05)
+    assert r.n == 64
+    assert r.alpha == 0.05
+    assert r.critical == pytest.approx(0.752)
+
+
+def test_pvalue_matches_critical_table():
+    """p(critical(alpha)) ~ alpha at every tabulated level."""
+    from repro.stats.anderson import anderson_darling_pvalue
+
+    for alpha in (0.10, 0.05, 0.025, 0.01, 0.005):
+        assert anderson_darling_pvalue(critical_value(alpha)) == pytest.approx(
+            alpha, rel=0.05
+        )
+
+
+def test_pvalue_monotone_decreasing():
+    from repro.stats.anderson import anderson_darling_pvalue
+
+    stats_grid = [0.05, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0, 5.0]
+    ps = [anderson_darling_pvalue(s) for s in stats_grid]
+    assert all(a >= b for a, b in zip(ps, ps[1:]))
+    assert 0.0 <= min(ps) and max(ps) <= 1.0
+
+
+def test_pvalue_invalid_statistic():
+    from repro.common.errors import ConfigurationError
+    from repro.stats.anderson import anderson_darling_pvalue
+
+    with pytest.raises(ConfigurationError):
+        anderson_darling_pvalue(-0.1)
+
+
+def test_result_exposes_pvalue():
+    x = np.random.default_rng(8).normal(size=500)
+    result = anderson_darling_normality(x)
+    assert 0.0 < result.pvalue <= 1.0

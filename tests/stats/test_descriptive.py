@@ -1,0 +1,75 @@
+"""Streaming moments: correctness and merge exactness."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import StreamingMoments
+
+
+def test_empty_moments():
+    m = StreamingMoments()
+    assert m.count == 0
+    assert m.variance == 0.0
+    assert m.sample_variance == 0.0
+    assert m.stddev == 0.0
+
+
+def test_single_value():
+    m = StreamingMoments()
+    m.add(5.0)
+    assert m.count == 1
+    assert m.mean == 5.0
+    assert m.variance == 0.0
+
+
+def test_matches_numpy():
+    data = np.random.default_rng(3).normal(10, 3, size=500)
+    m = StreamingMoments()
+    for x in data:
+        m.add(float(x))
+    assert m.mean == pytest.approx(data.mean(), rel=1e-12)
+    assert m.variance == pytest.approx(data.var(), rel=1e-10)
+    assert m.sample_variance == pytest.approx(data.var(ddof=1), rel=1e-10)
+
+
+def test_add_many_equals_add_loop():
+    data = np.random.default_rng(4).random(100)
+    a = StreamingMoments()
+    a.add_many(data)
+    b = StreamingMoments()
+    for x in data:
+        b.add(float(x))
+    assert a.count == b.count
+    assert a.mean == pytest.approx(b.mean, rel=1e-12)
+    assert a.m2 == pytest.approx(b.m2, rel=1e-9)
+
+
+def test_add_many_empty_noop():
+    m = StreamingMoments()
+    m.add_many(np.array([]))
+    assert m.count == 0
+
+
+def test_merge_is_partition_independent():
+    data = np.random.default_rng(5).normal(size=300)
+    whole = StreamingMoments()
+    whole.add_many(data)
+    for split_at in (1, 7, 150, 299):
+        left = StreamingMoments()
+        left.add_many(data[:split_at])
+        right = StreamingMoments()
+        right.add_many(data[split_at:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.m2 == pytest.approx(whole.m2, rel=1e-9)
+
+
+def test_merge_with_empty_sides():
+    m = StreamingMoments()
+    other = StreamingMoments()
+    other.add(3.0)
+    m.merge(other)
+    assert (m.count, m.mean) == (1, 3.0)
+    m.merge(StreamingMoments())
+    assert (m.count, m.mean) == (1, 3.0)

@@ -1,0 +1,68 @@
+"""Normal distribution functions vs closed-form values and scipy."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.normal import normal_cdf, normal_pdf, normal_quantile
+
+
+def test_cdf_at_zero():
+    assert normal_cdf(0.0) == pytest.approx(0.5)
+
+
+def test_cdf_symmetry():
+    for x in (0.3, 1.0, 2.5, 4.0):
+        assert normal_cdf(-x) == pytest.approx(1.0 - normal_cdf(x), abs=1e-15)
+
+
+def test_cdf_known_value():
+    assert normal_cdf(1.959963984540054) == pytest.approx(0.975, abs=1e-12)
+
+
+def test_cdf_matches_scipy_on_grid():
+    xs = np.linspace(-8, 8, 201)
+    mine = normal_cdf(xs)
+    ref = sps.norm.cdf(xs)
+    assert np.allclose(mine, ref, atol=1e-14)
+
+
+def test_cdf_scalar_vs_array_consistency():
+    xs = np.array([-1.5, 0.0, 2.2])
+    arr = normal_cdf(xs)
+    for x, v in zip(xs, arr):
+        assert normal_cdf(float(x)) == pytest.approx(v, abs=1e-15)
+
+
+def test_pdf_peak_and_symmetry():
+    assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+    assert normal_pdf(1.3) == pytest.approx(normal_pdf(-1.3))
+
+
+def test_pdf_matches_scipy():
+    xs = np.linspace(-5, 5, 101)
+    assert np.allclose(normal_pdf(xs), sps.norm.pdf(xs), atol=1e-14)
+
+
+def test_quantile_inverts_cdf():
+    for p in (1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1 - 1e-6):
+        assert normal_cdf(normal_quantile(p)) == pytest.approx(p, rel=1e-10)
+
+
+def test_quantile_known_values():
+    assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+    assert normal_quantile(0.975) == pytest.approx(1.959963984540054, abs=1e-9)
+    assert normal_quantile(0.0013498980316300933) == pytest.approx(-3.0, abs=1e-9)
+
+
+def test_quantile_matches_scipy_deep_tail():
+    for p in (1e-10, 1e-4, 0.9999, 1 - 1e-10):
+        assert normal_quantile(p) == pytest.approx(sps.norm.ppf(p), abs=1e-8)
+
+
+@pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.1])
+def test_quantile_rejects_out_of_range(p):
+    with pytest.raises(ValueError):
+        normal_quantile(p)

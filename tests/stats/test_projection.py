@@ -1,0 +1,73 @@
+"""Point projection and z-normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.stats.projection import normalize, project_onto
+
+
+def test_projection_onto_axis():
+    pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+    proj = project_onto(pts, np.array([1.0, 0.0]))
+    assert np.allclose(proj, [1.0, 3.0])
+
+
+def test_projection_scaling_law():
+    """<x, s v> / ||s v||^2 = (1/s) <x, v> / ||v||^2: scaling the
+    direction rescales projections but preserves their order (and the
+    z-normalised values the AD test sees are identical)."""
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(50, 4))
+    v = rng.normal(size=4)
+    a = project_onto(pts, v)
+    b = project_onto(pts, 3.0 * v)
+    assert np.allclose(b, a / 3.0, atol=1e-12)
+    assert np.array_equal(np.argsort(a), np.argsort(b))
+
+
+def test_projection_gmeans_formula():
+    """x' = <x, v> / ||v||^2 exactly."""
+    pts = np.array([[2.0, 2.0]])
+    v = np.array([2.0, 0.0])
+    assert project_onto(pts, v)[0] == pytest.approx(1.0)
+
+
+def test_projection_single_point():
+    assert project_onto(np.array([1.0, 1.0]), np.array([1.0, 1.0]))[0] == pytest.approx(1.0)
+
+
+def test_projection_zero_vector_raises():
+    with pytest.raises(DataFormatError):
+        project_onto(np.ones((3, 2)), np.zeros(2))
+
+
+def test_projection_dimension_mismatch_raises():
+    with pytest.raises(DataFormatError):
+        project_onto(np.ones((3, 2)), np.ones(3))
+
+
+def test_normalize_zero_mean_unit_variance():
+    data = np.random.default_rng(1).normal(5, 3, size=200)
+    z = normalize(data)
+    assert z.mean() == pytest.approx(0.0, abs=1e-12)
+    assert z.std() == pytest.approx(1.0, rel=1e-12)
+
+
+def test_normalize_ddof1():
+    data = np.random.default_rng(2).normal(size=50)
+    z = normalize(data, ddof=1)
+    assert z.std(ddof=1) == pytest.approx(1.0, rel=1e-12)
+
+
+def test_normalize_constant_vector_is_zeros():
+    z = normalize(np.full(10, 3.5))
+    assert np.array_equal(z, np.zeros(10))
+
+
+def test_normalize_empty():
+    assert normalize(np.array([])).size == 0
+
+
+def test_normalize_ddof_exceeding_size():
+    assert np.array_equal(normalize(np.array([1.0]), ddof=1), np.zeros(1))

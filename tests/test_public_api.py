@@ -1,0 +1,69 @@
+"""Public-API surface guards: exports resolve and stay consistent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.stats",
+    "repro.mapreduce",
+    "repro.clustering",
+    "repro.core",
+    "repro.data",
+    "repro.analysis",
+    "repro.evaluation",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} must declare __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_unique(package):
+    module = importlib.import_module(package)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_items_are_documented(package):
+    """Every exported class/function carries a docstring."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        item = getattr(module, name)
+        if callable(item) and not isinstance(item, type(None)):
+            if getattr(item, "__doc__", None) in (None, ""):
+                undocumented.append(name)
+    assert not undocumented, f"{package}: missing docstrings on {undocumented}"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_registry_covers_cli_surface():
+    """Every registered experiment/ablation has a description and runs
+    through a callable (not re-running them here — just the wiring)."""
+    from repro.evaluation.registry import ABLATIONS, DESCRIPTIONS, EXPERIMENTS
+
+    for name, runner in {**EXPERIMENTS, **ABLATIONS}.items():
+        assert callable(runner)
+        assert name in DESCRIPTIONS
+        assert DESCRIPTIONS[name]
+
+
+def test_cli_and_registry_agree():
+    from repro import cli
+    from repro.evaluation import registry
+
+    assert cli.EXPERIMENTS is registry.EXPERIMENTS
+    assert cli.ABLATIONS is registry.ABLATIONS
