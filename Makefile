@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-processes test-all bench-executors bench
+
+# Tier-1: the full suite on the default (serial) backend.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The same suite re-run over the process-pool executor backend: every
+# runtime constructed without an explicit config picks the backend up
+# from the environment, so this exercises picklability and the
+# determinism-equivalence contract end to end.
+test-processes:
+	REPRO_EXECUTOR=processes REPRO_NUM_WORKERS=2 $(PYTHON) -m pytest -x -q
+
+test-all: test test-processes
+
+bench-executors:
+	$(PYTHON) -m pytest benchmarks/bench_executor_speedup.py -q -s
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s

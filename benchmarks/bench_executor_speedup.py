@@ -1,0 +1,114 @@
+"""Executor backends — real wall-clock speedup on the Table 1 workload.
+
+Unlike the other benchmarks, which validate *simulated* cluster time,
+this one measures the real time this process spends running a Table-1
+style G-means workload under each task-execution backend. It asserts
+two things:
+
+* equivalence — every backend produces byte-identical results
+  (centers, k, iterations, simulated time);
+* speedup — ``processes`` with 4 workers beats ``serial`` by >= 2x on
+  a machine with >= 4 CPUs. On smaller machines (CI runners are often
+  1-2 cores) the assertion is skipped — a process pool cannot
+  outrun the serial loop without cores to run on — but the measured
+  ratio is still recorded in ``BENCH_executors.json`` for the record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import paper_family_dataset
+from repro.evaluation.experiments import EXPERIMENT_ALPHA
+from repro.evaluation.harness import build_world
+from repro.mapreduce.executors import shutdown_shared_pools
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_executors.json"
+
+K_REAL = 16
+N_POINTS = 60_000
+SEED = 3
+NUM_WORKERS = 4
+
+
+def run_once(backend: str) -> tuple[dict, float]:
+    """One Table-1 G-means run; returns (result signature, wall seconds)."""
+    mixture = paper_family_dataset(n_clusters=K_REAL, n_points=N_POINTS, rng=SEED)
+    world = build_world(
+        mixture,
+        nodes=4,
+        target_splits=16,
+        seed=SEED,
+        executor=backend,
+        num_workers=NUM_WORKERS,
+    )
+    config = MRGMeansConfig(seed=SEED, alpha=EXPERIMENT_ALPHA)
+    start = time.perf_counter()
+    result = MRGMeans(world.runtime, config).fit(world.dataset)
+    elapsed = time.perf_counter() - start
+    signature = {
+        "k_found": result.k_found,
+        "iterations": result.iterations,
+        "completed": result.completed,
+        "centers_sha": result.centers.tobytes().hex()[:64],
+        "simulated_seconds": result.simulated_seconds,
+    }
+    return signature, elapsed
+
+
+def test_executor_speedup(report):
+    measurements = {}
+    signatures = {}
+    for backend in ("serial", "threads", "processes"):
+        if backend == "processes":
+            # Pay pool start-up before the measured run, as a long-lived
+            # driver would (pools are shared process-wide).
+            shutdown_shared_pools()
+            _, _ = run_once(backend)
+        signatures[backend], measurements[backend] = run_once(backend)
+
+    assert signatures["threads"] == signatures["serial"]
+    assert signatures["processes"] == signatures["serial"]
+
+    speedup = measurements["serial"] / measurements["processes"]
+    cpus = os.cpu_count() or 1
+    entry = {
+        "benchmark": "executor_speedup_table1",
+        "workload": {
+            "algorithm": "gmeans_mr",
+            "clusters": K_REAL,
+            "n_points": N_POINTS,
+            "dimensions": 10,
+            "seed": SEED,
+        },
+        "num_workers": NUM_WORKERS,
+        "cpu_count": cpus,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "wall_seconds": {k: round(v, 3) for k, v in measurements.items()},
+        "speedup_processes_vs_serial": round(speedup, 3),
+        "results_byte_identical": True,
+    }
+    BENCH_JSON.write_text(json.dumps(entry, indent=2) + "\n")
+
+    lines = ["executor backends — wall-clock on the Table 1 workload", ""]
+    for backend, seconds in measurements.items():
+        lines.append(f"  {backend:<10} {seconds:8.2f} s")
+    lines.append("")
+    lines.append(
+        f"  processes vs serial: {speedup:.2f}x "
+        f"({NUM_WORKERS} workers on {cpus} CPUs)"
+    )
+    report("executor_speedup", "\n".join(lines))
+
+    if cpus >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {NUM_WORKERS} workers on "
+            f"{cpus} CPUs, measured {speedup:.2f}x"
+        )

@@ -16,11 +16,17 @@ suite archives.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
 
 from repro.evaluation.registry import ABLATIONS, DESCRIPTIONS, EXPERIMENTS
+from repro.mapreduce.executors import (
+    EXECUTOR_ENV,
+    EXECUTOR_KINDS,
+    NUM_WORKERS_ENV,
+)
 
 
 def _emit(result, out: "str | None") -> None:
@@ -86,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'Determining the k in k-means with MapReduce'"
         " (EDBT 2014): run any table/figure experiment or ablation.",
     )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        help="task-execution backend for every runtime in the run "
+        "(default: $REPRO_EXECUTOR or serial); never changes results, "
+        "only wall-clock time",
+    )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        metavar="N",
+        help="worker count for the threads/processes backends "
+        "(default: $REPRO_NUM_WORKERS or one per CPU)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments and ablations")
@@ -117,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    # Experiments build their runtimes deep inside registry functions;
+    # the env vars are how the backend choice reaches all of them.
+    if args.executor:
+        os.environ[EXECUTOR_ENV] = args.executor
+    if args.num_workers is not None:
+        os.environ[NUM_WORKERS_ENV] = str(args.num_workers)
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,

@@ -36,6 +36,9 @@ class JobFailedError(ReproError):
         super().__init__(message)
         self.cause = cause
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cause))
+
 
 class JavaHeapSpaceError(ReproError):
     """A task exceeded its configured JVM heap.
@@ -54,3 +57,9 @@ class JavaHeapSpaceError(ReproError):
             f"Java heap space: task {task or '<unknown>'} requires "
             f"{required_bytes / mib:.1f} MiB but heap is {heap_bytes / mib:.1f} MiB"
         )
+
+    def __reduce__(self):
+        # Exceptions with non-message __init__ args need explicit pickle
+        # support; heap failures raised inside process-pool workers are
+        # re-raised in the runtime process.
+        return (type(self), (self.required_bytes, self.heap_bytes, self.task))

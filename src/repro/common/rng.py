@@ -29,9 +29,22 @@ def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
     raise TypeError(f"expected int, Generator or None, got {type(rng).__name__}")
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from ``rng``.
+
+    Seeds are drawn in one vectorised call, so seed ``i`` depends only
+    on the parent's state and ``i`` — never on who consumes the child
+    generators, or in which order. This is what lets parallel task
+    executors hand each task its RNG *by task index* while staying
+    byte-identical with serial execution (plain ints also cross process
+    boundaries more cheaply than generator objects).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators from ``rng``."""
-    if n < 0:
-        raise ValueError(f"cannot spawn {n} generators")
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]

@@ -48,6 +48,11 @@ class TestVerdict(tuple):
     def __new__(cls, statistic: float, n: int, is_normal: bool, decided: bool):
         return super().__new__(cls, (float(statistic), int(n), bool(is_normal), bool(decided)))
 
+    def __getnewargs__(self):
+        # tuple subclasses with a custom __new__ signature need this to
+        # pickle (verdicts are reduce output and cross process pools).
+        return tuple(self)
+
     @property
     def statistic(self) -> float:
         return self[0]
@@ -63,6 +68,26 @@ class TestVerdict(tuple):
     @property
     def decided(self) -> bool:
         return self[3]
+
+
+class ProjectionHeapCost:
+    """Picklable per-value heap charge of the reduce-side strategy.
+
+    One buffered projection costs ``heap_bytes_per_projection`` (64
+    bytes, the paper's Figure-2 calibration). A class instead of a
+    closure so jobs survive the trip to process-pool workers.
+    """
+
+    __slots__ = ("heap_bytes_per_projection",)
+
+    def __init__(self, heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION):
+        self.heap_bytes_per_projection = int(heap_bytes_per_projection)
+
+    def __call__(self, value: object) -> int:
+        return int(np.asarray(value).size * self.heap_bytes_per_projection)
+
+    def __reduce__(self):
+        return (type(self), (self.heap_bytes_per_projection,))
 
 
 class ProjectionMapperBase(Mapper):
@@ -162,9 +187,7 @@ def make_test_clusters_job(
             ALPHA_KEY: float(alpha),
             NORMALITY_KEY: normality,
         },
-        heap_bytes_per_value=lambda value: int(
-            np.asarray(value).size * heap_bytes_per_projection
-        ),
+        heap_bytes_per_value=ProjectionHeapCost(heap_bytes_per_projection),
     )
     if partitioner is not None:
         job.partitioner = partitioner

@@ -64,6 +64,9 @@ class MapperVote(tuple):
             cls, (float(statistic), int(n), bool(decided), bool(rejected))
         )
 
+    def __getnewargs__(self):
+        return tuple(self)
+
     @property
     def statistic(self) -> float:
         return self[0]

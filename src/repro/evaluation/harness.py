@@ -20,6 +20,7 @@ from repro.data.loader import write_points
 from repro.data.textio import bytes_per_record
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.costmodel import CostParameters
+from repro.mapreduce.executors import RuntimeConfig
 from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
 from repro.mapreduce.runtime import MapReduceRuntime
 
@@ -73,6 +74,8 @@ def build_world(
     cost: CostParameters | None = None,
     seed: int = 0,
     dataset_name: str = "dataset",
+    executor: str | None = None,
+    num_workers: int | None = None,
 ) -> World:
     """Wire a DFS, a cluster runtime and the dataset for one experiment.
 
@@ -80,6 +83,11 @@ def build_world(
     per-split samples the mapper-side test sees; the defaults keep both
     realistic at laptop scale (the paper's 64 MB splits over 10M-point
     files behave like ~16 splits over our scaled datasets).
+
+    ``executor``/``num_workers`` pick the task-execution backend; left
+    as ``None`` they defer to ``REPRO_EXECUTOR``/``REPRO_NUM_WORKERS``
+    (and ultimately to the serial default). Backends never change
+    results, only wall-clock time.
     """
     split_bytes = target_split_bytes(
         mixture.n_points, mixture.dimensions, target_splits
@@ -92,7 +100,19 @@ def build_world(
         reduce_slots_per_node=reduce_slots_per_node,
         task_heap_mb=task_heap_mb,
     )
+    if executor is None and num_workers is None:
+        config = None  # defer to REPRO_EXECUTOR / REPRO_NUM_WORKERS
+    else:
+        base = RuntimeConfig.from_env()
+        config = RuntimeConfig(
+            executor=executor or base.executor,
+            num_workers=num_workers if num_workers is not None else base.num_workers,
+        )
     runtime = MapReduceRuntime(
-        dfs, cluster=cluster, cost=cost or BENCH_COST, rng=ensure_rng(seed)
+        dfs,
+        cluster=cluster,
+        cost=cost or BENCH_COST,
+        rng=ensure_rng(seed),
+        config=config,
     )
     return World(dfs=dfs, runtime=runtime, dataset=dataset, mixture=mixture)

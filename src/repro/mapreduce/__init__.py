@@ -17,6 +17,16 @@ from repro.mapreduce.counters import (
     UserCounter,
 )
 from repro.mapreduce.driver import ChainTotals, JobChainDriver
+from repro.mapreduce.executors import (
+    EXECUTOR_KINDS,
+    ProcessPoolTaskExecutor,
+    RuntimeConfig,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadPoolTaskExecutor,
+    create_executor,
+    shutdown_shared_pools,
+)
 from repro.mapreduce.faults import (
     FaultModel,
     TaskPermanentlyFailedError,
@@ -28,6 +38,7 @@ from repro.mapreduce.locality import (
     schedule_map_tasks,
 )
 from repro.mapreduce.partitioners import (
+    WeightBalancedPartitioner,
     make_weight_balanced_partitioner,
     reduce_load_imbalance,
 )
@@ -60,12 +71,21 @@ __all__ = [
     "UserCounter",
     "ChainTotals",
     "JobChainDriver",
+    "EXECUTOR_KINDS",
+    "RuntimeConfig",
+    "TaskExecutor",
+    "SerialExecutor",
+    "ThreadPoolTaskExecutor",
+    "ProcessPoolTaskExecutor",
+    "create_executor",
+    "shutdown_shared_pools",
     "FaultModel",
     "TaskPermanentlyFailedError",
     "LocalitySchedule",
     "MapTaskSpec",
     "replica_nodes",
     "schedule_map_tasks",
+    "WeightBalancedPartitioner",
     "make_weight_balanced_partitioner",
     "reduce_load_imbalance",
     "DEFAULT_SPLIT_SIZE",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.errors import ConfigurationError
 from repro.common.validation import check_in_range, check_positive
 
 MIB = 1024 * 1024
@@ -49,6 +50,22 @@ class ClusterConfig:
         """Reduce tasks the cluster can run concurrently — the "total
         reduce capacity" of the paper's switching rule."""
         return self.nodes * self.reduce_slots_per_node
+
+    def executor_concurrency(self, phase: str) -> int:
+        """Concurrent tasks the simulated topology allows in ``phase``.
+
+        Parallel task executors cap their in-flight tasks at this bound,
+        so a 1-slot cluster really does execute serially regardless of
+        worker count (results are identical either way; only wall-clock
+        time reacts).
+        """
+        if phase == "map":
+            return self.total_map_slots
+        if phase == "reduce":
+            return self.total_reduce_slots
+        raise ConfigurationError(
+            f"phase must be 'map' or 'reduce', got {phase!r}"
+        )
 
     @property
     def task_heap_bytes(self) -> int:

@@ -48,17 +48,25 @@ FRAMEWORK_GROUP = "framework"
 USER_GROUP = "user"
 
 
+def _new_group() -> "defaultdict[str, int]":
+    """Module-level ``defaultdict`` factory: a lambda here would make
+    per-task counters unpicklable, and the process-pool executor ships
+    them back across process boundaries."""
+    return defaultdict(int)
+
+
 class Counters:
     """A two-level (group, name) -> integer counter map.
 
     Supports increment, max-update (for high-water marks such as the
     biggest cluster size), merging of per-task counters into per-job
     counters, and snapshot/diff — which the cost model uses to charge
-    each task only for the work it performed.
+    each task only for the work it performed. Instances pickle cleanly
+    (task counters travel from pool workers to the runtime).
     """
 
     def __init__(self) -> None:
-        self._data: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._data: dict[str, dict[str, int]] = defaultdict(_new_group)
 
     def inc(self, group: str, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``(group, name)``."""

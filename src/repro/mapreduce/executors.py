@@ -1,0 +1,430 @@
+"""Pluggable task-execution backends for the MapReduce runtime.
+
+The simulated Hadoop runtime used to run every map and reduce task
+serially in one Python process. The paper's iterations are
+embarrassingly parallel across splits and clusters, so the runtime now
+delegates task execution to a :class:`TaskExecutor` backend:
+
+* ``serial`` — the original in-process loop (default);
+* ``threads`` — a shared :class:`concurrent.futures.ThreadPoolExecutor`
+  (wins when mappers spend their time in GIL-releasing numpy kernels);
+* ``processes`` — a shared
+  :class:`concurrent.futures.ProcessPoolExecutor` (true CPU
+  parallelism; jobs, contexts and task results must be picklable).
+
+Determinism contract
+--------------------
+
+Results are **byte-identical across all backends**, because nothing a
+task computes depends on scheduling:
+
+* per-task RNG seeds are spawned from the runtime RNG *by task index*
+  before anything is submitted (see
+  :func:`repro.common.rng.spawn_seeds`);
+* task outputs and counters are merged in task-index order, never in
+  completion order;
+* task failures are re-raised for the lowest-index failing task, which
+  is exactly the task that would have raised first under ``serial``;
+* fault injection and cost-model timing run in the submitting process,
+  in task-index order, over the same sequential fault-RNG stream the
+  serial backend consumes.
+
+The worker functions :func:`execute_map_task` /
+:func:`execute_reduce_task` are module-level so the process backend can
+pickle them by qualified name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.counters import Counters, MRCounter, framework
+from repro.mapreduce.hdfs import Split
+from repro.mapreduce.job import MapContext, Mapper, ReduceContext, Reducer
+from repro.mapreduce.shuffle import group_by_key, run_combiner, sorted_keys
+
+#: Recognised backend names, in documentation order.
+EXECUTOR_KINDS = ("serial", "threads", "processes")
+
+#: Environment variables consulted by :meth:`RuntimeConfig.from_env`
+#: (and therefore by every runtime constructed without an explicit
+#: config — this is how CI runs the whole suite over a second backend).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+
+def default_num_workers() -> int:
+    """Worker count used when the config leaves ``num_workers`` unset."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-backend selection for :class:`MapReduceRuntime`.
+
+    ``executor`` picks the backend (``serial``/``threads``/
+    ``processes``); ``num_workers`` bounds backend concurrency (``None``
+    means one worker per CPU). Worker counts never affect results —
+    only wall-clock time.
+    """
+
+    executor: str = "serial"
+    num_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+
+    @classmethod
+    def from_env(cls, environ: "Mapping[str, str] | None" = None) -> "RuntimeConfig":
+        """Build a config from ``REPRO_EXECUTOR`` / ``REPRO_NUM_WORKERS``.
+
+        Unset or empty variables fall back to the defaults, so code that
+        constructs a runtime without an explicit config keeps its
+        historical serial behaviour.
+        """
+        env = os.environ if environ is None else environ
+        kind = (env.get(EXECUTOR_ENV) or "serial").strip() or "serial"
+        raw_workers = (env.get(NUM_WORKERS_ENV) or "").strip()
+        try:
+            workers = int(raw_workers) if raw_workers else None
+        except ValueError:
+            raise ConfigurationError(
+                f"{NUM_WORKERS_ENV} must be an integer, got {raw_workers!r}"
+            ) from None
+        return cls(executor=kind, num_workers=workers)
+
+
+# -- task specifications and results ------------------------------------
+
+
+@dataclass(frozen=True)
+class MapTaskSpec:
+    """Everything one map task needs, picklable for the process backend."""
+
+    task_id: str
+    mapper: Callable[[], Mapper]
+    combiner: "Callable[[], Reducer] | None"
+    config: dict
+    split: Split
+    seed: int
+    heap_bytes: int
+
+
+@dataclass(frozen=True)
+class ReduceTaskSpec:
+    """Everything one reduce task needs, picklable for the process backend."""
+
+    task_id: str
+    reducer: Callable[[], Reducer]
+    config: dict
+    bucket: list
+    seed: int
+    heap_bytes: int
+    heap_bytes_per_value: "Callable[[object], int] | None"
+
+
+@dataclass
+class TaskResult:
+    """What a task sends back to the runtime for index-ordered merging."""
+
+    pairs: list
+    counters: Counters
+    heap_high_water: int = 0
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A captured task exception, re-raised by the runtime in index order."""
+
+    error: Exception
+
+
+def execute_map_task(spec: MapTaskSpec) -> TaskResult:
+    """Run one map task (mapper lifecycle + per-task combiner)."""
+    task_counters = Counters()
+    framework(task_counters, MRCounter.MAP_TASKS)
+    framework(task_counters, MRCounter.MAP_INPUT_RECORDS, spec.split.num_records)
+    rng = np.random.default_rng(spec.seed)
+    ctx = MapContext(spec.config, task_counters, rng, spec.heap_bytes, spec.task_id)
+    mapper = spec.mapper()
+    mapper.setup(ctx)
+    mapper.map_split(spec.split, ctx)
+    mapper.close(ctx)
+    pairs = ctx.emitted
+    if spec.combiner is not None:
+        pairs = run_combiner(
+            spec.combiner,
+            pairs,
+            spec.config,
+            task_counters,
+            rng,
+            spec.heap_bytes,
+            spec.task_id,
+        )
+    return TaskResult(pairs=pairs, counters=task_counters, heap_high_water=ctx.heap_high_water)
+
+
+def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
+    """Run one reduce task (sort-merge grouping + reducer lifecycle)."""
+    task_counters = Counters()
+    framework(task_counters, MRCounter.REDUCE_TASKS)
+    rng = np.random.default_rng(spec.seed)
+    ctx = ReduceContext(spec.config, task_counters, rng, spec.heap_bytes, spec.task_id)
+    reducer = spec.reducer()
+    reducer.setup(ctx)
+    groups = group_by_key(spec.bucket)
+    framework(task_counters, MRCounter.REDUCE_INPUT_GROUPS, len(groups))
+    framework(task_counters, MRCounter.REDUCE_INPUT_RECORDS, len(spec.bucket))
+    for key in sorted_keys(groups):
+        values = groups[key]
+        if spec.heap_bytes_per_value is not None:
+            group_bytes = sum(spec.heap_bytes_per_value(v) for v in values)
+            ctx.allocate(group_bytes)
+            reducer.reduce(key, values, ctx)
+            ctx.free(group_bytes)
+        else:
+            reducer.reduce(key, values, ctx)
+    reducer.close(ctx)
+    return TaskResult(
+        pairs=ctx.emitted,
+        counters=task_counters,
+        heap_high_water=ctx.heap_high_water,
+    )
+
+
+def _guarded(fn: Callable, spec) -> "TaskResult | TaskFailure":
+    """Run ``fn(spec)``, converting the exception into a value.
+
+    Capturing (instead of failing fast) lets the runtime raise the
+    *lowest-index* failure, which is the one the serial backend would
+    have hit first — completion order must never leak into behaviour.
+    """
+    try:
+        return fn(spec)
+    except Exception as err:  # noqa: BLE001 - re-raised by the caller
+        return TaskFailure(err)
+
+
+def unwrap(outcome: "TaskResult | TaskFailure") -> TaskResult:
+    """Return the task result, re-raising a captured task failure."""
+    if isinstance(outcome, TaskFailure):
+        raise outcome.error
+    return outcome
+
+
+# -- executors ----------------------------------------------------------
+
+
+@runtime_checkable
+class TaskExecutor(Protocol):
+    """Strategy interface: run independent tasks, results in index order."""
+
+    name: str
+
+    def run_tasks(
+        self,
+        fn: Callable,
+        specs: Sequence,
+        max_concurrency: "int | None" = None,
+    ) -> list:
+        """Run ``fn`` over ``specs``; outcome ``i`` belongs to spec ``i``.
+
+        Each outcome is a :class:`TaskResult` or a :class:`TaskFailure`
+        (never an in-flight exception): callers unwrap in index order.
+        ``max_concurrency`` caps in-flight tasks — the runtime passes
+        the cluster's slot count so the simulated topology also bounds
+        real parallelism.
+        """
+        ...
+
+    def close(self) -> None:
+        """Release backend resources (shared pools survive, see below)."""
+        ...
+
+
+class SerialExecutor:
+    """The original behaviour: every task runs inline, in index order."""
+
+    name = "serial"
+
+    def run_tasks(
+        self,
+        fn: Callable,
+        specs: Sequence,
+        max_concurrency: "int | None" = None,
+    ) -> list:
+        return [_guarded(fn, spec) for spec in specs]
+
+    def close(self) -> None:
+        pass
+
+
+class _PoolBackedExecutor:
+    """Shared machinery of the thread and process backends.
+
+    Pools are shared per ``(kind, num_workers)`` across runtimes (see
+    :func:`_shared_pool`): tests and chained drivers construct many
+    runtimes, and paying pool start-up per runtime would drown the
+    speedup the pool exists to provide.
+    """
+
+    name = "pool"
+
+    def __init__(self, num_workers: "int | None" = None):
+        if num_workers is not None and num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self.num_workers = num_workers or default_num_workers()
+
+    def _pool(self) -> Executor:
+        return _shared_pool(self.name, self.num_workers)
+
+    def run_tasks(
+        self,
+        fn: Callable,
+        specs: Sequence,
+        max_concurrency: "int | None" = None,
+    ) -> list:
+        specs = list(specs)
+        if not specs:
+            return []
+        limit = self.num_workers
+        if max_concurrency is not None:
+            limit = max(1, min(limit, max_concurrency))
+        if limit == 1:
+            # One slot is serial execution; skip the pool round-trips.
+            return [_guarded(fn, spec) for spec in specs]
+        try:
+            return self._run_on_pool(self._pool(), fn, specs, limit)
+        except BrokenExecutor:
+            # A dead worker (OOM-killed, crashed interpreter) poisons a
+            # pool permanently. Tasks are pure functions of their spec,
+            # so rebuilding the pool and rerunning the batch is safe —
+            # and deterministic, because results merge by index.
+            _discard_shared_pool(self.name, self.num_workers)
+            return self._run_on_pool(self._pool(), fn, specs, limit)
+
+    @staticmethod
+    def _run_on_pool(pool: Executor, fn: Callable, specs: list, limit: int) -> list:
+        results: list = [None] * len(specs)
+        pending: dict = {}
+        next_index = 0
+        # Sliding window: at most `limit` tasks in flight, yet results
+        # land at their spec's index, so merge order is deterministic.
+        while next_index < len(specs) or pending:
+            while next_index < len(specs) and len(pending) < limit:
+                future = pool.submit(_guarded, fn, specs[next_index])
+                pending[future] = next_index
+                next_index += 1
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[pending.pop(future)] = future.result()
+        return results
+
+    def close(self) -> None:
+        """Backends share pools; nothing per-instance to release."""
+
+
+class ThreadPoolTaskExecutor(_PoolBackedExecutor):
+    """Tasks run on a shared thread pool.
+
+    Task state is per-task (own context, counters, RNG), so the only
+    shared object a task touches is the read-only job config.
+    """
+
+    name = "threads"
+
+
+class ProcessPoolTaskExecutor(_PoolBackedExecutor):
+    """Tasks run on a shared process pool (true CPU parallelism).
+
+    Specs, task functions and results cross process boundaries, so jobs
+    must be built from module-level callables (no lambdas or closures —
+    see the picklable ``ProjectionHeapCost`` and
+    ``WeightBalancedPartitioner`` helpers).
+    """
+
+    name = "processes"
+
+
+def create_executor(config: RuntimeConfig) -> TaskExecutor:
+    """Instantiate the backend selected by ``config``."""
+    if config.executor == "serial":
+        return SerialExecutor()
+    if config.executor == "threads":
+        return ThreadPoolTaskExecutor(config.num_workers)
+    return ProcessPoolTaskExecutor(config.num_workers)
+
+
+# -- shared pools -------------------------------------------------------
+
+_POOLS: "dict[tuple[str, int], Executor]" = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _make_pool(kind: str, num_workers: int) -> Executor:
+    if kind == "threads":
+        return ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="repro-task"
+        )
+    import multiprocessing
+
+    # Prefer fork where the platform offers it: workers inherit loaded
+    # modules, which keeps per-pool start-up far below a simulated job.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(max_workers=num_workers, mp_context=context)
+
+
+def _shared_pool(kind: str, num_workers: int) -> Executor:
+    """Get-or-create the process-wide pool for ``(kind, num_workers)``."""
+    key = (kind, int(num_workers))
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            pool = _make_pool(kind, int(num_workers))
+            _POOLS[key] = pool
+        return pool
+
+
+def _discard_shared_pool(kind: str, num_workers: int) -> None:
+    """Drop a (broken) shared pool so the next use builds a fresh one."""
+    with _POOLS_LOCK:
+        pool = _POOLS.pop((kind, int(num_workers)), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every shared worker pool (also registered atexit)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_pools)

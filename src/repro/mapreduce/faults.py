@@ -9,6 +9,13 @@ so that chained G-means runs exhibit realistic tail behaviour — and so
 the test suite can verify the algorithms are agnostic to them (faults
 perturb *time*, never *results*, because re-executed tasks are
 deterministic).
+
+Concurrency contract: the fault stream is a single sequential RNG, so
+the runtime applies the model in the *submitting* process only, in
+task-index order, after the parallel task executor has returned —
+never inside worker threads or processes. That keeps retry and
+speculative-execution bookkeeping thread-safe and byte-identical
+across the serial, thread and process backends.
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ class TaskPermanentlyFailedError(ReproError):
         self.task = task
         self.attempts = attempts
         super().__init__(f"task {task} failed after {attempts} attempts")
+
+    def __reduce__(self):
+        return (type(self), (self.task, self.attempts))
 
 
 #: Framework counters maintained by the fault model.

@@ -23,37 +23,59 @@ from repro.mapreduce.runtime import JobResult
 from repro.mapreduce.types import stable_hash
 
 
-def make_weight_balanced_partitioner(
-    weights: dict, num_reducers: int
-) -> Callable[[object, int], int]:
-    """Build a partitioner that balances known per-key loads.
+class WeightBalancedPartitioner:
+    """A partitioner that balances known per-key loads.
 
     Keys listed in ``weights`` are assigned to reduce tasks with the
     LPT greedy rule (heaviest first onto the least-loaded task); keys
-    not listed fall back to hash partitioning. The returned callable
-    has the standard ``(key, num_reducers) -> index`` signature but is
-    pinned to the ``num_reducers`` it was built for.
+    not listed fall back to hash partitioning. Instances have the
+    standard ``(key, num_reducers) -> index`` call signature but are
+    pinned to the ``num_reducers`` they were built for. A class rather
+    than a closure so jobs carrying one stay picklable for the
+    process-pool executor backend.
     """
-    if num_reducers < 1:
-        raise ConfigurationError(f"num_reducers must be >= 1, got {num_reducers}")
-    loads = [0.0] * num_reducers
-    assignment: dict = {}
-    for key in sorted(weights, key=lambda k: (-weights[k], stable_hash(k))):
-        target = min(range(num_reducers), key=loads.__getitem__)
-        assignment[key] = target
-        loads[target] += float(weights[key])
 
-    def partitioner(key: object, n: int) -> int:
-        if n != num_reducers:
+    __slots__ = ("num_reducers", "assignment")
+
+    def __init__(self, weights: dict, num_reducers: int):
+        if num_reducers < 1:
             raise ConfigurationError(
-                f"balanced partitioner built for {num_reducers} reducers, "
+                f"num_reducers must be >= 1, got {num_reducers}"
+            )
+        self.num_reducers = int(num_reducers)
+        loads = [0.0] * self.num_reducers
+        self.assignment: dict = {}
+        for key in sorted(weights, key=lambda k: (-weights[k], stable_hash(k))):
+            target = min(range(self.num_reducers), key=loads.__getitem__)
+            self.assignment[key] = target
+            loads[target] += float(weights[key])
+
+    def __call__(self, key: object, n: int) -> int:
+        if n != self.num_reducers:
+            raise ConfigurationError(
+                f"balanced partitioner built for {self.num_reducers} reducers, "
                 f"job configured {n}"
             )
-        if key in assignment:
-            return assignment[key]
+        if key in self.assignment:
+            return self.assignment[key]
         return stable_hash(key) % n
 
+    def __reduce__(self):
+        return (_rebuild_partitioner, (self.num_reducers, self.assignment))
+
+
+def _rebuild_partitioner(num_reducers: int, assignment: dict) -> "WeightBalancedPartitioner":
+    """Pickle helper: restore a partitioner from its computed assignment."""
+    partitioner = WeightBalancedPartitioner({}, num_reducers)
+    partitioner.assignment = dict(assignment)
     return partitioner
+
+
+def make_weight_balanced_partitioner(
+    weights: dict, num_reducers: int
+) -> Callable[[object, int], int]:
+    """Build a :class:`WeightBalancedPartitioner` (compatibility factory)."""
+    return WeightBalancedPartitioner(weights, num_reducers)
 
 
 def reduce_load_imbalance(result: JobResult) -> float:

@@ -13,8 +13,17 @@ Semantics follow Hadoop 1.x:
 * every task runs with its own counters, which the cost model converts
   into a simulated duration before they are merged into job counters.
 
-The runtime is deterministic: task RNGs are spawned from the runtime
-RNG in split order, and partitioning uses a stable hash.
+Task execution is delegated to a pluggable backend
+(:mod:`repro.mapreduce.executors`): map and reduce tasks within a phase
+are independent, so the ``threads`` and ``processes`` backends run them
+concurrently, bounded by the cluster's map/reduce slots.
+
+The runtime is deterministic *across backends*: task RNGs are spawned
+from the runtime RNG by task index (never completion order), task
+outputs and counters are merged in task-index order, partitioning uses
+a stable hash, and fault injection runs in the submitting process over
+one sequential RNG stream. Same seed, same backend-independent results
+— always.
 """
 
 from __future__ import annotations
@@ -24,19 +33,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import JavaHeapSpaceError, JobFailedError
-from repro.common.rng import ensure_rng, spawn_rng
+from repro.common.rng import ensure_rng, spawn_seeds
+from repro.mapreduce.executors import (
+    MapTaskSpec,
+    ReduceTaskSpec,
+    RuntimeConfig,
+    TaskExecutor,
+    create_executor,
+    execute_map_task,
+    execute_reduce_task,
+    unwrap,
+)
 from repro.mapreduce.faults import FaultModel, TaskPermanentlyFailedError
 from repro.mapreduce.cluster import ClusterConfig, PAPER_CLUSTER
 from repro.mapreduce.costmodel import CostModel, CostParameters, JobTiming
 from repro.mapreduce.counters import Counters, MRCounter, framework
 from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
-from repro.mapreduce.job import Job, MapContext, ReduceContext
-from repro.mapreduce.shuffle import (
-    group_by_key,
-    partition_pairs,
-    run_combiner,
-    sorted_keys,
-)
+from repro.mapreduce.job import Job
+from repro.mapreduce.shuffle import group_by_key, partition_pairs
 
 
 @dataclass
@@ -63,7 +77,15 @@ class JobResult:
 
 
 class MapReduceRuntime:
-    """Executes jobs on a simulated cluster over an in-memory DFS."""
+    """Executes jobs on a simulated cluster over an in-memory DFS.
+
+    ``config`` selects the task-execution backend (a
+    :class:`~repro.mapreduce.executors.RuntimeConfig`, or just the
+    backend name as a string); without one, the ``REPRO_EXECUTOR`` /
+    ``REPRO_NUM_WORKERS`` environment variables are consulted, so whole
+    test suites can be re-run over another backend unchanged. An
+    explicit ``executor`` instance overrides both.
+    """
 
     def __init__(
         self,
@@ -73,6 +95,8 @@ class MapReduceRuntime:
         rng=None,
         faults: FaultModel | None = None,
         locality: bool = False,
+        config: "RuntimeConfig | str | None" = None,
+        executor: "TaskExecutor | None" = None,
     ):
         self.dfs = dfs
         self.cluster = cluster
@@ -80,14 +104,30 @@ class MapReduceRuntime:
         self.cost_model = CostModel(cost or CostParameters(), cluster)
         self._rng = ensure_rng(rng)
         # Faults draw from their own stream so enabling them perturbs
-        # task *durations* without changing any algorithmic result.
+        # task *durations* without changing any algorithmic result. The
+        # stream is consumed in the submitting process, in task-index
+        # order, which keeps fault draws identical across backends.
         self.faults = faults
         self._fault_rng = np.random.default_rng(
             int(self._rng.integers(2**63 - 1))
         )
+        if isinstance(config, str):
+            config = RuntimeConfig(executor=config)
+        self.config = config or RuntimeConfig.from_env()
+        self.executor = executor or create_executor(self.config)
         self.jobs_run = 0
 
     # -- public ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources held by this runtime."""
+        self.executor.close()
+
+    def __enter__(self) -> "MapReduceRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self, job: Job, input_file: "DFSFile | str", cached: bool = False
@@ -205,45 +245,41 @@ class MapReduceRuntime:
     ) -> tuple[list, list[float], int]:
         """Run all map tasks; returns (shuffle pairs, task times, bytes)."""
         heap = self.cluster.task_heap_bytes
-        rngs = spawn_rng(self._rng, f.num_splits)
+        seeds = spawn_seeds(self._rng, f.num_splits)
+        specs = [
+            MapTaskSpec(
+                task_id=f"{job.name}-m-{split.index:05d}",
+                mapper=job.mapper,
+                combiner=job.combiner,
+                config=job.config,
+                split=split,
+                seed=seed,
+                heap_bytes=heap,
+            )
+            for split, seed in zip(f.splits, seeds)
+        ]
+        outcomes = self.executor.run_tasks(
+            execute_map_task,
+            specs,
+            max_concurrency=self.cluster.executor_concurrency("map"),
+        )
         all_pairs: list[tuple[object, object]] = []
         map_seconds: list[float] = []
         shuffle_bytes = 0
-        for split, rng in zip(f.splits, rngs):
-            task_id = f"{job.name}-m-{split.index:05d}"
-            task_counters = Counters()
-            framework(task_counters, MRCounter.MAP_TASKS)
-            framework(
-                task_counters, MRCounter.MAP_INPUT_RECORDS, split.num_records
-            )
-            ctx = MapContext(job.config, task_counters, rng, heap, task_id)
-            mapper = job.mapper()
-            mapper.setup(ctx)
-            mapper.map_split(split, ctx)
-            mapper.close(ctx)
-            pairs = ctx.emitted
-            if job.combiner is not None:
-                pairs = run_combiner(
-                    job.combiner,
-                    pairs,
-                    job.config,
-                    task_counters,
-                    rng,
-                    heap,
-                    task_id,
-                )
-            for key, value in pairs:
+        for spec, split, outcome in zip(specs, f.splits, outcomes):
+            task = unwrap(outcome)
+            for key, value in task.pairs:
                 shuffle_bytes += 8 + job.value_size(value)
-            all_pairs.extend(pairs)
+            all_pairs.extend(task.pairs)
             seconds = self.cost_model.map_task_seconds(
-                task_counters, split.size_bytes, cached
+                task.counters, split.size_bytes, cached
             )
             if self.faults is not None:
                 seconds = self.faults.apply(
-                    seconds, task_id, self._fault_rng, task_counters
+                    seconds, spec.task_id, self._fault_rng, task.counters
                 )
             map_seconds.append(seconds)
-            counters.merge(task_counters)
+            counters.merge(task.counters)
         return all_pairs, map_seconds, shuffle_bytes
 
     def _run_reduce_phase(
@@ -253,37 +289,36 @@ class MapReduceRuntime:
         num_reduce = job.num_reduce_tasks or self.cluster.total_reduce_slots
         heap = self.cluster.task_heap_bytes
         buckets = partition_pairs(pairs, num_reduce, job.partitioner)
-        rngs = spawn_rng(self._rng, num_reduce)
+        seeds = spawn_seeds(self._rng, num_reduce)
+        specs = [
+            ReduceTaskSpec(
+                task_id=f"{job.name}-r-{index:05d}",
+                reducer=job.reducer,
+                config=job.config,
+                bucket=bucket,
+                seed=seed,
+                heap_bytes=heap,
+                heap_bytes_per_value=job.heap_bytes_per_value,
+            )
+            for index, (bucket, seed) in enumerate(zip(buckets, seeds))
+        ]
+        outcomes = self.executor.run_tasks(
+            execute_reduce_task,
+            specs,
+            max_concurrency=self.cluster.executor_concurrency("reduce"),
+        )
         output: list[tuple[object, object]] = []
         reduce_seconds: list[float] = []
         max_heap_seen = 0
-        for index, (bucket, rng) in enumerate(zip(buckets, rngs)):
-            task_id = f"{job.name}-r-{index:05d}"
-            task_counters = Counters()
-            framework(task_counters, MRCounter.REDUCE_TASKS)
-            ctx = ReduceContext(job.config, task_counters, rng, heap, task_id)
-            reducer = job.reducer()
-            reducer.setup(ctx)
-            groups = group_by_key(bucket)
-            framework(task_counters, MRCounter.REDUCE_INPUT_GROUPS, len(groups))
-            framework(task_counters, MRCounter.REDUCE_INPUT_RECORDS, len(bucket))
-            for key in sorted_keys(groups):
-                values = groups[key]
-                if job.heap_bytes_per_value is not None:
-                    group_bytes = sum(job.heap_bytes_per_value(v) for v in values)
-                    ctx.allocate(group_bytes)
-                    reducer.reduce(key, values, ctx)
-                    ctx.free(group_bytes)
-                else:
-                    reducer.reduce(key, values, ctx)
-            reducer.close(ctx)
-            output.extend(ctx.emitted)
-            max_heap_seen = max(max_heap_seen, ctx.heap_high_water)
-            seconds = self.cost_model.reduce_task_seconds(task_counters)
+        for spec, outcome in zip(specs, outcomes):
+            task = unwrap(outcome)
+            output.extend(task.pairs)
+            max_heap_seen = max(max_heap_seen, task.heap_high_water)
+            seconds = self.cost_model.reduce_task_seconds(task.counters)
             if self.faults is not None:
                 seconds = self.faults.apply(
-                    seconds, task_id, self._fault_rng, task_counters
+                    seconds, spec.task_id, self._fault_rng, task.counters
                 )
             reduce_seconds.append(seconds)
-            counters.merge(task_counters)
+            counters.merge(task.counters)
         return output, reduce_seconds, max_heap_seen, num_reduce

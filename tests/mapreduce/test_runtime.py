@@ -7,6 +7,7 @@ from repro.common.errors import JavaHeapSpaceError, JobFailedError
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.counters import (
     FRAMEWORK_GROUP,
+    USER_GROUP,
     Counters,
     MRCounter,
 )
@@ -24,6 +25,56 @@ class WordMapper(Mapper):
 class SumReducer(Reducer):
     def reduce(self, key, values, ctx):
         ctx.emit(key, sum(values))
+
+
+# Jobs must be built from module-level (picklable) callables so the
+# whole suite can also run under REPRO_EXECUTOR=processes.
+
+
+class TaskTagReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, (ctx.task_id, len(values)))
+
+
+class IdentityMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key, value)
+
+
+class HookCountingMapper(Mapper):
+    """Reports lifecycle hooks through counters (worker-process safe)."""
+
+    def setup(self, ctx):
+        ctx.count("SETUP_CALLS")
+
+    def map(self, key, value, ctx):
+        pass
+
+    def close(self, ctx):
+        ctx.count("CLOSE_CALLS")
+
+
+class BigValueMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit("big", np.zeros(1000))
+
+
+class SpreadMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value, np.zeros(1000))
+
+
+class RandomishMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(int(ctx.rng.integers(100)), 1)
+
+
+def ten_times_nbytes(value) -> int:
+    return value.nbytes * 10
+
+
+def half_heap_per_value(value) -> int:
+    return 500 * 1024
 
 
 def build(split_size=32, nodes=2, heap_mb=64, seed=7):
@@ -103,10 +154,6 @@ def test_combiner_reduces_shuffle_bytes():
 
 
 def test_same_key_lands_in_one_reduce_task():
-    class TaskTagReducer(Reducer):
-        def reduce(self, key, values, ctx):
-            ctx.emit(key, (ctx.task_id, len(values)))
-
     dfs, runtime = build(split_size=16)  # 1 record per split
     f = write_lines(dfs, ["k v", "k w", "k x"])
     job = Job(name="tag", mapper=WordMapper, reducer=TaskTagReducer, num_reduce_tasks=4)
@@ -118,43 +165,24 @@ def test_same_key_lands_in_one_reduce_task():
 
 
 def test_map_only_job():
-    class Identity(Mapper):
-        def map(self, key, value, ctx):
-            ctx.emit(key, value)
-
     dfs, runtime = build()
     f = write_lines(dfs, ["a b"])
-    result = runtime.run(Job(name="id", mapper=Identity), f)
+    result = runtime.run(Job(name="id", mapper=IdentityMapper), f)
     assert result.num_reduce_tasks == 0
     assert result.output == [(0, "a b")]
 
 
 def test_mapper_lifecycle_hooks_called_per_task():
-    events = []
-
-    class Hooked(Mapper):
-        def setup(self, ctx):
-            events.append(("setup", ctx.task_id))
-
-        def map(self, key, value, ctx):
-            pass
-
-        def close(self, ctx):
-            events.append(("close", ctx.task_id))
-
     dfs, runtime = build(split_size=16)
     f = write_lines(dfs, ["a", "b", "c"])
-    runtime.run(Job(name="hooks", mapper=Hooked, reducer=SumReducer), f)
-    setups = [e for e in events if e[0] == "setup"]
-    closes = [e for e in events if e[0] == "close"]
-    assert len(setups) == len(closes) == f.num_splits
+    result = runtime.run(
+        Job(name="hooks", mapper=HookCountingMapper, reducer=SumReducer), f
+    )
+    assert result.counters.get(USER_GROUP, "SETUP_CALLS") == f.num_splits
+    assert result.counters.get(USER_GROUP, "CLOSE_CALLS") == f.num_splits
 
 
 def test_reduce_heap_failure_wrapped_as_job_failure():
-    class BigValueMapper(Mapper):
-        def map(self, key, value, ctx):
-            ctx.emit("big", np.zeros(1000))
-
     dfs, runtime = build(heap_mb=1)  # 1 MiB heap
     f = write_lines(dfs, ["x"] * 200)
     job = Job(
@@ -162,7 +190,7 @@ def test_reduce_heap_failure_wrapped_as_job_failure():
         mapper=BigValueMapper,
         reducer=SumReducer,
         num_reduce_tasks=1,
-        heap_bytes_per_value=lambda v: v.nbytes * 10,  # 80 KB per value
+        heap_bytes_per_value=ten_times_nbytes,  # 80 KB per value
     )
     with pytest.raises(JobFailedError) as exc_info:
         runtime.run(job, f)
@@ -171,11 +199,6 @@ def test_reduce_heap_failure_wrapped_as_job_failure():
 
 def test_reduce_heap_freed_between_groups():
     """Each key group is charged separately; many small groups fit."""
-
-    class SpreadMapper(Mapper):
-        def map(self, key, value, ctx):
-            ctx.emit(value, np.zeros(1000))
-
     dfs, runtime = build(heap_mb=1)
     f = write_lines(dfs, [f"k{i}" for i in range(100)])
     job = Job(
@@ -183,17 +206,13 @@ def test_reduce_heap_freed_between_groups():
         mapper=SpreadMapper,
         reducer=SumReducer,
         num_reduce_tasks=1,
-        heap_bytes_per_value=lambda v: 500 * 1024,  # half the heap per group
+        heap_bytes_per_value=half_heap_per_value,  # half the heap per group
     )
     result = runtime.run(job, f)  # must not raise
     assert result.max_reduce_heap_bytes == 500 * 1024
 
 
 def test_determinism_same_seed_same_output():
-    class RandomishMapper(Mapper):
-        def map(self, key, value, ctx):
-            ctx.emit(int(ctx.rng.integers(100)), 1)
-
     outputs = []
     for _ in range(2):
         dfs, runtime = build(seed=42)

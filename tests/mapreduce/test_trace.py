@@ -51,20 +51,24 @@ def test_gantt_empty():
     assert "(no tasks)" in render_gantt([], title="t")
 
 
+class ModuloMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value % 3, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
 def test_render_job_trace_end_to_end():
-    class M(Mapper):
-        def map(self, key, value, ctx):
-            ctx.emit(value % 3, 1)
-
-    class R(Reducer):
-        def reduce(self, key, values, ctx):
-            ctx.emit(key, sum(values))
-
     dfs = InMemoryDFS(split_size_bytes=64)
     f = dfs.write("d", list(range(40)), bytes_per_record=8)
     cluster = ClusterConfig(nodes=2)
     runtime = MapReduceRuntime(dfs, cluster=cluster, rng=0)
-    result = runtime.run(Job(name="traced", mapper=M, reducer=R, num_reduce_tasks=3), f)
+    result = runtime.run(
+        Job(name="traced", mapper=ModuloMapper, reducer=SumReducer, num_reduce_tasks=3), f
+    )
     trace = render_job_trace(result, cluster)
     assert "job 'traced'" in trace
     assert "map phase" in trace

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.costmodel import makespan
 from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
+from repro.mapreduce.executors import RuntimeConfig
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import Job, Mapper, Reducer
 from repro.mapreduce.runtime import MapReduceRuntime
@@ -82,6 +83,58 @@ def test_combiner_does_not_change_output(records):
         )
         outputs.append(dict(runtime.run(job, f).output))
     assert outputs[0] == outputs[1]
+
+
+class SeedUsingMapper(Mapper):
+    """Mixes the per-task RNG into the output: catches any scheduling
+    leak (seed assignment, merge order) a pure mapper would hide."""
+
+    def map(self, key, value, ctx):
+        for token in value:
+            ctx.emit((token + int(ctx.rng.integers(3))) % 23, 1)
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(0, 20), min_size=0, max_size=6),
+        min_size=1,
+        max_size=25,
+    ),
+    st.integers(1, 6),
+    st.sampled_from(["threads", "processes"]),
+    st.integers(1, 4),
+)
+@settings(max_examples=20, deadline=None)
+def test_results_invariant_to_backend_and_num_workers(
+    records, num_reducers, backend, num_workers
+):
+    """Partitioning, shuffle and per-task RNG draws are a function of
+    the data and the seed alone — never of the executor backend or its
+    worker count."""
+
+    def run(config: RuntimeConfig):
+        dfs = InMemoryDFS(split_size_bytes=16)
+        f = dfs.write("data", records, bytes_per_record=8)
+        runtime = MapReduceRuntime(
+            dfs, cluster=ClusterConfig(nodes=2), rng=5, config=config
+        )
+        job = Job(
+            name="inv",
+            mapper=SeedUsingMapper,
+            reducer=SumReducer,
+            combiner=SumReducer,
+            num_reduce_tasks=num_reducers,
+        )
+        result = runtime.run(job, f)
+        return (
+            sorted(result.output),
+            result.counters.snapshot(),
+            result.map_task_seconds,
+            result.reduce_task_seconds,
+        )
+
+    reference = run(RuntimeConfig())
+    assert run(RuntimeConfig(executor=backend, num_workers=num_workers)) == reference
 
 
 @given(st.lists(st.floats(0.0, 1e3), min_size=0, max_size=60), st.integers(1, 16))
