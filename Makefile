@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-processes test-all bench-executors bench
+.PHONY: test test-processes test-all chaos bench-executors bench
 
 # Tier-1: the full suite on the default (serial) backend.
 test:
@@ -15,6 +15,16 @@ test-processes:
 	REPRO_EXECUTOR=processes REPRO_NUM_WORKERS=2 $(PYTHON) -m pytest -x -q
 
 test-all: test test-processes
+
+# Chaos mode: the integration suite with task failures and DFS block
+# loss injected through the environment, and job retries turned on to
+# ride them out. Every assertion about clustering results still holds —
+# faults and recovery perturb simulated time, never results.
+chaos:
+	REPRO_TASK_FAILURE_PROB=0.05 \
+	REPRO_BLOCK_LOSS_PROB=0.02 \
+	REPRO_MAX_JOB_RETRIES=3 \
+	$(PYTHON) -m pytest tests/integration -x -q
 
 bench-executors:
 	$(PYTHON) -m pytest benchmarks/bench_executor_speedup.py -q -s

@@ -21,10 +21,12 @@ import pathlib
 import sys
 
 
+from repro.core.config import CHECKPOINT_DIR_ENV, RESUME_ENV
 from repro.evaluation.registry import ABLATIONS, DESCRIPTIONS, EXPERIMENTS
 from repro.mapreduce.executors import (
     EXECUTOR_ENV,
     EXECUTOR_KINDS,
+    MAX_JOB_RETRIES_ENV,
     NUM_WORKERS_ENV,
 )
 
@@ -86,43 +88,92 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduce 'Determining the k in k-means with MapReduce'"
-        " (EDBT 2014): run any table/figure experiment or ablation.",
+def _global_options() -> argparse.ArgumentParser:
+    """The run-wide flags, accepted before *or* after the subcommand.
+
+    (``--resume`` without a value must go after the subcommand, or use
+    ``--resume=latest`` — a bare ``--resume`` in front would swallow the
+    command name.) Defaults are suppressed so a flag given in front of
+    the subcommand is not clobbered by the subparser's defaults.
+    """
+    parent = argparse.ArgumentParser(
+        add_help=False, argument_default=argparse.SUPPRESS
     )
-    parser.add_argument(
+    parent.add_argument(
         "--executor",
         choices=EXECUTOR_KINDS,
         help="task-execution backend for every runtime in the run "
         "(default: $REPRO_EXECUTOR or serial); never changes results, "
         "only wall-clock time",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--num-workers",
         type=int,
         metavar="N",
         help="worker count for the threads/processes backends "
         "(default: $REPRO_NUM_WORKERS or one per CPU)",
     )
+    parent.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="DFS directory where G-means drivers checkpoint after every "
+        "iteration (default: $REPRO_CHECKPOINT_DIR or off)",
+    )
+    parent.add_argument(
+        "--resume",
+        nargs="?",
+        const="latest",
+        metavar="CHECKPOINT",
+        help="resume G-means runs from a checkpoint file, or from the "
+        "newest one when no value is given (default: $REPRO_RESUME)",
+    )
+    parent.add_argument(
+        "--max-job-retries",
+        type=int,
+        metavar="N",
+        help="re-submit a permanently failed job up to N times with "
+        "exponential backoff (default: $REPRO_MAX_JOB_RETRIES or 0)",
+    )
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    options = _global_options()
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Determining the k in k-means with MapReduce'"
+        " (EDBT 2014): run any table/figure experiment or ablation.",
+        parents=[options],
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments and ablations")
+    sub.add_parser(
+        "list",
+        help="list available experiments and ablations",
+        parents=[options],
+    )
 
-    p_exp = sub.add_parser("experiment", help="run one paper table/figure")
+    p_exp = sub.add_parser(
+        "experiment", help="run one paper table/figure", parents=[options]
+    )
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--out", help="also write the report to this file")
 
-    p_abl = sub.add_parser("ablation", help="run one design-choice ablation")
+    p_abl = sub.add_parser(
+        "ablation", help="run one design-choice ablation", parents=[options]
+    )
     p_abl.add_argument("name", choices=sorted(ABLATIONS))
     p_abl.add_argument("--out", help="also write the report to this file")
 
-    p_all = sub.add_parser("all", help="run everything (several minutes)")
+    p_all = sub.add_parser(
+        "all", help="run everything (several minutes)", parents=[options]
+    )
     p_all.add_argument("--out-dir", help="directory for per-report files")
 
     p_report = sub.add_parser(
-        "report", help="run experiments and write one markdown report"
+        "report",
+        help="run experiments and write one markdown report",
+        parents=[options],
     )
     p_report.add_argument(
         "--out", default="report.md", help="output markdown path"
@@ -138,11 +189,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     # Experiments build their runtimes deep inside registry functions;
-    # the env vars are how the backend choice reaches all of them.
-    if args.executor:
-        os.environ[EXECUTOR_ENV] = args.executor
-    if args.num_workers is not None:
-        os.environ[NUM_WORKERS_ENV] = str(args.num_workers)
+    # the env vars are how these run-wide choices reach all of them.
+    # (Suppressed defaults: a flag is absent unless given somewhere.)
+    env_bindings = (
+        ("executor", EXECUTOR_ENV),
+        ("num_workers", NUM_WORKERS_ENV),
+        ("checkpoint_dir", CHECKPOINT_DIR_ENV),
+        ("resume", RESUME_ENV),
+        ("max_job_retries", MAX_JOB_RETRIES_ENV),
+    )
+    for attr, env_name in env_bindings:
+        value = getattr(args, attr, None)
+        if value is not None:
+            os.environ[env_name] = str(value)
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,

@@ -6,6 +6,7 @@ from repro.common.errors import (
     DataFormatError,
     JavaHeapSpaceError,
     JobFailedError,
+    SplitUnavailableError,
 )
 from repro.common.rng import ensure_rng, spawn_rng
 from repro.common.validation import (
@@ -21,6 +22,7 @@ __all__ = [
     "DataFormatError",
     "JavaHeapSpaceError",
     "JobFailedError",
+    "SplitUnavailableError",
     "ensure_rng",
     "spawn_rng",
     "check_positive",

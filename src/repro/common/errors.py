@@ -40,6 +40,28 @@ class JobFailedError(ReproError):
         return (type(self), (self.args[0], self.cause))
 
 
+class SplitUnavailableError(ReproError):
+    """Every replica of an input split is gone.
+
+    HDFS serves a read from any surviving replica and re-replicates in
+    the background; only when the last copy of a block is lost does the
+    read fail. This is that failure — the one fault the framework
+    cannot hide, which is why it surfaces as a typed error instead of a
+    retryable task failure.
+    """
+
+    def __init__(self, file_name: str, split_index: int, replication: int):
+        self.file_name = file_name
+        self.split_index = int(split_index)
+        self.replication = int(replication)
+        super().__init__(
+            f"split {file_name}:{split_index}: all {replication} replicas lost"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.file_name, self.split_index, self.replication))
+
+
 class JavaHeapSpaceError(ReproError):
     """A task exceeded its configured JVM heap.
 

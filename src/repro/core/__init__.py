@@ -8,6 +8,12 @@
   clusterings of every candidate k simultaneously (Algorithm 6).
 """
 
+from repro.core.checkpoint import (
+    decode_gmeans_payload,
+    decode_iteration_stats,
+    encode_gmeans_payload,
+    encode_iteration_stats,
+)
 from repro.core.config import (
     HEAP_BYTES_PER_PROJECTION,
     MIN_MAPPER_SAMPLE,
@@ -51,6 +57,10 @@ from repro.core.test_clusters import (
 from repro.core.test_few_clusters import MapperVote, make_test_few_clusters_job
 
 __all__ = [
+    "decode_gmeans_payload",
+    "decode_iteration_stats",
+    "encode_gmeans_payload",
+    "encode_iteration_stats",
     "HEAP_BYTES_PER_PROJECTION",
     "MIN_MAPPER_SAMPLE",
     "MRGMeansConfig",

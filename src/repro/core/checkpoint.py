@@ -1,0 +1,84 @@
+"""Checkpoint payloads for the MR G-means driver.
+
+The generic :class:`~repro.mapreduce.driver.CheckpointingJobChainDriver`
+persists an opaque algorithm payload plus the chain accounting; this
+module defines what G-means puts inside that payload — the cluster
+generation (:meth:`GMeansState.to_payload`), the per-iteration history,
+and the state of the algorithm-level RNG — and restores it losslessly.
+
+The contract the integration suite enforces: a run interrupted after
+iteration *i* and resumed from the iteration-*i* checkpoint produces an
+:class:`~repro.core.gmeans_mr.MRGMeansResult` byte-identical to a run
+that was never interrupted (centers, ``k_found``, history, counters and
+simulated time alike).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import DataFormatError
+from repro.core.state import GMeansState
+
+#: Payload discriminator, checked on decode so a G-means resume cannot
+#: silently consume another algorithm's checkpoint.
+GMEANS_ALGORITHM = "gmeans"
+
+
+def encode_iteration_stats(stats) -> dict:
+    """Serialisable snapshot of one ``IterationStats`` record."""
+    return {
+        "iteration": stats.iteration,
+        "k_before": stats.k_before,
+        "k_after": stats.k_after,
+        "clusters_tested": stats.clusters_tested,
+        "clusters_split": stats.clusters_split,
+        "clusters_found": stats.clusters_found,
+        "strategy": stats.strategy,
+        "simulated_seconds": stats.simulated_seconds,
+        "centers": np.asarray(stats.centers, dtype=np.float64).copy(),
+        "degraded": stats.degraded,
+    }
+
+
+def decode_iteration_stats(payload: dict):
+    """Rebuild an ``IterationStats`` from :func:`encode_iteration_stats`."""
+    from repro.core.gmeans_mr import IterationStats
+
+    return IterationStats(
+        iteration=int(payload["iteration"]),
+        k_before=int(payload["k_before"]),
+        k_after=int(payload["k_after"]),
+        clusters_tested=int(payload["clusters_tested"]),
+        clusters_split=int(payload["clusters_split"]),
+        clusters_found=int(payload["clusters_found"]),
+        strategy=str(payload["strategy"]),
+        simulated_seconds=float(payload["simulated_seconds"]),
+        centers=np.asarray(payload["centers"], dtype=np.float64).copy(),
+        degraded=bool(payload["degraded"]),
+    )
+
+
+def encode_gmeans_payload(
+    state: GMeansState, history: list, rng: np.random.Generator
+) -> dict:
+    """The algorithm payload G-means hands to the checkpointing driver."""
+    return {
+        "algorithm": GMEANS_ALGORITHM,
+        "state": state.to_payload(),
+        "history": [encode_iteration_stats(stats) for stats in history],
+        "algo_rng_state": rng.bit_generator.state,
+    }
+
+
+def decode_gmeans_payload(payload: dict) -> tuple[GMeansState, list, dict]:
+    """Restore ``(state, history, algo_rng_state)`` from a payload."""
+    algorithm = payload.get("algorithm")
+    if algorithm != GMEANS_ALGORITHM:
+        raise DataFormatError(
+            f"checkpoint payload belongs to algorithm {algorithm!r}, "
+            f"expected {GMEANS_ALGORITHM!r}"
+        )
+    state = GMeansState.from_payload(payload["state"])
+    history = [decode_iteration_stats(entry) for entry in payload["history"]]
+    return state, history, payload["algo_rng_state"]

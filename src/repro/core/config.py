@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import check_in_range, check_positive
+
+#: Environment variables consulted when the config leaves checkpointing
+#: unset — how the ``--checkpoint-dir`` / ``--resume`` CLI flags reach
+#: drivers constructed deep inside the experiment registry.
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+RESUME_ENV = "REPRO_RESUME"
 
 #: Reducer heap bytes consumed per buffered projection. The paper
 #: measures this experimentally in Figure 2 (linear regression
@@ -80,8 +87,16 @@ class MRGMeansConfig:
     post_merge: bool = False
     num_reduce_tasks: int | None = None
     seed: int | None = None
+    #: DFS directory for per-iteration chain checkpoints. ``None``
+    #: (default) consults ``$REPRO_CHECKPOINT_DIR``; the empty string
+    #: disables checkpointing even when the environment sets it.
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.checkpoint_dir is None:
+            self.checkpoint_dir = os.environ.get(CHECKPOINT_DIR_ENV) or None
+        elif not self.checkpoint_dir:
+            self.checkpoint_dir = None
         check_in_range("alpha", self.alpha, 1e-12, 0.5)
         check_positive("k_init", self.k_init)
         check_positive("k_max", self.k_max)

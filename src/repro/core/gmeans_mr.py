@@ -17,16 +17,26 @@ future-work fix.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.common.errors import JavaHeapSpaceError, JobFailedError
 from repro.common.rng import ensure_rng
 from repro.clustering.merge import merge_gmeans_centers
-from repro.mapreduce.driver import ChainTotals, JobChainDriver
+from repro.mapreduce.driver import (
+    ChainTotals,
+    CheckpointingJobChainDriver,
+    JobChainDriver,
+)
 from repro.mapreduce.hdfs import DFSFile
 from repro.mapreduce.runtime import MapReduceRuntime
-from repro.core.config import MRGMeansConfig
+from repro.core.checkpoint import (
+    decode_gmeans_payload,
+    encode_gmeans_payload,
+)
+from repro.core.config import MRGMeansConfig, RESUME_ENV
 from repro.core.kmeans_job import decode_kmeans_output, make_kmeans_job
 from repro.core.kmeans_find_new import (
     decode_find_new_centers_output,
@@ -57,6 +67,10 @@ class IterationStats:
     strategy: str
     simulated_seconds: float
     centers: np.ndarray  # refined current centers (Figure 1 snapshots)
+    #: True when this iteration's test job failed permanently (after
+    #: all job retries) and the driver fell back to the conservative
+    #: degradation policy: every tested cluster kept intact.
+    degraded: bool = False
 
 
 @dataclass
@@ -103,8 +117,21 @@ class MRGMeans:
 
     # -- public ----------------------------------------------------------
 
-    def fit(self, dataset: "DFSFile | str") -> MRGMeansResult:
-        """Run the full algorithm on ``dataset`` (a DFS file or name)."""
+    def fit(
+        self, dataset: "DFSFile | str", resume_from: "str | None" = None
+    ) -> MRGMeansResult:
+        """Run the full algorithm on ``dataset`` (a DFS file or name).
+
+        With ``config.checkpoint_dir`` set, the chain state is written
+        to the DFS after every iteration. ``resume_from`` restarts a
+        killed run from such a checkpoint: a checkpoint's DFS name, or
+        ``"latest"`` to pick the newest one under the checkpoint
+        directory (falling back to a fresh start when none exists yet).
+        ``None`` consults ``$REPRO_RESUME`` — the CLI's ``--resume``
+        flag. A resumed run restores the cluster generation, history,
+        chain totals, cached-file set and every RNG stream, and is
+        byte-identical to a run that was never interrupted.
+        """
         cfg = self.config
         rng = ensure_rng(cfg.seed)
         f = (
@@ -112,14 +139,24 @@ class MRGMeans:
             if isinstance(dataset, str)
             else dataset
         )
-        driver = JobChainDriver(self.runtime, cache_input=self.cache_input)
+        if resume_from is None:
+            resume_from = os.environ.get(RESUME_ENV) or None
+        driver = self._make_driver(resume_from)
         state = GMeansState()
-        for parent, pair in pick_initial_pairs(f, cfg.k_init, rng=rng):
-            state.new_cluster(parent, pair)
-
         history: list[IterationStats] = []
-        completed = False
         iteration = 0
+        checkpoint = self._load_checkpoint(driver, resume_from)
+        if checkpoint is not None:
+            state, history, algo_rng_state = decode_gmeans_payload(
+                checkpoint.payload
+            )
+            rng.bit_generator.state = algo_rng_state
+            iteration = checkpoint.iteration
+        else:
+            for parent, pair in pick_initial_pairs(f, cfg.k_init, rng=rng):
+                state.new_cluster(parent, pair)
+
+        completed = iteration > 0 and state.all_found
         while not completed and iteration < cfg.max_iterations:
             iteration += 1
             seconds_before = driver.totals.simulated_seconds
@@ -138,9 +175,14 @@ class MRGMeans:
                         driver.totals.simulated_seconds - seconds_before
                     ),
                     centers=stats["centers"],
+                    degraded=stats["degraded"],
                 )
             )
             completed = state.all_found
+            if isinstance(driver, CheckpointingJobChainDriver):
+                driver.save_checkpoint(
+                    iteration, encode_gmeans_payload(state, history, rng)
+                )
 
         centers = state.parent_centers()
         merged = None
@@ -156,6 +198,49 @@ class MRGMeans:
             totals=driver.totals,
             merged_centers=merged,
         )
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _make_driver(self, resume_from: "str | None") -> JobChainDriver:
+        """Build the chain driver (checkpointing when configured).
+
+        An explicit ``resume_from`` checkpoint name also implies its
+        directory when the config leaves ``checkpoint_dir`` unset, so a
+        bare ``fit(f, resume_from="ck/gmeans/iter-00003")`` works.
+        """
+        checkpoint_dir = self.config.checkpoint_dir
+        if (
+            checkpoint_dir is None
+            and resume_from not in (None, "latest")
+            and "/" in resume_from
+        ):
+            checkpoint_dir = resume_from.rsplit("/", 1)[0]
+        if checkpoint_dir is None:
+            return JobChainDriver(self.runtime, cache_input=self.cache_input)
+        return CheckpointingJobChainDriver(
+            self.runtime,
+            cache_input=self.cache_input,
+            checkpoint_dir=checkpoint_dir,
+        )
+
+    @staticmethod
+    def _load_checkpoint(driver: JobChainDriver, resume_from: "str | None"):
+        """Resolve ``resume_from`` against the driver (None = fresh run)."""
+        if resume_from is None:
+            return None
+        if not isinstance(driver, CheckpointingJobChainDriver):
+            from repro.common.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "resume requested but checkpointing is not configured "
+                "(set MRGMeansConfig.checkpoint_dir or $REPRO_CHECKPOINT_DIR)"
+            )
+        if resume_from == "latest":
+            name = driver.latest_checkpoint()
+            if name is None:  # nothing saved yet: a fresh start
+                return None
+            return driver.load_checkpoint(name)
+        return driver.load_checkpoint(resume_from)
 
     # -- one iteration ----------------------------------------------------
 
@@ -226,6 +311,7 @@ class MRGMeans:
                 "found": found_now,
                 "strategy": "none",
                 "centers": centers.copy(),
+                "degraded": False,
             }
 
         # Strategy choice (the paper's two-condition rule, or forced).
@@ -274,8 +360,24 @@ class MRGMeans:
                 name=f"TestFewClusters-i{iteration}",
                 normality=cfg.normality_test,
             )
-        result = driver.run(test_job, f)
-        verdicts = decode_test_output(result.output)
+        degraded = False
+        try:
+            result = driver.run(test_job, f)
+            verdicts = decode_test_output(result.output)
+        except JobFailedError as exc:
+            # Heap exhaustion is a deterministic misconfiguration, not a
+            # fault — surfacing it is the point of Figure 2, so it still
+            # aborts the chain.
+            if isinstance(exc.cause, JavaHeapSpaceError):
+                raise
+            # The test job died permanently (every retry exhausted).
+            # Degrade instead of aborting the chain: with no verdicts,
+            # every tested cluster is kept intact and marked found — the
+            # conservative, termination-preserving choice (identical to
+            # the no-verdict policy of _apply_verdicts), recorded on the
+            # iteration so operators can see what was skipped.
+            verdicts = {}
+            degraded = True
 
         splits = self._apply_verdicts(state, flat, pairs, verdicts, candidates)
         return {
@@ -284,6 +386,7 @@ class MRGMeans:
             "found": found_now + (len(pairs) - splits),
             "strategy": strategy,
             "centers": centers.copy(),
+            "degraded": degraded,
         }
 
     def _apply_verdicts(

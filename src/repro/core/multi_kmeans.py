@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.records import first_split_points, record_point, split_points
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import (
+    ConfigurationError,
+    JavaHeapSpaceError,
+    JobFailedError,
+)
 from repro.common.rng import ensure_rng
 from repro.clustering.init import kmeans_pp_init
 from repro.clustering.metrics import assign_nearest, cluster_sizes
@@ -157,6 +161,9 @@ class MultiKMeansResult:
     iterations: int
     iteration_seconds: list[float] = field(default_factory=list)
     totals: ChainTotals = field(default_factory=ChainTotals)
+    #: Refinement iterations whose job failed permanently and was
+    #: skipped under the degradation policy (centers kept as-is).
+    failed_iterations: list[int] = field(default_factory=list)
 
     @property
     def best_centers(self) -> np.ndarray:
@@ -243,6 +250,7 @@ class MultiKMeans:
         centers_by_k = self._initial_centers(f, rng)
         reduce_tasks = self.runtime.cluster.total_reduce_slots
         iteration_seconds: list[float] = []
+        failed_iterations: list[int] = []
         for iteration in range(1, self.iterations + 1):
             job = make_multi_kmeans_job(
                 centers_by_k,
@@ -250,7 +258,19 @@ class MultiKMeans:
                 name=f"MultiKMeans-{iteration}",
                 vectorized=self.vectorized,
             )
-            result = driver.run(job, f)
+            try:
+                result = driver.run(job, f)
+            except JobFailedError as exc:
+                # Deterministic heap exhaustion still aborts the sweep —
+                # only fault-induced failures are safe to skip.
+                if isinstance(exc.cause, JavaHeapSpaceError):
+                    raise
+                # Degradation policy: a refinement pass that died after
+                # every retry is skipped — the centers simply miss one
+                # Lloyd update, which later passes absorb — instead of
+                # aborting the whole candidate sweep.
+                failed_iterations.append(iteration)
+                continue
             iteration_seconds.append(result.simulated_seconds)
             for (k, cid), (center, _count) in result.output:
                 centers_by_k[k][cid] = center
@@ -285,4 +305,5 @@ class MultiKMeans:
             iterations=self.iterations,
             iteration_seconds=iteration_seconds,
             totals=driver.totals,
+            failed_iterations=failed_iterations,
         )

@@ -57,6 +57,41 @@ class ClusterNode:
         weights = np.asarray(self.child_sizes, dtype=np.float64)
         return np.average(self.children, axis=0, weights=weights)
 
+    # -- checkpoint codec ------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Loss-free serialisable snapshot of this node.
+
+        Arrays are copied (a checkpoint must not alias live state that
+        the next iteration mutates in place).
+        """
+        return {
+            "cluster_id": self.cluster_id,
+            "center": self.center.copy(),
+            "found": self.found,
+            "children": None if self.children is None else self.children.copy(),
+            "size": self.size,
+            "child_sizes": tuple(self.child_sizes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClusterNode":
+        """Rebuild a node from :meth:`to_payload` output."""
+        children = payload["children"]
+        return cls(
+            cluster_id=int(payload["cluster_id"]),
+            center=np.asarray(payload["center"], dtype=np.float64).copy(),
+            found=bool(payload["found"]),
+            children=None
+            if children is None
+            else np.asarray(children, dtype=np.float64).copy(),
+            size=int(payload["size"]),
+            child_sizes=(
+                int(payload["child_sizes"][0]),
+                int(payload["child_sizes"][1]),
+            ),
+        )
+
 
 @dataclass
 class FlatCenters:
@@ -160,3 +195,24 @@ class GMeansState:
                 node.child_sizes = (int(count), node.child_sizes[1])
             elif role == ROLE_CHILD_B:
                 node.child_sizes = (node.child_sizes[0], int(count))
+
+    # -- checkpoint codec ------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Loss-free serialisable snapshot of the whole generation
+        (every node plus the id allocator — a resumed run must keep
+        assigning the ids an uninterrupted run would have)."""
+        return {
+            "next_id": self._next_id,
+            "clusters": [node.to_payload() for node in self.clusters],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GMeansState":
+        """Rebuild a state from :meth:`to_payload` output."""
+        return cls(
+            clusters=[
+                ClusterNode.from_payload(node) for node in payload["clusters"]
+            ],
+            _next_id=int(payload["next_id"]),
+        )

@@ -16,7 +16,13 @@ from repro.mapreduce.counters import (
     USER_GROUP,
     UserCounter,
 )
-from repro.mapreduce.driver import ChainTotals, JobChainDriver
+from repro.mapreduce.driver import (
+    ChainCheckpoint,
+    ChainTotals,
+    CheckpointingJobChainDriver,
+    JobChainDriver,
+    checkpoint_file_name,
+)
 from repro.mapreduce.executors import (
     EXECUTOR_KINDS,
     ProcessPoolTaskExecutor,
@@ -31,6 +37,7 @@ from repro.mapreduce.faults import (
     FaultModel,
     TaskPermanentlyFailedError,
 )
+from repro.mapreduce.hdfs import BlockFaultModel, ReadReport
 from repro.mapreduce.locality import (
     LocalitySchedule,
     MapTaskSpec,
@@ -69,8 +76,13 @@ __all__ = [
     "USER_GROUP",
     "MRCounter",
     "UserCounter",
+    "ChainCheckpoint",
     "ChainTotals",
+    "CheckpointingJobChainDriver",
     "JobChainDriver",
+    "checkpoint_file_name",
+    "BlockFaultModel",
+    "ReadReport",
     "EXECUTOR_KINDS",
     "RuntimeConfig",
     "TaskExecutor",

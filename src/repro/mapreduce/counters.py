@@ -30,6 +30,12 @@ class MRCounter:
     CACHED_READS = "CACHED_READS"
     MAP_TASKS = "MAP_TASKS"
     REDUCE_TASKS = "REDUCE_TASKS"
+    # Fault-tolerance counters: whole-job re-executions after a
+    # permanent task failure, physical block copies lost in the DFS,
+    # and reads served from a non-primary replica after failover.
+    JOB_RETRIES = "JOB_RETRIES"
+    BLOCKS_LOST = "BLOCKS_LOST"
+    REPLICA_READS = "REPLICA_READS"
 
 
 class UserCounter:

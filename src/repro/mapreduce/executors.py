@@ -66,6 +66,8 @@ EXECUTOR_KINDS = ("serial", "threads", "processes")
 #: config — this is how CI runs the whole suite over a second backend).
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+MAX_JOB_RETRIES_ENV = "REPRO_MAX_JOB_RETRIES"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 
 
 def default_num_workers() -> int:
@@ -81,10 +83,22 @@ class RuntimeConfig:
     ``processes``); ``num_workers`` bounds backend concurrency (``None``
     means one worker per CPU). Worker counts never affect results —
     only wall-clock time.
+
+    ``max_job_retries`` re-executes a whole job that failed permanently
+    (a task out of attempts, an unavailable split) up to that many extra
+    times, with exponential backoff (``retry_backoff_seconds`` doubled
+    per retry via ``retry_backoff_factor``, plus deterministic jitter of
+    up to ``retry_jitter`` of the delay) charged to simulated time.
+    Re-executions re-use the failed attempt's task seeds, so retries —
+    like every other fault feature — perturb time, never results.
     """
 
     executor: str = "serial"
     num_workers: int | None = None
+    max_job_retries: int = 0
+    retry_backoff_seconds: float = 30.0
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -95,17 +109,46 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"num_workers must be >= 1, got {self.num_workers}"
             )
+        if self.max_job_retries < 0:
+            raise ConfigurationError(
+                f"max_job_retries must be >= 0, got {self.max_job_retries}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ConfigurationError(
+                f"retry_backoff_seconds must be >= 0, got {self.retry_backoff_seconds}"
+            )
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry_jitter must be in [0, 1], got {self.retry_jitter}"
+            )
 
     @classmethod
     def from_env(cls, environ: "Mapping[str, str] | None" = None) -> "RuntimeConfig":
-        """Build a config from ``REPRO_EXECUTOR`` / ``REPRO_NUM_WORKERS``.
+        """Build a config from ``REPRO_EXECUTOR`` / ``REPRO_NUM_WORKERS``
+        / ``REPRO_MAX_JOB_RETRIES`` / ``REPRO_RETRY_BACKOFF``.
 
         Unset or empty variables fall back to the defaults, so code that
         constructs a runtime without an explicit config keeps its
-        historical serial behaviour.
+        historical serial, no-retry behaviour.
         """
         env = os.environ if environ is None else environ
         kind = (env.get(EXECUTOR_ENV) or "serial").strip() or "serial"
+
+        def _int(name: str, fallback: int) -> int:
+            raw = (env.get(name) or "").strip()
+            if not raw:
+                return fallback
+            try:
+                return int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{name} must be an integer, got {raw!r}"
+                ) from None
+
         raw_workers = (env.get(NUM_WORKERS_ENV) or "").strip()
         try:
             workers = int(raw_workers) if raw_workers else None
@@ -113,7 +156,19 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"{NUM_WORKERS_ENV} must be an integer, got {raw_workers!r}"
             ) from None
-        return cls(executor=kind, num_workers=workers)
+        raw_backoff = (env.get(RETRY_BACKOFF_ENV) or "").strip()
+        try:
+            backoff = float(raw_backoff) if raw_backoff else 30.0
+        except ValueError:
+            raise ConfigurationError(
+                f"{RETRY_BACKOFF_ENV} must be a float, got {raw_backoff!r}"
+            ) from None
+        return cls(
+            executor=kind,
+            num_workers=workers,
+            max_job_retries=_int(MAX_JOB_RETRIES_ENV, 0),
+            retry_backoff_seconds=backoff,
+        )
 
 
 # -- task specifications and results ------------------------------------

@@ -20,13 +20,22 @@ across the serial, thread and process backends.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
-from repro.common.errors import ReproError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.common.validation import check_in_range, check_positive
 from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
+
+#: Environment variables consulted by :meth:`FaultModel.from_env` (the
+#: chaos-mode switch: every runtime constructed without explicit faults
+#: picks these up, so a whole test suite can run under injected faults).
+TASK_FAILURE_PROB_ENV = "REPRO_TASK_FAILURE_PROB"
+STRAGGLER_PROB_ENV = "REPRO_STRAGGLER_PROB"
+MAX_TASK_ATTEMPTS_ENV = "REPRO_MAX_TASK_ATTEMPTS"
 
 
 class TaskPermanentlyFailedError(ReproError):
@@ -83,6 +92,41 @@ class FaultModel:
             or self.straggler_probability > 0.0
         )
 
+    @classmethod
+    def from_env(
+        cls, environ: "Mapping[str, str] | None" = None
+    ) -> "FaultModel | None":
+        """Build a model from ``REPRO_TASK_FAILURE_PROB`` /
+        ``REPRO_STRAGGLER_PROB`` / ``REPRO_MAX_TASK_ATTEMPTS``.
+
+        Returns ``None`` when no fault variable is set (or both
+        probabilities are zero), so runtimes keep their historical
+        fault-free default outside chaos runs.
+        """
+        env = os.environ if environ is None else environ
+
+        def _float(name: str) -> float:
+            raw = (env.get(name) or "").strip()
+            if not raw:
+                return 0.0
+            try:
+                return float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{name} must be a float, got {raw!r}"
+                ) from None
+
+        failure = _float(TASK_FAILURE_PROB_ENV)
+        straggler = _float(STRAGGLER_PROB_ENV)
+        if failure == 0.0 and straggler == 0.0:
+            return None
+        raw_attempts = (env.get(MAX_TASK_ATTEMPTS_ENV) or "").strip()
+        return cls(
+            task_failure_probability=failure,
+            straggler_probability=straggler,
+            max_attempts=int(raw_attempts) if raw_attempts else 4,
+        )
+
     def apply(
         self,
         base_seconds: float,
@@ -100,16 +144,22 @@ class FaultModel:
         total = 0.0
         for attempt in range(1, self.max_attempts + 1):
             duration = base_seconds
+            speculated = False
             if rng.random() < self.straggler_probability:
                 slowed = base_seconds * self.straggler_slowdown
                 if self.speculative_execution:
                     duration = min(
                         slowed, base_seconds * self.speculative_overhead
                     )
-                    counters.inc(FRAMEWORK_GROUP, SPECULATIVE_TASKS)
+                    speculated = True
                 else:
                     duration = slowed
             if rng.random() >= self.task_failure_probability:
+                # Speculation only counts when the raced attempt is the
+                # one that survives; the clone of an attempt that dies
+                # anyway rescued nothing.
+                if speculated:
+                    counters.inc(FRAMEWORK_GROUP, SPECULATIVE_TASKS)
                 return total + duration
             counters.inc(FRAMEWORK_GROUP, TASK_FAILURES)
             total += duration * 0.5  # the attempt died mid-flight

@@ -12,20 +12,109 @@ plain Python lists for small side files. Byte accounting uses a
 per-record size supplied at write time; for point data that is the
 text-encoding size the paper assumes (~15 characters per coordinate,
 see :mod:`repro.data.textio`).
+
+Replication is modelled per split: every split starts with
+``replication`` live copies; copies can be lost or corrupted (by the
+stochastic :class:`BlockFaultModel` or by the explicit test APIs), reads
+transparently fail over to a surviving copy (charging the wasted bytes)
+and trigger re-replication, and only a split whose last copy is gone
+raises :class:`~repro.common.errors.SplitUnavailableError`.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError, DataFormatError
-from repro.common.validation import check_positive
+from repro.common.errors import (
+    ConfigurationError,
+    DataFormatError,
+    SplitUnavailableError,
+)
+from repro.common.validation import check_in_range, check_positive
 
 #: Default HDFS block/split size (bytes): 64 MB, stock Hadoop 1.x.
 DEFAULT_SPLIT_SIZE = 64 * 1024 * 1024
+
+#: Environment variables consulted by :meth:`BlockFaultModel.from_env`
+#: (how the ``make chaos`` run turns on block loss for a whole suite).
+BLOCK_LOSS_PROB_ENV = "REPRO_BLOCK_LOSS_PROB"
+BLOCK_FAULT_SEED_ENV = "REPRO_BLOCK_FAULT_SEED"
+
+
+@dataclass(frozen=True)
+class BlockFaultModel:
+    """Stochastic replica loss, applied when splits are read.
+
+    ``replica_loss_probability`` is the chance that the replica a read
+    selects turns out lost or corrupt (dead datanode, failed checksum);
+    the read then fails over to the next copy — each dead copy costs a
+    wasted full-split read — and the filesystem re-replicates the split
+    back to full strength afterwards, as the HDFS namenode would. Draws
+    come from a dedicated seeded stream, so block faults perturb bytes
+    and time but never results (every replica holds identical data).
+    """
+
+    replica_loss_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            "replica_loss_probability", self.replica_loss_probability, 0.0, 1.0
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.replica_loss_probability > 0.0
+
+    @classmethod
+    def from_env(
+        cls, environ: "Mapping[str, str] | None" = None
+    ) -> "BlockFaultModel | None":
+        """Build a model from ``REPRO_BLOCK_LOSS_PROB`` (None if unset).
+
+        ``REPRO_BLOCK_FAULT_SEED`` fixes the loss stream (default 0) so
+        chaos runs stay reproducible.
+        """
+        env = os.environ if environ is None else environ
+        raw = (env.get(BLOCK_LOSS_PROB_ENV) or "").strip()
+        if not raw:
+            return None
+        try:
+            probability = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{BLOCK_LOSS_PROB_ENV} must be a float, got {raw!r}"
+            ) from None
+        if probability == 0.0:
+            return None
+        raw_seed = (env.get(BLOCK_FAULT_SEED_ENV) or "").strip()
+        return cls(
+            replica_loss_probability=probability,
+            seed=int(raw_seed) if raw_seed else 0,
+        )
+
+
+@dataclass
+class ReadReport:
+    """What servicing a (possibly degraded) read cost the filesystem."""
+
+    replica_failovers: int = 0  # reads served after skipping dead copies
+    replicas_lost: int = 0  # block copies found dead during the read
+    re_replications: int = 0  # copies restored from a survivor
+    extra_bytes_read: int = 0  # wasted reads of dead/corrupt copies
+    bytes_re_replicated: int = 0  # survivor-to-new-copy transfer
+
+    def merge(self, other: "ReadReport") -> None:
+        self.replica_failovers += other.replica_failovers
+        self.replicas_lost += other.replicas_lost
+        self.re_replications += other.re_replications
+        self.extra_bytes_read += other.extra_bytes_read
+        self.bytes_re_replicated += other.bytes_re_replicated
 
 
 @dataclass(frozen=True)
@@ -82,14 +171,41 @@ class InMemoryDFS:
     ``bytes_read`` / ``bytes_written`` accumulate over the life of the
     filesystem and are also mirrored into each job's counters by the
     runtime.
+
+    ``fault_model`` attaches stochastic replica loss (defaulting to the
+    ``REPRO_BLOCK_LOSS_PROB`` environment — how chaos runs switch every
+    filesystem over); the explicit ``lose_replica`` / ``corrupt_replica``
+    / ``lose_block`` APIs inject targeted damage for tests. Reads fail
+    over across surviving replicas and heal the file via re-replication
+    (``auto_re_replicate``), so only total block loss surfaces as
+    :class:`~repro.common.errors.SplitUnavailableError`.
     """
 
-    def __init__(self, split_size_bytes: int = DEFAULT_SPLIT_SIZE):
+    def __init__(
+        self,
+        split_size_bytes: int = DEFAULT_SPLIT_SIZE,
+        fault_model: "BlockFaultModel | None" = None,
+        auto_re_replicate: bool = True,
+    ):
         check_positive("split_size_bytes", split_size_bytes)
         self.split_size_bytes = int(split_size_bytes)
         self._files: dict[str, DFSFile] = {}
         self.bytes_read = 0
         self.bytes_written = 0
+        self.fault_model = fault_model or BlockFaultModel.from_env()
+        self.auto_re_replicate = auto_re_replicate
+        self._block_rng = np.random.default_rng(
+            self.fault_model.seed if self.fault_model is not None else 0
+        )
+        # Per split: [live, dead] replica counts. "Dead" copies are
+        # discovered (and charged) at the next read, like a reader
+        # hitting a dead datanode.
+        self._replicas: dict[tuple[str, int], list[int]] = {}
+        # Lifetime fault statistics (job-level counters mirror the
+        # per-read deltas; these are the filesystem-wide totals).
+        self.replica_failovers = 0
+        self.replicas_lost = 0
+        self.re_replications = 0
 
     # -- write ---------------------------------------------------------
 
@@ -106,8 +222,13 @@ class InMemoryDFS:
         ``bytes_per_record`` is the on-disk (serialised) size of one
         record and drives all byte accounting for the file.
         """
-        if name in self._files and not overwrite:
-            raise ConfigurationError(f"file already exists: {name!r}")
+        if name in self._files:
+            if not overwrite:
+                raise ConfigurationError(f"file already exists: {name!r}")
+            # Drop the old incarnation (splits *and* replica health)
+            # before storing the new one, so the namespace and
+            # ``total_stored_bytes`` never double-count an overwrite.
+            self.delete(name)
         check_positive("bytes_per_record", bytes_per_record)
         if len(records) == 0:
             raise DataFormatError(f"refusing to write empty file {name!r}")
@@ -131,8 +252,48 @@ class InMemoryDFS:
             replication=replication,
         )
         self._files[name] = f
+        for split in splits:
+            self._replicas[(name, split.index)] = [int(replication), 0]
         self.bytes_written += f.size_bytes * replication
         return f
+
+    # -- replica health ------------------------------------------------
+
+    def _split_health(self, file_name: str, index: int) -> list[int]:
+        try:
+            return self._replicas[(file_name, index)]
+        except KeyError:
+            raise DataFormatError(
+                f"no such split in DFS: {file_name!r}[{index}]"
+            ) from None
+
+    def live_replicas(self, file_name: str, index: int) -> int:
+        """Surviving copies of split ``index`` of ``file_name``."""
+        return self._split_health(file_name, index)[0]
+
+    def lose_replica(self, file_name: str, index: int, count: int = 1) -> None:
+        """Mark ``count`` copies of one split as lost (dead datanode).
+
+        The loss is silent — the reader discovers it (and pays the
+        failover) at the next read, which also re-replicates the split.
+        """
+        health = self._split_health(file_name, index)
+        count = min(int(count), health[0])
+        health[0] -= count
+        health[1] += count
+
+    def corrupt_replica(self, file_name: str, index: int, count: int = 1) -> None:
+        """Mark ``count`` copies as corrupt (failed checksum on read).
+
+        Indistinguishable from a lost copy at read time: the read fails
+        over past it and the copy is discarded and re-replicated.
+        """
+        self.lose_replica(file_name, index, count)
+
+    def lose_block(self, file_name: str, index: int) -> None:
+        """Lose every copy of one split — the unrecoverable HDFS fault."""
+        health = self._split_health(file_name, index)
+        self.lose_replica(file_name, index, health[0])
 
     # -- read ----------------------------------------------------------
 
@@ -146,12 +307,63 @@ class InMemoryDFS:
     def read_all(self, name: str) -> "np.ndarray | list":
         """Read the whole file content, charging the read bytes."""
         f = self.open(name)
-        self.bytes_read += f.size_bytes
+        self.charge_read(f)
         return f.all_records()
 
-    def charge_read(self, f: DFSFile) -> None:
+    def charge_split_read(self, split: Split, replication: int = 3) -> ReadReport:
+        """Account one read of ``split``, with replica failover.
+
+        The read tries copies until one survives: every dead or corrupt
+        copy encountered costs a wasted full-split read, and losses
+        drawn from the fault model happen *now* (the copy dies under the
+        reader). A successful degraded read re-replicates the split back
+        to ``replication`` copies from a survivor; a read that runs out
+        of copies raises :class:`SplitUnavailableError`.
+        """
+        health = self._replicas.setdefault(
+            (split.file_name, split.index), [int(replication), 0]
+        )
+        report = ReadReport()
+        # Copies already known dead are discovered first.
+        failovers = health[1]
+        model = self.fault_model
+        if model is not None and model.enabled:
+            # Each read attempt may find its chosen copy freshly dead.
+            while (
+                health[0] > 0
+                and self._block_rng.random() < model.replica_loss_probability
+            ):
+                health[0] -= 1
+                health[1] += 1
+                report.replicas_lost += 1
+                failovers += 1
+        report.replica_failovers = failovers
+        report.extra_bytes_read = failovers * split.size_bytes
+        if health[0] == 0:
+            self.replica_failovers += report.replica_failovers
+            self.replicas_lost += report.replicas_lost
+            self.bytes_read += report.extra_bytes_read
+            raise SplitUnavailableError(
+                split.file_name, split.index, health[0] + health[1]
+            )
+        self.bytes_read += split.size_bytes + report.extra_bytes_read
+        if health[1] and self.auto_re_replicate:
+            report.re_replications = health[1]
+            report.bytes_re_replicated = health[1] * split.size_bytes
+            self.bytes_written += report.bytes_re_replicated
+            health[0] += health[1]
+            health[1] = 0
+        self.replica_failovers += report.replica_failovers
+        self.replicas_lost += report.replicas_lost
+        self.re_replications += report.re_replications
+        return report
+
+    def charge_read(self, f: DFSFile) -> ReadReport:
         """Account a full scan of ``f`` (used by the job runtime)."""
-        self.bytes_read += f.size_bytes
+        report = ReadReport()
+        for split in f.splits:
+            report.merge(self.charge_split_read(split, f.replication))
+        return report
 
     # -- namespace -----------------------------------------------------
 
@@ -161,7 +373,9 @@ class InMemoryDFS:
     def delete(self, name: str) -> None:
         if name not in self._files:
             raise DataFormatError(f"no such file in DFS: {name!r}")
-        del self._files[name]
+        f = self._files.pop(name)
+        for split in f.splits:
+            self._replicas.pop((name, split.index), None)
 
     def listdir(self) -> list[str]:
         return sorted(self._files)

@@ -32,7 +32,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.common.errors import JavaHeapSpaceError, JobFailedError
+from repro.common.errors import (
+    JavaHeapSpaceError,
+    JobFailedError,
+    SplitUnavailableError,
+)
 from repro.common.rng import ensure_rng, spawn_seeds
 from repro.mapreduce.executors import (
     MapTaskSpec,
@@ -45,7 +49,7 @@ from repro.mapreduce.executors import (
     unwrap,
 )
 from repro.mapreduce.faults import FaultModel, TaskPermanentlyFailedError
-from repro.mapreduce.cluster import ClusterConfig, PAPER_CLUSTER
+from repro.mapreduce.cluster import ClusterConfig, MIB, PAPER_CLUSTER
 from repro.mapreduce.costmodel import CostModel, CostParameters, JobTiming
 from repro.mapreduce.counters import Counters, MRCounter, framework
 from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
@@ -66,6 +70,11 @@ class JobResult:
     max_reduce_heap_bytes: int = 0
     map_task_seconds: list[float] = field(default_factory=list)
     reduce_task_seconds: list[float] = field(default_factory=list)
+    #: Fault-recovery time on top of the phase timing: retry backoff
+    #: waited between job attempts plus DFS replica re-reads/re-writes.
+    overhead_seconds: float = 0.0
+    #: Whole-job re-executions this result survived.
+    job_retries: int = 0
 
     def output_dict(self) -> dict:
         """Output pairs grouped as ``key -> [values]``."""
@@ -73,7 +82,7 @@ class JobResult:
 
     @property
     def simulated_seconds(self) -> float:
-        return self.timing.total_seconds
+        return self.timing.total_seconds + self.overhead_seconds
 
 
 class MapReduceRuntime:
@@ -107,7 +116,9 @@ class MapReduceRuntime:
         # task *durations* without changing any algorithmic result. The
         # stream is consumed in the submitting process, in task-index
         # order, which keeps fault draws identical across backends.
-        self.faults = faults
+        # Without explicit faults, the environment is consulted (the
+        # chaos-mode switch; None when no fault variables are set).
+        self.faults = faults if faults is not None else FaultModel.from_env()
         self._fault_rng = np.random.default_rng(
             int(self._rng.integers(2**63 - 1))
         )
@@ -129,6 +140,28 @@ class MapReduceRuntime:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # RNG state accessors used by checkpointing drivers: restoring both
+    # streams mid-chain makes a resumed run consume exactly the task
+    # seeds and fault draws an uninterrupted run would have.
+
+    @property
+    def rng_state(self) -> dict:
+        """Serialisable state of the task-seed RNG stream."""
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+    @property
+    def fault_rng_state(self) -> dict:
+        """Serialisable state of the fault-injection RNG stream."""
+        return self._fault_rng.bit_generator.state
+
+    @fault_rng_state.setter
+    def fault_rng_state(self, state: dict) -> None:
+        self._fault_rng.bit_generator.state = state
+
     def run(
         self, job: Job, input_file: "DFSFile | str", cached: bool = False
     ) -> JobResult:
@@ -137,18 +170,64 @@ class MapReduceRuntime:
         ``cached=True`` models a Spark-style in-memory dataset (the
         optimisation the paper's future-work section targets): the read
         is counted as a cached read and costs no disk time.
+
+        A job that fails permanently (a task out of attempts, a split
+        with no surviving replica) is re-executed up to the config's
+        ``max_job_retries`` times with exponential backoff, the way a
+        driver resubmits a failed Hadoop job. The retry restores the
+        task-seed RNG to the failed attempt's state — re-executed tasks
+        are deterministic, so retries change time, never results — while
+        the fault stream keeps advancing, so the retry can succeed.
         """
+        max_retries = self.config.max_job_retries
+        backoff = 0.0
+        retries = 0
+        while True:
+            seed_state = self._rng.bit_generator.state
+            try:
+                result = self._run_attempt(job, input_file, cached)
+            except JobFailedError as err:
+                # Heap exhaustion is deterministic (same input, same
+                # heap, same overflow — Figure 2's failure): resubmitting
+                # cannot help, so it escapes the retry loop untouched.
+                if isinstance(err.cause, JavaHeapSpaceError):
+                    raise
+                if retries >= max_retries:
+                    raise
+                retries += 1
+                self._rng.bit_generator.state = seed_state
+                backoff += self._retry_backoff_seconds(retries)
+            else:
+                if retries:
+                    framework(result.counters, MRCounter.JOB_RETRIES, retries)
+                    result.job_retries = retries
+                    result.overhead_seconds += backoff
+                return result
+
+    def _retry_backoff_seconds(self, retry: int) -> float:
+        """Exponential backoff before re-execution ``retry`` (1-based),
+        with deterministic jitter drawn from the serial fault stream."""
+        cfg = self.config
+        delay = cfg.retry_backoff_seconds * cfg.retry_backoff_factor ** (retry - 1)
+        if cfg.retry_jitter:
+            delay *= 1.0 + cfg.retry_jitter * float(self._fault_rng.random())
+        return delay
+
+    def _run_attempt(
+        self, job: Job, input_file: "DFSFile | str", cached: bool
+    ) -> JobResult:
+        """One execution attempt of ``job`` (the pre-retry ``run``)."""
         f = self.dfs.open(input_file) if isinstance(input_file, str) else input_file
         self.jobs_run += 1
         counters = Counters()
-        if cached:
-            framework(counters, MRCounter.CACHED_READS)
-        else:
-            framework(counters, MRCounter.DATASET_READS)
-            framework(counters, MRCounter.HDFS_BYTES_READ, f.size_bytes)
-            self.dfs.charge_read(f)
-
+        recovery_seconds = 0.0
         try:
+            if cached:
+                framework(counters, MRCounter.CACHED_READS)
+            else:
+                framework(counters, MRCounter.DATASET_READS)
+                framework(counters, MRCounter.HDFS_BYTES_READ, f.size_bytes)
+                recovery_seconds = self._charge_input_read(f, counters)
             pairs, map_seconds, shuffle_bytes = self._run_map_phase(
                 job, f, counters, cached
             )
@@ -167,11 +246,16 @@ class MapReduceRuntime:
                     num_map_tasks=f.num_splits,
                     num_reduce_tasks=0,
                     map_task_seconds=map_seconds,
+                    overhead_seconds=recovery_seconds,
                 )
             output, reduce_seconds, max_heap, num_reduce = self._run_reduce_phase(
                 job, pairs, counters
             )
-        except (JavaHeapSpaceError, TaskPermanentlyFailedError) as err:
+        except (
+            JavaHeapSpaceError,
+            TaskPermanentlyFailedError,
+            SplitUnavailableError,
+        ) as err:
             raise JobFailedError(
                 f"job {job.name!r} failed: {err}", cause=err
             ) from err
@@ -193,6 +277,29 @@ class MapReduceRuntime:
             max_reduce_heap_bytes=max_heap,
             map_task_seconds=map_seconds,
             reduce_task_seconds=reduce_seconds,
+            overhead_seconds=recovery_seconds,
+        )
+
+    def _charge_input_read(self, f: DFSFile, counters: Counters) -> float:
+        """Charge the input scan against the DFS, with replica failover.
+
+        Returns the extra simulated seconds spent re-reading dead copies
+        and re-replicating degraded splits; mirrors the failover work
+        into the job's ``REPLICA_READS`` / ``BLOCKS_LOST`` counters.
+        """
+        report = self.dfs.charge_read(f)
+        if report.replica_failovers:
+            framework(counters, MRCounter.REPLICA_READS, report.replica_failovers)
+            framework(counters, MRCounter.HDFS_BYTES_READ, report.extra_bytes_read)
+        if report.replicas_lost:
+            framework(counters, MRCounter.BLOCKS_LOST, report.replicas_lost)
+        if report.bytes_re_replicated:
+            framework(
+                counters, MRCounter.HDFS_BYTES_WRITTEN, report.bytes_re_replicated
+            )
+        params = self.cost_model.params
+        return report.extra_bytes_read / (params.disk_read_mbps * MIB) + (
+            report.bytes_re_replicated / (params.disk_write_mbps * MIB)
         )
 
     # -- phases ----------------------------------------------------------

@@ -64,3 +64,40 @@ def test_all_command_writes_directory(tmp_path, capsys, monkeypatch):
     written = {p.name for p in tmp_path.iterdir()}
     assert "table1.txt" in written
     assert "vote_rules.txt" in written
+
+
+def test_fault_tolerance_flags_set_environment(monkeypatch):
+    from repro.core.config import CHECKPOINT_DIR_ENV, RESUME_ENV
+    from repro.mapreduce.executors import MAX_JOB_RETRIES_ENV
+
+    # setenv-then-delenv registers teardown that *removes* each var, so
+    # the values main() writes cannot leak into later tests.
+    for name in (CHECKPOINT_DIR_ENV, RESUME_ENV, MAX_JOB_RETRIES_ENV):
+        monkeypatch.setenv(name, "scratch")
+        monkeypatch.delenv(name)
+    assert (
+        main(
+            [
+                "--checkpoint-dir",
+                "ck/gmeans",
+                "list",
+                "--resume",
+                "--max-job-retries",
+                "2",
+            ]
+        )
+        == 0
+    )
+    import os
+
+    assert os.environ[CHECKPOINT_DIR_ENV] == "ck/gmeans"
+    assert os.environ[RESUME_ENV] == "latest"  # bare flag means newest
+    assert os.environ[MAX_JOB_RETRIES_ENV] == "2"
+
+
+def test_resume_accepts_explicit_checkpoint_after_command():
+    args = build_parser().parse_args(["list", "--resume", "ck/iter-00007"])
+    assert args.resume == "ck/iter-00007"
+    # Flags in front of the subcommand survive the subparser pass.
+    args = build_parser().parse_args(["--executor", "threads", "list"])
+    assert args.executor == "threads"

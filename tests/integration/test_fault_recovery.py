@@ -1,0 +1,264 @@
+"""Fault recovery end-to-end: kill, resume, retry, degrade — same answer.
+
+The contract under test: faults and recovery perturb *time*, never
+*results*. A G-means chain killed mid-run and resumed from its DFS
+checkpoint must produce the byte-identical result an uninterrupted run
+produces; a chain that rides out injected task/block faults via job
+retries must match the fault-free baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, JobFailedError
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
+from repro.mapreduce.executors import RuntimeConfig
+from repro.mapreduce.faults import FaultModel
+from repro.mapreduce.hdfs import BlockFaultModel, InMemoryDFS
+from repro.mapreduce.runtime import MapReduceRuntime
+
+MIXTURE = generate_gaussian_mixture(
+    n_points=600, n_clusters=3, dimensions=2, rng=7
+)
+
+RUNTIME_SEED = 99
+CONFIG = dict(seed=5, checkpoint_dir="ck/gmeans", max_iterations=10)
+
+
+class KillingRuntime(MapReduceRuntime):
+    """Fails every job whose name starts with one of ``kill_prefixes`` —
+    a deterministic stand-in for the driver dying mid-chain."""
+
+    def __init__(self, *args, kill_prefixes=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kill_prefixes = tuple(kill_prefixes)
+
+    def run(self, job, input_file, cached=False):
+        if job.name.startswith(self.kill_prefixes or ("\0",)):
+            raise JobFailedError(f"injected failure at {job.name}")
+        return super().run(job, input_file, cached=cached)
+
+
+def fresh_world(runtime_cls=MapReduceRuntime, faults=None, config=None, **kw):
+    dfs = InMemoryDFS(split_size_bytes=4096)
+    f = write_points(dfs, "points", MIXTURE.points)
+    runtime = runtime_cls(
+        dfs,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+        faults=faults,
+        config=config,
+        **kw,
+    )
+    return dfs, f, runtime
+
+
+def signature(result):
+    return {
+        "k_found": result.k_found,
+        "iterations": result.iterations,
+        "completed": result.completed,
+        "centers": result.centers.tobytes(),
+        "shape": result.centers.shape,
+        "seconds": result.totals.simulated_seconds,
+        "counters": result.totals.counters.snapshot(),
+        "history": [
+            (
+                s.iteration,
+                s.k_before,
+                s.k_after,
+                s.clusters_tested,
+                s.clusters_split,
+                s.clusters_found,
+                s.strategy,
+                s.simulated_seconds,
+                s.centers.tobytes(),
+                s.degraded,
+            )
+            for s in result.history
+        ],
+    }
+
+
+def test_killed_chain_resumes_byte_identical():
+    """The acceptance test: kill at iteration 3, resume, same bytes."""
+    _dfs, f, runtime = fresh_world()
+    baseline = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit(f)
+    assert baseline.iterations >= 3  # the kill point must be mid-chain
+
+    dfs, f2, killer = fresh_world(
+        KillingRuntime, kill_prefixes=("KMeans-i3",)
+    )
+    with pytest.raises(JobFailedError, match="injected failure"):
+        MRGMeans(killer, MRGMeansConfig(**CONFIG)).fit(f2)
+    # The chain died, but its checkpoints survive in the DFS.
+    assert "ck/gmeans/iter-00002" in dfs.listdir()
+
+    # Simulated driver restart: a brand-new runtime over the same DFS.
+    revived = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+    )
+    resumed = MRGMeans(revived, MRGMeansConfig(**CONFIG)).fit(
+        "points", resume_from="latest"
+    )
+    assert signature(resumed) == signature(baseline)
+
+
+def test_resume_from_explicit_checkpoint_infers_directory():
+    _dfs, f, runtime = fresh_world()
+    baseline = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit(f)
+
+    dfs2, f2, runtime2 = fresh_world()
+    MRGMeans(runtime2, MRGMeansConfig(**CONFIG)).fit(f2)
+    revived = MapReduceRuntime(
+        dfs2,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+    )
+    # No checkpoint_dir in the config: the path carries it.
+    resumed = MRGMeans(
+        revived, MRGMeansConfig(seed=5, max_iterations=10)
+    ).fit("points", resume_from="ck/gmeans/iter-00001")
+    assert signature(resumed) == signature(baseline)
+
+
+def test_resume_env_var_drives_fit(monkeypatch):
+    from repro.core.config import RESUME_ENV
+
+    _dfs, f, runtime = fresh_world()
+    baseline = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit(f)
+
+    dfs2, f2, runtime2 = fresh_world()
+    MRGMeans(runtime2, MRGMeansConfig(**CONFIG)).fit(f2)
+    revived = MapReduceRuntime(
+        dfs2,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+    )
+    monkeypatch.setenv(RESUME_ENV, "latest")
+    resumed = MRGMeans(revived, MRGMeansConfig(**CONFIG)).fit("points")
+    assert signature(resumed) == signature(baseline)
+
+
+def test_resume_latest_without_checkpoints_is_fresh_run():
+    """``--resume latest`` on a virgin DFS just starts from scratch."""
+    _dfs, f, runtime = fresh_world()
+    baseline = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit(f)
+    _dfs2, f2, runtime2 = fresh_world()
+    result = MRGMeans(runtime2, MRGMeansConfig(**CONFIG)).fit(
+        f2, resume_from="latest"
+    )
+    assert signature(result) == signature(baseline)
+
+
+def test_resume_without_checkpointing_config_rejected():
+    _dfs, f, runtime = fresh_world()
+    gmeans = MRGMeans(runtime, MRGMeansConfig(seed=5))
+    with pytest.raises(ConfigurationError, match="checkpoint"):
+        gmeans.fit(f, resume_from="latest")
+
+
+def test_job_retries_ride_out_task_faults():
+    """Flaky tasks + job retry: same results as fault-free, more time."""
+    _dfs, f, clean_runtime = fresh_world()
+    clean = MRGMeans(clean_runtime, MRGMeansConfig(seed=5)).fit(f)
+
+    _dfs2, f2, flaky_runtime = fresh_world(
+        faults=FaultModel(task_failure_probability=0.12, max_attempts=2),
+        config=RuntimeConfig(max_job_retries=20, retry_backoff_seconds=5.0),
+    )
+    survived = MRGMeans(flaky_runtime, MRGMeansConfig(seed=5)).fit(f2)
+    assert survived.centers.tobytes() == clean.centers.tobytes()
+    assert survived.k_found == clean.k_found
+    assert survived.iterations == clean.iterations
+    counters = survived.totals.counters
+    assert counters.get(FRAMEWORK_GROUP, MRCounter.JOB_RETRIES) > 0
+    assert survived.totals.simulated_seconds > clean.totals.simulated_seconds
+
+
+def test_block_faults_heal_without_changing_results():
+    _dfs, f, clean_runtime = fresh_world()
+    clean = MRGMeans(clean_runtime, MRGMeansConfig(seed=5)).fit(f)
+
+    dfs2 = InMemoryDFS(
+        split_size_bytes=4096,
+        fault_model=BlockFaultModel(replica_loss_probability=0.02, seed=3),
+    )
+    f2 = write_points(dfs2, "points", MIXTURE.points)
+    runtime2 = MapReduceRuntime(
+        dfs2,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+        config=RuntimeConfig(max_job_retries=3),
+    )
+    healed = MRGMeans(runtime2, MRGMeansConfig(seed=5)).fit(f2)
+    assert healed.centers.tobytes() == clean.centers.tobytes()
+    assert healed.k_found == clean.k_found
+    counters = healed.totals.counters
+    assert counters.get(FRAMEWORK_GROUP, MRCounter.REPLICA_READS) > 0
+    assert dfs2.replicas_lost > 0
+    assert dfs2.re_replications == dfs2.replicas_lost
+
+
+def test_degraded_test_job_keeps_clusters_and_terminates():
+    """A permanently failed test job degrades, it does not abort."""
+    _dfs, f, runtime = fresh_world(
+        KillingRuntime,
+        kill_prefixes=("TestClusters-i1", "TestFewClusters-i1"),
+    )
+    result = MRGMeans(runtime, MRGMeansConfig(seed=5, max_iterations=10)).fit(f)
+    assert result.completed
+    first = result.history[0]
+    assert first.degraded
+    # The conservative policy: nothing split, every tested cluster kept.
+    assert first.clusters_split == 0
+    assert first.k_after == first.k_before
+    assert not any(s.degraded for s in result.history[1:])
+
+
+def test_chaos_environment_matches_clean_baseline(monkeypatch):
+    """The ``make chaos`` contract: env-injected faults, equal results."""
+    _dfs, f, clean_runtime = fresh_world()
+    clean = MRGMeans(clean_runtime, MRGMeansConfig(seed=5)).fit(f)
+
+    monkeypatch.setenv("REPRO_TASK_FAILURE_PROB", "0.05")
+    monkeypatch.setenv("REPRO_BLOCK_LOSS_PROB", "0.02")
+    monkeypatch.setenv("REPRO_MAX_JOB_RETRIES", "3")
+    dfs2 = InMemoryDFS(split_size_bytes=4096)
+    f2 = write_points(dfs2, "points", MIXTURE.points)
+    runtime2 = MapReduceRuntime(
+        dfs2,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+    )
+    chaotic = MRGMeans(runtime2, MRGMeansConfig(seed=5)).fit(f2)
+    assert chaotic.centers.tobytes() == clean.centers.tobytes()
+    assert chaotic.k_found == clean.k_found
+    assert chaotic.iterations == clean.iterations
+
+
+def test_heap_exhaustion_is_never_degraded_or_retried():
+    """Figure 2's deterministic heap crash still aborts the chain —
+    degradation and job retry only apply to fault-induced failures."""
+    from repro.common.errors import JavaHeapSpaceError
+
+    mixture = generate_gaussian_mixture(40_000, 2, 3, rng=73)
+    dfs = InMemoryDFS(split_size_bytes=65536)
+    f = write_points(dfs, "points", mixture.points)
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=1),
+        rng=RUNTIME_SEED,
+        config=RuntimeConfig(max_job_retries=5),
+    )
+    gmeans = MRGMeans(runtime, MRGMeansConfig(seed=7, strategy="reducer"))
+    with pytest.raises(JobFailedError, match="Java heap space") as err:
+        gmeans.fit(f)
+    assert isinstance(err.value.cause, JavaHeapSpaceError)

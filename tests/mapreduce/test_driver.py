@@ -79,3 +79,94 @@ def test_run_accepts_file_name():
     driver.run(job("a"), "data")
     driver.run(job("b"), "data")
     assert driver.totals.cached_reads == 1
+
+
+# -- checkpointing driver -----------------------------------------------
+
+
+def test_checkpoint_file_names_sort_by_iteration():
+    from repro.mapreduce.driver import checkpoint_file_name
+
+    names = [checkpoint_file_name("ck", i) for i in (1, 2, 10, 100)]
+    assert names == sorted(names)
+    assert names[0] == "ck/iter-00001"
+
+
+def test_save_and_load_checkpoint_roundtrip():
+    from repro.mapreduce.driver import CheckpointingJobChainDriver
+
+    runtime, f = build()
+    driver = CheckpointingJobChainDriver(
+        runtime, cache_input=True, checkpoint_dir="ck"
+    )
+    driver.run(job("j0"), f)
+    driver.run(job("j1"), f)
+    payload = {"answer": 41}
+    name = driver.save_checkpoint(2, payload)
+    assert name == "ck/iter-00002"
+    assert runtime.dfs.exists(name)
+
+    # A fresh driver over the same DFS (simulated driver restart).
+    runtime2 = MapReduceRuntime(
+        runtime.dfs, cluster=ClusterConfig(nodes=1), rng=999
+    )
+    driver2 = CheckpointingJobChainDriver(
+        runtime2, cache_input=True, checkpoint_dir="ck"
+    )
+    restored = driver2.load_checkpoint(name)
+    assert restored.iteration == 2
+    assert restored.payload == payload
+    assert driver2.totals.jobs == driver.totals.jobs
+    assert driver2.totals.simulated_seconds == driver.totals.simulated_seconds
+    assert (
+        driver2.totals.counters.snapshot() == driver.totals.counters.snapshot()
+    )
+    # The restored runtime continues the checkpointed RNG streams.
+    assert runtime2.rng_state == runtime.rng_state
+    # The cache memory survives: the next run is a cached read.
+    driver2.run(job("j2"), f)
+    assert driver2.totals.cached_reads == driver.totals.cached_reads + 1
+
+
+def test_latest_checkpoint_picks_highest_iteration():
+    from repro.mapreduce.driver import CheckpointingJobChainDriver
+
+    runtime, f = build()
+    driver = CheckpointingJobChainDriver(runtime, checkpoint_dir="ck")
+    assert driver.latest_checkpoint() is None
+    for i in (1, 2, 11):
+        driver.save_checkpoint(i, {"i": i})
+    # Unrelated files in the directory are ignored.
+    runtime.dfs.write("ck/notes", ["x"], bytes_per_record=8)
+    assert driver.latest_checkpoint() == "ck/iter-00011"
+    assert driver.load_checkpoint().payload == {"i": 11}
+
+
+def test_checkpoints_overwrite_on_rerun():
+    from repro.mapreduce.driver import CheckpointingJobChainDriver
+
+    runtime, _f = build()
+    driver = CheckpointingJobChainDriver(runtime, checkpoint_dir="ck")
+    driver.save_checkpoint(1, {"pass": 1})
+    driver.save_checkpoint(1, {"pass": 2})
+    assert driver.load_checkpoint("ck/iter-00001").payload == {"pass": 2}
+
+
+def test_load_checkpoint_rejects_non_checkpoint_file():
+    from repro.common.errors import DataFormatError
+    from repro.mapreduce.driver import CheckpointingJobChainDriver
+
+    runtime, _f = build()
+    driver = CheckpointingJobChainDriver(runtime, checkpoint_dir="ck")
+    runtime.dfs.write("ck/iter-00001", ["not a checkpoint"], bytes_per_record=8)
+    with pytest.raises(DataFormatError):
+        driver.load_checkpoint("ck/iter-00001")
+
+
+def test_checkpoint_dir_must_be_non_empty():
+    from repro.common.errors import ConfigurationError
+    from repro.mapreduce.driver import CheckpointingJobChainDriver
+
+    runtime, _f = build()
+    with pytest.raises(ConfigurationError):
+        CheckpointingJobChainDriver(runtime, checkpoint_dir="")

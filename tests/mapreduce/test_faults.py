@@ -81,6 +81,39 @@ def test_speculative_execution_caps_stragglers():
     assert counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS) == 1
 
 
+def test_speculation_not_counted_for_attempts_that_die():
+    """Regression: a raced attempt that fails anyway rescued nothing.
+
+    ``SPECULATIVE_TASKS`` used to be incremented when the clone was
+    launched, before knowing whether the attempt survived — so a task
+    whose every attempt both straggled and died inflated the counter.
+    """
+    model = FaultModel(
+        straggler_probability=1.0,
+        speculative_execution=True,
+        task_failure_probability=1.0,
+        max_attempts=3,
+    )
+    counters = Counters()
+    with pytest.raises(TaskPermanentlyFailedError):
+        model.apply(10.0, "t", np.random.default_rng(0), counters)
+    assert counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS) == 0
+    assert counters.get(FRAMEWORK_GROUP, TASK_FAILURES) == 3
+
+
+def test_speculation_counted_once_for_surviving_attempt():
+    """Failed raced attempts don't count; the surviving one does."""
+    model = FaultModel(
+        straggler_probability=1.0,
+        speculative_execution=True,
+        task_failure_probability=0.5,
+        max_attempts=50,
+    )
+    counters = Counters()
+    model.apply(10.0, "t", np.random.default_rng(3), counters)
+    assert counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS) == 1
+
+
 def test_job_results_unchanged_by_faults():
     """Faults perturb time, never output (re-execution is deterministic)."""
     clean = run_job(faults=None)
@@ -112,3 +145,55 @@ def test_validation():
         FaultModel(max_attempts=0)
     with pytest.raises(ConfigurationError):
         FaultModel(straggler_slowdown=0.0)
+
+
+# -- fault behaviour across executor backends ---------------------------
+#
+# The fault stream lives in the submitting process and is consumed in
+# task-index order, so which task dies — and every fault counter — must
+# not depend on the executor backend.
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def run_job_on_backend(backend, faults, seed=3):
+    from repro.mapreduce.executors import RuntimeConfig
+
+    dfs = InMemoryDFS(split_size_bytes=64)
+    f = dfs.write("data", list(range(100)), bytes_per_record=8)
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=2),
+        rng=seed,
+        faults=faults,
+        config=RuntimeConfig(executor=backend, num_workers=3),
+    )
+    job = Job(name="j", mapper=EchoMapper, reducer=SumReducer, num_reduce_tasks=3)
+    return runtime.run(job, f)
+
+
+def test_permanent_failure_identical_across_backends():
+    """Every backend fails the same job on the same task attempt count."""
+    failures = {}
+    for backend in BACKENDS:
+        with pytest.raises(JobFailedError) as err:
+            run_job_on_backend(
+                backend, FaultModel(task_failure_probability=1.0)
+            )
+        assert isinstance(err.value.cause, TaskPermanentlyFailedError)
+        failures[backend] = (err.value.cause.task, err.value.cause.attempts)
+    assert len(set(failures.values())) == 1, failures
+
+
+def test_fault_counters_byte_identical_across_backends():
+    faults = FaultModel(
+        task_failure_probability=0.3,
+        straggler_probability=0.3,
+        speculative_execution=True,
+    )
+    reference = run_job_on_backend("serial", faults)
+    for backend in BACKENDS[1:]:
+        result = run_job_on_backend(backend, faults)
+        assert result.counters.as_dict() == reference.counters.as_dict()
+        assert sorted(result.output) == sorted(reference.output)
+        assert result.simulated_seconds == reference.simulated_seconds

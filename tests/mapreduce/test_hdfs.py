@@ -3,8 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.common.errors import ConfigurationError, DataFormatError
-from repro.mapreduce.hdfs import DEFAULT_SPLIT_SIZE, InMemoryDFS
+from repro.common.errors import (
+    ConfigurationError,
+    DataFormatError,
+    SplitUnavailableError,
+)
+from repro.mapreduce.hdfs import (
+    BLOCK_FAULT_SEED_ENV,
+    BLOCK_LOSS_PROB_ENV,
+    BlockFaultModel,
+    DEFAULT_SPLIT_SIZE,
+    InMemoryDFS,
+    ReadReport,
+)
 
 
 def test_default_split_size_is_64mb():
@@ -101,3 +112,172 @@ def test_delete_and_listdir():
 def test_invalid_split_size():
     with pytest.raises(ConfigurationError):
         InMemoryDFS(split_size_bytes=0)
+
+
+# -- replica health and recovery ----------------------------------------
+
+
+def one_split_file(dfs, name="f", records=10, per_record=10, replication=3):
+    return dfs.write(
+        name,
+        np.ones((records, 1)),
+        bytes_per_record=per_record,
+        replication=replication,
+    )
+
+
+def test_overwrite_releases_old_splits():
+    """Overwriting must delete the old incarnation's splits first."""
+    dfs = InMemoryDFS(split_size_bytes=100)
+    one_split_file(dfs, records=10)  # 100 bytes of data, 300 stored
+    dfs.lose_replica("f", 0)
+    dfs.write("f", np.ones((3, 1)), bytes_per_record=10, overwrite=True)
+    assert dfs.total_stored_bytes == 3 * 10 * 3
+    # Replica damage to the old incarnation does not haunt the new one.
+    assert dfs.live_replicas("f", 0) == 3
+    report = dfs.charge_read(dfs.open("f"))
+    assert report.replica_failovers == 0
+
+
+def test_read_fails_over_past_lost_replica_and_re_replicates():
+    dfs = InMemoryDFS(split_size_bytes=100)
+    f = one_split_file(dfs, records=10)  # one 100-byte split
+    dfs.lose_replica("f", 0)
+    assert dfs.live_replicas("f", 0) == 2
+    read0 = dfs.bytes_read
+    written0 = dfs.bytes_written
+    report = dfs.charge_read(f)
+    assert report.replica_failovers == 1
+    assert report.extra_bytes_read == 100  # one wasted dead-copy read
+    assert report.re_replications == 1
+    assert report.bytes_re_replicated == 100
+    assert dfs.bytes_read - read0 == 200  # wasted copy + real read
+    assert dfs.bytes_written - written0 == 100  # healing transfer
+    assert dfs.live_replicas("f", 0) == 3  # healed back to full strength
+    # A later read is clean again.
+    assert dfs.charge_read(f).replica_failovers == 0
+
+
+def test_corrupt_replica_behaves_like_loss():
+    dfs = InMemoryDFS(split_size_bytes=100)
+    f = one_split_file(dfs)
+    dfs.corrupt_replica("f", 0, count=2)
+    report = dfs.charge_read(f)
+    assert report.replica_failovers == 2
+    assert dfs.live_replicas("f", 0) == 3
+
+
+def test_no_auto_re_replication_keeps_file_degraded():
+    dfs = InMemoryDFS(split_size_bytes=100, auto_re_replicate=False)
+    f = one_split_file(dfs)
+    dfs.lose_replica("f", 0)
+    report = dfs.charge_read(f)
+    assert report.re_replications == 0
+    assert dfs.live_replicas("f", 0) == 2
+    # Every read keeps stumbling over the same dead copy.
+    assert dfs.charge_read(f).replica_failovers == 1
+
+
+def test_losing_every_replica_makes_split_unavailable():
+    dfs = InMemoryDFS(split_size_bytes=100)
+    f = one_split_file(dfs)
+    dfs.lose_block("f", 0)
+    assert dfs.live_replicas("f", 0) == 0
+    with pytest.raises(SplitUnavailableError, match=r"split f:0"):
+        dfs.charge_read(f)
+    # The doomed read still charged its wasted failover attempts.
+    assert dfs.bytes_read == 300
+
+
+def test_lose_replica_caps_at_live_count():
+    dfs = InMemoryDFS(split_size_bytes=100)
+    one_split_file(dfs)
+    dfs.lose_replica("f", 0, count=99)
+    assert dfs.live_replicas("f", 0) == 0
+
+
+def test_replica_ops_on_unknown_split_raise():
+    dfs = InMemoryDFS()
+    with pytest.raises(DataFormatError):
+        dfs.lose_replica("ghost", 0)
+    with pytest.raises(DataFormatError):
+        dfs.live_replicas("ghost", 0)
+
+
+def test_delete_forgets_replica_state():
+    dfs = InMemoryDFS(split_size_bytes=100)
+    one_split_file(dfs)
+    dfs.lose_replica("f", 0)
+    dfs.delete("f")
+    with pytest.raises(DataFormatError):
+        dfs.live_replicas("f", 0)
+
+
+# -- stochastic block faults --------------------------------------------
+
+
+def chaos_dfs(probability=0.2, seed=5):
+    return InMemoryDFS(
+        split_size_bytes=100,
+        fault_model=BlockFaultModel(
+            replica_loss_probability=probability, seed=seed
+        ),
+    )
+
+
+def test_block_fault_model_loses_and_heals_replicas():
+    dfs = chaos_dfs()
+    f = one_split_file(dfs, records=50)  # 5 splits
+    report = ReadReport()
+    for _ in range(5):
+        report.merge(dfs.charge_read(f))
+    # Healing after every read keeps total block loss vanishingly rare;
+    # the invariants matter more than the exact draw count.
+    assert report.replicas_lost > 0
+    assert report.replica_failovers == report.replicas_lost
+    assert report.re_replications == report.replicas_lost
+    for split in f.splits:
+        assert dfs.live_replicas("f", split.index) == 3
+
+
+def test_block_faults_are_deterministic_per_seed():
+    def totals(seed):
+        dfs = chaos_dfs(seed=seed)
+        f = one_split_file(dfs, records=80)
+        for _ in range(5):
+            dfs.charge_read(f)
+        return (dfs.replicas_lost, dfs.bytes_read, dfs.bytes_written)
+
+    assert totals(7) == totals(7)
+    assert totals(7) != totals(8)
+
+
+def test_block_faults_never_change_data():
+    dfs = chaos_dfs()
+    records = np.random.default_rng(0).random((40, 2))
+    dfs.write("f", records, bytes_per_record=10)
+    for _ in range(10):
+        assert np.array_equal(dfs.read_all("f"), records)
+
+
+def test_certain_loss_exhausts_block():
+    dfs = InMemoryDFS(
+        split_size_bytes=100,
+        fault_model=BlockFaultModel(replica_loss_probability=1.0),
+    )
+    f = one_split_file(dfs)
+    with pytest.raises(SplitUnavailableError):
+        dfs.charge_read(f)
+
+
+def test_block_fault_model_validation_and_env():
+    with pytest.raises(ConfigurationError):
+        BlockFaultModel(replica_loss_probability=1.5)
+    assert BlockFaultModel.from_env({}) is None
+    assert BlockFaultModel.from_env({BLOCK_LOSS_PROB_ENV: "0"}) is None
+    model = BlockFaultModel.from_env(
+        {BLOCK_LOSS_PROB_ENV: "0.25", BLOCK_FAULT_SEED_ENV: "9"}
+    )
+    assert model == BlockFaultModel(replica_loss_probability=0.25, seed=9)
+    with pytest.raises(ConfigurationError):
+        BlockFaultModel.from_env({BLOCK_LOSS_PROB_ENV: "lots"})

@@ -249,3 +249,121 @@ def test_num_reduce_defaults_to_cluster_capacity():
     job = wordcount_job(num_reduce_tasks=0)
     result = runtime.run(job, f)
     assert result.num_reduce_tasks == runtime.cluster.total_reduce_slots
+
+
+# -- job-level retry with backoff ---------------------------------------
+
+
+def flaky_runtime(max_job_retries, seed=11, failure_probability=0.3):
+    from repro.mapreduce.executors import RuntimeConfig
+    from repro.mapreduce.faults import FaultModel
+
+    dfs = InMemoryDFS(split_size_bytes=32)
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=2),
+        rng=seed,
+        faults=FaultModel(
+            task_failure_probability=failure_probability, max_attempts=1
+        ),
+        config=RuntimeConfig(
+            max_job_retries=max_job_retries, retry_backoff_seconds=30.0
+        ),
+    )
+    f = write_lines(dfs, ["a b", "a c", "b b", "c a"])
+    return runtime, f
+
+
+def test_no_retries_by_default_job_fails():
+    runtime, f = flaky_runtime(max_job_retries=0)
+    with pytest.raises(JobFailedError):
+        runtime.run(wordcount_job(), f)
+
+
+def test_job_retry_recovers_and_charges_backoff():
+    runtime, f = flaky_runtime(max_job_retries=25)
+    result = runtime.run(wordcount_job(), f)
+    # Retried jobs produce the same answer a fault-free run would.
+    assert sorted(result.output) == [("a", 3), ("b", 3), ("c", 2)]
+    assert result.job_retries > 0
+    assert result.counters.get(FRAMEWORK_GROUP, MRCounter.JOB_RETRIES) == (
+        result.job_retries
+    )
+    # The wait between submissions is charged on top of execution time.
+    assert result.overhead_seconds >= 30.0
+    assert result.simulated_seconds == pytest.approx(
+        result.timing.total_seconds + result.overhead_seconds
+    )
+
+
+def test_job_retry_results_match_fault_free_run():
+    clean_runtime, clean_f = flaky_runtime(
+        max_job_retries=0, failure_probability=0.0
+    )
+    clean = clean_runtime.run(wordcount_job(), clean_f)
+    runtime, f = flaky_runtime(max_job_retries=25)
+    retried = runtime.run(wordcount_job(), f)
+    assert sorted(retried.output) == sorted(clean.output)
+
+
+def test_retries_exhausted_reraises():
+    runtime, f = flaky_runtime(max_job_retries=2, failure_probability=1.0)
+    with pytest.raises(JobFailedError):
+        runtime.run(wordcount_job(), f)
+
+
+def test_backoff_grows_exponentially():
+    from repro.mapreduce.executors import RuntimeConfig
+
+    dfs = InMemoryDFS(split_size_bytes=32)
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=2),
+        rng=0,
+        config=RuntimeConfig(
+            max_job_retries=4,
+            retry_backoff_seconds=10.0,
+            retry_backoff_factor=2.0,
+            retry_jitter=0.1,
+        ),
+    )
+    delays = [runtime._retry_backoff_seconds(retry) for retry in (1, 2, 3)]
+    for retry, delay in enumerate(delays, start=1):
+        base = 10.0 * 2.0 ** (retry - 1)
+        assert base <= delay <= base * 1.1
+    assert delays[0] < delays[1] < delays[2]
+
+
+# -- DFS block faults surfacing through jobs ----------------------------
+
+
+def test_replica_failover_charged_to_job_counters():
+    dfs = InMemoryDFS(split_size_bytes=32)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=3)
+    f = write_lines(dfs, ["a b", "c d", "e f", "g h"])
+    dfs.lose_replica("text", 0)
+    dfs.lose_replica("text", 1)
+    result = runtime.run(wordcount_job(), f)
+    c = result.counters
+    assert c.get(FRAMEWORK_GROUP, MRCounter.REPLICA_READS) == 2
+    assert c.get(FRAMEWORK_GROUP, MRCounter.BLOCKS_LOST) == 0
+    # Wasted failover reads and healing writes land in the byte counters.
+    split = f.splits[0].size_bytes
+    assert (
+        c.get(FRAMEWORK_GROUP, MRCounter.HDFS_BYTES_READ)
+        == f.size_bytes + 2 * split
+    )
+    assert c.get(FRAMEWORK_GROUP, MRCounter.HDFS_BYTES_WRITTEN) >= 2 * split
+    assert result.overhead_seconds > 0
+
+
+def test_unrecoverable_block_loss_fails_job():
+    from repro.common.errors import SplitUnavailableError
+
+    dfs = InMemoryDFS(split_size_bytes=32)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=3)
+    f = write_lines(dfs, ["a b", "c d"])
+    dfs.lose_block("text", 0)
+    with pytest.raises(JobFailedError) as err:
+        runtime.run(wordcount_job(), f)
+    assert isinstance(err.value.cause, SplitUnavailableError)
