@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-processes test-all chaos bench-executors bench
+.PHONY: test test-processes test-all chaos trace bench-executors bench
 
 # Tier-1: the full suite on the default (serial) backend.
 test:
@@ -25,6 +25,17 @@ chaos:
 	REPRO_BLOCK_LOSS_PROB=0.02 \
 	REPRO_MAX_JOB_RETRIES=3 \
 	$(PYTHON) -m pytest tests/integration -x -q
+
+# Record a chaos-mode G-means run into a journal and render it: the
+# full observability loop (journal -> replay -> trace) on one command.
+TRACE_JOURNAL ?= reports/chaos-run.jsonl
+trace:
+	rm -f $(TRACE_JOURNAL)
+	REPRO_TASK_FAILURE_PROB=0.05 \
+	REPRO_BLOCK_LOSS_PROB=0.02 \
+	REPRO_MAX_JOB_RETRIES=3 \
+	$(PYTHON) examples/run_with_journal.py $(TRACE_JOURNAL)
+	$(PYTHON) -m repro trace $(TRACE_JOURNAL) --gantt --metrics
 
 bench-executors:
 	$(PYTHON) -m pytest benchmarks/bench_executor_speedup.py -q -s

@@ -1,0 +1,120 @@
+"""Journal overhead — the observability tax on a real workload.
+
+Runs the same seeded G-means workload with journalling off (the
+default ``NullJournalSink``) and on (a ``FileJournalSink`` appending
+JSON lines, flushed at every span and event boundary), and asserts:
+
+* equivalence — results are byte-identical with the journal on or off
+  (emission never touches an RNG stream);
+* overhead — the file sink costs < 5% wall-clock on top of the
+  uninstrumented run (best-of-``REPEATS`` per mode, to damp scheduler
+  noise).
+
+The measurement lands in ``BENCH_observability.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import tempfile
+import time
+
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import paper_family_dataset
+from repro.evaluation.harness import build_world
+from repro.observability import Journal, FileJournalSink
+
+BENCH_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+)
+
+K_REAL = 8
+N_POINTS = 60_000
+SEED = 11
+REPEATS = 5
+MAX_OVERHEAD = 0.05
+
+
+def run_once(journal: "Journal | None") -> tuple[dict, float]:
+    """One G-means run; returns (result signature, wall seconds)."""
+    mixture = paper_family_dataset(n_clusters=K_REAL, n_points=N_POINTS, rng=SEED)
+    world = build_world(
+        mixture, nodes=4, target_splits=16, seed=SEED, journal=journal
+    )
+    config = MRGMeansConfig(seed=SEED)
+    start = time.perf_counter()
+    result = MRGMeans(world.runtime, config).fit(world.dataset)
+    elapsed = time.perf_counter() - start
+    signature = {
+        "k_found": result.k_found,
+        "iterations": result.iterations,
+        "completed": result.completed,
+        "centers_sha": result.centers.tobytes().hex()[:64],
+        "simulated_seconds": result.simulated_seconds,
+        "counters": result.totals.counters.as_dict(),
+    }
+    return signature, elapsed
+
+
+def test_journal_overhead(report, tmp_path):
+    run_once(None)  # warm caches before anything is measured
+    off_times, on_times = [], []
+    off_signature = on_signature = None
+    journal_records = 0
+    for repeat in range(REPEATS):
+        off_signature, off_elapsed = run_once(None)
+        off_times.append(off_elapsed)
+
+        path = tmp_path / f"bench-journal-{repeat}.jsonl"
+        journal = Journal(FileJournalSink(str(path)))
+        on_signature, on_elapsed = run_once(journal)
+        journal.close()
+        on_times.append(on_elapsed)
+        journal_records = sum(1 for _ in path.open())
+
+        assert on_signature == off_signature, (
+            "journalling changed results — determinism contract broken"
+        )
+
+    best_off, best_on = min(off_times), min(on_times)
+    overhead = best_on / best_off - 1.0
+
+    entry = {
+        "benchmark": "journal_overhead_gmeans",
+        "workload": {
+            "algorithm": "gmeans_mr",
+            "clusters": K_REAL,
+            "n_points": N_POINTS,
+            "seed": SEED,
+        },
+        "repeats": REPEATS,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "wall_seconds": {
+            "journal_off": round(best_off, 3),
+            "journal_on": round(best_on, 3),
+        },
+        "journal_records": journal_records,
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "results_byte_identical": True,
+    }
+    BENCH_JSON.write_text(json.dumps(entry, indent=2) + "\n")
+
+    lines = [
+        "run journal — file-sink overhead on a G-means workload",
+        "",
+        f"  journal off   {best_off:8.2f} s   (best of {REPEATS})",
+        f"  journal on    {best_on:8.2f} s   ({journal_records} records)",
+        "",
+        f"  overhead: {overhead * 100:.2f}%  (budget {MAX_OVERHEAD * 100:.0f}%)",
+    ]
+    report("journal_overhead", "\n".join(lines))
+
+    assert overhead < MAX_OVERHEAD, (
+        f"file journal cost {overhead * 100:.2f}% wall-clock, "
+        f"budget is {MAX_OVERHEAD * 100:.0f}%"
+    )

@@ -1,0 +1,60 @@
+"""Record a (optionally chaotic) G-means run into a run journal.
+
+Runs MR G-means over a synthetic mixture with journalling enabled and
+prints where the journal landed; render it afterwards with::
+
+    python -m repro trace <journal> --gantt --metrics
+
+Fault injection comes from the environment, so the same script records
+a clean run or a chaos run (``make trace`` sets the chaos variables)::
+
+    python examples/run_with_journal.py run.jsonl
+    REPRO_TASK_FAILURE_PROB=0.05 REPRO_MAX_JOB_RETRIES=3 \
+        python examples/run_with_journal.py chaos.jsonl
+"""
+
+import sys
+
+from repro import (
+    ClusterConfig,
+    InMemoryDFS,
+    MapReduceRuntime,
+    MRGMeans,
+    MRGMeansConfig,
+    generate_gaussian_mixture,
+    write_points,
+)
+from repro.observability import file_journal
+
+TRUE_K = 6
+
+
+def main() -> int:
+    journal_path = sys.argv[1] if len(sys.argv) > 1 else "run.jsonl"
+
+    mixture = generate_gaussian_mixture(
+        n_points=6_000, n_clusters=TRUE_K, dimensions=4, rng=42
+    )
+    dfs = InMemoryDFS(split_size_bytes=64 * 1024)
+    dataset = write_points(dfs, "points", mixture.points)
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=4),
+        rng=7,
+        journal=file_journal(journal_path),
+    )
+
+    result = MRGMeans(runtime, MRGMeansConfig(seed=7)).fit(dataset)
+
+    print(f"true k:              {TRUE_K}")
+    print(f"k found:             {result.k_found}")
+    print(f"iterations:          {result.iterations}")
+    print(f"simulated time:      {result.simulated_seconds:.2f}s")
+    print(f"job retries:         {result.totals.counters.get('framework', 'JOB_RETRIES')}")
+    print(f"journal written to:  {journal_path}")
+    print(f"render it with:      python -m repro trace {journal_path} --gantt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

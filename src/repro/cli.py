@@ -7,6 +7,8 @@
     python -m repro experiment fig3 --out fig3.txt
     python -m repro ablation kmeans_iterations
     python -m repro all --out-dir reports/
+    python -m repro experiment table1 --journal run.jsonl
+    python -m repro trace run.jsonl --gantt --metrics
 
 Every run is deterministic (the experiments carry their own seeds);
 the printed report is the same paper-vs-measured text the benchmark
@@ -29,6 +31,7 @@ from repro.mapreduce.executors import (
     MAX_JOB_RETRIES_ENV,
     NUM_WORKERS_ENV,
 )
+from repro.observability.journal import JOURNAL_ENV
 
 
 def _emit(result, out: "str | None") -> None:
@@ -88,6 +91,29 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.observability import render_trace, replay_journal
+
+    try:
+        replay = replay_journal(args.journal_path)
+    except OSError as exc:
+        print(f"cannot read journal: {exc}", file=sys.stderr)
+        return 1
+    text = render_trace(
+        replay,
+        gantt=args.gantt,
+        metrics=args.metrics,
+        width=args.width,
+    )
+    print(text)
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"\n[written to {path}]", file=sys.stderr)
+    return 0
+
+
 def _global_options() -> argparse.ArgumentParser:
     """The run-wide flags, accepted before *or* after the subcommand.
 
@@ -133,6 +159,13 @@ def _global_options() -> argparse.ArgumentParser:
         metavar="N",
         help="re-submit a permanently failed job up to N times with "
         "exponential backoff (default: $REPRO_MAX_JOB_RETRIES or 0)",
+    )
+    parent.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append a structured JSON-lines run journal to PATH "
+        "(spans, per-task timings, fault events; default: $REPRO_JOURNAL "
+        "or off); inspect it with 'repro trace PATH'",
     )
     return parent
 
@@ -183,6 +216,33 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="restrict to these experiment/ablation names",
     )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a recorded run journal (timeline, counters, gantts)",
+        parents=[options],
+    )
+    p_trace.add_argument("journal_path", metavar="JOURNAL")
+    p_trace.add_argument(
+        "--gantt",
+        action="store_true",
+        default=False,
+        help="also render per-job Gantt charts from the recorded tasks",
+    )
+    p_trace.add_argument(
+        "--metrics",
+        action="store_true",
+        default=False,
+        help="also dump the run totals in Prometheus text format",
+    )
+    p_trace.add_argument(
+        "--width",
+        type=int,
+        default=64,
+        metavar="COLS",
+        help="Gantt chart width in characters (default: 64)",
+    )
+    p_trace.add_argument("--out", help="also write the report to this file")
     return parser
 
 
@@ -197,6 +257,7 @@ def main(argv: "list[str] | None" = None) -> int:
         ("checkpoint_dir", CHECKPOINT_DIR_ENV),
         ("resume", RESUME_ENV),
         ("max_job_retries", MAX_JOB_RETRIES_ENV),
+        ("journal", JOURNAL_ENV),
     )
     for attr, env_name in env_bindings:
         value = getattr(args, attr, None)
@@ -208,6 +269,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "ablation": _cmd_ablation,
         "all": _cmd_all,
         "report": _cmd_report,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

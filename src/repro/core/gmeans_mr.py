@@ -32,6 +32,8 @@ from repro.mapreduce.driver import (
 )
 from repro.mapreduce.hdfs import DFSFile
 from repro.mapreduce.runtime import MapReduceRuntime
+from repro.observability.journal import ITERATION, RUN
+from repro.observability.metrics import MetricsRegistry
 from repro.core.checkpoint import (
     decode_gmeans_payload,
     encode_gmeans_payload,
@@ -133,7 +135,6 @@ class MRGMeans:
         byte-identical to a run that was never interrupted.
         """
         cfg = self.config
-        rng = ensure_rng(cfg.seed)
         f = (
             self.runtime.dfs.open(dataset)
             if isinstance(dataset, str)
@@ -141,6 +142,30 @@ class MRGMeans:
         )
         if resume_from is None:
             resume_from = os.environ.get(RESUME_ENV) or None
+        journal = self.runtime.journal
+        with journal.span(
+            RUN,
+            "gmeans",
+            dataset=f.name,
+            k_init=cfg.k_init,
+            k_max=cfg.k_max,
+        ) as span:
+            result = self._fit(f, resume_from)
+            if journal.enabled:
+                span.set(
+                    status="ok",
+                    k_found=result.k_found,
+                    iterations=result.iterations,
+                    completed=result.completed,
+                    simulated_seconds=result.totals.simulated_seconds,
+                    jobs=result.totals.jobs,
+                )
+        return result
+
+    def _fit(self, f: DFSFile, resume_from: "str | None") -> MRGMeansResult:
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+        journal = self.runtime.journal
         driver = self._make_driver(resume_from)
         state = GMeansState()
         history: list[IterationStats] = []
@@ -157,32 +182,52 @@ class MRGMeans:
                 state.new_cluster(parent, pair)
 
         completed = iteration > 0 and state.all_found
+        metrics = MetricsRegistry(driver.totals.counters)
         while not completed and iteration < cfg.max_iterations:
             iteration += 1
             seconds_before = driver.totals.simulated_seconds
             k_before = state.k
-            stats = self._run_iteration(driver, f, state, iteration)
-            history.append(
-                IterationStats(
-                    iteration=iteration,
-                    k_before=k_before,
-                    k_after=state.k,
-                    clusters_tested=stats["tested"],
-                    clusters_split=stats["split"],
-                    clusters_found=stats["found"],
-                    strategy=stats["strategy"],
-                    simulated_seconds=(
-                        driver.totals.simulated_seconds - seconds_before
-                    ),
-                    centers=stats["centers"],
-                    degraded=stats["degraded"],
+            with journal.span(
+                ITERATION,
+                f"iteration-{iteration}",
+                iteration=iteration,
+                k_before=k_before,
+            ) as span:
+                stats = self._run_iteration(driver, f, state, iteration)
+                history.append(
+                    IterationStats(
+                        iteration=iteration,
+                        k_before=k_before,
+                        k_after=state.k,
+                        clusters_tested=stats["tested"],
+                        clusters_split=stats["split"],
+                        clusters_found=stats["found"],
+                        strategy=stats["strategy"],
+                        simulated_seconds=(
+                            driver.totals.simulated_seconds - seconds_before
+                        ),
+                        centers=stats["centers"],
+                        degraded=stats["degraded"],
+                    )
                 )
-            )
-            completed = state.all_found
-            if isinstance(driver, CheckpointingJobChainDriver):
-                driver.save_checkpoint(
-                    iteration, encode_gmeans_payload(state, history, rng)
-                )
+                completed = state.all_found
+                if isinstance(driver, CheckpointingJobChainDriver):
+                    driver.save_checkpoint(
+                        iteration, encode_gmeans_payload(state, history, rng)
+                    )
+                if journal.enabled:
+                    span.set(
+                        k_after=state.k,
+                        clusters_tested=stats["tested"],
+                        clusters_split=stats["split"],
+                        clusters_found=stats["found"],
+                        strategy=stats["strategy"],
+                        degraded=stats["degraded"],
+                        simulated_seconds=(
+                            driver.totals.simulated_seconds - seconds_before
+                        ),
+                        counters=metrics.mark().as_dict(),
+                    )
 
         centers = state.parent_centers()
         merged = None
@@ -378,6 +423,12 @@ class MRGMeans:
             # iteration so operators can see what was skipped.
             verdicts = {}
             degraded = True
+            self.runtime.journal.event(
+                "degraded_iteration",
+                iteration=iteration,
+                job=test_job.name,
+                clusters_kept=len(pairs),
+            )
 
         splits = self._apply_verdicts(state, flat, pairs, verdicts, candidates)
         return {

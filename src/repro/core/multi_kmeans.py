@@ -37,6 +37,8 @@ from repro.mapreduce.driver import ChainTotals, JobChainDriver
 from repro.mapreduce.hdfs import DFSFile, Split
 from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
 from repro.mapreduce.runtime import MapReduceRuntime
+from repro.observability.journal import ITERATION, RUN
+from repro.observability.metrics import MetricsRegistry
 
 CENTERS_BY_K_KEY = "centers_by_k"
 VECTORIZED_KEY = "vectorized"
@@ -251,53 +253,96 @@ class MultiKMeans:
         reduce_tasks = self.runtime.cluster.total_reduce_slots
         iteration_seconds: list[float] = []
         failed_iterations: list[int] = []
-        for iteration in range(1, self.iterations + 1):
-            job = make_multi_kmeans_job(
-                centers_by_k,
-                reduce_tasks,
-                name=f"MultiKMeans-{iteration}",
-                vectorized=self.vectorized,
-            )
-            try:
-                result = driver.run(job, f)
-            except JobFailedError as exc:
-                # Deterministic heap exhaustion still aborts the sweep —
-                # only fault-induced failures are safe to skip.
-                if isinstance(exc.cause, JavaHeapSpaceError):
-                    raise
-                # Degradation policy: a refinement pass that died after
-                # every retry is skipped — the centers simply miss one
-                # Lloyd update, which later passes absorb — instead of
-                # aborting the whole candidate sweep.
-                failed_iterations.append(iteration)
-                continue
-            iteration_seconds.append(result.simulated_seconds)
-            for (k, cid), (center, _count) in result.output:
-                centers_by_k[k][cid] = center
+        journal = self.runtime.journal
+        metrics = MetricsRegistry(driver.totals.counters)
+        with journal.span(
+            RUN,
+            "multi_kmeans",
+            dataset=f.name,
+            k_min=min(self.ks),
+            k_max=max(self.ks),
+        ) as run_span:
+            for iteration in range(1, self.iterations + 1):
+                job = make_multi_kmeans_job(
+                    centers_by_k,
+                    reduce_tasks,
+                    name=f"MultiKMeans-{iteration}",
+                    vectorized=self.vectorized,
+                )
+                seconds_before = driver.totals.simulated_seconds
+                with journal.span(
+                    ITERATION,
+                    f"iteration-{iteration}",
+                    iteration=iteration,
+                ) as span:
+                    try:
+                        result = driver.run(job, f)
+                    except JobFailedError as exc:
+                        # Deterministic heap exhaustion still aborts the
+                        # sweep — only fault-induced failures are safe
+                        # to skip.
+                        if isinstance(exc.cause, JavaHeapSpaceError):
+                            raise
+                        # Degradation policy: a refinement pass that died
+                        # after every retry is skipped — the centers
+                        # simply miss one Lloyd update, which later
+                        # passes absorb — instead of aborting the whole
+                        # candidate sweep.
+                        failed_iterations.append(iteration)
+                        journal.event(
+                            "iteration_skipped",
+                            iteration=iteration,
+                            job=job.name,
+                        )
+                        if journal.enabled:
+                            span.set(
+                                status="skipped",
+                                degraded=True,
+                                simulated_seconds=0.0,
+                                counters=metrics.mark().as_dict(),
+                            )
+                        continue
+                    iteration_seconds.append(result.simulated_seconds)
+                    for (k, cid), (center, _count) in result.output:
+                        centers_by_k[k][cid] = center
+                    if journal.enabled:
+                        span.set(
+                            simulated_seconds=(
+                                driver.totals.simulated_seconds - seconds_before
+                            ),
+                            counters=metrics.mark().as_dict(),
+                        )
 
-        # Scoring job ("at least one additional job to find the correct
-        # value of k").
-        score_job = Job(
-            name="MultiKMeans-WCSS",
-            mapper=WCSSMapper,
-            combiner=WCSSReducer,
-            reducer=WCSSReducer,
-            num_reduce_tasks=reduce_tasks,
-            config={CENTERS_BY_K_KEY: centers_by_k},
-        )
-        result = driver.run(score_job, f)
-        wcss_by_k: dict[int, float] = {}
-        n_points = 0
-        for k, (sse, n) in result.output:
-            wcss_by_k[int(k)] = float(sse)
-            n_points = int(n)
-        if len(wcss_by_k) >= 3 and self.criterion == "elbow":
-            best_k = elbow_k(wcss_by_k)
-        elif len(wcss_by_k) >= 2 and self.criterion == "jump":
-            dimensions = next(iter(centers_by_k.values())).shape[1]
-            best_k = jump_k(wcss_by_k, n_points, dimensions)
-        else:
-            best_k = min(wcss_by_k, key=wcss_by_k.get)
+            # Scoring job ("at least one additional job to find the
+            # correct value of k").
+            score_job = Job(
+                name="MultiKMeans-WCSS",
+                mapper=WCSSMapper,
+                combiner=WCSSReducer,
+                reducer=WCSSReducer,
+                num_reduce_tasks=reduce_tasks,
+                config={CENTERS_BY_K_KEY: centers_by_k},
+            )
+            result = driver.run(score_job, f)
+            wcss_by_k: dict[int, float] = {}
+            n_points = 0
+            for k, (sse, n) in result.output:
+                wcss_by_k[int(k)] = float(sse)
+                n_points = int(n)
+            if len(wcss_by_k) >= 3 and self.criterion == "elbow":
+                best_k = elbow_k(wcss_by_k)
+            elif len(wcss_by_k) >= 2 and self.criterion == "jump":
+                dimensions = next(iter(centers_by_k.values())).shape[1]
+                best_k = jump_k(wcss_by_k, n_points, dimensions)
+            else:
+                best_k = min(wcss_by_k, key=wcss_by_k.get)
+            if journal.enabled:
+                run_span.set(
+                    status="ok",
+                    best_k=best_k,
+                    simulated_seconds=driver.totals.simulated_seconds,
+                    jobs=driver.totals.jobs,
+                )
         return MultiKMeansResult(
             centers_by_k=centers_by_k,
             wcss_by_k=wcss_by_k,

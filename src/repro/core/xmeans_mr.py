@@ -41,6 +41,8 @@ from repro.mapreduce.driver import ChainTotals, JobChainDriver
 from repro.mapreduce.hdfs import DFSFile, Split
 from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
 from repro.mapreduce.runtime import MapReduceRuntime
+from repro.observability.journal import ITERATION, RUN
+from repro.observability.metrics import MetricsRegistry
 
 PARENTS_KEY = "parents"
 CHILDREN_KEY = "children"  # dict: parent index -> (2, d)
@@ -218,88 +220,132 @@ class MRXMeans:
 
         iteration = 0
         completed = False
-        while not completed and iteration < self.max_iterations:
-            iteration += 1
-            # 1. Refine the global centers; the merged pass also picks
-            #    each cluster's two candidate children.
-            job = make_kmeans_job(
-                centers, reduce_tasks, name=f"XMeans-KMeans-{iteration}"
-            )
-            centers, _ = decode_kmeans_output(driver.run(job, f).output, centers)
-            job = make_find_new_centers_job(
-                centers, reduce_tasks, name=f"XMeans-Pick-{iteration}"
-            )
-            centers, sizes, candidates = decode_find_new_centers_output(
-                driver.run(job, f).output, centers
-            )
+        journal = self.runtime.journal
+        metrics = MetricsRegistry(driver.totals.counters)
 
-            children = {
-                index: candidates[index]
-                for index in range(centers.shape[0])
-                if not found[index]
-                and index in candidates
-                and candidates[index].shape[0] == 2
-                and not np.array_equal(candidates[index][0], candidates[index][1])
-                and sizes[index] >= self.min_split_size
-            }
-            for index in range(centers.shape[0]):
-                if index not in children:
-                    found[index] = True
-            if not children:
-                completed = all(found)
-                break
-
-            # 2. Refine children within their parents.
-            for step in range(self.child_refinements):
-                job = Job(
-                    name=f"XMeans-Children-{iteration}.{step}",
-                    mapper=ChildrenKMeansMapper,
-                    combiner=KMeansCombiner,
-                    reducer=KMeansReducer,
-                    num_reduce_tasks=reduce_tasks,
-                    config={PARENTS_KEY: centers, CHILDREN_KEY: children},
+        def finish_iteration(span, seconds_before: float) -> None:
+            if journal.enabled:
+                span.set(
+                    k_after=centers.shape[0],
+                    simulated_seconds=(
+                        driver.totals.simulated_seconds - seconds_before
+                    ),
+                    counters=metrics.mark().as_dict(),
                 )
-                refined = dict(children)
-                for (parent, child), (mean, _count) in driver.run(job, f).output:
-                    refined[parent] = refined[parent].copy()
-                    refined[parent][child] = mean
-                children = refined
 
-            # 3. BIC decision per cluster.
-            job = Job(
-                name=f"XMeans-BIC-{iteration}",
-                mapper=BICDecisionMapper,
-                combiner=None,
-                reducer=BICDecisionReducer,
-                num_reduce_tasks=reduce_tasks,
-                config={
-                    PARENTS_KEY: centers,
-                    CHILDREN_KEY: children,
-                    DIMENSIONS_KEY: centers.shape[1],
-                },
-            )
-            verdicts = dict(driver.run(job, f).output)
+        with journal.span(
+            RUN,
+            "xmeans",
+            dataset=f.name,
+            k_init=self.k_init,
+            k_max=self.k_max,
+        ) as run_span:
+            while not completed and iteration < self.max_iterations:
+                iteration += 1
+                seconds_before = driver.totals.simulated_seconds
+                with journal.span(
+                    ITERATION,
+                    f"iteration-{iteration}",
+                    iteration=iteration,
+                    k_before=centers.shape[0],
+                ) as span:
+                    # 1. Refine the global centers; the merged pass also
+                    #    picks each cluster's two candidate children.
+                    job = make_kmeans_job(
+                        centers, reduce_tasks, name=f"XMeans-KMeans-{iteration}"
+                    )
+                    centers, _ = decode_kmeans_output(
+                        driver.run(job, f).output, centers
+                    )
+                    job = make_find_new_centers_job(
+                        centers, reduce_tasks, name=f"XMeans-Pick-{iteration}"
+                    )
+                    centers, sizes, candidates = decode_find_new_centers_output(
+                        driver.run(job, f).output, centers
+                    )
 
-            new_centers: list[np.ndarray] = []
-            new_found: list[bool] = []
-            k_budget = self.k_max - centers.shape[0]
-            for index in range(centers.shape[0]):
-                if found[index] or index not in children:
-                    new_centers.append(centers[index])
-                    new_found.append(True)
-                    continue
-                verdict = verdicts.get(index)
-                if verdict is not None and verdict[0] and k_budget > 0:
-                    new_centers.extend(children[index])
-                    new_found.extend([False, False])
-                    k_budget -= 1
-                else:
-                    # Tested and kept: this cluster is finished.
-                    new_centers.append(centers[index])
-                    new_found.append(True)
-            centers = np.vstack(new_centers)
-            found = new_found
-            completed = all(found)
+                    children = {
+                        index: candidates[index]
+                        for index in range(centers.shape[0])
+                        if not found[index]
+                        and index in candidates
+                        and candidates[index].shape[0] == 2
+                        and not np.array_equal(
+                            candidates[index][0], candidates[index][1]
+                        )
+                        and sizes[index] >= self.min_split_size
+                    }
+                    for index in range(centers.shape[0]):
+                        if index not in children:
+                            found[index] = True
+                    if not children:
+                        completed = all(found)
+                        finish_iteration(span, seconds_before)
+                        break
+
+                    # 2. Refine children within their parents.
+                    for step in range(self.child_refinements):
+                        job = Job(
+                            name=f"XMeans-Children-{iteration}.{step}",
+                            mapper=ChildrenKMeansMapper,
+                            combiner=KMeansCombiner,
+                            reducer=KMeansReducer,
+                            num_reduce_tasks=reduce_tasks,
+                            config={PARENTS_KEY: centers, CHILDREN_KEY: children},
+                        )
+                        refined = dict(children)
+                        for (parent, child), (mean, _count) in driver.run(
+                            job, f
+                        ).output:
+                            refined[parent] = refined[parent].copy()
+                            refined[parent][child] = mean
+                        children = refined
+
+                    # 3. BIC decision per cluster.
+                    job = Job(
+                        name=f"XMeans-BIC-{iteration}",
+                        mapper=BICDecisionMapper,
+                        combiner=None,
+                        reducer=BICDecisionReducer,
+                        num_reduce_tasks=reduce_tasks,
+                        config={
+                            PARENTS_KEY: centers,
+                            CHILDREN_KEY: children,
+                            DIMENSIONS_KEY: centers.shape[1],
+                        },
+                    )
+                    verdicts = dict(driver.run(job, f).output)
+
+                    new_centers: list[np.ndarray] = []
+                    new_found: list[bool] = []
+                    k_budget = self.k_max - centers.shape[0]
+                    for index in range(centers.shape[0]):
+                        if found[index] or index not in children:
+                            new_centers.append(centers[index])
+                            new_found.append(True)
+                            continue
+                        verdict = verdicts.get(index)
+                        if verdict is not None and verdict[0] and k_budget > 0:
+                            new_centers.extend(children[index])
+                            new_found.extend([False, False])
+                            k_budget -= 1
+                        else:
+                            # Tested and kept: this cluster is finished.
+                            new_centers.append(centers[index])
+                            new_found.append(True)
+                    centers = np.vstack(new_centers)
+                    found = new_found
+                    completed = all(found)
+                    finish_iteration(span, seconds_before)
+            if journal.enabled:
+                run_span.set(
+                    status="ok",
+                    k_found=centers.shape[0],
+                    iterations=iteration,
+                    completed=completed,
+                    simulated_seconds=driver.totals.simulated_seconds,
+                    jobs=driver.totals.jobs,
+                )
 
         return MRXMeansResult(
             centers=centers,

@@ -76,6 +76,7 @@ def build_world(
     dataset_name: str = "dataset",
     executor: str | None = None,
     num_workers: int | None = None,
+    journal=None,
 ) -> World:
     """Wire a DFS, a cluster runtime and the dataset for one experiment.
 
@@ -114,5 +115,6 @@ def build_world(
         cost=cost or BENCH_COST,
         rng=ensure_rng(seed),
         config=config,
+        journal=journal,
     )
     return World(dfs=dfs, runtime=runtime, dataset=dataset, mixture=mixture)

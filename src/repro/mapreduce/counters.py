@@ -114,6 +114,42 @@ class Counters:
             for name, value in names.items()
         }
 
+    def copy(self) -> "Counters":
+        """Independent deep copy (the boundary snapshot ``diff`` reads)."""
+        clone = Counters()
+        for group, names in self._data.items():
+            clone._data[group].update(names)
+        return clone
+
+    def diff(self, before: "Counters") -> "Counters":
+        """Counters accumulated since the ``before`` snapshot.
+
+        Additive counters carry their increment; ``_MAX`` high-water
+        marks carry the *new* high-water value when it rose and are
+        omitted otherwise, so that ``before.merge(diff)`` always
+        reconstructs the current state. Unchanged counters are omitted,
+        which keeps per-span deltas in the run journal compact.
+        """
+        delta = Counters()
+        for group, names in self._data.items():
+            for name, value in names.items():
+                prior = before.get(group, name)
+                if name.endswith("_MAX"):
+                    if value > prior:
+                        delta._data[group][name] = value
+                elif value != prior:
+                    delta._data[group][name] = value - prior
+        return delta
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, dict[str, int]]") -> "Counters":
+        """Rebuild a :class:`Counters` from an :meth:`as_dict` mapping."""
+        counters = cls()
+        for group, names in data.items():
+            for name, value in names.items():
+                counters._data[group][name] = int(value)
+        return counters
+
     def as_dict(self) -> dict[str, dict[str, int]]:
         """Nested plain-dict copy (for reports and JSON output)."""
         return {group: dict(names) for group, names in self._data.items()}

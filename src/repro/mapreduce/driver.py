@@ -127,11 +127,11 @@ class ChainCheckpoint:
 
     def restore_totals(self) -> ChainTotals:
         """Rebuild the :class:`ChainTotals` this snapshot captured."""
-        totals = ChainTotals(jobs=self.jobs, simulated_seconds=self.simulated_seconds)
-        for group, names in self.counters.items():
-            for name, value in names.items():
-                totals.counters.inc(group, name, value)
-        return totals
+        return ChainTotals(
+            jobs=self.jobs,
+            simulated_seconds=self.simulated_seconds,
+            counters=Counters.from_dict(self.counters),
+        )
 
 
 def checkpoint_file_name(checkpoint_dir: str, iteration: int) -> str:
@@ -182,6 +182,9 @@ class CheckpointingJobChainDriver(JobChainDriver):
         self.runtime.dfs.write(
             name, [blob], bytes_per_record=len(blob), overwrite=True
         )
+        self.runtime.journal.event(
+            "checkpoint_write", name=name, iteration=int(iteration), bytes=len(blob)
+        )
         return name
 
     # -- load ------------------------------------------------------------
@@ -229,4 +232,15 @@ class CheckpointingJobChainDriver(JobChainDriver):
         self._cached_files = set(checkpoint.cached_files)
         self.runtime.rng_state = checkpoint.runtime_rng_state
         self.runtime.fault_rng_state = checkpoint.fault_rng_state
+        # The restored totals are the journal's accounting baseline: a
+        # resumed run's journal only sees post-resume jobs, so replay
+        # adds these back when cross-checking against the final totals.
+        self.runtime.journal.event(
+            "checkpoint_restore",
+            name=name,
+            iteration=checkpoint.iteration,
+            jobs=checkpoint.jobs,
+            simulated_seconds=checkpoint.simulated_seconds,
+            counters=checkpoint.counters,
+        )
         return checkpoint

@@ -39,6 +39,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -202,11 +203,19 @@ class ReduceTaskSpec:
 
 @dataclass
 class TaskResult:
-    """What a task sends back to the runtime for index-ordered merging."""
+    """What a task sends back to the runtime for index-ordered merging.
+
+    ``wall_seconds`` is the real time the task body took *wherever it
+    ran* (inline, worker thread or worker process) — the run journal's
+    per-task wall timing. It is measurement, never input: nothing
+    downstream computes with it, which is what keeps results identical
+    across backends.
+    """
 
     pairs: list
     counters: Counters
     heap_high_water: int = 0
+    wall_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -218,6 +227,7 @@ class TaskFailure:
 
 def execute_map_task(spec: MapTaskSpec) -> TaskResult:
     """Run one map task (mapper lifecycle + per-task combiner)."""
+    started = time.perf_counter()
     task_counters = Counters()
     framework(task_counters, MRCounter.MAP_TASKS)
     framework(task_counters, MRCounter.MAP_INPUT_RECORDS, spec.split.num_records)
@@ -238,11 +248,17 @@ def execute_map_task(spec: MapTaskSpec) -> TaskResult:
             spec.heap_bytes,
             spec.task_id,
         )
-    return TaskResult(pairs=pairs, counters=task_counters, heap_high_water=ctx.heap_high_water)
+    return TaskResult(
+        pairs=pairs,
+        counters=task_counters,
+        heap_high_water=ctx.heap_high_water,
+        wall_seconds=time.perf_counter() - started,
+    )
 
 
 def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
     """Run one reduce task (sort-merge grouping + reducer lifecycle)."""
+    started = time.perf_counter()
     task_counters = Counters()
     framework(task_counters, MRCounter.REDUCE_TASKS)
     rng = np.random.default_rng(spec.seed)
@@ -266,6 +282,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
         pairs=ctx.emitted,
         counters=task_counters,
         heap_high_water=ctx.heap_high_water,
+        wall_seconds=time.perf_counter() - started,
     )
 
 

@@ -48,13 +48,24 @@ from repro.mapreduce.executors import (
     execute_reduce_task,
     unwrap,
 )
-from repro.mapreduce.faults import FaultModel, TaskPermanentlyFailedError
+from repro.mapreduce.faults import (
+    FaultModel,
+    SPECULATIVE_TASKS,
+    TASK_FAILURES,
+    TaskPermanentlyFailedError,
+)
 from repro.mapreduce.cluster import ClusterConfig, MIB, PAPER_CLUSTER
 from repro.mapreduce.costmodel import CostModel, CostParameters, JobTiming
-from repro.mapreduce.counters import Counters, MRCounter, framework
+from repro.mapreduce.counters import (
+    Counters,
+    FRAMEWORK_GROUP,
+    MRCounter,
+    framework,
+)
 from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
 from repro.mapreduce.job import Job
 from repro.mapreduce.shuffle import group_by_key, partition_pairs
+from repro.observability.journal import JOB, PHASE, Journal
 
 
 @dataclass
@@ -106,10 +117,16 @@ class MapReduceRuntime:
         locality: bool = False,
         config: "RuntimeConfig | str | None" = None,
         executor: "TaskExecutor | None" = None,
+        journal: "Journal | None" = None,
     ):
         self.dfs = dfs
         self.cluster = cluster
         self.locality = locality
+        # Observability is opt-in: without an explicit journal the
+        # REPRO_JOURNAL environment variable is consulted, and absent
+        # both every instrumentation point is one disabled-check away
+        # from free. The journal never touches an RNG stream.
+        self.journal = journal if journal is not None else Journal.from_env()
         self.cost_model = CostModel(cost or CostParameters(), cluster)
         self._rng = ensure_rng(rng)
         # Faults draw from their own stream so enabling them perturbs
@@ -180,29 +197,64 @@ class MapReduceRuntime:
         the fault stream keeps advancing, so the retry can succeed.
         """
         max_retries = self.config.max_job_retries
+        journal = self.journal
         backoff = 0.0
         retries = 0
         while True:
             seed_state = self._rng.bit_generator.state
-            try:
-                result = self._run_attempt(job, input_file, cached)
-            except JobFailedError as err:
-                # Heap exhaustion is deterministic (same input, same
-                # heap, same overflow — Figure 2's failure): resubmitting
-                # cannot help, so it escapes the retry loop untouched.
-                if isinstance(err.cause, JavaHeapSpaceError):
-                    raise
-                if retries >= max_retries:
-                    raise
-                retries += 1
-                self._rng.bit_generator.state = seed_state
-                backoff += self._retry_backoff_seconds(retries)
-            else:
-                if retries:
-                    framework(result.counters, MRCounter.JOB_RETRIES, retries)
-                    result.job_retries = retries
-                    result.overhead_seconds += backoff
+            failure: "JobFailedError | None" = None
+            # Each attempt gets its own job span, closed before the
+            # retry decision so failed attempts are first-class records.
+            with journal.span(JOB, job.name, attempt=retries + 1) as span:
+                try:
+                    result = self._run_attempt(job, input_file, cached)
+                except JobFailedError as err:
+                    failure = err
+                    span.set(
+                        status="failed",
+                        error=type(err.cause).__name__
+                        if err.cause is not None
+                        else type(err).__name__,
+                    )
+                else:
+                    if retries:
+                        framework(result.counters, MRCounter.JOB_RETRIES, retries)
+                        result.job_retries = retries
+                        result.overhead_seconds += backoff
+                    if journal.enabled:
+                        timing = result.timing
+                        span.set(
+                            status="ok",
+                            retries=retries,
+                            simulated_seconds=result.simulated_seconds,
+                            overhead_seconds=result.overhead_seconds,
+                            num_map_tasks=result.num_map_tasks,
+                            num_reduce_tasks=result.num_reduce_tasks,
+                            max_reduce_heap_bytes=result.max_reduce_heap_bytes,
+                            timing={
+                                "startup_seconds": timing.startup_seconds,
+                                "map_seconds": timing.map_seconds,
+                                "shuffle_seconds": timing.shuffle_seconds,
+                                "reduce_seconds": timing.reduce_seconds,
+                            },
+                            counters=result.counters.as_dict(),
+                        )
+            if failure is None:
                 return result
+            # Heap exhaustion is deterministic (same input, same heap,
+            # same overflow — Figure 2's failure): resubmitting cannot
+            # help, so it escapes the retry loop untouched.
+            if isinstance(failure.cause, JavaHeapSpaceError):
+                raise failure
+            if retries >= max_retries:
+                raise failure
+            retries += 1
+            self._rng.bit_generator.state = seed_state
+            delay = self._retry_backoff_seconds(retries)
+            backoff += delay
+            journal.event(
+                "job_retry", job=job.name, retry=retries, backoff_seconds=delay
+            )
 
     def _retry_backoff_seconds(self, retry: int) -> float:
         """Exponential backoff before re-execution ``retry`` (1-based),
@@ -288,19 +340,46 @@ class MapReduceRuntime:
         into the job's ``REPLICA_READS`` / ``BLOCKS_LOST`` counters.
         """
         report = self.dfs.charge_read(f)
+        journal = self.journal
         if report.replica_failovers:
             framework(counters, MRCounter.REPLICA_READS, report.replica_failovers)
             framework(counters, MRCounter.HDFS_BYTES_READ, report.extra_bytes_read)
+            journal.event(
+                "replica_failover",
+                file=f.name,
+                failovers=report.replica_failovers,
+                extra_bytes_read=report.extra_bytes_read,
+            )
         if report.replicas_lost:
             framework(counters, MRCounter.BLOCKS_LOST, report.replicas_lost)
+            journal.event("blocks_lost", file=f.name, count=report.replicas_lost)
         if report.bytes_re_replicated:
             framework(
                 counters, MRCounter.HDFS_BYTES_WRITTEN, report.bytes_re_replicated
+            )
+            journal.event(
+                "re_replication", file=f.name, bytes=report.bytes_re_replicated
             )
         params = self.cost_model.params
         return report.extra_bytes_read / (params.disk_read_mbps * MIB) + (
             report.bytes_re_replicated / (params.disk_write_mbps * MIB)
         )
+
+    def _journal_task(self, task_id: str, index: int, seconds, task) -> None:
+        """Record one finished task (plus its fault activity) under the
+        current phase span. Task counters are per-task fresh, so their
+        fault values *are* the per-task deltas."""
+        journal = self.journal
+        if not journal.enabled:
+            return
+        journal.task(task_id, index, float(seconds), task.wall_seconds)
+        failures = task.counters.get(FRAMEWORK_GROUP, TASK_FAILURES)
+        if failures:
+            journal.event(
+                "task_attempt_failures", task_id=task_id, failures=failures
+            )
+        if task.counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS):
+            journal.event("speculative_task", task_id=task_id)
 
     # -- phases ----------------------------------------------------------
 
@@ -365,28 +444,35 @@ class MapReduceRuntime:
             )
             for split, seed in zip(f.splits, seeds)
         ]
-        outcomes = self.executor.run_tasks(
-            execute_map_task,
-            specs,
-            max_concurrency=self.cluster.executor_concurrency("map"),
-        )
         all_pairs: list[tuple[object, object]] = []
         map_seconds: list[float] = []
         shuffle_bytes = 0
-        for spec, split, outcome in zip(specs, f.splits, outcomes):
-            task = unwrap(outcome)
-            for key, value in task.pairs:
-                shuffle_bytes += 8 + job.value_size(value)
-            all_pairs.extend(task.pairs)
-            seconds = self.cost_model.map_task_seconds(
-                task.counters, split.size_bytes, cached
+        with self.journal.span(
+            PHASE,
+            "map",
+            tasks=f.num_splits,
+            slots=self.cluster.total_map_slots,
+        ):
+            outcomes = self.executor.run_tasks(
+                execute_map_task,
+                specs,
+                max_concurrency=self.cluster.executor_concurrency("map"),
             )
-            if self.faults is not None:
-                seconds = self.faults.apply(
-                    seconds, spec.task_id, self._fault_rng, task.counters
+            for spec, split, outcome in zip(specs, f.splits, outcomes):
+                task = unwrap(outcome)
+                for key, value in task.pairs:
+                    shuffle_bytes += 8 + job.value_size(value)
+                all_pairs.extend(task.pairs)
+                seconds = self.cost_model.map_task_seconds(
+                    task.counters, split.size_bytes, cached
                 )
-            map_seconds.append(seconds)
-            counters.merge(task.counters)
+                if self.faults is not None:
+                    seconds = self.faults.apply(
+                        seconds, spec.task_id, self._fault_rng, task.counters
+                    )
+                map_seconds.append(seconds)
+                self._journal_task(spec.task_id, split.index, seconds, task)
+                counters.merge(task.counters)
         return all_pairs, map_seconds, shuffle_bytes
 
     def _run_reduce_phase(
@@ -409,23 +495,30 @@ class MapReduceRuntime:
             )
             for index, (bucket, seed) in enumerate(zip(buckets, seeds))
         ]
-        outcomes = self.executor.run_tasks(
-            execute_reduce_task,
-            specs,
-            max_concurrency=self.cluster.executor_concurrency("reduce"),
-        )
         output: list[tuple[object, object]] = []
         reduce_seconds: list[float] = []
         max_heap_seen = 0
-        for spec, outcome in zip(specs, outcomes):
-            task = unwrap(outcome)
-            output.extend(task.pairs)
-            max_heap_seen = max(max_heap_seen, task.heap_high_water)
-            seconds = self.cost_model.reduce_task_seconds(task.counters)
-            if self.faults is not None:
-                seconds = self.faults.apply(
-                    seconds, spec.task_id, self._fault_rng, task.counters
-                )
-            reduce_seconds.append(seconds)
-            counters.merge(task.counters)
+        with self.journal.span(
+            PHASE,
+            "reduce",
+            tasks=num_reduce,
+            slots=self.cluster.total_reduce_slots,
+        ):
+            outcomes = self.executor.run_tasks(
+                execute_reduce_task,
+                specs,
+                max_concurrency=self.cluster.executor_concurrency("reduce"),
+            )
+            for index, (spec, outcome) in enumerate(zip(specs, outcomes)):
+                task = unwrap(outcome)
+                output.extend(task.pairs)
+                max_heap_seen = max(max_heap_seen, task.heap_high_water)
+                seconds = self.cost_model.reduce_task_seconds(task.counters)
+                if self.faults is not None:
+                    seconds = self.faults.apply(
+                        seconds, spec.task_id, self._fault_rng, task.counters
+                    )
+                reduce_seconds.append(seconds)
+                self._journal_task(spec.task_id, index, seconds, task)
+                counters.merge(task.counters)
         return output, reduce_seconds, max_heap_seen, num_reduce

@@ -14,10 +14,14 @@ did — stragglers, skewed reducers, under-filled waves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.validation import check_positive
 from repro.mapreduce.cluster import ClusterConfig
-from repro.mapreduce.runtime import JobResult
+
+if TYPE_CHECKING:  # runtime itself imports observability, which renders
+    # via this module — keep the JobResult dependency annotation-only.
+    from repro.mapreduce.runtime import JobResult
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,7 @@ def render_gantt(
     """
     if not schedule:
         return (title + "\n" if title else "") + "(no tasks)"
+    check_positive("width", width)
     makespan = max(t.end for t in schedule)
     slots = sorted({t.slot for t in schedule})
     scale = width / makespan if makespan > 0 else 0.0
@@ -78,22 +83,24 @@ def render_gantt(
         lines.append(title)
     for slot in slots:
         row = [" "] * width
+        filled = 0
         for task in schedule:
             if task.slot != slot:
                 continue
-            start = int(task.start * scale)
+            start = min(int(task.start * scale), width - 1)
+            # Every task renders at least one character, even when the
+            # makespan (and therefore the scale) collapses to zero.
             end = max(start + 1, int(task.end * scale))
             label = str(task.task_index % 10)
             for x in range(start, min(end, width)):
                 row[x] = label
-        filled = max(
-            (int(t.end * scale) for t in schedule if t.slot == slot),
-            default=0,
-        )
+            filled = max(filled, min(end, width))
         for x in range(filled, width):
             row[x] = "."
         lines.append(f"slot {slot:>3} |{''.join(row)}|")
-    lines.append(f"0{'':{width - 8}}{makespan:8.2f}s")
+    footer = f"{makespan:8.2f}s"
+    pad = max(0, width - len(footer))
+    lines.append(f"0{'':{pad}}{footer}")
     return "\n".join(lines)
 
 

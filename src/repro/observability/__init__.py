@@ -1,0 +1,93 @@
+"""Run-wide observability: structured journal, spans, metrics, replay.
+
+Chained MapReduce runs — dozens of jobs, retries, replica failovers,
+checkpoints — are recorded as an append-only JSON-lines *run journal*
+of hierarchical spans (run → iteration → job attempt → phase → task)
+plus fault-tolerance events. A recorded journal can be replayed into a
+span tree, rendered as a timeline / per-iteration counter table /
+per-job Gantt (``repro trace``), or exported as Prometheus text.
+
+Journalling is off by default and costs one early return per
+instrumentation point; ``--journal PATH`` or ``$REPRO_JOURNAL`` turns
+it on. Emission never touches an RNG stream, so results are
+byte-identical with the journal on or off, and journals are identical
+across executor backends modulo wall-clock fields.
+"""
+
+from repro.observability.journal import (
+    EVENT,
+    ITERATION,
+    JOB,
+    JOURNAL_ENV,
+    PHASE,
+    RUN,
+    SPAN_END,
+    SPAN_KINDS,
+    SPAN_START,
+    TASK,
+    FileJournalSink,
+    InMemoryJournalSink,
+    Journal,
+    JournalSink,
+    NullJournalSink,
+    canonical_record,
+    canonical_records,
+    file_journal,
+    load_journal,
+)
+from repro.observability.metrics import (
+    MetricsRegistry,
+    metric_name,
+    render_prometheus,
+)
+from repro.observability.render import (
+    render_iteration_table,
+    render_job_gantts,
+    render_metrics,
+    render_timeline,
+    render_trace,
+)
+from repro.observability.replay import (
+    EventRecord,
+    RunReplay,
+    SpanNode,
+    TaskRecord,
+    replay_journal,
+    replay_records,
+)
+
+__all__ = [
+    "EVENT",
+    "ITERATION",
+    "JOB",
+    "JOURNAL_ENV",
+    "PHASE",
+    "RUN",
+    "SPAN_END",
+    "SPAN_KINDS",
+    "SPAN_START",
+    "TASK",
+    "FileJournalSink",
+    "InMemoryJournalSink",
+    "Journal",
+    "JournalSink",
+    "NullJournalSink",
+    "canonical_record",
+    "canonical_records",
+    "file_journal",
+    "load_journal",
+    "MetricsRegistry",
+    "metric_name",
+    "render_prometheus",
+    "render_iteration_table",
+    "render_job_gantts",
+    "render_metrics",
+    "render_timeline",
+    "render_trace",
+    "EventRecord",
+    "RunReplay",
+    "SpanNode",
+    "TaskRecord",
+    "replay_journal",
+    "replay_records",
+]

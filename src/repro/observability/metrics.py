@@ -1,0 +1,71 @@
+"""Counter snapshots at span boundaries, and Prometheus text export.
+
+The runtime's :class:`~repro.mapreduce.counters.Counters` accumulate
+monotonically over a whole chained run; what the paper's tables need
+is the *per-iteration* and *per-job* breakdown. A
+:class:`MetricsRegistry` wraps a live ``Counters`` object and marks
+span boundaries, handing out the delta accumulated since the previous
+mark (``Counters.diff``, which respects ``_MAX`` high-water
+semantics). :func:`render_prometheus` turns any counter set — a span
+delta or a run total — into the Prometheus text exposition format, so
+a recorded journal can feed a real metrics pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.counters import Counters
+
+
+class MetricsRegistry:
+    """Boundary snapshots over one live :class:`Counters` object.
+
+    ::
+
+        registry = MetricsRegistry(driver.totals.counters)
+        ... run one iteration ...
+        delta = registry.mark()   # Counters accumulated this iteration
+    """
+
+    def __init__(self, counters: Counters):
+        self.counters = counters
+        self._mark = counters.copy()
+
+    def delta(self) -> Counters:
+        """Counters accumulated since the last mark (does not advance)."""
+        return self.counters.diff(self._mark)
+
+    def mark(self) -> Counters:
+        """Delta since the previous mark, advancing the boundary."""
+        delta = self.counters.diff(self._mark)
+        self._mark = self.counters.copy()
+        return delta
+
+
+def metric_name(group: str, name: str, prefix: str = "repro") -> str:
+    """Prometheus-legal metric name for counter ``(group, name)``."""
+    return f"{prefix}_{group}_{name}".lower()
+
+
+def render_prometheus(
+    counters: Counters,
+    extra: "dict[str, float] | None" = None,
+    prefix: str = "repro",
+) -> str:
+    """Prometheus text exposition of ``counters`` (plus ``extra`` gauges).
+
+    ``_MAX`` counters are high-water marks and export as gauges;
+    everything else is a monotone counter. ``extra`` adds run-level
+    gauges such as ``simulated_seconds`` that live outside the counter
+    map. Output is sorted, so equal counter sets render identically.
+    """
+    lines: list[str] = []
+    for (group, name), value in sorted(counters.snapshot().items()):
+        metric = metric_name(group, name, prefix)
+        kind = "gauge" if name.endswith("_MAX") else "counter"
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted((extra or {}).items()):
+        metric = f"{prefix}_{name}".lower()
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    return "\n".join(lines)

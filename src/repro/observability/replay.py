@@ -1,0 +1,222 @@
+"""Reconstruct a recorded run from its journal.
+
+A journal is a flat, append-only record stream; this module folds it
+back into the span tree it came from, so the trace CLI (and the
+integration suite) can ask run-level questions: which job attempts ran
+(including the retried and failed ones), what each phase and task
+cost, where the faults and checkpoints were, and whether the journal's
+accounting adds up to the totals the run reported.
+
+The replay is defensive about truncation: a run killed mid-chain
+leaves spans without end records, which replay surfaces as spans with
+``end is None`` instead of failing — reconstructing interrupted runs
+is precisely the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapreduce.counters import Counters
+from repro.observability.journal import (
+    EVENT,
+    ITERATION,
+    JOB,
+    PHASE,
+    RUN,
+    SPAN_END,
+    SPAN_START,
+    TASK,
+    load_journal,
+)
+
+
+@dataclass
+class TaskRecord:
+    """One executed task, as recorded under its phase span."""
+
+    task_id: str
+    index: int
+    sim_seconds: float
+    wall_seconds: float
+
+
+@dataclass
+class EventRecord:
+    """One point-in-time event (fault, retry, checkpoint, ...)."""
+
+    seq: int
+    name: str
+    parent: "int | None"
+    attrs: dict
+    wall_time: "float | None" = None
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children, tasks and events."""
+
+    id: int
+    kind: str
+    name: str
+    attrs: dict = field(default_factory=dict)
+    end: "dict | None" = None
+    parent: "SpanNode | None" = None
+    children: "list[SpanNode]" = field(default_factory=list)
+    tasks: "list[TaskRecord]" = field(default_factory=list)
+    events: "list[EventRecord]" = field(default_factory=list)
+    start_seq: int = 0
+    wall_start: "float | None" = None
+    wall_end: "float | None" = None
+
+    @property
+    def complete(self) -> bool:
+        """False when the run died before this span could end."""
+        return self.end is not None
+
+    def get(self, key: str, default=None):
+        """Look up ``key`` in the end attrs, falling back to the start."""
+        if self.end is not None and key in self.end:
+            return self.end[key]
+        return self.attrs.get(key, default)
+
+    def find(self, kind: str) -> "list[SpanNode]":
+        """All descendant spans of ``kind``, in journal order."""
+        found = []
+        for child in self.children:
+            if child.kind == kind:
+                found.append(child)
+            found.extend(child.find(kind))
+        return found
+
+    def counters(self) -> Counters:
+        """The counter delta this span recorded (empty if none)."""
+        return Counters.from_dict(self.get("counters") or {})
+
+
+@dataclass
+class RunReplay:
+    """A whole journal, reconstructed."""
+
+    records: list[dict]
+    roots: "list[SpanNode]"
+    spans: "dict[int, SpanNode]"
+    events: "list[EventRecord]"
+
+    # -- views -----------------------------------------------------------
+
+    def runs(self) -> "list[SpanNode]":
+        return self._of_kind(RUN)
+
+    def iterations(self) -> "list[SpanNode]":
+        return self._of_kind(ITERATION)
+
+    def jobs(self) -> "list[SpanNode]":
+        """Every job *attempt* span, in submission order."""
+        return self._of_kind(JOB)
+
+    def phases(self) -> "list[SpanNode]":
+        return self._of_kind(PHASE)
+
+    def _of_kind(self, kind: str) -> "list[SpanNode]":
+        return sorted(
+            (span for span in self.spans.values() if span.kind == kind),
+            key=lambda span: span.start_seq,
+        )
+
+    def events_named(self, name: str) -> "list[EventRecord]":
+        return [event for event in self.events if event.name == name]
+
+    # -- accounting cross-checks -----------------------------------------
+
+    def successful_jobs(self) -> "list[SpanNode]":
+        return [job for job in self.jobs() if job.get("status") == "ok"]
+
+    def restored_baselines(self) -> "list[EventRecord]":
+        """``checkpoint_restore`` events carry the totals a resumed run
+        inherited; replay accounting must add them back in."""
+        return self.events_named("checkpoint_restore")
+
+    def total_counters(self) -> Counters:
+        """Counters the journal accounts for: every successful job's
+        delta, plus any totals restored from a checkpoint.
+
+        Failed attempts contribute nothing — exactly as the runtime
+        discards a failed attempt's counters — so this must equal the
+        run's final reported ``Counters``.
+        """
+        totals = Counters()
+        for restore in self.restored_baselines():
+            totals.merge(Counters.from_dict(restore.attrs.get("counters") or {}))
+        for job in self.successful_jobs():
+            totals.merge(job.counters())
+        return totals
+
+    def total_simulated_seconds(self) -> float:
+        """Simulated seconds the journal accounts for (see above)."""
+        total = sum(
+            float(restore.attrs.get("simulated_seconds") or 0.0)
+            for restore in self.restored_baselines()
+        )
+        return total + sum(
+            float(job.get("simulated_seconds") or 0.0)
+            for job in self.successful_jobs()
+        )
+
+
+def replay_records(records: "list[dict]") -> RunReplay:
+    """Fold a record list back into a :class:`RunReplay`."""
+    spans: dict[int, SpanNode] = {}
+    roots: list[SpanNode] = []
+    events: list[EventRecord] = []
+    for record in records:
+        kind = record.get("type")
+        if kind == SPAN_START:
+            node = SpanNode(
+                id=record["span"],
+                kind=record.get("kind", ""),
+                name=record.get("name", ""),
+                attrs=record.get("attrs") or {},
+                start_seq=record.get("seq", 0),
+                wall_start=record.get("wall_time"),
+            )
+            spans[node.id] = node
+            parent = spans.get(record.get("parent"))
+            if parent is not None:
+                node.parent = parent
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        elif kind == SPAN_END:
+            node = spans.get(record.get("span"))
+            if node is not None:
+                node.end = record.get("attrs") or {}
+                node.wall_end = record.get("wall_time")
+        elif kind == TASK:
+            parent = spans.get(record.get("parent"))
+            task = TaskRecord(
+                task_id=record.get("task_id", ""),
+                index=int(record.get("index", 0)),
+                sim_seconds=float(record.get("sim_seconds", 0.0)),
+                wall_seconds=float(record.get("wall_seconds", 0.0)),
+            )
+            if parent is not None:
+                parent.tasks.append(task)
+        elif kind == EVENT:
+            event = EventRecord(
+                seq=record.get("seq", 0),
+                name=record.get("name", ""),
+                parent=record.get("parent"),
+                attrs=record.get("attrs") or {},
+                wall_time=record.get("wall_time"),
+            )
+            events.append(event)
+            parent = spans.get(event.parent)
+            if parent is not None:
+                parent.events.append(event)
+    return RunReplay(records=records, roots=roots, spans=spans, events=events)
+
+
+def replay_journal(path: str) -> RunReplay:
+    """Load and reconstruct the journal file at ``path``."""
+    return replay_records(load_journal(path))

@@ -14,12 +14,17 @@ from repro.core.gmeans_mr import MRGMeans
 from repro.core.multi_kmeans import MultiKMeans
 from repro.data.generator import generate_gaussian_mixture
 from repro.evaluation.harness import build_world
+from repro.observability.journal import (
+    InMemoryJournalSink,
+    Journal,
+    canonical_records,
+)
 
 BACKENDS = ("serial", "threads", "processes")
 SEEDS = (1, 7, 23)
 
 
-def make_world(seed: int, backend: str):
+def make_world(seed: int, backend: str, journal=None):
     mixture = generate_gaussian_mixture(
         n_points=600, n_clusters=3, dimensions=2, rng=seed
     )
@@ -29,11 +34,12 @@ def make_world(seed: int, backend: str):
         target_splits=6,
         executor=backend,
         num_workers=2,
+        journal=journal,
     )
 
 
-def gmeans_signature(seed: int, backend: str):
-    world = make_world(seed, backend)
+def gmeans_signature(seed: int, backend: str, journal=None):
+    world = make_world(seed, backend, journal=journal)
     result = MRGMeans(world.runtime, MRGMeansConfig(seed=seed)).fit(
         world.dataset
     )
@@ -82,3 +88,30 @@ def test_gmeans_finds_same_sane_k_on_every_backend():
     ks = {backend: gmeans_signature(31, backend)[0] for backend in BACKENDS}
     assert len(set(ks.values())) == 1
     assert 2 <= ks["serial"] <= 5
+
+
+def test_results_identical_with_journal_on_or_off():
+    """Journalling must observe the run, never perturb it."""
+    plain = gmeans_signature(7, "serial")
+    journalled = gmeans_signature(7, "serial", journal=Journal(InMemoryJournalSink()))
+    assert journalled == plain
+
+
+def test_journal_canonical_form_identical_across_backends():
+    """Same seeded run → same journal on every backend, modulo wall clock.
+
+    Everything nondeterministic in a journal lives in ``wall*`` keys;
+    after stripping them the three backends must have recorded the
+    exact same sequence of spans, tasks and events.
+    """
+    journals = {}
+    for backend in BACKENDS:
+        sink = InMemoryJournalSink()
+        gmeans_signature(7, backend, journal=Journal(sink))
+        journals[backend] = canonical_records(sink.records)
+    reference = journals["serial"]
+    assert reference  # the run actually recorded something
+    kinds = {r.get("kind") for r in reference if r["type"] == "span_start"}
+    assert kinds == {"run", "iteration", "job", "phase"}
+    for backend in BACKENDS[1:]:
+        assert journals[backend] == reference, backend

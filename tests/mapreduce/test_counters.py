@@ -82,3 +82,61 @@ def test_framework_helper_targets_framework_group():
     c = Counters()
     framework(c, MRCounter.MAP_TASKS, 2)
     assert c.get(FRAMEWORK_GROUP, MRCounter.MAP_TASKS) == 2
+
+
+def test_copy_is_independent():
+    c = Counters()
+    c.inc("g", "n", 3)
+    clone = c.copy()
+    c.inc("g", "n", 4)
+    assert clone.get("g", "n") == 3
+    assert c.get("g", "n") == 7
+
+
+def test_from_dict_round_trips_as_dict():
+    c = Counters()
+    c.inc("g", "x", 1)
+    c.set_max("g", "HIGH_MAX", 9)
+    assert Counters.from_dict(c.as_dict()).as_dict() == c.as_dict()
+
+
+def test_diff_additive_counters():
+    before = Counters()
+    before.inc("g", "n", 2)
+    after = before.copy()
+    after.inc("g", "n", 5)
+    after.inc("g", "new", 1)
+    delta = after.diff(before)
+    assert delta.get("g", "n") == 5
+    assert delta.get("g", "new") == 1
+
+
+def test_diff_omits_unchanged():
+    before = Counters()
+    before.inc("g", "same", 4)
+    after = before.copy()
+    after.inc("g", "moved", 1)
+    assert after.diff(before).as_dict() == {"g": {"moved": 1}}
+
+
+def test_diff_max_counters_keep_high_water_semantics():
+    before = Counters()
+    before.set_max("g", "HIGH_MAX", 10)
+    after = before.copy()
+    after.set_max("g", "HIGH_MAX", 7)  # below the high water: unchanged
+    assert after.diff(before).as_dict() == {}
+    after.set_max("g", "HIGH_MAX", 25)
+    assert after.diff(before).get("g", "HIGH_MAX") == 25
+
+
+def test_merge_of_diff_reconstructs_current():
+    before = Counters()
+    before.inc("g", "n", 2)
+    before.set_max("g", "HIGH_MAX", 10)
+    after = before.copy()
+    after.inc("g", "n", 3)
+    after.inc("h", "m", 1)
+    after.set_max("g", "HIGH_MAX", 30)
+    rebuilt = before.copy()
+    rebuilt.merge(after.diff(before))
+    assert rebuilt.as_dict() == after.as_dict()

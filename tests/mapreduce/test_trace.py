@@ -51,6 +51,45 @@ def test_gantt_empty():
     assert "(no tasks)" in render_gantt([], title="t")
 
 
+@pytest.mark.parametrize("width", [1, 2, 4, 7])
+def test_gantt_narrow_width_keeps_footer_and_rows_intact(width):
+    """Widths below the footer's length used to garble the axis line."""
+    schedule = build_schedule([3.0, 2.0, 1.0], slots=2)
+    out = render_gantt(schedule, width=width)
+    lines = out.split("\n")
+    assert lines[-1].startswith("0")
+    assert "3.00s" in lines[-1]
+    for line in lines[:-1]:
+        between_bars = line.split("|")[1]
+        assert len(between_bars) == width
+
+
+def test_gantt_rejects_nonpositive_width():
+    schedule = build_schedule([1.0], slots=1)
+    with pytest.raises(Exception):
+        render_gantt(schedule, width=0)
+
+
+def test_gantt_zero_makespan_renders_every_task():
+    """All-zero task times collapse the scale to 0; every task must
+    still paint its minimum one character instead of being overwritten
+    by idle dots."""
+    from repro.mapreduce.trace import ScheduledTask
+
+    schedule = [
+        ScheduledTask(task_index=0, slot=0, start=0.0, end=0.0),
+        ScheduledTask(task_index=1, slot=1, start=0.0, end=0.0),
+    ]
+    out = render_gantt(schedule, width=10)
+    lines = out.split("\n")
+    rows = [line for line in lines if line.startswith("slot")]
+    assert len(rows) == 2
+    for expected, row in zip("01", rows):
+        cells = row.split("|")[1]
+        assert cells[0] == expected  # the task's label, not an idle dot
+    assert "0.00s" in lines[-1]
+
+
 class ModuloMapper(Mapper):
     def map(self, key, value, ctx):
         ctx.emit(value % 3, 1)

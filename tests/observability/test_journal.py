@@ -1,0 +1,159 @@
+"""Journal mechanics: spans, sinks, sequencing, canonical form."""
+
+import json
+
+import pytest
+
+from repro.observability.journal import (
+    EVENT,
+    JOURNAL_ENV,
+    SPAN_END,
+    SPAN_START,
+    TASK,
+    FileJournalSink,
+    InMemoryJournalSink,
+    Journal,
+    NullJournalSink,
+    canonical_records,
+    file_journal,
+    load_journal,
+)
+
+
+def journal_and_sink():
+    sink = InMemoryJournalSink()
+    return Journal(sink), sink
+
+
+def test_disabled_journal_emits_nothing():
+    journal = Journal()  # defaults to NullJournalSink
+    assert not journal.enabled
+    with journal.span("run", "r") as span:
+        span.set(result=1)
+        journal.event("noop")
+        journal.task("t", 0, 1.0, 0.0)
+    assert isinstance(journal.sink, NullJournalSink)
+
+
+def test_records_get_monotonic_seq_numbers():
+    journal, sink = journal_and_sink()
+    with journal.span("run", "r"):
+        journal.event("a")
+        journal.event("b")
+    seqs = [record["seq"] for record in sink.records]
+    assert seqs == sorted(seqs) == list(range(len(sink.records)))
+
+
+def test_span_nesting_sets_parents():
+    journal, sink = journal_and_sink()
+    with journal.span("run", "r") as run:
+        with journal.span("job", "j") as job:
+            journal.event("inside_job")
+        journal.event("inside_run")
+    starts = {r["name"]: r for r in sink.records if r["type"] == SPAN_START}
+    events = {r["name"]: r for r in sink.records if r["type"] == EVENT}
+    assert starts["r"]["parent"] is None
+    assert starts["j"]["parent"] == run.id
+    assert events["inside_job"]["parent"] == job.id
+    assert events["inside_run"]["parent"] == run.id
+
+
+def test_span_end_carries_set_attrs():
+    journal, sink = journal_and_sink()
+    with journal.span("job", "j", attempt=1) as span:
+        span.set(status="ok", simulated_seconds=2.0)
+    end = next(r for r in sink.records if r["type"] == SPAN_END)
+    assert end["span"] == span.id
+    assert end["attrs"] == {"status": "ok", "simulated_seconds": 2.0}
+
+
+def test_span_exception_marks_error_and_propagates():
+    journal, sink = journal_and_sink()
+    with pytest.raises(ValueError):
+        with journal.span("job", "j"):
+            raise ValueError("boom")
+    end = next(r for r in sink.records if r["type"] == SPAN_END)
+    assert end["attrs"]["status"] == "error"
+    assert end["attrs"]["error"] == "ValueError"
+
+
+def test_end_span_pops_abandoned_inner_spans():
+    journal, sink = journal_and_sink()
+    outer = journal.start_span("run", "r")
+    journal.start_span("job", "abandoned")
+    journal.end_span(outer)
+    journal.event("after")
+    event = next(r for r in sink.records if r["type"] == EVENT)
+    assert event["parent"] is None  # the stack is empty again
+
+
+def test_task_records_attach_to_current_span():
+    journal, sink = journal_and_sink()
+    with journal.span("phase", "map") as phase:
+        journal.task("job-m-00000", 0, 1.5, 0.01)
+    task = next(r for r in sink.records if r["type"] == TASK)
+    assert task["parent"] == phase.id
+    assert task["task_id"] == "job-m-00000"
+    assert task["index"] == 0
+    assert task["sim_seconds"] == 1.5
+
+
+def test_canonical_records_strip_wall_clock_fields():
+    journal, sink = journal_and_sink()
+    with journal.span("phase", "map"):
+        journal.task("t", 0, 1.0, 0.123)
+    canon = canonical_records(sink.records)
+    for record in canon:
+        assert not any(key.startswith("wall") for key in record)
+    # and nothing else is lost
+    assert all("seq" in record for record in canon)
+
+
+def test_file_sink_round_trip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    journal = Journal(FileJournalSink(str(path)))
+    with journal.span("run", "r") as span:
+        journal.task("t", 0, 1.0, 0.0)
+        span.set(status="ok")
+    journal.close()
+    records = load_journal(str(path))
+    assert [r["type"] for r in records] == [SPAN_START, TASK, SPAN_END]
+    # every line is standalone JSON
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_file_journal_shared_per_path(tmp_path):
+    path = str(tmp_path / "shared.jsonl")
+    a = file_journal(path)
+    b = file_journal(path)
+    assert a is b
+    a.event("one")
+    b.event("two")
+    a.close()
+    seqs = [r["seq"] for r in load_journal(path)]
+    assert seqs == [0, 1]  # one shared sequence stream
+
+
+def test_from_env_disabled_without_variable():
+    journal = Journal.from_env(environ={})
+    assert not journal.enabled
+
+
+def test_from_env_opens_file_journal(tmp_path):
+    path = str(tmp_path / "env.jsonl")
+    journal = Journal.from_env(environ={JOURNAL_ENV: path})
+    assert journal.enabled
+    journal.event("hello")
+    journal.close()
+    assert load_journal(path)[0]["name"] == "hello"
+
+
+def test_numpy_scalars_serialise(tmp_path):
+    np = pytest.importorskip("numpy")
+    path = tmp_path / "np.jsonl"
+    journal = Journal(FileJournalSink(str(path)))
+    journal.event("e", value=np.float64(1.5), count=np.int64(3))
+    journal.close()
+    record = load_journal(str(path))[0]
+    assert record["attrs"] == {"value": 1.5, "count": 3}

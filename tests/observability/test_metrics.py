@@ -1,0 +1,67 @@
+"""Metrics registry boundary snapshots and Prometheus rendering."""
+
+from repro.mapreduce.counters import Counters
+from repro.observability.metrics import (
+    MetricsRegistry,
+    metric_name,
+    render_prometheus,
+)
+
+
+def test_mark_returns_delta_and_advances():
+    counters = Counters()
+    counters.inc("g", "n", 2)
+    registry = MetricsRegistry(counters)
+    counters.inc("g", "n", 3)
+    first = registry.mark()
+    assert first.get("g", "n") == 3
+    counters.inc("g", "n", 1)
+    second = registry.mark()
+    assert second.get("g", "n") == 1
+    assert registry.mark().as_dict() == {}  # nothing accumulated since
+
+
+def test_delta_does_not_advance():
+    counters = Counters()
+    registry = MetricsRegistry(counters)
+    counters.inc("g", "n", 4)
+    assert registry.delta().get("g", "n") == 4
+    assert registry.delta().get("g", "n") == 4  # still there
+    assert registry.mark().get("g", "n") == 4
+
+
+def test_max_counters_survive_marks_as_high_water():
+    counters = Counters()
+    counters.set_max("g", "HEAP_MAX", 10)
+    registry = MetricsRegistry(counters)
+    counters.set_max("g", "HEAP_MAX", 5)  # below: no delta
+    assert registry.mark().as_dict() == {}
+    counters.set_max("g", "HEAP_MAX", 50)
+    assert registry.mark().get("g", "HEAP_MAX") == 50
+
+
+def test_metric_name_is_lowercase_prefixed():
+    assert metric_name("framework", "MAP_TASKS") == "repro_framework_map_tasks"
+
+
+def test_render_prometheus_types_and_sorting():
+    counters = Counters()
+    counters.inc("framework", "MAP_TASKS", 7)
+    counters.set_max("user", "POINTS_PER_CLUSTER_MAX", 99)
+    text = render_prometheus(counters, extra={"simulated_seconds_total": 1.5})
+    lines = text.splitlines()
+    assert "# TYPE repro_framework_map_tasks counter" in lines
+    assert "repro_framework_map_tasks 7" in lines
+    assert "# TYPE repro_user_points_per_cluster_max gauge" in lines
+    assert "repro_user_points_per_cluster_max 99" in lines
+    assert "# TYPE repro_simulated_seconds_total gauge" in lines
+    assert "repro_simulated_seconds_total 1.5" in lines
+
+
+def test_render_prometheus_deterministic():
+    a, b = Counters(), Counters()
+    a.inc("g", "x", 1)
+    a.inc("g", "y", 2)
+    b.inc("g", "y", 2)
+    b.inc("g", "x", 1)
+    assert render_prometheus(a) == render_prometheus(b)

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.data",
     "repro.analysis",
     "repro.evaluation",
+    "repro.observability",
 ]
 
 
