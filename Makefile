@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-processes test-all chaos trace bench-executors bench
+.PHONY: test test-processes test-all chaos trace analyze bench-executors bench
 
 # Tier-1: the full suite on the default (serial) backend.
 test:
@@ -36,6 +36,23 @@ trace:
 	REPRO_MAX_JOB_RETRIES=3 \
 	$(PYTHON) examples/run_with_journal.py $(TRACE_JOURNAL)
 	$(PYTHON) -m repro trace $(TRACE_JOURNAL) --gantt --metrics
+
+# The journal analytics loop as CI runs it: record a seeded chaos run,
+# profile it (skew/stragglers, heap-model audit, cost residuals), then
+# gate it against the committed baseline journal. Faults are seeded,
+# so the fresh run diffs clean against the baseline unless something
+# actually regressed.
+ANALYZE_JOURNAL ?= reports/analyze-run.jsonl
+BASELINE_JOURNAL ?= benchmarks/baselines/chaos-gmeans-seed7.jsonl
+analyze:
+	rm -f $(ANALYZE_JOURNAL)
+	REPRO_TASK_FAILURE_PROB=0.05 \
+	REPRO_BLOCK_LOSS_PROB=0.02 \
+	REPRO_MAX_JOB_RETRIES=3 \
+	$(PYTHON) examples/run_with_journal.py $(ANALYZE_JOURNAL)
+	$(PYTHON) -m repro analyze $(ANALYZE_JOURNAL) --out reports/analyze-report.txt
+	$(PYTHON) -m repro diff $(BASELINE_JOURNAL) $(ANALYZE_JOURNAL) \
+		--out reports/analyze-diff.txt
 
 bench-executors:
 	$(PYTHON) -m pytest benchmarks/bench_executor_speedup.py -q -s

@@ -16,15 +16,14 @@ two things:
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
-import platform
 import time
 
 from repro.core.config import MRGMeansConfig
 from repro.core.gmeans_mr import MRGMeans
 from repro.data.generator import paper_family_dataset
+from repro.evaluation.benchjson import write_bench_json
 from repro.evaluation.experiments import EXPERIMENT_ALPHA
 from repro.evaluation.harness import build_world
 from repro.mapreduce.executors import shutdown_shared_pools
@@ -78,24 +77,23 @@ def test_executor_speedup(report):
 
     speedup = measurements["serial"] / measurements["processes"]
     cpus = os.cpu_count() or 1
-    entry = {
-        "benchmark": "executor_speedup_table1",
-        "workload": {
+    write_bench_json(
+        BENCH_JSON,
+        "executor_speedup_table1",
+        workload={
             "algorithm": "gmeans_mr",
             "clusters": K_REAL,
             "n_points": N_POINTS,
             "dimensions": 10,
             "seed": SEED,
+            "num_workers": NUM_WORKERS,
         },
-        "num_workers": NUM_WORKERS,
-        "cpu_count": cpus,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "wall_seconds": {k: round(v, 3) for k, v in measurements.items()},
-        "speedup_processes_vs_serial": round(speedup, 3),
-        "results_byte_identical": True,
-    }
-    BENCH_JSON.write_text(json.dumps(entry, indent=2) + "\n")
+        metrics={
+            "wall_seconds": {k: round(v, 3) for k, v in measurements.items()},
+            "speedup_processes_vs_serial": round(speedup, 3),
+            "results_byte_identical": True,
+        },
+    )
 
     lines = ["executor backends — wall-clock on the Table 1 workload", ""]
     for backend, seconds in measurements.items():

@@ -15,15 +15,13 @@ The measurement lands in ``BENCH_observability.json`` at the repo root.
 
 from __future__ import annotations
 
-import json
 import pathlib
-import platform
-import tempfile
 import time
 
 from repro.core.config import MRGMeansConfig
 from repro.core.gmeans_mr import MRGMeans
 from repro.data.generator import paper_family_dataset
+from repro.evaluation.benchjson import write_bench_json
 from repro.evaluation.harness import build_world
 from repro.observability import Journal, FileJournalSink
 
@@ -82,27 +80,27 @@ def test_journal_overhead(report, tmp_path):
     best_off, best_on = min(off_times), min(on_times)
     overhead = best_on / best_off - 1.0
 
-    entry = {
-        "benchmark": "journal_overhead_gmeans",
-        "workload": {
+    write_bench_json(
+        BENCH_JSON,
+        "journal_overhead_gmeans",
+        workload={
             "algorithm": "gmeans_mr",
             "clusters": K_REAL,
             "n_points": N_POINTS,
             "seed": SEED,
+            "repeats": REPEATS,
         },
-        "repeats": REPEATS,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "wall_seconds": {
-            "journal_off": round(best_off, 3),
-            "journal_on": round(best_on, 3),
+        metrics={
+            "wall_seconds": {
+                "journal_off": round(best_off, 3),
+                "journal_on": round(best_on, 3),
+            },
+            "journal_records": journal_records,
+            "overhead_fraction": round(overhead, 4),
+            "max_overhead_fraction": MAX_OVERHEAD,
+            "results_byte_identical": True,
         },
-        "journal_records": journal_records,
-        "overhead_fraction": round(overhead, 4),
-        "max_overhead_fraction": MAX_OVERHEAD,
-        "results_byte_identical": True,
-    }
-    BENCH_JSON.write_text(json.dumps(entry, indent=2) + "\n")
+    )
 
     lines = [
         "run journal — file-sink overhead on a G-means workload",

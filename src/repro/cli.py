@@ -9,6 +9,8 @@
     python -m repro all --out-dir reports/
     python -m repro experiment table1 --journal run.jsonl
     python -m repro trace run.jsonl --gantt --metrics
+    python -m repro analyze run.jsonl
+    python -m repro diff baseline.jsonl run.jsonl --max-time-regression 0.1
 
 Every run is deterministic (the experiments carry their own seeds);
 the printed report is the same paper-vs-measured text the benchmark
@@ -91,13 +93,36 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
-    from repro.observability import render_trace, replay_journal
+def _load_replay(path: str):
+    """Replay a journal file, or print a clear error and return None.
+
+    Truncated final records (a run killed mid-write) are tolerated by
+    the loader itself; what surfaces here is a missing/unreadable file
+    or corruption elsewhere in the stream.
+    """
+    from repro.common.errors import JournalCorruptError
+    from repro.observability import replay_journal
 
     try:
-        replay = replay_journal(args.journal_path)
-    except OSError as exc:
+        return replay_journal(path)
+    except (OSError, JournalCorruptError) as exc:
         print(f"cannot read journal: {exc}", file=sys.stderr)
+        return None
+
+
+def _write_out(text: str, out: "str | None") -> None:
+    if out:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"\n[written to {path}]", file=sys.stderr)
+
+
+def _cmd_trace(args) -> int:
+    from repro.observability import render_trace
+
+    replay = _load_replay(args.journal_path)
+    if replay is None:
         return 1
     text = render_trace(
         replay,
@@ -106,12 +131,65 @@ def _cmd_trace(args) -> int:
         width=args.width,
     )
     print(text)
-    if args.out:
-        path = pathlib.Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text + "\n")
-        print(f"\n[written to {path}]", file=sys.stderr)
+    _write_out(text, args.out)
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.observability import analyze_replay, render_analysis
+
+    replay = _load_replay(args.journal_path)
+    if replay is None:
+        return 1
+    report = analyze_replay(replay)
+    text = (
+        json.dumps(report.as_dict(), indent=2)
+        if args.json
+        else render_analysis(report)
+    )
+    print(text)
+    _write_out(text, args.out)
+    if not report.heap_audit_consistent:
+        print(
+            "heap-model audit found decisions inconsistent with their "
+            "recorded inputs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    import json
+
+    from repro.observability import DiffThresholds, diff_replays, render_diff
+
+    baseline = _load_replay(args.baseline)
+    candidate = _load_replay(args.candidate) if baseline is not None else None
+    if baseline is None or candidate is None:
+        return 2
+    thresholds = DiffThresholds(
+        max_time_regression=args.max_time_regression,
+        max_counter_regression=args.max_counter_regression,
+        allow_k_drift=args.allow_k_drift,
+    )
+    report = diff_replays(
+        baseline,
+        candidate,
+        thresholds,
+        baseline_path=args.baseline,
+        candidate_path=args.candidate,
+    )
+    text = (
+        json.dumps(report.as_dict(), indent=2)
+        if args.json
+        else render_diff(report)
+    )
+    print(text)
+    _write_out(text, args.out)
+    return 0 if report.ok else 1
 
 
 def _global_options() -> argparse.ArgumentParser:
@@ -243,6 +321,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="Gantt chart width in characters (default: 64)",
     )
     p_trace.add_argument("--out", help="also write the report to this file")
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="profile a recorded journal: task skew/stragglers, "
+        "heap-model audit, cost-model residuals",
+        parents=[options],
+    )
+    p_analyze.add_argument("journal_path", metavar="JOURNAL")
+    p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable report instead of text",
+    )
+    p_analyze.add_argument("--out", help="also write the report to this file")
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two journals and fail on perf/result regressions "
+        "(exit 1 when thresholds are exceeded)",
+        parents=[options],
+    )
+    p_diff.add_argument("baseline", metavar="BASELINE")
+    p_diff.add_argument("candidate", metavar="CANDIDATE")
+    p_diff.add_argument(
+        "--max-time-regression",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="allowed fractional growth of simulated time (default: 0.10)",
+    )
+    p_diff.add_argument(
+        "--max-counter-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional growth of watched counters (default: 0.25)",
+    )
+    p_diff.add_argument(
+        "--allow-k-drift",
+        action="store_true",
+        default=False,
+        help="do not treat a diverging k-trajectory as a regression",
+    )
+    p_diff.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable diff instead of text",
+    )
+    p_diff.add_argument("--out", help="also write the report to this file")
     return parser
 
 
@@ -270,6 +399,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "all": _cmd_all,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "analyze": _cmd_analyze,
+        "diff": _cmd_diff,
     }
     return handlers[args.command](args)
 

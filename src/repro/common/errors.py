@@ -62,6 +62,28 @@ class SplitUnavailableError(ReproError):
         return (type(self), (self.file_name, self.split_index, self.replication))
 
 
+class JournalCorruptError(ReproError):
+    """A run journal contains an unreadable record.
+
+    A run killed mid-write legitimately leaves a *truncated final*
+    line, which the journal loader tolerates (reconstructing
+    interrupted runs is the point); a malformed record anywhere else
+    means the file is not a journal — or has been damaged — and raises
+    this error instead of a bare ``JSONDecodeError``.
+    """
+
+    def __init__(self, path: str, line_number: int, reason: str):
+        self.path = str(path)
+        self.line_number = int(line_number)
+        self.reason = str(reason)
+        super().__init__(
+            f"{path}:{line_number}: corrupt journal record ({reason})"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.line_number, self.reason))
+
+
 class JavaHeapSpaceError(ReproError):
     """A task exceeded its configured JVM heap.
 

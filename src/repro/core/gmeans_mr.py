@@ -51,7 +51,7 @@ from repro.core.state import (
     ROLE_CHILD_A,
     ROLE_CHILD_B,
 )
-from repro.core.strategy import MAPPER_SIDE, REDUCER_SIDE, choose_test_strategy
+from repro.core.strategy import MAPPER_SIDE, REDUCER_SIDE, decide_test_strategy
 from repro.core.test_clusters import decode_test_output, make_test_clusters_job
 from repro.core.test_few_clusters import make_test_few_clusters_job
 
@@ -360,16 +360,31 @@ class MRGMeans:
             }
 
         # Strategy choice (the paper's two-condition rule, or forced).
+        # The decision is journalled with its full evidence either way,
+        # so `repro analyze` can audit the heap model against what the
+        # test job's reducers actually buffered.
         max_points = max(state.clusters[index].size for index in pairs)
+        decision = decide_test_strategy(
+            len(pairs),
+            max_points,
+            self.runtime.cluster,
+            cfg.heap_bytes_per_projection,
+        )
         if cfg.strategy == "auto":
-            strategy = choose_test_strategy(
-                len(pairs),
-                max_points,
-                self.runtime.cluster,
-                cfg.heap_bytes_per_projection,
-            )
+            strategy = decision.strategy
+            forced = False
         else:
             strategy = MAPPER_SIDE if cfg.strategy == "mapper" else REDUCER_SIDE
+            forced = strategy != decision.strategy
+        decision_attrs = decision.as_event_attrs()
+        decision_attrs["strategy"] = strategy  # chosen (may be forced)
+        decision_attrs["rule_strategy"] = decision.strategy
+        self.runtime.journal.event(
+            "strategy_decision",
+            iteration=iteration,
+            forced=forced,
+            **decision_attrs,
+        )
 
         prev_centers = state.parent_centers()
         if strategy == REDUCER_SIDE:

@@ -11,9 +11,17 @@ conditions hold:
    biggest cluster times the per-projection heap constant (64 bytes,
    Figure 2) — fits within the usable fraction of the task JVM heap
    (66%; above that the garbage collector thrashes).
+
+:func:`decide_test_strategy` returns the full :class:`StrategyDecision`
+— the rule's inputs, the predicted reducer heap and both condition
+outcomes — which the G-means driver journals as a ``strategy_decision``
+event so ``repro analyze`` can audit every switch against what the
+reducers actually buffered.
 """
 
 from __future__ import annotations
+
+from dataclasses import asdict, dataclass
 
 from repro.common.validation import check_non_negative, check_positive
 from repro.mapreduce.cluster import ClusterConfig
@@ -22,6 +30,62 @@ from repro.core.test_clusters import estimate_reducer_heap_bytes
 
 MAPPER_SIDE = "mapper"
 REDUCER_SIDE = "reducer"
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """One application of the switching rule, inputs and verdict.
+
+    ``predicted_heap_bytes`` is the Figure-2 estimate
+    (``max_cluster_points × heap_bytes_per_projection``) the rule
+    compared against ``usable_heap_bytes``; the two booleans are the
+    rule's conditions, recorded so a journal audit can re-derive the
+    verdict from the inputs alone.
+    """
+
+    strategy: str
+    clusters_to_test: int
+    max_cluster_points: int
+    predicted_heap_bytes: int
+    usable_heap_bytes: int
+    total_reduce_slots: int
+    enough_parallelism: bool
+    heap_fits: bool
+
+    def as_event_attrs(self) -> dict:
+        """Flat JSON-ready attrs for a ``strategy_decision`` event."""
+        return asdict(self)
+
+
+def decide_test_strategy(
+    clusters_to_test: int,
+    max_cluster_points: int,
+    cluster: ClusterConfig,
+    heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION,
+) -> StrategyDecision:
+    """Apply the paper's two-condition switching rule, keeping the
+    evidence: returns the chosen strategy together with every input the
+    decision depended on."""
+    check_positive("clusters_to_test", clusters_to_test)
+    check_non_negative("max_cluster_points", max_cluster_points)
+    enough_parallelism = clusters_to_test > cluster.total_reduce_slots
+    heap_needed = estimate_reducer_heap_bytes(
+        max_cluster_points, heap_bytes_per_projection
+    )
+    heap_fits = heap_needed <= cluster.usable_heap_bytes
+    strategy = (
+        REDUCER_SIDE if enough_parallelism and heap_fits else MAPPER_SIDE
+    )
+    return StrategyDecision(
+        strategy=strategy,
+        clusters_to_test=int(clusters_to_test),
+        max_cluster_points=int(max_cluster_points),
+        predicted_heap_bytes=int(heap_needed),
+        usable_heap_bytes=int(cluster.usable_heap_bytes),
+        total_reduce_slots=int(cluster.total_reduce_slots),
+        enough_parallelism=enough_parallelism,
+        heap_fits=heap_fits,
+    )
 
 
 def choose_test_strategy(
@@ -35,13 +99,6 @@ def choose_test_strategy(
     Returns :data:`MAPPER_SIDE` (``TestFewClusters``) or
     :data:`REDUCER_SIDE` (``TestClusters``).
     """
-    check_positive("clusters_to_test", clusters_to_test)
-    check_non_negative("max_cluster_points", max_cluster_points)
-    enough_parallelism = clusters_to_test > cluster.total_reduce_slots
-    heap_needed = estimate_reducer_heap_bytes(
-        max_cluster_points, heap_bytes_per_projection
-    )
-    heap_fits = heap_needed <= cluster.usable_heap_bytes
-    if enough_parallelism and heap_fits:
-        return REDUCER_SIDE
-    return MAPPER_SIDE
+    return decide_test_strategy(
+        clusters_to_test, max_cluster_points, cluster, heap_bytes_per_projection
+    ).strategy

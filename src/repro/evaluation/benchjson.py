@@ -1,0 +1,96 @@
+"""The unified ``BENCH_*.json`` schema.
+
+Benchmark scripts under ``benchmarks/`` archive their headline
+measurement as a JSON file at the repo root; this module is the one
+writer/loader so every file shares a shape the regression tooling can
+rely on:
+
+``schema_version``
+    Integer, bumped on incompatible layout changes.
+``benchmark``
+    The measurement's stable name (e.g. ``journal_overhead_gmeans``).
+``workload``
+    What was measured — algorithm, dataset shape, seeds, worker
+    counts. Enough to re-run the measurement.
+``platform``
+    Where it was measured — OS, Python, CPU count. Never compared,
+    only recorded.
+``metrics``
+    The numbers themselves (wall seconds, overhead fractions,
+    speedups, record counts...).
+
+:func:`load_bench_json` validates the shape and raises
+:class:`~repro.common.errors.DataFormatError` on anything else, so CI
+fails loudly on a hand-edited or stale file rather than silently
+gating on garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform as _platform
+
+from repro.common.errors import DataFormatError
+
+SCHEMA_VERSION = 1
+
+REQUIRED_FIELDS = ("schema_version", "benchmark", "workload", "platform", "metrics")
+
+
+def platform_info() -> dict:
+    """The recording environment, as archived under ``platform``."""
+    return {
+        "platform": _platform.platform(),
+        "python": _platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_entry(benchmark: str, workload: dict, metrics: dict) -> dict:
+    """Assemble one schema-conforming benchmark entry."""
+    if not benchmark:
+        raise DataFormatError("benchmark name must be non-empty")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": str(benchmark),
+        "workload": dict(workload),
+        "platform": platform_info(),
+        "metrics": dict(metrics),
+    }
+
+
+def write_bench_json(
+    path: "str | os.PathLike", benchmark: str, workload: dict, metrics: dict
+) -> dict:
+    """Write one benchmark entry to ``path``; returns the entry."""
+    entry = bench_entry(benchmark, workload, metrics)
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(entry, indent=2, sort_keys=False) + "\n")
+    return entry
+
+
+def load_bench_json(path: "str | os.PathLike") -> dict:
+    """Read and validate a ``BENCH_*.json`` file."""
+    target = pathlib.Path(path)
+    try:
+        entry = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{target}: not valid JSON: {exc}") from exc
+    if not isinstance(entry, dict):
+        raise DataFormatError(f"{target}: expected a JSON object")
+    missing = [name for name in REQUIRED_FIELDS if name not in entry]
+    if missing:
+        raise DataFormatError(
+            f"{target}: missing required fields: {', '.join(missing)}"
+        )
+    if entry["schema_version"] != SCHEMA_VERSION:
+        raise DataFormatError(
+            f"{target}: schema_version {entry['schema_version']!r}, "
+            f"this loader reads {SCHEMA_VERSION}"
+        )
+    for name in ("workload", "platform", "metrics"):
+        if not isinstance(entry[name], dict):
+            raise DataFormatError(f"{target}: {name!r} must be an object")
+    return entry

@@ -231,6 +231,7 @@ class MapReduceRuntime:
                             num_map_tasks=result.num_map_tasks,
                             num_reduce_tasks=result.num_reduce_tasks,
                             max_reduce_heap_bytes=result.max_reduce_heap_bytes,
+                            nodes=self.cluster.nodes,
                             timing={
                                 "startup_seconds": timing.startup_seconds,
                                 "map_seconds": timing.map_seconds,
@@ -364,6 +365,45 @@ class MapReduceRuntime:
         return report.extra_bytes_read / (params.disk_read_mbps * MIB) + (
             report.bytes_re_replicated / (params.disk_write_mbps * MIB)
         )
+
+    @staticmethod
+    def _shuffle_skew_attrs(job: Job, buckets: list) -> dict:
+        """Per-reducer shuffle-skew fields for the reduce phase span.
+
+        Records, distinct keys and shuffle bytes per reduce bucket
+        (byte accounting matches the map side: 8 bytes of key framing
+        plus the job's ``value_size``), and the per-key high-water marks
+        the heap-model audit compares against ``estimate_reducer_heap_bytes``
+        — only computed when a journal is listening.
+        """
+        bucket_records: list[int] = []
+        bucket_keys: list[int] = []
+        bucket_bytes: list[int] = []
+        key_records: dict = {}
+        key_heap: dict = {}
+        heap_cost = job.heap_bytes_per_value
+        for bucket in buckets:
+            nbytes = 0
+            keys = set()
+            for key, value in bucket:
+                nbytes += 8 + job.value_size(value)
+                keys.add(key)
+                key_records[key] = key_records.get(key, 0) + 1
+                if heap_cost is not None:
+                    key_heap[key] = key_heap.get(key, 0) + int(heap_cost(value))
+            bucket_records.append(len(bucket))
+            bucket_keys.append(len(keys))
+            bucket_bytes.append(nbytes)
+        attrs = {
+            "bucket_records": bucket_records,
+            "bucket_keys": bucket_keys,
+            "bucket_bytes": bucket_bytes,
+            "distinct_keys": len(key_records),
+            "max_key_records": max(key_records.values(), default=0),
+        }
+        if heap_cost is not None:
+            attrs["max_key_heap_bytes"] = max(key_heap.values(), default=0)
+        return attrs
 
     def _journal_task(self, task_id: str, index: int, seconds, task) -> None:
         """Record one finished task (plus its fault activity) under the
@@ -503,7 +543,9 @@ class MapReduceRuntime:
             "reduce",
             tasks=num_reduce,
             slots=self.cluster.total_reduce_slots,
-        ):
+        ) as phase_span:
+            if self.journal.enabled:
+                phase_span.set(**self._shuffle_skew_attrs(job, buckets))
             outcomes = self.executor.run_tasks(
                 execute_reduce_task,
                 specs,

@@ -35,6 +35,30 @@ from repro.observability.journal import (
     file_journal,
     load_journal,
 )
+from repro.observability.analyze import (
+    AnalysisReport,
+    DurationStats,
+    HeapAuditEntry,
+    JobResidual,
+    JobSkewProfile,
+    PhaseResidual,
+    PhaseSkew,
+    analyze_replay,
+    render_analysis,
+    render_heap_audit,
+    render_residuals,
+    render_skew,
+)
+from repro.observability.diffing import (
+    DiffEntry,
+    DiffReport,
+    DiffThresholds,
+    RunSummary,
+    diff_replays,
+    diff_summaries,
+    render_diff,
+    summarize_replay,
+)
 from repro.observability.metrics import (
     MetricsRegistry,
     metric_name,
@@ -57,6 +81,26 @@ from repro.observability.replay import (
 )
 
 __all__ = [
+    "AnalysisReport",
+    "DurationStats",
+    "HeapAuditEntry",
+    "JobResidual",
+    "JobSkewProfile",
+    "PhaseResidual",
+    "PhaseSkew",
+    "analyze_replay",
+    "render_analysis",
+    "render_heap_audit",
+    "render_residuals",
+    "render_skew",
+    "DiffEntry",
+    "DiffReport",
+    "DiffThresholds",
+    "RunSummary",
+    "diff_replays",
+    "diff_summaries",
+    "render_diff",
+    "summarize_replay",
     "EVENT",
     "ITERATION",
     "JOB",

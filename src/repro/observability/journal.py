@@ -375,11 +375,33 @@ def canonical_records(records: Iterable[dict]) -> list[dict]:
 
 
 def load_journal(path: str) -> list[dict]:
-    """Read a JSON-lines journal file back into record dicts."""
-    records = []
+    """Read a JSON-lines journal file back into record dicts.
+
+    A run killed mid-write (the chaos scenario) leaves a partial final
+    line; that truncated tail is silently dropped — the journal is
+    valid up to the last complete record, which is exactly what replay
+    reconstructs. A malformed record anywhere *before* the tail, or a
+    line that is valid JSON but not an object, raises
+    :class:`~repro.common.errors.JournalCorruptError`.
+    """
+    from repro.common.errors import JournalCorruptError
+
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = fh.read().split("\n")
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            if all(not rest.strip() for rest in lines[lineno:]):
+                break  # truncated final record: tolerated
+            raise JournalCorruptError(path, lineno, str(exc)) from exc
+        if not isinstance(record, dict):
+            raise JournalCorruptError(
+                path, lineno, f"expected a JSON object, got {type(record).__name__}"
+            )
+        records.append(record)
     return records

@@ -115,3 +115,66 @@ def test_journal_canonical_form_identical_across_backends():
     assert kinds == {"run", "iteration", "job", "phase"}
     for backend in BACKENDS[1:]:
         assert journals[backend] == reference, backend
+
+
+def test_analytics_fields_recorded_and_deterministic():
+    """The analytics instrumentation rides the determinism contract.
+
+    The reduce-phase shuffle-skew attributes and the per-iteration
+    ``strategy_decision`` events are derived purely from job data, so
+    they must appear in every backend's journal with identical values
+    (they are part of the canonical form the previous test compares).
+    """
+    sink = InMemoryJournalSink()
+    gmeans_signature(7, "serial", journal=Journal(sink))
+    records = canonical_records(sink.records)
+
+    decisions = [
+        r
+        for r in records
+        if r["type"] == "event" and r["name"] == "strategy_decision"
+    ]
+    assert decisions, "no strategy_decision events journalled"
+    for event in decisions:
+        attrs = event["attrs"]
+        for key in (
+            "strategy",
+            "rule_strategy",
+            "forced",
+            "clusters_to_test",
+            "max_cluster_points",
+            "predicted_heap_bytes",
+            "usable_heap_bytes",
+            "total_reduce_slots",
+        ):
+            assert key in attrs, key
+
+    reduce_starts = {
+        r["span"]
+        for r in records
+        if r["type"] == "span_start"
+        and r.get("kind") == "phase"
+        and r["name"] == "reduce"
+    }
+    assert reduce_starts
+    skewed = [
+        r
+        for r in records
+        if r["type"] == "span_end"
+        and r["span"] in reduce_starts
+        and "bucket_records" in r["attrs"]
+    ]
+    assert len(skewed) == len(reduce_starts)
+    for end in skewed:
+        attrs = end["attrs"]
+        assert len(attrs["bucket_records"]) == len(attrs["bucket_bytes"])
+        assert attrs["distinct_keys"] >= 1
+
+    job_ends = [
+        r
+        for r in records
+        if r["type"] == "span_end" and r["attrs"].get("status") == "ok"
+        and "timing" in r["attrs"]
+    ]
+    assert job_ends
+    assert all("nodes" in r["attrs"] for r in job_ends)

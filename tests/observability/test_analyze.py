@@ -1,0 +1,227 @@
+"""Journal analytics: skew profiling, heap audit, cost residuals."""
+
+import math
+
+import pytest
+
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import generate_gaussian_mixture
+from repro.evaluation.harness import build_world
+from repro.observability.analyze import (
+    DurationStats,
+    _percentile,
+    analyze_replay,
+    render_analysis,
+    render_heap_audit,
+    render_residuals,
+    render_skew,
+)
+from repro.observability.journal import InMemoryJournalSink, Journal
+from repro.observability.replay import replay_records
+
+
+def record_gmeans(
+    seed=7,
+    nodes=4,
+    reduce_slots_per_node=8,
+    n_clusters=3,
+    strategy="auto",
+):
+    """One seeded G-means run recorded into an in-memory journal."""
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    mixture = generate_gaussian_mixture(
+        n_points=600, n_clusters=n_clusters, dimensions=2, rng=seed
+    )
+    world = build_world(
+        mixture,
+        nodes=nodes,
+        target_splits=6,
+        reduce_slots_per_node=reduce_slots_per_node,
+        seed=seed,
+        journal=journal,
+    )
+    config = MRGMeansConfig(seed=seed, strategy=strategy)
+    result = MRGMeans(world.runtime, config).fit(world.dataset)
+    return replay_records(sink.records), result
+
+
+@pytest.fixture(scope="module")
+def mapper_side_report():
+    replay, _ = record_gmeans()
+    return analyze_replay(replay)
+
+
+@pytest.fixture(scope="module")
+def reducer_side_report():
+    # 2 nodes x 1 reduce slot: any iteration testing >= 3 clusters
+    # crosses the parallelism threshold, and 600 points easily fit the
+    # default 1 GiB task heap -> the rule switches to reducer-side.
+    replay, _ = record_gmeans(nodes=2, reduce_slots_per_node=1, n_clusters=4)
+    return analyze_replay(replay)
+
+
+# -- percentiles / duration stats ---------------------------------------
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert _percentile(values, 0.0) == 1.0
+    assert _percentile(values, 1.0) == 4.0
+    assert _percentile(values, 0.5) == 2.5
+    assert _percentile([5.0], 0.95) == 5.0
+    assert _percentile([], 0.5) == 0.0
+
+
+def test_duration_stats_straggler_ratio():
+    stats = DurationStats.from_seconds([1.0, 1.0, 1.0, 3.0])
+    assert stats.count == 4
+    assert stats.max_seconds == 3.0
+    assert stats.p50_seconds == 1.0
+    assert stats.straggler_ratio == 3.0
+    assert DurationStats.from_seconds([]) is None
+
+
+def test_duration_stats_zero_p50_gives_zero_ratio():
+    stats = DurationStats.from_seconds([0.0, 0.0, 0.0])
+    assert stats.straggler_ratio == 0.0
+
+
+# -- skew profiles -------------------------------------------------------
+
+
+def test_skew_profiles_cover_every_job(mapper_side_report):
+    report = mapper_side_report
+    assert report.jobs, "run recorded no jobs"
+    assert report.map_tasks is not None and report.map_tasks.count > 0
+    names = {profile.job for profile in report.jobs}
+    assert any(name.startswith("KMeans") for name in names)
+
+
+def test_reduce_phases_carry_shuffle_skew(mapper_side_report):
+    reduce_phases = [
+        phase
+        for profile in mapper_side_report.jobs
+        for phase in profile.phases
+        if phase.phase == "reduce"
+    ]
+    assert reduce_phases, "no reduce phases profiled"
+    for phase in reduce_phases:
+        assert phase.bucket_records is not None
+        assert phase.bucket_bytes is not None
+        assert len(phase.bucket_records) == len(phase.bucket_bytes)
+        assert sum(phase.bucket_records) > 0
+        assert phase.record_skew >= 1.0
+        assert phase.byte_skew >= 1.0
+        assert phase.max_key_records >= 1
+    map_phases = [
+        phase
+        for profile in mapper_side_report.jobs
+        for phase in profile.phases
+        if phase.phase == "map"
+    ]
+    assert all(phase.bucket_records is None for phase in map_phases)
+
+
+# -- heap-model audit ----------------------------------------------------
+
+
+def test_heap_audit_all_consistent_mapper_side(mapper_side_report):
+    report = mapper_side_report
+    assert report.heap_audit, "no strategy decisions recorded"
+    assert report.heap_audit_consistent
+    assert all(not entry.forced for entry in report.heap_audit)
+
+
+def test_heap_audit_reducer_side_measures_actual_heap(reducer_side_report):
+    report = reducer_side_report
+    assert report.heap_audit_consistent
+    reducer_entries = [
+        entry for entry in report.heap_audit if entry.strategy == "reducer"
+    ]
+    assert reducer_entries, "small cluster never switched to reducer-side"
+    for entry in reducer_entries:
+        assert entry.clusters_to_test > entry.total_reduce_slots
+        assert entry.predicted_heap_bytes <= entry.usable_heap_bytes
+        assert entry.test_job is not None
+        assert entry.test_job.startswith("TestClusters")
+        assert entry.actual_heap_bytes > 0
+        assert entry.relative_error is not None
+        assert math.isfinite(entry.relative_error)
+        # Prediction is points-in-biggest-cluster x 64 B; the actual
+        # buffer is bounded by it (clusters can only shrink under the
+        # assignment the prediction assumed a worst case for).
+        assert entry.actual_heap_bytes <= entry.predicted_heap_bytes
+
+
+def test_forced_strategy_is_flagged_but_consistent():
+    replay, _ = record_gmeans(strategy="reducer")
+    report = analyze_replay(replay)
+    assert report.heap_audit
+    assert report.heap_audit_consistent
+    forced = [entry for entry in report.heap_audit if entry.forced]
+    assert forced, "forcing reducer-side on a big cluster should be forced"
+    assert all(entry.strategy == "reducer" for entry in forced)
+    assert all(entry.rule_strategy == "mapper" for entry in forced)
+
+
+def test_tampered_decision_is_flagged_inconsistent():
+    replay, _ = record_gmeans()
+    events = replay.events_named("strategy_decision")
+    assert events
+    # Flip a recorded verdict: the audit must catch that the strategy
+    # no longer follows from its own recorded inputs.
+    events[0].attrs["strategy"] = "reducer"
+    events[0].attrs["rule_strategy"] = "reducer"
+    report = analyze_replay(replay)
+    assert not report.heap_audit_consistent
+    assert "INCONSISTENT" in render_heap_audit(report)
+
+
+# -- cost-model residuals ------------------------------------------------
+
+
+def test_residuals_match_runtime_charging(mapper_side_report):
+    report = mapper_side_report
+    assert report.residuals, "no successful jobs with timing"
+    # The runtime charges phases with the same LPT scheduler the
+    # analyzer re-runs, so recorded journals reconcile exactly.
+    assert report.max_abs_relative_residual < 1e-9
+    phase_names = {
+        phase.phase for job in report.residuals for phase in job.phases
+    }
+    assert {"map", "shuffle"} <= phase_names
+
+
+# -- rendering -----------------------------------------------------------
+
+
+def test_render_analysis_sections(mapper_side_report):
+    text = render_analysis(mapper_side_report)
+    assert "== task skew / stragglers" in text
+    assert "== heap-model audit (Figure 2)" in text
+    assert "== cost-model residuals" in text
+    assert "all consistent with estimate_reducer_heap_bytes inputs" in text
+    assert "max |relative residual|" in text
+
+
+def test_render_on_empty_journal():
+    report = analyze_replay(replay_records([]))
+    assert "(no tasks)" in render_skew(report)
+    assert "(no strategy decisions recorded)" in render_heap_audit(report)
+    assert "(no successful jobs with timing recorded)" in render_residuals(
+        report
+    )
+    assert report.heap_audit_consistent  # vacuously
+    assert report.max_abs_relative_residual == 0.0
+
+
+def test_as_dict_round_trips_to_json(mapper_side_report):
+    import json
+
+    payload = json.dumps(mapper_side_report.as_dict())
+    data = json.loads(payload)
+    assert data["heap_audit_consistent"] is True
+    assert data["map_tasks"]["count"] > 0
+    assert data["residuals"][0]["phases"][0]["relative_residual"] is not None

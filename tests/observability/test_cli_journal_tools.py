@@ -1,0 +1,133 @@
+"""The journal-facing CLI: ``repro trace / analyze / diff``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import generate_gaussian_mixture
+from repro.evaluation.harness import build_world
+from repro.observability.journal import FileJournalSink, Journal
+
+
+def record_journal(path, seed=7) -> str:
+    journal = Journal(FileJournalSink(str(path)))
+    mixture = generate_gaussian_mixture(
+        n_points=600, n_clusters=3, dimensions=2, rng=seed
+    )
+    world = build_world(
+        mixture, nodes=2, target_splits=6, seed=seed, journal=journal
+    )
+    MRGMeans(world.runtime, MRGMeansConfig(seed=seed)).fit(world.dataset)
+    journal.close()
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def journal_path(tmp_path_factory):
+    return record_journal(tmp_path_factory.mktemp("journals") / "run.jsonl")
+
+
+def test_trace_renders_recorded_run(journal_path, capsys):
+    assert main(["trace", journal_path]) == 0
+    out = capsys.readouterr().out
+    assert "== run timeline" in out
+
+
+def test_trace_missing_file_exits_one(capsys):
+    assert main(["trace", "does/not/exist.jsonl"]) == 1
+    assert "cannot read journal" in capsys.readouterr().err
+
+
+def test_trace_tolerates_truncated_journal(journal_path, tmp_path, capsys):
+    text = open(journal_path, encoding="utf-8").read()
+    lines = text.splitlines()
+    clipped = tmp_path / "clipped.jsonl"
+    clipped.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:20])
+    assert main(["trace", str(clipped)]) == 0
+    assert "[interrupted]" in capsys.readouterr().out
+
+
+def test_trace_corrupt_journal_exits_one_with_message(
+    journal_path, tmp_path, capsys
+):
+    lines = open(journal_path, encoding="utf-8").read().splitlines()
+    lines[3] = lines[3][:10]  # mangle a record mid-stream
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_text("\n".join(lines) + "\n")
+    assert main(["trace", str(corrupt)]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read journal" in err
+    assert "corrupt journal record" in err
+
+
+def test_analyze_reports_all_sections(journal_path, tmp_path, capsys):
+    out_file = tmp_path / "analysis.txt"
+    assert main(["analyze", journal_path, "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "== task skew / stragglers" in out
+    assert "== heap-model audit (Figure 2)" in out
+    assert "== cost-model residuals" in out
+    assert "all consistent" in out
+    assert out_file.read_text().strip() in out
+
+
+def test_analyze_json_output(journal_path, capsys):
+    assert main(["analyze", journal_path, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["heap_audit_consistent"] is True
+    assert data["heap_audit"]
+    assert data["max_abs_relative_residual"] < 1e-9
+
+
+def test_analyze_unreadable_journal_exits_one(capsys):
+    assert main(["analyze", "nope.jsonl"]) == 1
+    assert "cannot read journal" in capsys.readouterr().err
+
+
+def test_diff_identical_runs_exits_zero(journal_path, tmp_path, capsys):
+    candidate = record_journal(tmp_path / "again.jsonl")
+    assert main(["diff", journal_path, candidate]) == 0
+    assert "no regressions beyond thresholds" in capsys.readouterr().out
+
+
+def diverged_copy(journal_path, target) -> str:
+    """Copy of the journal whose run found a different k."""
+    lines = []
+    for line in open(journal_path, encoding="utf-8"):
+        record = json.loads(line)
+        if record["type"] == "span_end" and "k_found" in record.get(
+            "attrs", {}
+        ):
+            record["attrs"]["k_found"] += 1
+        lines.append(json.dumps(record))
+    target.write_text("\n".join(lines) + "\n")
+    return str(target)
+
+
+def test_diff_detects_diverged_run_exits_one(journal_path, tmp_path, capsys):
+    candidate = diverged_copy(journal_path, tmp_path / "other.jsonl")
+    assert main(["diff", journal_path, candidate]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "results diverged" in out
+
+
+def test_diff_allow_k_drift_waives_the_gate(journal_path, tmp_path):
+    candidate = diverged_copy(journal_path, tmp_path / "other.jsonl")
+    assert main(["diff", journal_path, candidate, "--allow-k-drift"]) == 0
+
+
+def test_diff_json_output(journal_path, tmp_path, capsys):
+    candidate = record_journal(tmp_path / "again.jsonl")
+    assert main(["diff", journal_path, candidate, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["entries"]
+
+
+def test_diff_unreadable_journal_exits_two(journal_path, capsys):
+    assert main(["diff", "nope.jsonl", journal_path]) == 2
+    assert main(["diff", journal_path, "nope.jsonl"]) == 2

@@ -1,0 +1,130 @@
+"""Cross-run regression detection: summaries, thresholds, the gate."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import generate_gaussian_mixture
+from repro.evaluation.harness import BENCH_COST
+from repro.evaluation.harness import build_world
+from repro.observability.diffing import (
+    DiffThresholds,
+    diff_replays,
+    diff_summaries,
+    render_diff,
+    summarize_replay,
+)
+from repro.observability.journal import InMemoryJournalSink, Journal
+from repro.observability.replay import replay_records
+
+
+def record_gmeans(seed=7, cost=None):
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    mixture = generate_gaussian_mixture(
+        n_points=600, n_clusters=3, dimensions=2, rng=seed
+    )
+    world = build_world(
+        mixture, nodes=2, target_splits=6, seed=seed, cost=cost,
+        journal=journal,
+    )
+    MRGMeans(world.runtime, MRGMeansConfig(seed=seed)).fit(world.dataset)
+    return replay_records(sink.records)
+
+
+@pytest.fixture(scope="module")
+def baseline_replay():
+    return record_gmeans()
+
+
+def test_summary_reduces_journal(baseline_replay):
+    summary = summarize_replay(baseline_replay)
+    assert summary.runs == 1
+    assert summary.jobs == summary.job_attempts > 0
+    assert summary.simulated_seconds > 0
+    assert summary.k_trajectory
+    assert summary.k_found is not None
+    assert summary.counter("framework", "SHUFFLE_BYTES") > 0
+    total_phases = sum(summary.phase_seconds.values())
+    assert total_phases == pytest.approx(summary.simulated_seconds, rel=1e-6)
+
+
+def test_identical_runs_diff_clean(baseline_replay):
+    candidate = record_gmeans()
+    report = diff_replays(
+        baseline_replay, candidate, baseline_path="a", candidate_path="b"
+    )
+    assert report.ok
+    assert not report.regressions
+    text = render_diff(report)
+    assert "no regressions beyond thresholds" in text
+    assert "REGRESSION" not in text
+
+
+def inflated_map_cost():
+    """BENCH_COST with per-record map cost inflated into significance.
+
+    (At 600-point test scale the startup constants dominate, so the
+    injection has to be large to move total time past any threshold —
+    on real workloads a doubled per-record cost trips the same gate.)
+    """
+    return dataclasses.replace(BENCH_COST, seconds_per_map_record=2e-3)
+
+
+def test_inflated_map_record_cost_is_a_regression(baseline_replay):
+    candidate = record_gmeans(cost=inflated_map_cost())
+    report = diff_replays(baseline_replay, candidate)
+    assert not report.ok
+    regressed = {entry.metric for entry in report.regressions}
+    assert "simulated_seconds" in regressed
+    assert "phase.map_seconds" in regressed
+    # Cost constants change time, never results or counters.
+    assert "k_trajectory" not in regressed
+    assert not any(metric.startswith("counter.") for metric in regressed)
+    assert "REGRESSION" in render_diff(report)
+
+
+def test_k_drift_is_always_a_regression(baseline_replay):
+    baseline_summary = summarize_replay(baseline_replay)
+    candidate_summary = summarize_replay(baseline_replay)
+    # Same costs, same counters — only the answer changed.
+    candidate_summary.k_trajectory = [
+        list(pair) for pair in baseline_summary.k_trajectory
+    ]
+    candidate_summary.k_trajectory[-1][-1] += 1
+    candidate_summary.k_found = baseline_summary.k_found + 1
+    report = diff_summaries(baseline_summary, candidate_summary)
+    assert [e.metric for e in report.regressions] == ["k_trajectory"]
+    assert "results diverged" in render_diff(report)
+    # ... unless drift is explicitly allowed.
+    allowed = DiffThresholds(allow_k_drift=True)
+    report = diff_summaries(baseline_summary, candidate_summary, allowed)
+    assert report.ok
+
+
+def test_thresholds_scale_the_gate(baseline_replay):
+    candidate = record_gmeans(cost=inflated_map_cost())
+    generous = DiffThresholds(max_time_regression=10.0)
+    report = diff_replays(baseline_replay, candidate, generous)
+    assert report.ok
+
+
+def test_as_dict_is_json_ready(baseline_replay):
+    import json
+
+    report = diff_replays(baseline_replay, record_gmeans())
+    data = json.loads(json.dumps(report.as_dict()))
+    assert data["ok"] is True
+    assert data["thresholds"]["max_time_regression"] == 0.10
+    assert any(e["metric"] == "k_trajectory" for e in data["entries"])
+
+
+def test_new_cost_from_zero_base_is_flagged():
+    baseline = summarize_replay(replay_records([]))
+    candidate_replay = record_gmeans()
+    candidate = summarize_replay(candidate_replay)
+    report = diff_summaries(baseline, candidate)
+    regressed = {entry.metric for entry in report.regressions}
+    assert "simulated_seconds" in regressed

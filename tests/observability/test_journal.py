@@ -149,6 +149,55 @@ def test_from_env_opens_file_journal(tmp_path):
     assert load_journal(path)[0]["name"] == "hello"
 
 
+def recorded_file(tmp_path) -> str:
+    path = tmp_path / "run.jsonl"
+    journal = Journal(FileJournalSink(str(path)))
+    with journal.span("run", "r") as span:
+        journal.task("t", 0, 1.0, 0.0)
+        journal.event("marker", note="x")
+        span.set(status="ok")
+    journal.close()
+    return str(path)
+
+
+def test_truncated_final_record_is_tolerated(tmp_path):
+    """A run killed mid-write leaves half a line; loading must survive."""
+    path = recorded_file(tmp_path)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    complete = text.splitlines()
+    truncated = "\n".join(complete[:-1]) + "\n" + complete[-1][: len(complete[-1]) // 2]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(truncated)
+    records = load_journal(path)
+    assert [r["type"] for r in records] == [SPAN_START, TASK, EVENT]
+    # the replayed run simply shows up as interrupted downstream
+
+
+def test_corruption_mid_stream_raises_typed_error(tmp_path):
+    from repro.common.errors import JournalCorruptError, ReproError
+
+    path = recorded_file(tmp_path)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]  # mangle a middle record
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalCorruptError) as excinfo:
+        load_journal(path)
+    assert issubclass(JournalCorruptError, ReproError)
+    assert excinfo.value.line_number == 2
+    assert path in str(excinfo.value)
+
+
+def test_non_object_record_raises_typed_error(tmp_path):
+    from repro.common.errors import JournalCorruptError
+
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "event", "seq": 0}\n[1, 2, 3]\n')
+    with pytest.raises(JournalCorruptError, match="line 2|bad.jsonl:2"):
+        load_journal(str(path))
+
+
 def test_numpy_scalars_serialise(tmp_path):
     np = pytest.importorskip("numpy")
     path = tmp_path / "np.jsonl"
