@@ -1,14 +1,18 @@
 """Journal overhead — the observability tax on a real workload.
 
-Runs the same seeded G-means workload with journalling off (the
-default ``NullJournalSink``) and on (a ``FileJournalSink`` appending
-JSON lines, flushed at every span and event boundary), and asserts:
+Runs the same seeded G-means workload in three modes — journalling off
+(the default ``NullJournalSink``), journalling on (a
+``FileJournalSink`` appending JSON lines, flushed at every span and
+event boundary), and full live telemetry (the file sink teed through a
+``TelemetrySink`` into a ``LiveRunState`` with per-task profiling
+armed) — and asserts:
 
-* equivalence — results are byte-identical with the journal on or off
-  (emission never touches an RNG stream);
+* equivalence — results are byte-identical across all three modes
+  (telemetry observes the record stream, it never touches an RNG);
 * overhead — the file sink costs < 5% wall-clock on top of the
-  uninstrumented run (best-of-``REPEATS`` per mode, to damp scheduler
-  noise).
+  uninstrumented run, and live telemetry *with* tracemalloc-based task
+  profiling stays < 10% (best-of-``REPEATS`` per mode, to damp
+  scheduler noise).
 
 The measurement lands in ``BENCH_observability.json`` at the repo root.
 """
@@ -23,7 +27,12 @@ from repro.core.gmeans_mr import MRGMeans
 from repro.data.generator import paper_family_dataset
 from repro.evaluation.benchjson import write_bench_json
 from repro.evaluation.harness import build_world
-from repro.observability import Journal, FileJournalSink
+from repro.observability import (
+    FileJournalSink,
+    Journal,
+    LiveRunState,
+    TelemetrySink,
+)
 
 BENCH_JSON = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_observability.json"
@@ -34,13 +43,21 @@ N_POINTS = 60_000
 SEED = 11
 REPEATS = 5
 MAX_OVERHEAD = 0.05
+MAX_OVERHEAD_PROFILED = 0.10
 
 
-def run_once(journal: "Journal | None") -> tuple[dict, float]:
+def run_once(
+    journal: "Journal | None", profile_tasks: bool = False
+) -> tuple[dict, float]:
     """One G-means run; returns (result signature, wall seconds)."""
     mixture = paper_family_dataset(n_clusters=K_REAL, n_points=N_POINTS, rng=SEED)
     world = build_world(
-        mixture, nodes=4, target_splits=16, seed=SEED, journal=journal
+        mixture,
+        nodes=4,
+        target_splits=16,
+        seed=SEED,
+        journal=journal,
+        profile_tasks=profile_tasks,
     )
     config = MRGMeansConfig(seed=SEED)
     start = time.perf_counter()
@@ -59,8 +76,8 @@ def run_once(journal: "Journal | None") -> tuple[dict, float]:
 
 def test_journal_overhead(report, tmp_path):
     run_once(None)  # warm caches before anything is measured
-    off_times, on_times = [], []
-    off_signature = on_signature = None
+    off_times, on_times, live_times = [], [], []
+    off_signature = on_signature = live_signature = None
     journal_records = 0
     for repeat in range(REPEATS):
         off_signature, off_elapsed = run_once(None)
@@ -73,12 +90,27 @@ def test_journal_overhead(report, tmp_path):
         on_times.append(on_elapsed)
         journal_records = sum(1 for _ in path.open())
 
+        live_path = tmp_path / f"bench-live-{repeat}.jsonl"
+        live_journal = Journal(
+            TelemetrySink(FileJournalSink(str(live_path)), state=LiveRunState())
+        )
+        live_signature, live_elapsed = run_once(
+            live_journal, profile_tasks=True
+        )
+        live_journal.close()
+        live_times.append(live_elapsed)
+
         assert on_signature == off_signature, (
             "journalling changed results — determinism contract broken"
         )
+        assert live_signature == off_signature, (
+            "live telemetry / profiling changed results — "
+            "determinism contract broken"
+        )
 
-    best_off, best_on = min(off_times), min(on_times)
+    best_off, best_on, best_live = min(off_times), min(on_times), min(live_times)
     overhead = best_on / best_off - 1.0
+    overhead_live = best_live / best_off - 1.0
 
     write_bench_json(
         BENCH_JSON,
@@ -94,10 +126,13 @@ def test_journal_overhead(report, tmp_path):
             "wall_seconds": {
                 "journal_off": round(best_off, 3),
                 "journal_on": round(best_on, 3),
+                "live_telemetry_profiled": round(best_live, 3),
             },
             "journal_records": journal_records,
             "overhead_fraction": round(overhead, 4),
             "max_overhead_fraction": MAX_OVERHEAD,
+            "overhead_fraction_live_profiled": round(overhead_live, 4),
+            "max_overhead_fraction_live_profiled": MAX_OVERHEAD_PROFILED,
             "results_byte_identical": True,
         },
     )
@@ -105,14 +140,21 @@ def test_journal_overhead(report, tmp_path):
     lines = [
         "run journal — file-sink overhead on a G-means workload",
         "",
-        f"  journal off   {best_off:8.2f} s   (best of {REPEATS})",
-        f"  journal on    {best_on:8.2f} s   ({journal_records} records)",
+        f"  journal off      {best_off:8.2f} s   (best of {REPEATS})",
+        f"  journal on       {best_on:8.2f} s   ({journal_records} records)",
+        f"  live + profiled  {best_live:8.2f} s   (telemetry tee + tracemalloc)",
         "",
-        f"  overhead: {overhead * 100:.2f}%  (budget {MAX_OVERHEAD * 100:.0f}%)",
+        f"  journal overhead: {overhead * 100:.2f}%  (budget {MAX_OVERHEAD * 100:.0f}%)",
+        f"  live+profiling overhead: {overhead_live * 100:.2f}%"
+        f"  (budget {MAX_OVERHEAD_PROFILED * 100:.0f}%)",
     ]
     report("journal_overhead", "\n".join(lines))
 
     assert overhead < MAX_OVERHEAD, (
         f"file journal cost {overhead * 100:.2f}% wall-clock, "
         f"budget is {MAX_OVERHEAD * 100:.0f}%"
+    )
+    assert overhead_live < MAX_OVERHEAD_PROFILED, (
+        f"live telemetry with profiling cost {overhead_live * 100:.2f}% "
+        f"wall-clock, budget is {MAX_OVERHEAD_PROFILED * 100:.0f}%"
     )

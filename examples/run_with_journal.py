@@ -5,14 +5,23 @@ prints where the journal landed; render it afterwards with::
 
     python -m repro trace <journal> --gantt --metrics
 
-Fault injection comes from the environment, so the same script records
-a clean run or a chaos run (``make trace`` sets the chaos variables)::
+Fault injection and live telemetry come from the environment, so the
+same script records a clean run, a chaos run, or a live-watched run
+(``make trace`` sets the chaos variables, ``make live`` the telemetry
+ones)::
 
     python examples/run_with_journal.py run.jsonl
     REPRO_TASK_FAILURE_PROB=0.05 REPRO_MAX_JOB_RETRIES=3 \
         python examples/run_with_journal.py chaos.jsonl
+    REPRO_LIVE=1 REPRO_METRICS_PORT=8787 REPRO_PROFILE_TASKS=1 \
+        python examples/run_with_journal.py live.jsonl
+
+An optional second argument scales the dataset (default 6000 points) —
+the CI live-smoke job uses a larger run so there is time to scrape the
+metrics endpoint mid-flight.
 """
 
+import os
 import sys
 
 from repro import (
@@ -24,16 +33,25 @@ from repro import (
     generate_gaussian_mixture,
     write_points,
 )
-from repro.observability import file_journal
+from repro.cli import EXIT_SLO_BREACH
+from repro.common.errors import SLOViolationError
+from repro.observability import JOURNAL_ENV
 
 TRUE_K = 6
 
 
 def main() -> int:
     journal_path = sys.argv[1] if len(sys.argv) > 1 else "run.jsonl"
+    n_points = int(sys.argv[2]) if len(sys.argv) > 2 else 6_000
+
+    # Publish the journal path through the environment instead of
+    # constructing a file sink directly: Journal.from_env composes the
+    # file journal with whatever live telemetry the environment asks
+    # for (REPRO_LIVE / REPRO_METRICS_PORT / REPRO_SLO).
+    os.environ[JOURNAL_ENV] = journal_path
 
     mixture = generate_gaussian_mixture(
-        n_points=6_000, n_clusters=TRUE_K, dimensions=4, rng=42
+        n_points=n_points, n_clusters=TRUE_K, dimensions=4, rng=42
     )
     dfs = InMemoryDFS(split_size_bytes=64 * 1024)
     dataset = write_points(dfs, "points", mixture.points)
@@ -41,10 +59,15 @@ def main() -> int:
         dfs,
         cluster=ClusterConfig(nodes=4),
         rng=7,
-        journal=file_journal(journal_path),
     )
 
-    result = MRGMeans(runtime, MRGMeansConfig(seed=7)).fit(dataset)
+    try:
+        result = MRGMeans(runtime, MRGMeansConfig(seed=7)).fit(dataset)
+    except SLOViolationError as exc:
+        # Same contract as the CLI: a clean, resumable SLO abort gets
+        # its own exit code so CI can tell it from a crash.
+        print(f"[repro] {exc}", file=sys.stderr)
+        return EXIT_SLO_BREACH
 
     print(f"true k:              {TRUE_K}")
     print(f"k found:             {result.k_found}")

@@ -8,13 +8,22 @@
     python -m repro ablation kmeans_iterations
     python -m repro all --out-dir reports/
     python -m repro experiment table1 --journal run.jsonl
+    python -m repro experiment table1 --live --metrics-port 8787
+    python -m repro experiment table1 --profile-tasks --journal run.jsonl
+    python -m repro experiment table1 --slo max_k=64,warn:max_wall_seconds=600
     python -m repro trace run.jsonl --gantt --metrics
+    python -m repro trace run.jsonl --follow
     python -m repro analyze run.jsonl
     python -m repro diff baseline.jsonl run.jsonl --max-time-regression 0.1
 
 Every run is deterministic (the experiments carry their own seeds);
 the printed report is the same paper-vs-measured text the benchmark
-suite archives.
+suite archives. Live telemetry (``--live`` / ``--metrics-port`` /
+``--profile-tasks`` / ``--slo``) only observes a run — results and
+canonical journals are byte-identical with it on or off.
+
+Exit codes: 0 success, 1 command failure, 2 usage, 3 SLO abort
+(a ``--slo`` rule breached and the run checkpointed then stopped).
 """
 
 from __future__ import annotations
@@ -34,6 +43,14 @@ from repro.mapreduce.executors import (
     NUM_WORKERS_ENV,
 )
 from repro.observability.journal import JOURNAL_ENV
+from repro.observability.live import LIVE_ENV, METRICS_PORT_ENV
+from repro.observability.profiling import PROFILE_TASKS_ENV
+from repro.observability.slo import SLO_ENV
+
+#: ``--slo`` rule breaches abort with this exit code, so operators and
+#: CI can tell a clean SLO abort (resumable: the breached iteration's
+#: checkpoint was written first) from a crash.
+EXIT_SLO_BREACH = 3
 
 
 def _emit(result, out: "str | None") -> None:
@@ -121,9 +138,29 @@ def _write_out(text: str, out: "str | None") -> None:
 def _cmd_trace(args) -> int:
     from repro.observability import render_trace
 
-    replay = _load_replay(args.journal_path)
-    if replay is None:
-        return 1
+    if args.follow:
+        from repro.observability.live import follow_journal
+
+        def on_update(replay, records) -> None:
+            iterations = len([s for s in replay.iterations() if s.complete])
+            jobs = len(replay.successful_jobs())
+            done = bool(replay.roots) and all(r.complete for r in replay.roots)
+            print(
+                f"[follow] {len(records)} records  iterations={iterations}  "
+                f"jobs={jobs}  {'complete' if done else 'running'}",
+                file=sys.stderr,
+            )
+
+        replay = follow_journal(
+            args.journal_path, on_update, interval=args.interval
+        )
+        if replay is None:
+            print(f"cannot read journal: {args.journal_path}", file=sys.stderr)
+            return 1
+    else:
+        replay = _load_replay(args.journal_path)
+        if replay is None:
+            return 1
     text = render_trace(
         replay,
         gantt=args.gantt,
@@ -245,6 +282,38 @@ def _global_options() -> argparse.ArgumentParser:
         "(spans, per-task timings, fault events; default: $REPRO_JOURNAL "
         "or off); inspect it with 'repro trace PATH'",
     )
+    parent.add_argument(
+        "--live",
+        action="store_true",
+        help="render live run progress (iteration/phase bars + rolling "
+        "counters) to stderr; degrades to one line per iteration on "
+        "non-TTY streams (default: $REPRO_LIVE or off)",
+    )
+    parent.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve live run metrics over HTTP on 127.0.0.1:PORT "
+        "(/metrics Prometheus text, /healthz, /state JSON; 0 picks an "
+        "ephemeral port; default: $REPRO_METRICS_PORT or off)",
+    )
+    parent.add_argument(
+        "--profile-tasks",
+        action="store_true",
+        help="measure real CPU time and tracemalloc peak per map/reduce "
+        "task and stamp them onto journal task records (see "
+        "'repro analyze'; default: $REPRO_PROFILE_TASKS or off)",
+    )
+    parent.add_argument(
+        "--slo",
+        metavar="RULES",
+        help="comma-separated SLO rules evaluated live, e.g. "
+        "'max_k=64,warn:max_wall_seconds=600'; rules: max_wall_seconds, "
+        "max_simulated_seconds, max_k, max_heap_fraction, "
+        "max_job_retries. Default action aborts cleanly after the "
+        f"iteration checkpoint with exit code {EXIT_SLO_BREACH}; the "
+        "'warn:' prefix only warns (default: $REPRO_SLO or none)",
+    )
     return parent
 
 
@@ -320,6 +389,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="COLS",
         help="Gantt chart width in characters (default: 64)",
     )
+    p_trace.add_argument(
+        "--follow",
+        action="store_true",
+        default=False,
+        help="tail a growing journal, re-rendering as records land; "
+        "returns when the recorded run completes",
+    )
+    p_trace.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll interval for --follow (default: 1.0)",
+    )
     p_trace.add_argument("--out", help="also write the report to this file")
 
     p_analyze = sub.add_parser(
@@ -387,10 +470,14 @@ def main(argv: "list[str] | None" = None) -> int:
         ("resume", RESUME_ENV),
         ("max_job_retries", MAX_JOB_RETRIES_ENV),
         ("journal", JOURNAL_ENV),
+        ("live", LIVE_ENV),
+        ("metrics_port", METRICS_PORT_ENV),
+        ("profile_tasks", PROFILE_TASKS_ENV),
+        ("slo", SLO_ENV),
     )
     for attr, env_name in env_bindings:
         value = getattr(args, attr, None)
-        if value is not None:
+        if value is not None and value is not False:
             os.environ[env_name] = str(value)
     handlers = {
         "list": _cmd_list,
@@ -402,7 +489,13 @@ def main(argv: "list[str] | None" = None) -> int:
         "analyze": _cmd_analyze,
         "diff": _cmd_diff,
     }
-    return handlers[args.command](args)
+    from repro.common.errors import SLOViolationError
+
+    try:
+        return handlers[args.command](args)
+    except SLOViolationError as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return EXIT_SLO_BREACH
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -84,6 +84,30 @@ class JournalCorruptError(ReproError):
         return (type(self), (self.path, self.line_number, self.reason))
 
 
+class SLOViolationError(ReproError):
+    """A live SLO watchdog rule was breached and requested an abort.
+
+    Raised by the driver at the first clean abort point *after* the
+    breach (for checkpointing chains: right after the iteration's
+    checkpoint was written), so a breached run can always be resumed
+    with ``fit(resume_from=...)`` once the rule is relaxed. The CLI
+    maps this error to its own exit code (3) so operators and CI can
+    tell "SLO abort" from "crash".
+    """
+
+    def __init__(self, rule: str, limit: float, observed: float):
+        self.rule = str(rule)
+        self.limit = float(limit)
+        self.observed = float(observed)
+        super().__init__(
+            f"SLO breach: {rule} limit {limit:g} exceeded "
+            f"(observed {observed:g}); run aborted after checkpoint"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.rule, self.limit, self.observed))
+
+
 class JavaHeapSpaceError(ReproError):
     """A task exceeded its configured JVM heap.
 

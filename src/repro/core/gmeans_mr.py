@@ -33,6 +33,7 @@ from repro.mapreduce.driver import (
 from repro.mapreduce.hdfs import DFSFile
 from repro.mapreduce.runtime import MapReduceRuntime
 from repro.observability.journal import ITERATION, RUN
+from repro.observability.slo import watchdog_for
 from repro.observability.metrics import MetricsRegistry
 from repro.core.checkpoint import (
     decode_gmeans_payload,
@@ -228,6 +229,14 @@ class MRGMeans:
                         ),
                         counters=metrics.mark().as_dict(),
                     )
+            # SLO watchdog abort point: the iteration span is closed and
+            # its checkpoint (when checkpointing is on) durably written,
+            # so an abort here always leaves a run that
+            # ``fit(resume_from=...)`` can finish once the rule is
+            # relaxed. Raises SLOViolationError (CLI exit code 3).
+            watchdog = watchdog_for(journal)
+            if watchdog is not None:
+                watchdog.check_abort()
 
         centers = state.parent_centers()
         merged = None

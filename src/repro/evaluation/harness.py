@@ -77,6 +77,7 @@ def build_world(
     executor: str | None = None,
     num_workers: int | None = None,
     journal=None,
+    profile_tasks: bool | None = None,
 ) -> World:
     """Wire a DFS, a cluster runtime and the dataset for one experiment.
 
@@ -116,5 +117,6 @@ def build_world(
         rng=ensure_rng(seed),
         config=config,
         journal=journal,
+        profile_tasks=profile_tasks,
     )
     return World(dfs=dfs, runtime=runtime, dataset=dataset, mixture=mixture)

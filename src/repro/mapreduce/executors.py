@@ -58,6 +58,7 @@ from repro.mapreduce.counters import Counters, MRCounter, framework
 from repro.mapreduce.hdfs import Split
 from repro.mapreduce.job import MapContext, Mapper, ReduceContext, Reducer
 from repro.mapreduce.shuffle import group_by_key, run_combiner, sorted_keys
+from repro.observability.profiling import task_profiler
 
 #: Recognised backend names, in documentation order.
 EXECUTOR_KINDS = ("serial", "threads", "processes")
@@ -177,7 +178,14 @@ class RuntimeConfig:
 
 @dataclass(frozen=True)
 class MapTaskSpec:
-    """Everything one map task needs, picklable for the process backend."""
+    """Everything one map task needs, picklable for the process backend.
+
+    ``profile`` opts the task body into real resource measurement
+    (CPU seconds; see :mod:`repro.observability.profiling`);
+    ``profile_memory`` additionally arms the expensive tracemalloc peak
+    trace — the runtime samples it onto the first task of each phase of
+    geometrically sampled jobs (the 1st, 2nd, 4th, 8th, ... job).
+    """
 
     task_id: str
     mapper: Callable[[], Mapper]
@@ -186,6 +194,8 @@ class MapTaskSpec:
     split: Split
     seed: int
     heap_bytes: int
+    profile: bool = False
+    profile_memory: bool = False
 
 
 @dataclass(frozen=True)
@@ -199,6 +209,8 @@ class ReduceTaskSpec:
     seed: int
     heap_bytes: int
     heap_bytes_per_value: "Callable[[object], int] | None"
+    profile: bool = False
+    profile_memory: bool = False
 
 
 @dataclass
@@ -207,15 +219,19 @@ class TaskResult:
 
     ``wall_seconds`` is the real time the task body took *wherever it
     ran* (inline, worker thread or worker process) — the run journal's
-    per-task wall timing. It is measurement, never input: nothing
-    downstream computes with it, which is what keeps results identical
-    across backends.
+    per-task wall timing. ``cpu_seconds`` is populated only when the
+    spec asked for profiling, ``peak_memory_bytes`` only when the spec
+    was additionally memory-sampled (``None`` otherwise). All three are
+    measurement, never input: nothing downstream computes with them,
+    which is what keeps results identical across backends.
     """
 
     pairs: list
     counters: Counters
     heap_high_water: int = 0
     wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    peak_memory_bytes: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -233,26 +249,29 @@ def execute_map_task(spec: MapTaskSpec) -> TaskResult:
     framework(task_counters, MRCounter.MAP_INPUT_RECORDS, spec.split.num_records)
     rng = np.random.default_rng(spec.seed)
     ctx = MapContext(spec.config, task_counters, rng, spec.heap_bytes, spec.task_id)
-    mapper = spec.mapper()
-    mapper.setup(ctx)
-    mapper.map_split(spec.split, ctx)
-    mapper.close(ctx)
-    pairs = ctx.emitted
-    if spec.combiner is not None:
-        pairs = run_combiner(
-            spec.combiner,
-            pairs,
-            spec.config,
-            task_counters,
-            rng,
-            spec.heap_bytes,
-            spec.task_id,
-        )
+    with task_profiler(spec.profile, memory=spec.profile_memory) as profile:
+        mapper = spec.mapper()
+        mapper.setup(ctx)
+        mapper.map_split(spec.split, ctx)
+        mapper.close(ctx)
+        pairs = ctx.emitted
+        if spec.combiner is not None:
+            pairs = run_combiner(
+                spec.combiner,
+                pairs,
+                spec.config,
+                task_counters,
+                rng,
+                spec.heap_bytes,
+                spec.task_id,
+            )
     return TaskResult(
         pairs=pairs,
         counters=task_counters,
         heap_high_water=ctx.heap_high_water,
         wall_seconds=time.perf_counter() - started,
+        cpu_seconds=profile.cpu_seconds,
+        peak_memory_bytes=profile.peak_memory_bytes,
     )
 
 
@@ -263,26 +282,29 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
     framework(task_counters, MRCounter.REDUCE_TASKS)
     rng = np.random.default_rng(spec.seed)
     ctx = ReduceContext(spec.config, task_counters, rng, spec.heap_bytes, spec.task_id)
-    reducer = spec.reducer()
-    reducer.setup(ctx)
-    groups = group_by_key(spec.bucket)
-    framework(task_counters, MRCounter.REDUCE_INPUT_GROUPS, len(groups))
-    framework(task_counters, MRCounter.REDUCE_INPUT_RECORDS, len(spec.bucket))
-    for key in sorted_keys(groups):
-        values = groups[key]
-        if spec.heap_bytes_per_value is not None:
-            group_bytes = sum(spec.heap_bytes_per_value(v) for v in values)
-            ctx.allocate(group_bytes)
-            reducer.reduce(key, values, ctx)
-            ctx.free(group_bytes)
-        else:
-            reducer.reduce(key, values, ctx)
-    reducer.close(ctx)
+    with task_profiler(spec.profile, memory=spec.profile_memory) as profile:
+        reducer = spec.reducer()
+        reducer.setup(ctx)
+        groups = group_by_key(spec.bucket)
+        framework(task_counters, MRCounter.REDUCE_INPUT_GROUPS, len(groups))
+        framework(task_counters, MRCounter.REDUCE_INPUT_RECORDS, len(spec.bucket))
+        for key in sorted_keys(groups):
+            values = groups[key]
+            if spec.heap_bytes_per_value is not None:
+                group_bytes = sum(spec.heap_bytes_per_value(v) for v in values)
+                ctx.allocate(group_bytes)
+                reducer.reduce(key, values, ctx)
+                ctx.free(group_bytes)
+            else:
+                reducer.reduce(key, values, ctx)
+        reducer.close(ctx)
     return TaskResult(
         pairs=ctx.emitted,
         counters=task_counters,
         heap_high_water=ctx.heap_high_water,
         wall_seconds=time.perf_counter() - started,
+        cpu_seconds=profile.cpu_seconds,
+        peak_memory_bytes=profile.peak_memory_bytes,
     )
 
 
@@ -320,6 +342,7 @@ class TaskExecutor(Protocol):
         fn: Callable,
         specs: Sequence,
         max_concurrency: "int | None" = None,
+        on_result: "Callable[[int], None] | None" = None,
     ) -> list:
         """Run ``fn`` over ``specs``; outcome ``i`` belongs to spec ``i``.
 
@@ -327,7 +350,10 @@ class TaskExecutor(Protocol):
         (never an in-flight exception): callers unwrap in index order.
         ``max_concurrency`` caps in-flight tasks — the runtime passes
         the cluster's slot count so the simulated topology also bounds
-        real parallelism.
+        real parallelism. ``on_result``, when given, is called in the
+        submitting thread with the running count of completed tasks —
+        live progress only, and deliberately *not* passed the outcomes:
+        completion order must never leak into behaviour.
         """
         ...
 
@@ -346,8 +372,14 @@ class SerialExecutor:
         fn: Callable,
         specs: Sequence,
         max_concurrency: "int | None" = None,
+        on_result: "Callable[[int], None] | None" = None,
     ) -> list:
-        return [_guarded(fn, spec) for spec in specs]
+        outcomes = []
+        for spec in specs:
+            outcomes.append(_guarded(fn, spec))
+            if on_result is not None:
+                on_result(len(outcomes))
+        return outcomes
 
     def close(self) -> None:
         pass
@@ -379,6 +411,7 @@ class _PoolBackedExecutor:
         fn: Callable,
         specs: Sequence,
         max_concurrency: "int | None" = None,
+        on_result: "Callable[[int], None] | None" = None,
     ) -> list:
         specs = list(specs)
         if not specs:
@@ -388,22 +421,34 @@ class _PoolBackedExecutor:
             limit = max(1, min(limit, max_concurrency))
         if limit == 1:
             # One slot is serial execution; skip the pool round-trips.
-            return [_guarded(fn, spec) for spec in specs]
+            outcomes = []
+            for spec in specs:
+                outcomes.append(_guarded(fn, spec))
+                if on_result is not None:
+                    on_result(len(outcomes))
+            return outcomes
         try:
-            return self._run_on_pool(self._pool(), fn, specs, limit)
+            return self._run_on_pool(self._pool(), fn, specs, limit, on_result)
         except BrokenExecutor:
             # A dead worker (OOM-killed, crashed interpreter) poisons a
             # pool permanently. Tasks are pure functions of their spec,
             # so rebuilding the pool and rerunning the batch is safe —
             # and deterministic, because results merge by index.
             _discard_shared_pool(self.name, self.num_workers)
-            return self._run_on_pool(self._pool(), fn, specs, limit)
+            return self._run_on_pool(self._pool(), fn, specs, limit, on_result)
 
     @staticmethod
-    def _run_on_pool(pool: Executor, fn: Callable, specs: list, limit: int) -> list:
+    def _run_on_pool(
+        pool: Executor,
+        fn: Callable,
+        specs: list,
+        limit: int,
+        on_result: "Callable[[int], None] | None" = None,
+    ) -> list:
         results: list = [None] * len(specs)
         pending: dict = {}
         next_index = 0
+        completed = 0
         # Sliding window: at most `limit` tasks in flight, yet results
         # land at their spec's index, so merge order is deterministic.
         while next_index < len(specs) or pending:
@@ -414,6 +459,12 @@ class _PoolBackedExecutor:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 results[pending.pop(future)] = future.result()
+                completed += 1
+                if on_result is not None:
+                    # Progress ticks fire from the submitting thread, in
+                    # completion order — they carry only a count, never
+                    # a result, so determinism is untouched.
+                    on_result(completed)
         return results
 
     def close(self) -> None:

@@ -66,6 +66,7 @@ from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
 from repro.mapreduce.job import Job
 from repro.mapreduce.shuffle import group_by_key, partition_pairs
 from repro.observability.journal import JOB, PHASE, Journal
+from repro.observability.profiling import profiling_from_env
 
 
 @dataclass
@@ -118,6 +119,7 @@ class MapReduceRuntime:
         config: "RuntimeConfig | str | None" = None,
         executor: "TaskExecutor | None" = None,
         journal: "Journal | None" = None,
+        profile_tasks: "bool | None" = None,
     ):
         self.dfs = dfs
         self.cluster = cluster
@@ -143,6 +145,15 @@ class MapReduceRuntime:
             config = RuntimeConfig(executor=config)
         self.config = config or RuntimeConfig.from_env()
         self.executor = executor or create_executor(self.config)
+        # Per-task profiling (--profile-tasks): stamps real CPU seconds
+        # onto every journal task record, plus a tracemalloc peak
+        # sampled on the first task of each phase of geometrically
+        # sampled jobs (tracing every body would dwarf the workload).
+        # Measurements only — results are
+        # byte-identical with profiling on or off.
+        self.profile_tasks = (
+            profiling_from_env() if profile_tasks is None else bool(profile_tasks)
+        )
         self.jobs_run = 0
 
     # -- public ----------------------------------------------------------
@@ -231,6 +242,7 @@ class MapReduceRuntime:
                             num_map_tasks=result.num_map_tasks,
                             num_reduce_tasks=result.num_reduce_tasks,
                             max_reduce_heap_bytes=result.max_reduce_heap_bytes,
+                            heap_bytes=self.cluster.task_heap_bytes,
                             nodes=self.cluster.nodes,
                             timing={
                                 "startup_seconds": timing.startup_seconds,
@@ -405,6 +417,19 @@ class MapReduceRuntime:
             attrs["max_key_heap_bytes"] = max(key_heap.values(), default=0)
         return attrs
 
+    def _sample_memory(self) -> bool:
+        """Memory-trace this job's first-of-phase tasks?
+
+        Geometric over the job sequence (jobs 1, 2, 4, 8, ...): tracing
+        a sampled task body means tracemalloc hooks on every allocation
+        its pure-Python pair loops make, so a chained run keeps a
+        log-bounded number of samples — still spread across early, mid
+        and late k for the Figure-2 memory audit — instead of paying
+        per job.
+        """
+        n = self.jobs_run
+        return self.profile_tasks and n > 0 and (n & (n - 1)) == 0
+
     def _journal_task(self, task_id: str, index: int, seconds, task) -> None:
         """Record one finished task (plus its fault activity) under the
         current phase span. Task counters are per-task fresh, so their
@@ -412,7 +437,17 @@ class MapReduceRuntime:
         journal = self.journal
         if not journal.enabled:
             return
-        journal.task(task_id, index, float(seconds), task.wall_seconds)
+        if self.profile_tasks:
+            journal.task(
+                task_id,
+                index,
+                float(seconds),
+                task.wall_seconds,
+                cpu_seconds=task.cpu_seconds,
+                peak_memory_bytes=task.peak_memory_bytes,
+            )
+        else:
+            journal.task(task_id, index, float(seconds), task.wall_seconds)
         failures = task.counters.get(FRAMEWORK_GROUP, TASK_FAILURES)
         if failures:
             journal.event(
@@ -420,6 +455,26 @@ class MapReduceRuntime:
             )
         if task.counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS):
             journal.event("speculative_task", task_id=task_id)
+
+    def _phase_progress(self, phase: str, total: int):
+        """Live per-task progress callback for a phase, or ``None``.
+
+        Task *records* are journalled only after the phase's executor
+        call returns, so live progress rides the executor's ``on_result``
+        ticks instead — forwarded to the telemetry sink when one is
+        listening (``task_progress`` is the :class:`TelemetrySink`
+        extension; plain sinks don't have it).
+        """
+        if not self.journal.enabled:
+            return None
+        tick = getattr(self.journal.sink, "task_progress", None)
+        if tick is None:
+            return None
+
+        def on_result(done: int) -> None:
+            tick(phase, done, total)
+
+        return on_result
 
     # -- phases ----------------------------------------------------------
 
@@ -472,6 +527,7 @@ class MapReduceRuntime:
         """Run all map tasks; returns (shuffle pairs, task times, bytes)."""
         heap = self.cluster.task_heap_bytes
         seeds = spawn_seeds(self._rng, f.num_splits)
+        sample_memory = self._sample_memory()
         specs = [
             MapTaskSpec(
                 task_id=f"{job.name}-m-{split.index:05d}",
@@ -481,6 +537,8 @@ class MapReduceRuntime:
                 split=split,
                 seed=seed,
                 heap_bytes=heap,
+                profile=self.profile_tasks,
+                profile_memory=sample_memory and split.index == 0,
             )
             for split, seed in zip(f.splits, seeds)
         ]
@@ -497,6 +555,7 @@ class MapReduceRuntime:
                 execute_map_task,
                 specs,
                 max_concurrency=self.cluster.executor_concurrency("map"),
+                on_result=self._phase_progress("map", f.num_splits),
             )
             for spec, split, outcome in zip(specs, f.splits, outcomes):
                 task = unwrap(outcome)
@@ -523,6 +582,7 @@ class MapReduceRuntime:
         heap = self.cluster.task_heap_bytes
         buckets = partition_pairs(pairs, num_reduce, job.partitioner)
         seeds = spawn_seeds(self._rng, num_reduce)
+        sample_memory = self._sample_memory()
         specs = [
             ReduceTaskSpec(
                 task_id=f"{job.name}-r-{index:05d}",
@@ -532,6 +592,8 @@ class MapReduceRuntime:
                 seed=seed,
                 heap_bytes=heap,
                 heap_bytes_per_value=job.heap_bytes_per_value,
+                profile=self.profile_tasks,
+                profile_memory=sample_memory and index == 0,
             )
             for index, (bucket, seed) in enumerate(zip(buckets, seeds))
         ]
@@ -550,6 +612,7 @@ class MapReduceRuntime:
                 execute_reduce_task,
                 specs,
                 max_concurrency=self.cluster.executor_concurrency("reduce"),
+                on_result=self._phase_progress("reduce", num_reduce),
             )
             for index, (spec, outcome) in enumerate(zip(specs, outcomes)):
                 task = unwrap(outcome)

@@ -12,6 +12,13 @@ instrumentation point; ``--journal PATH`` or ``$REPRO_JOURNAL`` turns
 it on. Emission never touches an RNG stream, so results are
 byte-identical with the journal on or off, and journals are identical
 across executor backends modulo wall-clock fields.
+
+The *live* layer consumes the same stream in real time
+(:mod:`repro.observability.live`): a ``--live`` TTY progress view, an
+opt-in ``--metrics-port`` HTTP endpoint, per-task profiling
+(:mod:`repro.observability.profiling`) and declarative SLO watchdogs
+(:mod:`repro.observability.slo`) — all observers, never emitters, so
+the determinism contract above is unchanged with telemetry on.
 """
 
 from repro.observability.journal import (
@@ -41,11 +48,14 @@ from repro.observability.analyze import (
     HeapAuditEntry,
     JobResidual,
     JobSkewProfile,
+    MemoryAuditEntry,
     PhaseResidual,
     PhaseSkew,
+    ProfiledPhaseStats,
     analyze_replay,
     render_analysis,
     render_heap_audit,
+    render_profile,
     render_residuals,
     render_skew,
 )
@@ -59,17 +69,47 @@ from repro.observability.diffing import (
     render_diff,
     summarize_replay,
 )
+from repro.observability.live import (
+    LIVE_ENV,
+    METRICS_PORT_ENV,
+    LiveRenderer,
+    LiveRunState,
+    MetricsServer,
+    TelemetrySink,
+    follow_journal,
+    telemetry_journal_from_env,
+)
 from repro.observability.metrics import (
     MetricsRegistry,
+    escape_label_value,
     metric_name,
     render_prometheus,
 )
+from repro.observability.profiling import (
+    PROFILE_TASKS_ENV,
+    TaskProfile,
+    TaskProfiler,
+    profiling_from_env,
+    task_profiler,
+)
 from repro.observability.render import (
+    progress_bar,
     render_iteration_table,
     render_job_gantts,
+    render_live_line,
+    render_live_status,
     render_metrics,
     render_timeline,
     render_trace,
+)
+from repro.observability.slo import (
+    RULE_NAMES,
+    SLO_ENV,
+    SLOBreach,
+    SLORule,
+    SLOWatchdog,
+    parse_slo_rules,
+    watchdog_for,
 )
 from repro.observability.replay import (
     EventRecord,
@@ -86,11 +126,14 @@ __all__ = [
     "HeapAuditEntry",
     "JobResidual",
     "JobSkewProfile",
+    "MemoryAuditEntry",
     "PhaseResidual",
     "PhaseSkew",
+    "ProfiledPhaseStats",
     "analyze_replay",
     "render_analysis",
     "render_heap_audit",
+    "render_profile",
     "render_residuals",
     "render_skew",
     "DiffEntry",
@@ -120,14 +163,38 @@ __all__ = [
     "canonical_records",
     "file_journal",
     "load_journal",
+    "LIVE_ENV",
+    "METRICS_PORT_ENV",
+    "LiveRenderer",
+    "LiveRunState",
+    "MetricsServer",
+    "TelemetrySink",
+    "follow_journal",
+    "telemetry_journal_from_env",
     "MetricsRegistry",
+    "escape_label_value",
     "metric_name",
     "render_prometheus",
+    "PROFILE_TASKS_ENV",
+    "TaskProfile",
+    "TaskProfiler",
+    "profiling_from_env",
+    "task_profiler",
+    "progress_bar",
     "render_iteration_table",
     "render_job_gantts",
+    "render_live_line",
+    "render_live_status",
     "render_metrics",
     "render_timeline",
     "render_trace",
+    "RULE_NAMES",
+    "SLO_ENV",
+    "SLOBreach",
+    "SLORule",
+    "SLOWatchdog",
+    "parse_slo_rules",
+    "watchdog_for",
     "EventRecord",
     "RunReplay",
     "SpanNode",

@@ -144,6 +144,51 @@ class HeapAuditEntry:
 
 
 @dataclass(frozen=True)
+class ProfiledPhaseStats:
+    """Real (profiled) resource usage of all tasks of one phase name.
+
+    Present only for journals recorded with ``--profile-tasks``: the
+    cost model's simulated seconds say what a task *would* cost on the
+    paper's testbed, these say what the task body actually cost here —
+    host wall and CPU seconds for every task, and the tracemalloc peak
+    of the memory-sampled tasks (first task per phase of geometrically
+    sampled jobs).
+    """
+
+    phase: str
+    wall: DurationStats
+    cpu: DurationStats
+    max_peak_memory_bytes: int
+    mean_peak_memory_bytes: float
+
+
+@dataclass(frozen=True)
+class MemoryAuditEntry:
+    """Figure-2 model vs measured memory for one test job's reducers.
+
+    ``modeled_heap_bytes`` is the per-cluster projection buffer the
+    64-bytes/point model predicts (the ``max_key_heap_bytes`` the
+    runtime recorded); ``measured_peak_bytes`` is the biggest
+    tracemalloc peak any of the job's reduce-task bodies reached.
+    ``ratio`` (measured / modeled) shows how conservative the paper's
+    model is against real Python allocations — Python object overhead
+    makes ratios well above 1 expected; the audit is about *scaling*,
+    not equality.
+    """
+
+    job: str
+    attempt: int
+    modeled_heap_bytes: int
+    measured_peak_bytes: int
+
+    @property
+    def ratio(self) -> "float | None":
+        if self.modeled_heap_bytes > 0:
+            return self.measured_peak_bytes / self.modeled_heap_bytes
+        return None
+
+
+@dataclass(frozen=True)
 class PhaseResidual:
     """Model-vs-journal comparison of one phase of one job."""
 
@@ -189,6 +234,9 @@ class AnalysisReport:
     reduce_tasks: "DurationStats | None" = None
     heap_audit: "list[HeapAuditEntry]" = field(default_factory=list)
     residuals: "list[JobResidual]" = field(default_factory=list)
+    #: Populated only for journals recorded with ``--profile-tasks``.
+    profile: "list[ProfiledPhaseStats]" = field(default_factory=list)
+    memory_audit: "list[MemoryAuditEntry]" = field(default_factory=list)
 
     @property
     def heap_audit_consistent(self) -> bool:
@@ -225,6 +273,11 @@ class AnalysisReport:
                 for job in self.residuals
             ],
             "max_abs_relative_residual": self.max_abs_relative_residual,
+            "profile": [asdict(stats) for stats in self.profile],
+            "memory_audit": [
+                {**asdict(entry), "ratio": entry.ratio}
+                for entry in self.memory_audit
+            ],
         }
 
 
@@ -362,6 +415,69 @@ def _heap_audit(replay: RunReplay) -> "list[HeapAuditEntry]":
     return entries
 
 
+# -- real-resource profiling (--profile-tasks journals) ------------------
+
+
+def _profile_stats(replay: RunReplay) -> "list[ProfiledPhaseStats]":
+    by_phase: dict[str, list] = {}
+    for phase in replay.phases():
+        profiled = [t for t in phase.tasks if t.profiled]
+        if profiled:
+            by_phase.setdefault(phase.name, []).extend(profiled)
+    stats = []
+    for name in sorted(by_phase):
+        tasks = by_phase[name]
+        # Memory peaks are sampled (first task per phase of sampled
+        # jobs), not per-task;
+        # fold stats over the sampled measurements only.
+        peaks = [
+            int(t.peak_memory_bytes)
+            for t in tasks
+            if t.peak_memory_bytes is not None
+        ]
+        stats.append(
+            ProfiledPhaseStats(
+                phase=name,
+                wall=DurationStats.from_seconds([t.wall_seconds for t in tasks]),
+                cpu=DurationStats.from_seconds(
+                    [float(t.cpu_seconds or 0.0) for t in tasks]
+                ),
+                max_peak_memory_bytes=max(peaks, default=0),
+                mean_peak_memory_bytes=(
+                    sum(peaks) / len(peaks) if peaks else 0.0
+                ),
+            )
+        )
+    return stats
+
+
+def _memory_audit(replay: RunReplay) -> "list[MemoryAuditEntry]":
+    entries = []
+    for job in replay.successful_jobs():
+        if not job.name.startswith(("TestClusters", "TestFewClusters")):
+            continue
+        for phase in job.children:
+            if phase.kind != "phase" or phase.name != "reduce":
+                continue
+            modeled = phase.get("max_key_heap_bytes")
+            peaks = [
+                int(t.peak_memory_bytes)
+                for t in phase.tasks
+                if t.peak_memory_bytes is not None
+            ]
+            if modeled is None or not peaks:
+                continue
+            entries.append(
+                MemoryAuditEntry(
+                    job=job.name,
+                    attempt=int(job.get("attempt") or 1),
+                    modeled_heap_bytes=int(modeled),
+                    measured_peak_bytes=max(peaks),
+                )
+            )
+    return entries
+
+
 # -- cost-model residuals ------------------------------------------------
 
 
@@ -430,6 +546,8 @@ def analyze_replay(
     report.map_tasks = DurationStats.from_seconds(map_seconds)
     report.reduce_tasks = DurationStats.from_seconds(reduce_seconds)
     report.heap_audit = _heap_audit(replay)
+    report.profile = _profile_stats(replay)
+    report.memory_audit = _memory_audit(replay)
     for job in replay.successful_jobs():
         residual = _job_residual(job, params)
         if residual is not None:
@@ -550,17 +668,49 @@ def render_residuals(report: AnalysisReport, limit: int = 20) -> str:
     return "\n".join(lines)
 
 
+def render_profile(report: AnalysisReport) -> str:
+    """The real-resource profiling section (``--profile-tasks`` runs)."""
+    if not report.profile:
+        return "(no profiled tasks recorded; run with --profile-tasks)"
+    lines = []
+    for stats in report.profile:
+        lines.append(
+            f"{stats.phase:<6} wall {_fmt_stats(stats.wall)}\n"
+            f"       cpu  {_fmt_stats(stats.cpu)}\n"
+            f"       mem  peak={_fmt_bytes(stats.max_peak_memory_bytes)}"
+            f"  mean={_fmt_bytes(int(stats.mean_peak_memory_bytes))}"
+        )
+    if report.memory_audit:
+        lines.append("")
+        lines.append("measured reducer memory vs Figure-2 64B/point model:")
+        for entry in report.memory_audit:
+            ratio = entry.ratio
+            ratio_text = f"x{ratio:.1f}" if ratio is not None else "n/a"
+            lines.append(
+                f"  {entry.job} (attempt {entry.attempt}): "
+                f"model {_fmt_bytes(entry.modeled_heap_bytes)}"
+                f"  measured {_fmt_bytes(entry.measured_peak_bytes)}"
+                f"  ({ratio_text})"
+            )
+    return "\n".join(lines)
+
+
 def render_analysis(report: AnalysisReport) -> str:
     """The full ``repro analyze`` text report."""
-    return "\n".join(
-        [
-            "== task skew / stragglers " + "=" * 38,
-            render_skew(report),
+    sections = [
+        "== task skew / stragglers " + "=" * 38,
+        render_skew(report),
+        "",
+        "== heap-model audit (Figure 2) " + "=" * 33,
+        render_heap_audit(report),
+        "",
+        "== cost-model residuals " + "=" * 40,
+        render_residuals(report),
+    ]
+    if report.profile:
+        sections += [
             "",
-            "== heap-model audit (Figure 2) " + "=" * 33,
-            render_heap_audit(report),
-            "",
-            "== cost-model residuals " + "=" * 40,
-            render_residuals(report),
+            "== real-resource profiling " + "=" * 37,
+            render_profile(report),
         ]
-    )
+    return "\n".join(sections)

@@ -297,23 +297,35 @@ class Journal:
         index: int,
         sim_seconds: float,
         wall_seconds: float,
+        cpu_seconds: "float | None" = None,
+        peak_memory_bytes: "int | None" = None,
     ) -> None:
-        """Record one executed task under the current (phase) span."""
+        """Record one executed task under the current (phase) span.
+
+        ``cpu_seconds`` and ``peak_memory_bytes`` carry the opt-in
+        profiling measurements (``--profile-tasks``); they travel under
+        ``wall``-prefixed keys because they are host measurements, not
+        simulation outputs — canonical journals stay byte-identical
+        with profiling on or off.
+        """
         if not self.enabled:
             return
         span_id = self._next_span
         self._next_span += 1
-        self._emit(
-            {
-                "type": TASK,
-                "span": span_id,
-                "parent": self._current(),
-                "task_id": task_id,
-                "index": index,
-                "sim_seconds": sim_seconds,
-                "wall_seconds": wall_seconds,
-            }
-        )
+        record = {
+            "type": TASK,
+            "span": span_id,
+            "parent": self._current(),
+            "task_id": task_id,
+            "index": index,
+            "sim_seconds": sim_seconds,
+            "wall_seconds": wall_seconds,
+        }
+        if cpu_seconds is not None:
+            record["wall_cpu_seconds"] = cpu_seconds
+        if peak_memory_bytes is not None:
+            record["wall_peak_memory_bytes"] = peak_memory_bytes
+        self._emit(record)
 
     def close(self) -> None:
         """Close the underlying sink."""
@@ -329,8 +341,19 @@ class Journal:
         File journals are shared per absolute path, so every runtime a
         run constructs appends to one record stream with one global
         sequence numbering.
+
+        When any live-telemetry switch is set (``$REPRO_LIVE``,
+        ``$REPRO_METRICS_PORT``, ``$REPRO_SLO``) the journal instead
+        tees its records through a live
+        :class:`~repro.observability.live.TelemetrySink` (imported
+        lazily — :mod:`live` imports this module).
         """
         env = os.environ if environ is None else environ
+        from repro.observability.live import telemetry_journal_from_env
+
+        telemetry = telemetry_journal_from_env(env)
+        if telemetry is not None:
+            return telemetry
         path = (env.get(JOURNAL_ENV) or "").strip()
         if not path:
             return cls(NullJournalSink())

@@ -1,0 +1,609 @@
+"""Live run telemetry: consume the journal stream *while it happens*.
+
+PR 3's journal and PR 4's analytics are post-hoc — you learn a run
+doubled k past budget or stalled on a straggler only after it ends.
+This module tees the same record stream into an in-process aggregator
+as it is emitted, so an in-flight run can be watched, scraped and
+guarded:
+
+* :class:`TelemetrySink` — a journal sink that forwards every record
+  to an inner sink (file or null) *and* folds it into a
+  :class:`LiveRunState`, then lets a renderer, an SLO watchdog and ad
+  hoc listeners react;
+* :class:`LiveRunState` — the aggregate: current iteration and
+  k-trajectory, per-phase task progress, counter totals, fault-event
+  counts, heap high-water fraction, and a cost-model-flavoured ETA;
+* :class:`LiveRenderer` — a ``--live`` TTY progress view (bars +
+  rolling counters, repainted in place), degrading to one plain
+  status line per iteration on non-TTY streams;
+* :class:`MetricsServer` — an opt-in ``--metrics-port`` HTTP thread
+  serving ``/metrics`` (Prometheus text of the live counters),
+  ``/healthz`` and a JSON ``/state`` snapshot, so a run can be
+  scraped mid-flight;
+* :func:`follow_journal` — ``repro trace --follow``: tail a growing
+  file-sink journal and re-render incrementally.
+
+Determinism contract: telemetry *observes* the record stream, it never
+adds to it — no journal record is emitted by anything in this module,
+and nothing here touches an RNG stream. Results and canonical journals
+are byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.mapreduce.counters import Counters
+from repro.observability.journal import (
+    EVENT,
+    ITERATION,
+    JOB,
+    JOURNAL_ENV,
+    PHASE,
+    RUN,
+    SPAN_END,
+    SPAN_START,
+    TASK,
+    FileJournalSink,
+    Journal,
+    JournalSink,
+    NullJournalSink,
+    load_journal,
+)
+from repro.observability.metrics import render_prometheus
+
+#: Environment variables wired to the CLI's live-telemetry flags.
+LIVE_ENV = "REPRO_LIVE"
+METRICS_PORT_ENV = "REPRO_METRICS_PORT"
+
+
+class LiveRunState:
+    """The in-process aggregate of a run's journal stream so far.
+
+    One instance serves a whole run; :meth:`consume` folds records in
+    as the :class:`TelemetrySink` emits them, :meth:`progress` receives
+    sub-phase task-completion ticks from the runtime's executor (task
+    *records* are journalled only after a phase completes; live
+    progress needs the ticks). All mutation happens under one lock, so
+    the metrics-server thread can snapshot safely mid-run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._span_kinds: dict[int, str] = {}
+        self._span_names: dict[int, str] = {}
+        # run
+        self.run_name: "str | None" = None
+        self.run_attrs: dict = {}
+        self.run_status: "str | None" = None
+        self.wall_started: "float | None" = None
+        self.wall_latest: "float | None" = None
+        # iterations / k
+        self.iteration: int = 0
+        self.k_before: "int | None" = None
+        self.k_current: "int | None" = None
+        self.k_trajectory: list[int] = []
+        self.iterations_done: int = 0
+        self.last_iteration: dict = {}
+        # jobs / phases
+        self.job_name: "str | None" = None
+        self.job_attempt: "int | None" = None
+        self.jobs_ok: int = 0
+        self.jobs_failed: int = 0
+        self.phase_name: "str | None" = None
+        self.phase_tasks_total: int = 0
+        self.phase_tasks_done: int = 0
+        # accounting
+        self.counters = Counters()
+        self.simulated_seconds: float = 0.0
+        self.max_heap_fraction: float = 0.0
+        self.event_counts: dict[str, int] = {}
+        # SLO breaches land here (the watchdog appends); part of /state.
+        self.breaches: list[dict] = []
+
+    # -- ingestion -------------------------------------------------------
+
+    def consume(self, record: dict) -> None:
+        """Fold one journal record into the aggregate."""
+        with self._lock:
+            self.wall_latest = record.get("wall_time") or self.wall_latest
+            handler = {
+                SPAN_START: self._consume_start,
+                SPAN_END: self._consume_end,
+                TASK: self._consume_task,
+                EVENT: self._consume_event,
+            }.get(record.get("type"))
+            if handler is not None:
+                handler(record)
+
+    def progress(self, phase: str, done: int, total: int) -> None:
+        """Task-completion tick from the runtime (sub-phase granularity)."""
+        with self._lock:
+            self.phase_name = phase
+            self.phase_tasks_total = int(total)
+            self.phase_tasks_done = max(self.phase_tasks_done, int(done))
+
+    def _consume_start(self, record: dict) -> None:
+        span, kind = record.get("span"), record.get("kind")
+        attrs = record.get("attrs") or {}
+        self._span_kinds[span] = kind
+        self._span_names[span] = record.get("name", "")
+        if kind == RUN:
+            self.run_name = record.get("name")
+            self.run_attrs = dict(attrs)
+            self.run_status = "running"
+            self.wall_started = record.get("wall_time")
+            k_init = attrs.get("k_init")
+            if k_init is not None and self.k_current is None:
+                self.k_current = int(k_init)
+        elif kind == ITERATION:
+            self.iteration = int(attrs.get("iteration") or self.iteration + 1)
+            self.k_before = attrs.get("k_before")
+            if self.k_before is not None:
+                self.k_current = int(self.k_before)
+        elif kind == JOB:
+            self.job_name = record.get("name")
+            self.job_attempt = attrs.get("attempt")
+        elif kind == PHASE:
+            self.phase_name = record.get("name")
+            self.phase_tasks_total = int(attrs.get("tasks") or 0)
+            self.phase_tasks_done = 0
+
+    def _consume_end(self, record: dict) -> None:
+        kind = self._span_kinds.get(record.get("span"))
+        attrs = record.get("attrs") or {}
+        if kind == RUN:
+            self.run_status = str(attrs.get("status") or "ok")
+        elif kind == ITERATION:
+            self.iterations_done += 1
+            k_after = attrs.get("k_after")
+            if k_after is not None:
+                self.k_current = int(k_after)
+                self.k_trajectory.append(int(k_after))
+            self.last_iteration = {
+                "iteration": self.iteration,
+                "k_before": self.k_before,
+                "k_after": k_after,
+                "clusters_split": attrs.get("clusters_split"),
+                "strategy": attrs.get("strategy"),
+                "degraded": bool(attrs.get("degraded")),
+                "simulated_seconds": attrs.get("simulated_seconds"),
+            }
+        elif kind == JOB:
+            if attrs.get("status") == "ok":
+                self.jobs_ok += 1
+                self.counters.merge(Counters.from_dict(attrs.get("counters") or {}))
+                self.simulated_seconds += float(
+                    attrs.get("simulated_seconds") or 0.0
+                )
+                heap_bytes = attrs.get("heap_bytes")
+                max_heap = attrs.get("max_reduce_heap_bytes")
+                if heap_bytes and max_heap is not None:
+                    self.max_heap_fraction = max(
+                        self.max_heap_fraction, float(max_heap) / float(heap_bytes)
+                    )
+            elif attrs.get("status") == "failed":
+                self.jobs_failed += 1
+        elif kind == PHASE:
+            self.phase_tasks_done = self.phase_tasks_total
+
+    def _consume_task(self, record: dict) -> None:
+        if self._span_kinds.get(record.get("parent")) == PHASE:
+            self.phase_tasks_done = min(
+                self.phase_tasks_total or self.phase_tasks_done + 1,
+                self.phase_tasks_done + 1,
+            )
+
+    def _consume_event(self, record: dict) -> None:
+        name = record.get("name", "")
+        self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        if name == "checkpoint_restore":
+            attrs = record.get("attrs") or {}
+            self.counters.merge(Counters.from_dict(attrs.get("counters") or {}))
+            self.simulated_seconds += float(attrs.get("simulated_seconds") or 0.0)
+            baseline_jobs = attrs.get("jobs")
+            if baseline_jobs:
+                self.jobs_ok += int(baseline_jobs)
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def job_retries(self) -> int:
+        return self.event_counts.get("job_retry", 0)
+
+    def wall_seconds(self, now: "float | None" = None) -> float:
+        """Real seconds since the run span opened (0 before it does)."""
+        with self._lock:
+            if self.wall_started is None:
+                return 0.0
+            return max(0.0, (now if now is not None else time.time()) - self.wall_started)
+
+    def eta_simulated_seconds(self) -> float:
+        """Crude cost-model ETA for the *next* round of work.
+
+        G-means iterations cost roughly linearly in k (the cost model's
+        per-point terms dominate), so while clusters keep splitting the
+        next round is estimated as the last round's simulated seconds
+        scaled by the k growth factor; once an iteration splits nothing
+        the chain is about to terminate and the ETA is zero. A
+        heuristic, not a promise — shown as ``~eta``.
+        """
+        with self._lock:
+            last = self.last_iteration
+            if not last or self.run_status not in (None, "running"):
+                return 0.0
+            if not last.get("clusters_split"):
+                return 0.0
+            seconds = float(last.get("simulated_seconds") or 0.0)
+            k_before = int(last.get("k_before") or 1) or 1
+            k_after = int(last.get("k_after") or k_before)
+            return seconds * (k_after / k_before)
+
+    def counters_copy(self) -> Counters:
+        """Thread-safe copy of the accounted counter totals so far."""
+        with self._lock:
+            return self.counters.copy()
+
+    def live_gauges(self, now: "float | None" = None) -> dict[str, float]:
+        """Run-level gauges for the Prometheus endpoint.
+
+        All names live under the ``live_`` prefix, which no counter
+        group uses — the telemetry endpoint can therefore never collide
+        with a journal-derived ``repro_<group>_<name>`` counter.
+        """
+        with self._lock:
+            gauges = {
+                "live_iteration": float(self.iteration),
+                "live_iterations_done": float(self.iterations_done),
+                "live_k": float(self.k_current or 0),
+                "live_phase_tasks_done": float(self.phase_tasks_done),
+                "live_phase_tasks_total": float(self.phase_tasks_total),
+                "live_jobs_ok": float(self.jobs_ok),
+                "live_jobs_failed": float(self.jobs_failed),
+                "live_job_retries": float(self.job_retries),
+                "live_simulated_seconds": float(self.simulated_seconds),
+                "live_max_heap_fraction": float(self.max_heap_fraction),
+                "live_slo_breaches": float(len(self.breaches)),
+                "live_eta_simulated_seconds": 0.0,
+                "live_run_complete": float(
+                    self.run_status not in (None, "running")
+                ),
+            }
+        gauges["live_eta_simulated_seconds"] = self.eta_simulated_seconds()
+        gauges["live_wall_seconds"] = self.wall_seconds(now)
+        return gauges
+
+    def snapshot(self, now: "float | None" = None) -> dict:
+        """JSON-ready view of the whole aggregate (the ``/state`` body)."""
+        with self._lock:
+            snap = {
+                "run": self.run_name,
+                "run_status": self.run_status or "pending",
+                "run_attrs": dict(self.run_attrs),
+                "iteration": self.iteration,
+                "iterations_done": self.iterations_done,
+                "k": self.k_current,
+                "k_trajectory": list(self.k_trajectory),
+                "last_iteration": dict(self.last_iteration),
+                "job": self.job_name,
+                "job_attempt": self.job_attempt,
+                "jobs_ok": self.jobs_ok,
+                "jobs_failed": self.jobs_failed,
+                "phase": self.phase_name,
+                "phase_tasks_done": self.phase_tasks_done,
+                "phase_tasks_total": self.phase_tasks_total,
+                "simulated_seconds": self.simulated_seconds,
+                "max_heap_fraction": self.max_heap_fraction,
+                "job_retries": self.job_retries,
+                "events": dict(self.event_counts),
+                "counters": self.counters.as_dict(),
+                "slo_breaches": [dict(b) for b in self.breaches],
+            }
+        snap["wall_seconds"] = self.wall_seconds(now)
+        snap["eta_simulated_seconds"] = self.eta_simulated_seconds()
+        return snap
+
+
+class TelemetrySink:
+    """A journal sink that tees records into live telemetry.
+
+    Every record goes to ``inner`` first (the durable journal — a
+    :class:`FileJournalSink`, or a null sink when the run wants live
+    telemetry without a journal file), then into the
+    :class:`LiveRunState`, then past the optional watchdog, renderer
+    and listeners. Telemetry consumers never emit records of their own,
+    so the journal a telemetry run writes is byte-identical to the one
+    a plain run writes.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        inner: "JournalSink | None" = None,
+        state: "LiveRunState | None" = None,
+        watchdog=None,
+        renderer: "LiveRenderer | None" = None,
+        server: "MetricsServer | None" = None,
+        listeners=(),
+    ):
+        self.inner = inner if inner is not None else NullJournalSink()
+        self.state = state if state is not None else LiveRunState()
+        self.watchdog = watchdog
+        self.renderer = renderer
+        self.server = server
+        self.listeners = list(listeners)
+
+    def emit(self, record: dict) -> None:
+        if self.inner.enabled:
+            self.inner.emit(record)
+        self.state.consume(record)
+        if self.watchdog is not None:
+            self.watchdog.observe(self.state)
+        if self.renderer is not None:
+            self.renderer.update(self.state, record)
+        for listener in self.listeners:
+            listener(record, self.state)
+
+    def task_progress(self, phase: str, done: int, total: int) -> None:
+        """Sub-phase completion tick (called by the runtime's executors)."""
+        self.state.progress(phase, done, total)
+        if self.renderer is not None:
+            self.renderer.update(self.state, None)
+
+    def close(self) -> None:
+        if self.renderer is not None:
+            self.renderer.finish(self.state)
+        self.inner.close()
+
+
+# -- TTY progress rendering ----------------------------------------------
+
+
+class LiveRenderer:
+    """Renders :class:`LiveRunState` to a terminal as the run advances.
+
+    On a TTY the status block is repainted in place (cursor-up + clear)
+    and throttled to ``min_interval`` seconds, except on iteration and
+    run boundaries which always paint. On a non-TTY stream (CI logs,
+    pipes) it degrades to one plain status line per iteration — no
+    ANSI, no repaint, no flooding.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        min_interval: float = 0.1,
+        clock=time.monotonic,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self._clock = clock
+        self._last_paint = float("-inf")
+        self._painted_lines = 0
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def update(self, state: LiveRunState, record: "dict | None") -> None:
+        boundary = record is not None and (
+            record.get("type") == SPAN_END or record.get("type") == SPAN_START
+        )
+        if self._isatty:
+            now = self._clock()
+            if not boundary and now - self._last_paint < self.min_interval:
+                return
+            self._last_paint = now
+            self._paint(state)
+        elif record is not None and record.get("type") == SPAN_END:
+            # One line per closed iteration (and the run close) only.
+            from repro.observability.render import render_live_line
+
+            kind = state._span_kinds.get(record.get("span"))
+            if kind in (ITERATION, RUN):
+                self.stream.write(render_live_line(state.snapshot()) + "\n")
+                self.stream.flush()
+
+    def finish(self, state: LiveRunState) -> None:
+        """Final paint + newline so the shell prompt lands cleanly."""
+        if self._isatty:
+            self._paint(state)
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def _paint(self, state: LiveRunState) -> None:
+        from repro.observability.render import render_live_status
+
+        text = render_live_status(state.snapshot())
+        lines = text.split("\n")
+        if self._painted_lines:
+            # Move to the top of the previous block and clear downward.
+            self.stream.write(f"\x1b[{self._painted_lines}F\x1b[J")
+        self.stream.write("\n".join(lines) + "\n")
+        self.stream.flush()
+        self._painted_lines = len(lines)
+
+
+# -- HTTP metrics endpoint -----------------------------------------------
+
+
+class MetricsServer:
+    """Opt-in HTTP endpoint over a :class:`LiveRunState`.
+
+    A stdlib :class:`ThreadingHTTPServer` on a daemon thread; routes:
+
+    * ``/metrics`` — Prometheus text: the accounted counter totals so
+      far plus the ``live_*`` gauges (scrape an in-flight run);
+    * ``/healthz`` — liveness (200 ``ok``);
+    * ``/state`` — the full JSON snapshot.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is in
+    ``self.port``.
+    """
+
+    def __init__(self, state: LiveRunState, port: int = 0, host: str = "127.0.0.1"):
+        self.state = state
+        metrics_server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # pragma: no cover - quiet
+                pass
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = metrics_server.render_metrics().encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/healthz":
+                    body, ctype = b"ok\n", "text/plain; charset=utf-8"
+                elif path == "/state":
+                    body = (
+                        json.dumps(metrics_server.state.snapshot(), default=str)
+                        + "\n"
+                    ).encode("utf-8")
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "unknown path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._server = ThreadingHTTPServer((host, int(port)), Handler)
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` body (also handy for tests)."""
+        return render_prometheus(
+            self.state.counters_copy(), extra=self.state.live_gauges()
+        )
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+# -- journal tailing (repro trace --follow) ------------------------------
+
+
+def follow_journal(
+    path: str,
+    on_update,
+    interval: float = 1.0,
+    sleep=time.sleep,
+    max_polls: "int | None" = None,
+):
+    """Tail a growing journal file, re-rendering as records land.
+
+    Polls ``path`` every ``interval`` seconds; whenever the journal has
+    grown, replays the records read so far and calls
+    ``on_update(replay, records)``. Reuses :func:`load_journal`'s
+    truncated-tail tolerance, so catching the file-sink mid-write never
+    errors — the half-written last line simply shows up on the next
+    poll. Returns the final replay when the top-level run span closes
+    (or when ``max_polls`` is exhausted; ``None`` polls forever).
+    """
+    from repro.observability.replay import replay_records
+
+    seen = 0
+    replay = None
+    polls = 0
+    while True:
+        try:
+            records = load_journal(path)
+        except FileNotFoundError:
+            records = []
+        if len(records) > seen:
+            seen = len(records)
+            replay = replay_records(records)
+            on_update(replay, records)
+            if replay.roots and all(root.complete for root in replay.roots):
+                return replay
+        polls += 1
+        if max_polls is not None and polls >= max_polls:
+            return replay
+        sleep(interval)
+
+
+# -- environment wiring --------------------------------------------------
+
+_TELEMETRY_JOURNALS: dict[tuple, Journal] = {}
+_TELEMETRY_LOCK = threading.Lock()
+
+
+def telemetry_requested(env) -> bool:
+    """True when any live-telemetry environment switch is set."""
+    from repro.observability.profiling import env_flag
+    from repro.observability.slo import SLO_ENV
+
+    return bool(
+        env_flag(env.get(LIVE_ENV))
+        or (env.get(METRICS_PORT_ENV) or "").strip()
+        or (env.get(SLO_ENV) or "").strip()
+    )
+
+def telemetry_journal_from_env(env) -> "Journal | None":
+    """The live-telemetry counterpart of :func:`~repro.observability.journal.file_journal`.
+
+    Returns ``None`` when no live switch (``$REPRO_LIVE``,
+    ``$REPRO_METRICS_PORT``, ``$REPRO_SLO``) is set — the caller falls
+    back to plain journalling. Otherwise builds (once per configuration,
+    shared process-wide so every runtime a run constructs feeds one
+    aggregate) a journal whose sink tees into a fresh
+    :class:`LiveRunState` with the requested renderer, metrics server
+    and SLO watchdog attached. The metrics endpoint's bound address is
+    announced on stderr once.
+    """
+    from repro.observability.profiling import env_flag
+    from repro.observability.slo import SLO_ENV, SLOWatchdog, parse_slo_rules
+
+    if not telemetry_requested(env):
+        return None
+    path = (env.get(JOURNAL_ENV) or "").strip()
+    live = env_flag(env.get(LIVE_ENV))
+    port = (env.get(METRICS_PORT_ENV) or "").strip()
+    slo_spec = (env.get(SLO_ENV) or "").strip()
+    key = (os.path.abspath(path) if path else "", live, port, slo_spec)
+    with _TELEMETRY_LOCK:
+        journal = _TELEMETRY_JOURNALS.get(key)
+        if journal is not None:
+            return journal
+        inner = FileJournalSink(key[0]) if path else NullJournalSink()
+        state = LiveRunState()
+        watchdog = SLOWatchdog(parse_slo_rules(slo_spec)) if slo_spec else None
+        renderer = LiveRenderer() if live else None
+        server = MetricsServer(state, port=int(port)) if port else None
+        if server is not None:
+            print(
+                f"[repro] live metrics endpoint on {server.url} "
+                "(/metrics /healthz /state)",
+                file=sys.stderr,
+            )
+        journal = Journal(
+            TelemetrySink(
+                inner,
+                state=state,
+                watchdog=watchdog,
+                renderer=renderer,
+                server=server,
+            )
+        )
+        _TELEMETRY_JOURNALS[key] = journal
+        return journal

@@ -46,26 +46,69 @@ def metric_name(group: str, name: str, prefix: str = "repro") -> str:
     return f"{prefix}_{group}_{name}".lower()
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside ``label="value"``.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: "dict[str, str] | None") -> str:
+    if not labels:
+        return ""
+    parts = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + parts + "}"
+
+
 def render_prometheus(
     counters: Counters,
     extra: "dict[str, float] | None" = None,
     prefix: str = "repro",
+    labels: "dict[str, str] | None" = None,
 ) -> str:
     """Prometheus text exposition of ``counters`` (plus ``extra`` gauges).
 
     ``_MAX`` counters are high-water marks and export as gauges;
     everything else is a monotone counter. ``extra`` adds run-level
     gauges such as ``simulated_seconds`` that live outside the counter
-    map. Output is sorted, so equal counter sets render identically.
+    map, and ``labels`` attaches a constant label set to every sample
+    (values escaped per the exposition format). Each metric gets one
+    ``# HELP`` and one ``# TYPE`` line. Output is sorted, so equal
+    counter sets render identically.
+
+    Names can collide: the counter ``(live, k)`` and the extra gauge
+    ``live_k`` would both render as ``{prefix}_live_k``. The counter
+    map wins — it is the durable accounting record — and the colliding
+    extra gauge is deterministically renamed with an ``_extra`` suffix
+    rather than silently double-registering one metric under two types
+    (which Prometheus scrapers reject as a format error).
     """
+    label_text = _render_labels(labels)
     lines: list[str] = []
+    counter_metrics: set[str] = set()
     for (group, name), value in sorted(counters.snapshot().items()):
         metric = metric_name(group, name, prefix)
+        counter_metrics.add(metric)
         kind = "gauge" if name.endswith("_MAX") else "counter"
+        what = "high-water mark" if kind == "gauge" else "monotone counter"
+        lines.append(f"# HELP {metric} {group}:{name} {what} from the run journal")
         lines.append(f"# TYPE {metric} {kind}")
-        lines.append(f"{metric} {value}")
+        lines.append(f"{metric}{label_text} {value}")
     for name, value in sorted((extra or {}).items()):
         metric = f"{prefix}_{name}".lower()
+        if metric in counter_metrics:
+            metric = f"{metric}_extra"
+        lines.append(f"# HELP {metric} run-level gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {value}")
+        lines.append(f"{metric}{label_text} {value}")
     return "\n".join(lines)

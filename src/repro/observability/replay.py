@@ -33,12 +33,24 @@ from repro.observability.journal import (
 
 @dataclass
 class TaskRecord:
-    """One executed task, as recorded under its phase span."""
+    """One executed task, as recorded under its phase span.
+
+    ``cpu_seconds`` and ``peak_memory_bytes`` are present only when the
+    run profiled its tasks (``--profile-tasks``); they come from the
+    ``wall_cpu_seconds`` / ``wall_peak_memory_bytes`` journal keys.
+    """
 
     task_id: str
     index: int
     sim_seconds: float
     wall_seconds: float
+    cpu_seconds: "float | None" = None
+    peak_memory_bytes: "int | None" = None
+
+    @property
+    def profiled(self) -> bool:
+        """True when this task carries real resource measurements."""
+        return self.cpu_seconds is not None or self.peak_memory_bytes is not None
 
 
 @dataclass
@@ -194,11 +206,15 @@ def replay_records(records: "list[dict]") -> RunReplay:
                 node.wall_end = record.get("wall_time")
         elif kind == TASK:
             parent = spans.get(record.get("parent"))
+            cpu = record.get("wall_cpu_seconds")
+            peak = record.get("wall_peak_memory_bytes")
             task = TaskRecord(
                 task_id=record.get("task_id", ""),
                 index=int(record.get("index", 0)),
                 sim_seconds=float(record.get("sim_seconds", 0.0)),
                 wall_seconds=float(record.get("wall_seconds", 0.0)),
+                cpu_seconds=float(cpu) if cpu is not None else None,
+                peak_memory_bytes=int(peak) if peak is not None else None,
             )
             if parent is not None:
                 parent.tasks.append(task)

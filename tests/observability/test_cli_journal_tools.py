@@ -36,6 +36,16 @@ def test_trace_renders_recorded_run(journal_path, capsys):
     assert "== run timeline" in out
 
 
+def test_trace_follow_tails_until_run_completes(journal_path, capsys):
+    # The recorded run is already complete, so the first poll renders it
+    # and returns without waiting.
+    assert main(["trace", journal_path, "--follow", "--interval", "0.01"]) == 0
+    captured = capsys.readouterr()
+    assert "[follow]" in captured.err
+    assert "complete" in captured.err
+    assert "== run timeline" in captured.out
+
+
 def test_trace_missing_file_exits_one(capsys):
     assert main(["trace", "does/not/exist.jsonl"]) == 1
     assert "cannot read journal" in capsys.readouterr().err

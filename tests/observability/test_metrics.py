@@ -3,6 +3,7 @@
 from repro.mapreduce.counters import Counters
 from repro.observability.metrics import (
     MetricsRegistry,
+    escape_label_value,
     metric_name,
     render_prometheus,
 )
@@ -65,3 +66,38 @@ def test_render_prometheus_deterministic():
     b.inc("g", "y", 2)
     b.inc("g", "x", 1)
     assert render_prometheus(a) == render_prometheus(b)
+
+
+def test_render_prometheus_emits_help_lines():
+    counters = Counters()
+    counters.inc("framework", "MAP_TASKS", 7)
+    lines = render_prometheus(counters, extra={"live_k": 4.0}).splitlines()
+    help_lines = [line for line in lines if line.startswith("# HELP")]
+    assert any("repro_framework_map_tasks" in line for line in help_lines)
+    assert any("repro_live_k" in line for line in help_lines)
+    # One HELP immediately before each TYPE, exposition-format style.
+    for index, line in enumerate(lines):
+        if line.startswith("# TYPE"):
+            assert lines[index - 1].startswith("# HELP")
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_render_prometheus_labels_are_escaped():
+    counters = Counters()
+    counters.inc("g", "n", 1)
+    text = render_prometheus(counters, labels={"run": 'we"ird\\name'})
+    assert 'repro_g_n{run="we\\"ird\\\\name"} 1' in text.splitlines()
+
+
+def test_render_prometheus_renames_colliding_extra_gauge():
+    counters = Counters()
+    counters.inc("live", "k", 5)  # renders as repro_live_k (counter)
+    lines = render_prometheus(counters, extra={"live_k": 9.0}).splitlines()
+    assert "repro_live_k 5" in lines
+    assert "repro_live_k_extra 9.0" in lines
+    # The same metric name must never be declared with two types.
+    type_names = [line.split()[2] for line in lines if line.startswith("# TYPE")]
+    assert len(type_names) == len(set(type_names))

@@ -1,0 +1,71 @@
+"""Per-task profiling: real CPU/memory measurement and the env switch."""
+
+import tracemalloc
+
+from repro.observability.profiling import (
+    PROFILE_TASKS_ENV,
+    TaskProfile,
+    TaskProfiler,
+    env_flag,
+    profiling_from_env,
+    task_profiler,
+)
+
+
+def test_env_flag_truthiness():
+    for value in ("1", "true", "True", " YES ", "on"):
+        assert env_flag(value), value
+    for value in (None, "", "0", "false", "off", "nope"):
+        assert not env_flag(value), repr(value)
+
+
+def test_profiling_from_env_reads_flag():
+    assert profiling_from_env({PROFILE_TASKS_ENV: "1"}) is True
+    assert profiling_from_env({PROFILE_TASKS_ENV: "0"}) is False
+    assert profiling_from_env({}) is False
+
+
+def test_task_profiler_measures_cpu_and_peak_memory():
+    with TaskProfiler() as profile:
+        blob = [bytes(64 * 1024) for _ in range(16)]  # ~1 MiB live at peak
+        total = sum(len(chunk) for chunk in blob)
+    assert total == 16 * 64 * 1024
+    assert profile.cpu_seconds >= 0.0
+    assert profile.peak_memory_bytes >= 16 * 64 * 1024
+    # The profiler started tracemalloc itself, so it must stop it again.
+    assert not tracemalloc.is_tracing()
+
+
+def test_task_profiler_nests_under_active_tracemalloc():
+    tracemalloc.start()
+    try:
+        with TaskProfiler() as profile:
+            data = bytes(256 * 1024)
+        assert len(data) == 256 * 1024
+        assert profile.peak_memory_bytes >= 256 * 1024
+        # Outer trace owned by the test must survive the profiler.
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()
+
+
+def test_task_profiler_cpu_only_skips_tracemalloc():
+    with TaskProfiler(memory=False) as profile:
+        data = bytes(256 * 1024)
+        assert not tracemalloc.is_tracing()  # no tracing armed
+    assert len(data) == 256 * 1024
+    assert profile.cpu_seconds >= 0.0
+    assert profile.peak_memory_bytes is None  # not measured != zero
+
+
+def test_task_profiler_factory():
+    null = task_profiler(False)
+    with null as profile:
+        pass
+    assert isinstance(profile, TaskProfile)
+    assert profile.cpu_seconds == 0.0
+    assert profile.peak_memory_bytes is None
+    assert task_profiler(False) is null  # shared no-op instance
+    cpu_only = task_profiler(True)
+    assert isinstance(cpu_only, TaskProfiler) and not cpu_only.memory
+    assert task_profiler(True, memory=True).memory
