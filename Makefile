@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-processes test-all chaos trace live analyze bench-executors bench
+.PHONY: test test-processes test-shared test-all chaos trace live analyze bench-executors bench
 
 # Tier-1: the full suite on the default (serial) backend.
 test:
@@ -14,7 +14,14 @@ test:
 test-processes:
 	REPRO_EXECUTOR=processes REPRO_NUM_WORKERS=2 $(PYTHON) -m pytest -x -q
 
-test-all: test test-processes
+# And once more over the zero-copy shared-memory data plane: numpy
+# splits live in shared segments, workers attach instead of unpickling.
+# Results must stay byte-identical and no segment may leak.
+test-shared:
+	REPRO_EXECUTOR=processes REPRO_NUM_WORKERS=2 REPRO_DATA_PLANE=shared \
+	$(PYTHON) -m pytest -x -q
+
+test-all: test test-processes test-shared
 
 # Chaos mode: the integration suite with task failures and DFS block
 # loss injected through the environment, and job retries turned on to

@@ -37,6 +37,8 @@ import sys
 from repro.core.config import CHECKPOINT_DIR_ENV, RESUME_ENV
 from repro.evaluation.registry import ABLATIONS, DESCRIPTIONS, EXPERIMENTS
 from repro.mapreduce.executors import (
+    DATA_PLANE_ENV,
+    DATA_PLANE_KINDS,
     EXECUTOR_ENV,
     EXECUTOR_KINDS,
     MAX_JOB_RETRIES_ENV,
@@ -255,6 +257,13 @@ def _global_options() -> argparse.ArgumentParser:
         "(default: $REPRO_NUM_WORKERS or one per CPU)",
     )
     parent.add_argument(
+        "--data-plane",
+        choices=DATA_PLANE_KINDS,
+        help="how numpy splits reach tasks: pickled copies or zero-copy "
+        "shared-memory segments (default: $REPRO_DATA_PLANE or pickled); "
+        "never changes results, only wall-clock time",
+    )
+    parent.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         help="DFS directory where G-means drivers checkpoint after every "
@@ -466,6 +475,7 @@ def main(argv: "list[str] | None" = None) -> int:
     env_bindings = (
         ("executor", EXECUTOR_ENV),
         ("num_workers", NUM_WORKERS_ENV),
+        ("data_plane", DATA_PLANE_ENV),
         ("checkpoint_dir", CHECKPOINT_DIR_ENV),
         ("resume", RESUME_ENV),
         ("max_job_retries", MAX_JOB_RETRIES_ENV),

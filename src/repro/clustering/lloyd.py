@@ -15,7 +15,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import ensure_rng
 from repro.common.validation import check_points, check_positive
 from repro.clustering.init import farthest_point_from, init_centers
-from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.clustering.metrics import assign_nearest, cluster_sizes, label_sums
 
 
 @dataclass(frozen=True)
@@ -45,8 +45,7 @@ def lloyd_step(
     """
     labels, sq = assign_nearest(points, centers)
     k, d = centers.shape
-    sums = np.zeros((k, d))
-    np.add.at(sums, labels, points)
+    sums = label_sums(points, labels, k)
     counts = cluster_sizes(labels, k).astype(np.float64)
     new_centers = centers.copy()
     occupied = counts > 0

@@ -96,6 +96,26 @@ def cluster_sizes(labels: np.ndarray, k: int) -> np.ndarray:
     return np.bincount(lab, minlength=k)
 
 
+def label_sums(points: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    """Per-label coordinate sums: ``out[c] = sum of points[labels == c]``.
+
+    The vectorized replacement for ``np.add.at(sums, labels, points)``
+    in every partial-sum kernel. ``np.bincount`` with weights performs
+    the same sequential input-order accumulation per label, so the
+    result is *bitwise identical* to the scatter-add (and to a
+    per-record Python loop) while running as one C pass per dimension
+    instead of a buffered ufunc scatter — floating-point addition isn't
+    associative, so only order-preserving rewrites like this one are
+    admissible under the byte-identical determinism contract.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    lab = np.asarray(labels, dtype=np.int64)
+    sums = np.empty((k, pts.shape[1]), dtype=np.float64)
+    for j in range(pts.shape[1]):
+        sums[:, j] = np.bincount(lab, weights=pts[:, j], minlength=k)
+    return sums
+
+
 def explained_variance_ratio(points: np.ndarray, centers: np.ndarray) -> float:
     """Between-group over total variance (the elbow method's F-like
     "percentage of variance explained")."""

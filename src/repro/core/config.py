@@ -83,6 +83,10 @@ class MRGMeansConfig:
     balanced_partitioning: bool = False
     refine_found_centers: bool = True
     recenter_on_accept: bool = True
+    #: Mapper code path for the k-means *and* normality-test jobs:
+    #: whole-split numpy/BLAS kernels (default) or the textbook
+    #: per-record loops kept as the equivalence oracle. Semantics and
+    #: algorithmic counters are identical either way.
     vectorized: bool = True
     post_merge: bool = False
     num_reduce_tasks: int | None = None

@@ -416,6 +416,7 @@ class MRGMeans:
                 name=f"TestClusters-i{iteration}",
                 partitioner=partitioner,
                 normality=cfg.normality_test,
+                vectorized=cfg.vectorized,
             )
         else:
             test_job = make_test_few_clusters_job(
@@ -428,6 +429,7 @@ class MRGMeans:
                 heap_bytes_per_projection=cfg.heap_bytes_per_projection,
                 name=f"TestFewClusters-i{iteration}",
                 normality=cfg.normality_test,
+                vectorized=cfg.vectorized,
             )
         degraded = False
         try:

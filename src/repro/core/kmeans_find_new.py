@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.records import record_point, split_points
 
-from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.clustering.metrics import assign_nearest, cluster_sizes, label_sums
 from repro.mapreduce.counters import USER_GROUP, UserCounter
 from repro.mapreduce.hdfs import Split
 from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
@@ -88,8 +88,7 @@ class KMeansAndFindNewCentersMapper(Mapper):
         k, d = self.centers.shape
         labels, _ = assign_nearest(points, self.centers)
         ctx.count_distances(points.shape[0] * k, d)
-        sums = np.zeros((k, d))
-        np.add.at(sums, labels, points)
+        sums = label_sums(points, labels, k)
         counts = cluster_sizes(labels, k)
         for cid in np.flatnonzero(counts):
             count = int(counts[cid])

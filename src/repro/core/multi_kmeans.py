@@ -30,7 +30,7 @@ from repro.common.errors import (
 )
 from repro.common.rng import ensure_rng
 from repro.clustering.init import kmeans_pp_init
-from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.clustering.metrics import assign_nearest, cluster_sizes, label_sums
 from repro.clustering.selection import elbow_k, jump_k
 from repro.mapreduce.counters import USER_GROUP, UserCounter
 from repro.mapreduce.driver import ChainTotals, JobChainDriver
@@ -69,8 +69,7 @@ class MultiKMeansMapper(Mapper):
         for k, centers in self.centers_by_k.items():
             labels, _ = assign_nearest(points, centers)
             ctx.count_distances(points.shape[0] * k, centers.shape[1])
-            sums = np.zeros_like(centers)
-            np.add.at(sums, labels, points)
+            sums = label_sums(points, labels, k)
             counts = cluster_sizes(labels, k)
             for cid in np.flatnonzero(counts):
                 ctx.emit(

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.textio import decode_points
+from repro.mapreduce.dataplane import SharedBlock
 from repro.mapreduce.hdfs import Split
 from repro.mapreduce.job import MapContext
 
@@ -38,9 +39,12 @@ def split_points(split: Split, ctx: "MapContext | None" = None) -> np.ndarray:
     """The split's records as an ``(n, d)`` float matrix.
 
     Text splits are decoded through the codec (and counted); numpy
-    splits are passed through untouched.
+    splits are passed through untouched; shared-memory splits resolve
+    to a zero-copy read-only view of the segment.
     """
     records = split.records
+    if isinstance(records, SharedBlock):
+        return records.resolve()
     if isinstance(records, np.ndarray):
         return records
     points = decode_points(list(records))

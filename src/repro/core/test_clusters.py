@@ -26,7 +26,9 @@ from repro.mapreduce.hdfs import Split
 from repro.mapreduce.job import Job, MapContext, Mapper, Reducer, TaskContext
 from repro.clustering.metrics import assign_nearest
 from repro.stats.normality import normality_test
+from repro.stats.projection import projection_direction
 from repro.core.config import HEAP_BYTES_PER_PROJECTION
+from repro.core.kmeans_job import VECTORIZED_KEY
 
 #: Config keys shared by both test jobs.
 PREV_CENTERS_KEY = "prev_centers"
@@ -91,20 +93,24 @@ class ProjectionHeapCost:
 
 
 class ProjectionMapperBase(Mapper):
-    """Shared setup/projection logic of both test strategies."""
+    """Shared setup/projection logic of both test strategies.
+
+    Like :class:`~repro.core.kmeans_job.KMeansMapper`, two code paths
+    share identical semantics: ``vectorized=True`` (default) assigns
+    and projects whole splits through numpy/BLAS, ``vectorized=False``
+    is the textbook per-record loop kept as the equivalence oracle.
+    """
 
     def setup(self, ctx: MapContext) -> None:
         self.prev_centers = np.asarray(
             ctx.config[PREV_CENTERS_KEY], dtype=np.float64
         )
+        self.vectorized = bool(ctx.config.get(VECTORIZED_KEY, True))
         self.vectors: dict[int, np.ndarray] = {}
-        self.offsets: dict[int, np.ndarray] = {}
         for pid, pair in ctx.config[PAIRS_KEY].items():
-            pair = np.asarray(pair, dtype=np.float64)
-            v = pair[0] - pair[1]
-            norm_sq = float(v @ v)
-            if norm_sq > 0.0:
-                self.vectors[int(pid)] = v / norm_sq
+            direction = projection_direction(pair)
+            if direction is not None:
+                self.vectors[int(pid)] = direction
 
     def project_split(
         self, split: Split, ctx: MapContext
@@ -112,22 +118,61 @@ class ProjectionMapperBase(Mapper):
         """Assign the split's points and project per active cluster.
 
         Returns ``parent id -> projection array`` for clusters that own
-        points in this split and have a usable direction vector.
+        points in this split and have a usable direction vector; the
+        projections of each cluster appear in split (record) order.
         """
         points = split_points(split, ctx)
+        if self.vectorized:
+            return self._project_vectorized(points, ctx)
+        return self._project_scalar(points, ctx)
+
+    def _project_vectorized(
+        self, points: np.ndarray, ctx: MapContext
+    ) -> "dict[int, np.ndarray]":
         k_prev, d = self.prev_centers.shape
         labels, _ = assign_nearest(points, self.prev_centers)
         ctx.count_distances(points.shape[0] * k_prev, d)
+        # Stable argsort groups member rows per cluster in one O(n log n)
+        # pass instead of one boolean-mask scan per tested cluster. The
+        # gathered rows are the mask's rows in the same (record) order,
+        # so each cluster's matvec sees identical bytes.
+        order = np.argsort(labels, kind="stable")
+        grouped = labels[order]
         projections: dict[int, np.ndarray] = {}
         for pid, v in self.vectors.items():
-            member = points[labels == pid]
-            if member.shape[0] == 0:
+            start, stop = np.searchsorted(grouped, [pid, pid + 1])
+            if start == stop:
                 continue
+            member = points[order[start:stop]]
             proj = member @ v
             ctx.count(UserCounter.PROJECTIONS, member.shape[0])
             ctx.count(UserCounter.COORDINATE_OPS, member.shape[0] * d)
             projections[pid] = proj
         return projections
+
+    def _project_scalar(
+        self, points: np.ndarray, ctx: MapContext
+    ) -> "dict[int, np.ndarray]":
+        """The per-record reference path (the oracle the property tests
+        hold the vectorized kernels against)."""
+        k_prev, d = self.prev_centers.shape
+        buffers: dict[int, list[float]] = {pid: [] for pid in self.vectors}
+        for point in np.asarray(points, dtype=np.float64):
+            ctx.count_distances(k_prev, d)
+            pid = int(
+                np.argmin(np.linalg.norm(self.prev_centers - point, axis=1))
+            )
+            v = self.vectors.get(pid)
+            if v is None:
+                continue
+            buffers[pid].append(float(point @ v))
+            ctx.count(UserCounter.PROJECTIONS)
+            ctx.count(UserCounter.COORDINATE_OPS, d)
+        return {
+            pid: np.asarray(buffer, dtype=np.float64)
+            for pid, buffer in buffers.items()
+            if buffer
+        }
 
 
 class TestClustersMapper(ProjectionMapperBase):
@@ -167,6 +212,7 @@ def make_test_clusters_job(
     name: str = "TestClusters",
     partitioner=None,
     normality: str = "anderson",
+    vectorized: bool = True,
 ) -> Job:
     """Build the reducer-side test job.
 
@@ -174,7 +220,9 @@ def make_test_clusters_job(
     projection (64 bytes, the paper's Figure-2 calibration). A custom
     ``partitioner`` (e.g. the weight-balanced one from
     :mod:`repro.mapreduce.partitioners`) overrides the hash default —
-    the skew mitigation the paper leaves as future work.
+    the skew mitigation the paper leaves as future work. ``vectorized``
+    selects the mapper code path (whole-split BLAS vs the per-record
+    oracle loop) — semantics are identical.
     """
     job = Job(
         name=name,
@@ -186,6 +234,7 @@ def make_test_clusters_job(
             PAIRS_KEY: {int(k): np.asarray(v) for k, v in pairs.items()},
             ALPHA_KEY: float(alpha),
             NORMALITY_KEY: normality,
+            VECTORIZED_KEY: bool(vectorized),
         },
         heap_bytes_per_value=ProjectionHeapCost(heap_bytes_per_projection),
     )

@@ -31,6 +31,7 @@ from repro.core.config import (
     MIN_MAPPER_SAMPLE,
     VOTE_RULES,
 )
+from repro.core.kmeans_job import VECTORIZED_KEY
 from repro.core.test_clusters import (
     ALPHA_KEY,
     NORMALITY_KEY,
@@ -169,6 +170,7 @@ def make_test_few_clusters_job(
     heap_bytes_per_projection: int = HEAP_BYTES_PER_PROJECTION,
     name: str = "TestFewClusters",
     normality: str = "anderson",
+    vectorized: bool = True,
 ) -> Job:
     """Build the mapper-side test job."""
     return Job(
@@ -184,5 +186,6 @@ def make_test_few_clusters_job(
             VOTE_RULE_KEY: vote_rule,
             HEAP_PER_PROJECTION_KEY: int(heap_bytes_per_projection),
             NORMALITY_KEY: normality,
+            VECTORIZED_KEY: bool(vectorized),
         },
     )

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import ensure_rng
-from repro.clustering.metrics import assign_nearest, cluster_sizes
+from repro.clustering.metrics import assign_nearest, cluster_sizes, label_sums
 from repro.core.kmeans_find_new import (
     decode_find_new_centers_output,
     make_find_new_centers_job,
@@ -71,8 +71,7 @@ class ChildrenKMeansMapper(Mapper):
                 continue
             child_labels, _ = assign_nearest(member, pair)
             ctx.count_distances(member.shape[0] * 2, d)
-            sums = np.zeros((2, d))
-            np.add.at(sums, child_labels, member)
+            sums = label_sums(member, child_labels, 2)
             counts = cluster_sizes(child_labels, 2)
             for child in np.flatnonzero(counts):
                 ctx.emit(

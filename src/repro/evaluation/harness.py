@@ -78,6 +78,7 @@ def build_world(
     num_workers: int | None = None,
     journal=None,
     profile_tasks: bool | None = None,
+    data_plane: str | None = None,
 ) -> World:
     """Wire a DFS, a cluster runtime and the dataset for one experiment.
 
@@ -86,15 +87,17 @@ def build_world(
     realistic at laptop scale (the paper's 64 MB splits over 10M-point
     files behave like ~16 splits over our scaled datasets).
 
-    ``executor``/``num_workers`` pick the task-execution backend; left
-    as ``None`` they defer to ``REPRO_EXECUTOR``/``REPRO_NUM_WORKERS``
-    (and ultimately to the serial default). Backends never change
-    results, only wall-clock time.
+    ``executor``/``num_workers``/``data_plane`` pick the task-execution
+    backend and how record blocks reach its workers; left as ``None``
+    they defer to ``REPRO_EXECUTOR``/``REPRO_NUM_WORKERS``/
+    ``REPRO_DATA_PLANE`` (and ultimately to the serial, pickled
+    defaults). Backends and data planes never change results, only
+    wall-clock time.
     """
     split_bytes = target_split_bytes(
         mixture.n_points, mixture.dimensions, target_splits
     )
-    dfs = InMemoryDFS(split_size_bytes=split_bytes)
+    dfs = InMemoryDFS(split_size_bytes=split_bytes, data_plane=data_plane)
     dataset = write_points(dfs, dataset_name, mixture.points)
     cluster = ClusterConfig(
         nodes=nodes,
@@ -102,13 +105,15 @@ def build_world(
         reduce_slots_per_node=reduce_slots_per_node,
         task_heap_mb=task_heap_mb,
     )
-    if executor is None and num_workers is None:
+    if executor is None and num_workers is None and data_plane is None:
         config = None  # defer to REPRO_EXECUTOR / REPRO_NUM_WORKERS
     else:
         base = RuntimeConfig.from_env()
         config = RuntimeConfig(
             executor=executor or base.executor,
             num_workers=num_workers if num_workers is not None else base.num_workers,
+            data_plane=data_plane if data_plane is not None else base.data_plane,
+            dispatch=base.dispatch,
         )
     runtime = MapReduceRuntime(
         dfs,

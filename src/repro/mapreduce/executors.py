@@ -55,6 +55,11 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.mapreduce.counters import Counters, MRCounter, framework
+from repro.mapreduce.dataplane import (
+    DATA_PLANE_ENV,
+    DATA_PLANE_KINDS,
+    resolve_data_plane,
+)
 from repro.mapreduce.hdfs import Split
 from repro.mapreduce.job import MapContext, Mapper, ReduceContext, Reducer
 from repro.mapreduce.shuffle import group_by_key, run_combiner, sorted_keys
@@ -63,6 +68,12 @@ from repro.observability.profiling import task_profiler
 #: Recognised backend names, in documentation order.
 EXECUTOR_KINDS = ("serial", "threads", "processes")
 
+#: Recognised dispatch strategies for the pool backends: ``wave``
+#: stripes a phase's tasks into one batch submission per worker (one
+#: pickle round-trip per worker per phase); ``task`` is the historical
+#: one-submission-per-task sliding window.
+DISPATCH_KINDS = ("wave", "task")
+
 #: Environment variables consulted by :meth:`RuntimeConfig.from_env`
 #: (and therefore by every runtime constructed without an explicit
 #: config — this is how CI runs the whole suite over a second backend).
@@ -70,6 +81,7 @@ EXECUTOR_ENV = "REPRO_EXECUTOR"
 NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
 MAX_JOB_RETRIES_ENV = "REPRO_MAX_JOB_RETRIES"
 RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+DISPATCH_ENV = "REPRO_DISPATCH"
 
 
 def default_num_workers() -> int:
@@ -93,6 +105,14 @@ class RuntimeConfig:
     up to ``retry_jitter`` of the delay) charged to simulated time.
     Re-executions re-use the failed attempt's task seeds, so retries —
     like every other fault feature — perturb time, never results.
+
+    ``data_plane`` selects how record blocks reach workers: ``pickled``
+    ships them by value, ``shared`` maps them from shared-memory
+    segments (see :mod:`repro.mapreduce.dataplane`); ``None`` defers to
+    ``$REPRO_DATA_PLANE``. ``dispatch`` selects pool submission
+    granularity: ``wave`` (default) stripes a phase into one batch per
+    worker, ``task`` submits every task individually. Both knobs trade
+    communication cost only — results are byte-identical either way.
     """
 
     executor: str = "serial"
@@ -101,11 +121,22 @@ class RuntimeConfig:
     retry_backoff_seconds: float = 30.0
     retry_backoff_factor: float = 2.0
     retry_jitter: float = 0.1
+    data_plane: "str | None" = None
+    dispatch: str = "wave"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
             raise ConfigurationError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.data_plane is not None and self.data_plane not in DATA_PLANE_KINDS:
+            raise ConfigurationError(
+                f"data_plane must be one of {DATA_PLANE_KINDS}, "
+                f"got {self.data_plane!r}"
+            )
+        if self.dispatch not in DISPATCH_KINDS:
+            raise ConfigurationError(
+                f"dispatch must be one of {DISPATCH_KINDS}, got {self.dispatch!r}"
             )
         if self.num_workers is not None and self.num_workers < 1:
             raise ConfigurationError(
@@ -127,6 +158,12 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"retry_jitter must be in [0, 1], got {self.retry_jitter}"
             )
+
+    @property
+    def effective_data_plane(self) -> str:
+        """The plane actually in force: explicit, else env, else pickled
+        — with the shared→pickled platform fallback applied."""
+        return resolve_data_plane(self.data_plane)
 
     @classmethod
     def from_env(cls, environ: "Mapping[str, str] | None" = None) -> "RuntimeConfig":
@@ -170,6 +207,8 @@ class RuntimeConfig:
             num_workers=workers,
             max_job_retries=_int(MAX_JOB_RETRIES_ENV, 0),
             retry_backoff_seconds=backoff,
+            data_plane=(env.get(DATA_PLANE_ENV) or "").strip() or None,
+            dispatch=(env.get(DISPATCH_ENV) or "wave").strip() or "wave",
         )
 
 
@@ -328,6 +367,18 @@ def unwrap(outcome: "TaskResult | TaskFailure") -> TaskResult:
     return outcome
 
 
+def _run_spec_batch(fn: Callable, specs: Sequence) -> list:
+    """Run a whole stripe of specs in one worker, outcomes in order.
+
+    The unit of wave dispatch: the process backend pays one submission
+    (one spec-batch pickle out, one result-batch pickle back) per
+    *worker* per phase instead of per task. Failures are captured per
+    spec, exactly as in per-task dispatch, so index-ordered unwrapping
+    behaves identically.
+    """
+    return [_guarded(fn, spec) for spec in specs]
+
+
 # -- executors ----------------------------------------------------------
 
 
@@ -396,12 +447,17 @@ class _PoolBackedExecutor:
 
     name = "pool"
 
-    def __init__(self, num_workers: "int | None" = None):
+    def __init__(self, num_workers: "int | None" = None, dispatch: str = "wave"):
         if num_workers is not None and num_workers < 1:
             raise ConfigurationError(
                 f"num_workers must be >= 1, got {num_workers}"
             )
+        if dispatch not in DISPATCH_KINDS:
+            raise ConfigurationError(
+                f"dispatch must be one of {DISPATCH_KINDS}, got {dispatch!r}"
+            )
         self.num_workers = num_workers or default_num_workers()
+        self.dispatch = dispatch
 
     def _pool(self) -> Executor:
         return _shared_pool(self.name, self.num_workers)
@@ -427,15 +483,52 @@ class _PoolBackedExecutor:
                 if on_result is not None:
                     on_result(len(outcomes))
             return outcomes
+        run = self._run_waves if self.dispatch == "wave" else self._run_on_pool
         try:
-            return self._run_on_pool(self._pool(), fn, specs, limit, on_result)
+            return run(self._pool(), fn, specs, limit, on_result)
         except BrokenExecutor:
             # A dead worker (OOM-killed, crashed interpreter) poisons a
             # pool permanently. Tasks are pure functions of their spec,
             # so rebuilding the pool and rerunning the batch is safe —
             # and deterministic, because results merge by index.
             _discard_shared_pool(self.name, self.num_workers)
-            return self._run_on_pool(self._pool(), fn, specs, limit, on_result)
+            return run(self._pool(), fn, specs, limit, on_result)
+
+    @staticmethod
+    def _run_waves(
+        pool: Executor,
+        fn: Callable,
+        specs: list,
+        limit: int,
+        on_result: "Callable[[int], None] | None" = None,
+    ) -> list:
+        """Wave dispatch: one striped batch submission per worker.
+
+        Stripe ``w`` holds specs ``w, w+limit, w+2*limit, ...`` — the
+        same specs worker ``w`` would own under round-robin per-task
+        dispatch — so each worker's load profile is unchanged while the
+        submission count drops from ``len(specs)`` to ``limit``.
+        Outcomes land back at their spec's index; progress ticks fire
+        once per completed stripe with the cumulative task count.
+        """
+        stripes = min(limit, len(specs))
+        futures = {
+            pool.submit(_run_spec_batch, fn, specs[w::stripes]): w
+            for w in range(stripes)
+        }
+        results: list = [None] * len(specs)
+        completed = 0
+        pending = dict(futures)
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                w = pending.pop(future)
+                batch = future.result()
+                results[w::stripes] = batch
+                completed += len(batch)
+                if on_result is not None:
+                    on_result(completed)
+        return results
 
     @staticmethod
     def _run_on_pool(
@@ -498,8 +591,8 @@ def create_executor(config: RuntimeConfig) -> TaskExecutor:
     if config.executor == "serial":
         return SerialExecutor()
     if config.executor == "threads":
-        return ThreadPoolTaskExecutor(config.num_workers)
-    return ProcessPoolTaskExecutor(config.num_workers)
+        return ThreadPoolTaskExecutor(config.num_workers, config.dispatch)
+    return ProcessPoolTaskExecutor(config.num_workers, config.dispatch)
 
 
 # -- shared pools -------------------------------------------------------

@@ -19,6 +19,17 @@ stochastic :class:`BlockFaultModel` or by the explicit test APIs), reads
 transparently fail over to a surviving copy (charging the wasted bytes)
 and trigger re-replication, and only a split whose last copy is gone
 raises :class:`~repro.common.errors.SplitUnavailableError`.
+
+The filesystem also selects the run's *data plane*
+(:mod:`repro.mapreduce.dataplane`): under ``data_plane="shared"`` each
+numpy record block is stored in a shared-memory segment and splits
+carry tiny :class:`~repro.mapreduce.dataplane.SharedBlock` handles
+instead of the arrays themselves, so process-pool workers map the data
+by name instead of receiving it by pickle. Segment lifecycle follows
+replica semantics: ``delete``/``overwrite`` release a file's segments,
+total block loss releases the split's segment at the read that
+discovers it (the simulated cluster has no surviving copy to serve),
+and ``release()`` drops everything at end of run.
 """
 
 from __future__ import annotations
@@ -36,6 +47,8 @@ from repro.common.errors import (
     SplitUnavailableError,
 )
 from repro.common.validation import check_in_range, check_positive
+from repro.mapreduce import dataplane
+from repro.mapreduce.dataplane import SharedBlock
 
 #: Default HDFS block/split size (bytes): 64 MB, stock Hadoop 1.x.
 DEFAULT_SPLIT_SIZE = 64 * 1024 * 1024
@@ -119,11 +132,17 @@ class ReadReport:
 
 @dataclass(frozen=True)
 class Split:
-    """One input split: a contiguous block of records of a file."""
+    """One input split: a contiguous block of records of a file.
+
+    ``records`` is a numpy row-matrix, a plain list (small side files),
+    or — under the shared data plane — a
+    :class:`~repro.mapreduce.dataplane.SharedBlock` handle that resolves
+    to the same rows zero-copy.
+    """
 
     file_name: str
     index: int
-    records: "np.ndarray | list"
+    records: "np.ndarray | list | SharedBlock"
     size_bytes: int
 
     @property
@@ -157,6 +176,8 @@ class DFSFile:
         blocks = [s.records for s in self.splits]
         if not blocks:
             return []
+        if isinstance(blocks[0], SharedBlock):
+            return np.concatenate([b.resolve() for b in blocks], axis=0)
         if isinstance(blocks[0], np.ndarray):
             return np.concatenate(blocks, axis=0)
         merged: list = []
@@ -186,9 +207,13 @@ class InMemoryDFS:
         split_size_bytes: int = DEFAULT_SPLIT_SIZE,
         fault_model: "BlockFaultModel | None" = None,
         auto_re_replicate: bool = True,
+        data_plane: "str | None" = None,
     ):
         check_positive("split_size_bytes", split_size_bytes)
         self.split_size_bytes = int(split_size_bytes)
+        # None defers to $REPRO_DATA_PLANE; "shared" silently degrades
+        # to "pickled" on platforms without POSIX shared memory.
+        self.data_plane = dataplane.resolve_data_plane(data_plane)
         self._files: dict[str, DFSFile] = {}
         self.bytes_read = 0
         self.bytes_written = 0
@@ -234,15 +259,22 @@ class InMemoryDFS:
             raise DataFormatError(f"refusing to write empty file {name!r}")
         records_per_split = max(1, self.split_size_bytes // bytes_per_record)
         num_splits = math.ceil(len(records) / records_per_split)
+        # Only numpy blocks move to shared segments: list records are
+        # small side files whose pickling cost is negligible, and lists
+        # of arbitrary objects have no stable shared representation.
+        wrap = self.data_plane == "shared" and isinstance(records, np.ndarray)
         splits = []
         for i in range(num_splits):
             block = records[i * records_per_split : (i + 1) * records_per_split]
+            n_block = len(block)
+            if wrap:
+                block = dataplane.create_block(block)
             splits.append(
                 Split(
                     file_name=name,
                     index=i,
                     records=block,
-                    size_bytes=len(block) * bytes_per_record,
+                    size_bytes=n_block * bytes_per_record,
                 )
             )
         f = DFSFile(
@@ -343,6 +375,12 @@ class InMemoryDFS:
             self.replica_failovers += report.replica_failovers
             self.replicas_lost += report.replicas_lost
             self.bytes_read += report.extra_bytes_read
+            # Total block loss: no copy survives anywhere in the
+            # simulated cluster, so the shared segment backing this
+            # split (if any) is released at the read that discovers it.
+            # In-flight workers keep their existing mapping (POSIX);
+            # later resolves fail loudly instead of reading ghosts.
+            dataplane.release_block(split.records)
             raise SplitUnavailableError(
                 split.file_name, split.index, health[0] + health[1]
             )
@@ -371,11 +409,30 @@ class InMemoryDFS:
         return name in self._files
 
     def delete(self, name: str) -> None:
+        """Drop ``name`` from the namespace, releasing its segments."""
         if name not in self._files:
             raise DataFormatError(f"no such file in DFS: {name!r}")
         f = self._files.pop(name)
         for split in f.splits:
             self._replicas.pop((name, split.index), None)
+            dataplane.release_block(split.records)
+
+    def release(self) -> int:
+        """Delete every file, releasing all shared segments.
+
+        End-of-run teardown for the shared data plane (a no-op registry
+        sweep under ``pickled``); returns how many segments were
+        actually released. The leak checks in the equivalence suite
+        call this and then assert the owner registry is empty.
+        """
+        released = 0
+        for name in self.listdir():
+            f = self._files.pop(name)
+            for split in f.splits:
+                self._replicas.pop((name, split.index), None)
+                if dataplane.release_block(split.records):
+                    released += 1
+        return released
 
     def listdir(self) -> list[str]:
         return sorted(self._files)

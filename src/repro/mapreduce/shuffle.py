@@ -4,6 +4,16 @@ Mirrors Hadoop's data path: map output is combined once per map task
 (Hadoop applies the combiner per spill; one spill per task in this
 simulation), hash-partitioned across reduce tasks, then sort-merged by
 key inside each reduce task.
+
+Shuffle data is the *by-value* boundary of the zero-copy data plane
+(:mod:`repro.mapreduce.dataplane`): input splits live in long-lived
+shared segments, but shuffle pairs always travel by pickle. They are
+ephemeral — born in one phase, consumed in the next — and combiners
+shrink them to a handful of per-key aggregates per task, so segment
+churn (create/attach/release per phase, with worker-side attachment
+caches that would outlive the data) would cost more than the copies it
+avoids. Real Hadoop draws the same line: blocks live in HDFS, shuffle
+spills move over the wire.
 """
 
 from __future__ import annotations

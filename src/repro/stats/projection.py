@@ -35,6 +35,25 @@ def project_onto(points: np.ndarray, vector: np.ndarray) -> np.ndarray:
     return pts @ (v / norm_sq)
 
 
+def projection_direction(pair: np.ndarray) -> "np.ndarray | None":
+    """The pre-scaled direction ``(c1 - c2) / ||c1 - c2||^2`` of a
+    candidate-children pair, or ``None`` when the children coincide.
+
+    Projecting a point is then a single dot product ``x @ direction``
+    (a whole split projects with one matvec) — the normalisation is
+    folded into the vector once per task instead of once per point.
+    Both the test-job mappers and the scalar oracle paths build their
+    directions here, so the vectorized and per-record pipelines agree
+    on the exact same vector bytes.
+    """
+    pair = np.asarray(pair, dtype=np.float64)
+    v = pair[0] - pair[1]
+    norm_sq = float(v @ v)
+    if norm_sq == 0.0:
+        return None
+    return v / norm_sq
+
+
 def normalize(values: np.ndarray, ddof: int = 0) -> np.ndarray:
     """Return ``values`` shifted/scaled to zero mean and unit variance.
 

@@ -4,27 +4,53 @@ The unit suite proves single jobs are byte-identical across executor
 backends; these tests prove the property survives whole algorithm runs
 — dozens of chained jobs whose inputs depend on previous outputs, so
 any scheduling leak would compound and show up in the final centers.
+
+The matrix has a second axis since the zero-copy data plane landed:
+every (executor backend × data plane) cell must produce the same bytes
+and the same canonical journal, and the shared plane must never leak a
+segment — not after a clean fit, not after a chaos-induced failure,
+not after an SLO abort.
 """
+
+import io
 
 import numpy as np
 import pytest
 
+from repro.common.errors import JobFailedError, SLOViolationError
 from repro.core.config import MRGMeansConfig
 from repro.core.gmeans_mr import MRGMeans
 from repro.core.multi_kmeans import MultiKMeans
 from repro.data.generator import generate_gaussian_mixture
 from repro.evaluation.harness import build_world
+from repro.mapreduce import dataplane
 from repro.observability.journal import (
     InMemoryJournalSink,
     Journal,
     canonical_records,
 )
+from repro.observability.live import TelemetrySink
+from repro.observability.slo import SLOWatchdog, parse_slo_rules
 
 BACKENDS = ("serial", "threads", "processes")
+PLANES = ("pickled", "shared")
+MATRIX = [(b, p) for b in BACKENDS for p in PLANES]
 SEEDS = (1, 7, 23)
 
 
-def make_world(seed: int, backend: str, journal=None):
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Whatever a test does, it must not strand shared-memory segments."""
+    dataplane.release_all()
+    yield
+    leaked = dataplane.active_segments()
+    orphans = dataplane.orphaned_system_segments()
+    dataplane.release_all()
+    assert leaked == [], f"leaked shared segments: {leaked}"
+    assert orphans == [], f"orphaned /dev/shm segments: {orphans}"
+
+
+def make_world(seed: int, backend: str, journal=None, data_plane=None):
     mixture = generate_gaussian_mixture(
         n_points=600, n_clusters=3, dimensions=2, rng=seed
     )
@@ -35,14 +61,19 @@ def make_world(seed: int, backend: str, journal=None):
         executor=backend,
         num_workers=2,
         journal=journal,
+        data_plane=data_plane,
     )
 
 
-def gmeans_signature(seed: int, backend: str, journal=None):
-    world = make_world(seed, backend, journal=journal)
-    result = MRGMeans(world.runtime, MRGMeansConfig(seed=seed)).fit(
-        world.dataset
-    )
+def gmeans_signature(seed: int, backend: str, journal=None, data_plane=None):
+    world = make_world(seed, backend, journal=journal, data_plane=data_plane)
+    try:
+        result = MRGMeans(world.runtime, MRGMeansConfig(seed=seed)).fit(
+            world.dataset
+        )
+    finally:
+        world.dfs.release()
+    assert dataplane.active_segments() == []
     return (
         result.k_found,
         result.iterations,
@@ -52,11 +83,14 @@ def gmeans_signature(seed: int, backend: str, journal=None):
     )
 
 
-def multi_kmeans_signature(seed: int, backend: str):
-    world = make_world(seed, backend)
-    result = MultiKMeans(
-        world.runtime, k_min=1, k_max=5, iterations=4, seed=seed
-    ).fit(world.dataset)
+def multi_kmeans_signature(seed: int, backend: str, data_plane=None):
+    world = make_world(seed, backend, data_plane=data_plane)
+    try:
+        result = MultiKMeans(
+            world.runtime, k_min=1, k_max=5, iterations=4, seed=seed
+        ).fit(world.dataset)
+    finally:
+        world.dfs.release()
     return (
         result.best_k,
         {k: c.tobytes() for k, c in result.centers_by_k.items()},
@@ -71,11 +105,33 @@ def test_gmeans_identical_across_backends(seed):
         assert gmeans_signature(seed, backend) == reference, backend
 
 
+def test_gmeans_identical_across_backend_plane_matrix():
+    """All six (backend × data plane) cells produce the same bytes.
+
+    The zero-copy plane changes *where* split arrays live, never what
+    the tasks compute from them — serial reads the owner's buffers
+    directly, process workers attach the segments — so the full matrix
+    must agree with the serial/pickled reference byte for byte.
+    """
+    reference = gmeans_signature(7, "serial", data_plane="pickled")
+    for backend, plane in MATRIX[1:]:
+        cell = gmeans_signature(7, backend, data_plane=plane)
+        assert cell == reference, (backend, plane)
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_multi_kmeans_identical_across_backends(seed):
     reference = multi_kmeans_signature(seed, "serial")
     for backend in BACKENDS[1:]:
         assert multi_kmeans_signature(seed, backend) == reference, backend
+
+
+def test_multi_kmeans_identical_across_planes():
+    reference = multi_kmeans_signature(7, "serial", data_plane="pickled")
+    assert multi_kmeans_signature(7, "serial", data_plane="shared") == reference
+    assert (
+        multi_kmeans_signature(7, "processes", data_plane="shared") == reference
+    )
 
 
 def test_gmeans_finds_same_sane_k_on_every_backend():
@@ -97,24 +153,69 @@ def test_results_identical_with_journal_on_or_off():
     assert journalled == plain
 
 
-def test_journal_canonical_form_identical_across_backends():
-    """Same seeded run → same journal on every backend, modulo wall clock.
+def test_journal_canonical_form_identical_across_matrix():
+    """Same seeded run → same journal in every matrix cell, modulo wall
+    clock.
 
     Everything nondeterministic in a journal lives in ``wall*`` keys;
-    after stripping them the three backends must have recorded the
-    exact same sequence of spans, tasks and events.
+    after stripping them all six (backend × data plane) cells must have
+    recorded the exact same sequence of spans, tasks and events — the
+    data plane is invisible to the journal, not just to the results.
     """
     journals = {}
-    for backend in BACKENDS:
+    for backend, plane in MATRIX:
         sink = InMemoryJournalSink()
-        gmeans_signature(7, backend, journal=Journal(sink))
-        journals[backend] = canonical_records(sink.records)
-    reference = journals["serial"]
+        gmeans_signature(7, backend, journal=Journal(sink), data_plane=plane)
+        journals[backend, plane] = canonical_records(sink.records)
+    reference = journals["serial", "pickled"]
     assert reference  # the run actually recorded something
     kinds = {r.get("kind") for r in reference if r["type"] == "span_start"}
     assert kinds == {"run", "iteration", "job", "phase"}
-    for backend in BACKENDS[1:]:
-        assert journals[backend] == reference, backend
+    for cell in MATRIX[1:]:
+        assert journals[cell] == reference, cell
+
+
+def test_no_leaked_segments_after_chaos_failure():
+    """A chain that dies mid-run must not strand segments once its DFS
+    is torn down — failure paths release exactly like success paths."""
+
+    class Killer:
+        def __init__(self, runtime):
+            self.runtime = runtime
+            self.jobs = 0
+
+        def run(self, job, input_file, cached=False):
+            self.jobs += 1
+            if self.jobs >= 5:
+                raise JobFailedError(f"injected failure at {job.name}")
+            return self.runtime.run(job, input_file, cached=cached)
+
+        def __getattr__(self, name):
+            return getattr(self.runtime, name)
+
+    world = make_world(7, "serial", data_plane="shared")
+    assert dataplane.active_segments()  # the dataset really is shared
+    with pytest.raises(JobFailedError, match="injected failure"):
+        MRGMeans(Killer(world.runtime), MRGMeansConfig(seed=7)).fit(
+            world.dataset
+        )
+    world.dfs.release()
+    assert dataplane.active_segments() == []
+    assert dataplane.orphaned_system_segments() == []
+
+
+def test_no_leaked_segments_after_slo_abort():
+    """An SLO-aborted run is interrupted at a checkpoint boundary; the
+    shared plane must come back to zero segments all the same."""
+    watchdog = SLOWatchdog(parse_slo_rules("max_k=2"), stream=io.StringIO())
+    journal = Journal(TelemetrySink(watchdog=watchdog))
+    world = make_world(7, "serial", journal=journal, data_plane="shared")
+    config = MRGMeansConfig(seed=7, checkpoint_dir="ck/slo")
+    with pytest.raises(SLOViolationError):
+        MRGMeans(world.runtime, config).fit(world.dataset)
+    world.dfs.release()
+    assert dataplane.active_segments() == []
+    assert dataplane.orphaned_system_segments() == []
 
 
 def test_analytics_fields_recorded_and_deterministic():

@@ -15,12 +15,23 @@ from repro.core.config import MRGMeansConfig
 from repro.core.gmeans_mr import MRGMeans
 from repro.data.generator import generate_gaussian_mixture
 from repro.data.loader import write_points
+from repro.mapreduce import dataplane
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
 from repro.mapreduce.executors import RuntimeConfig
 from repro.mapreduce.faults import FaultModel
 from repro.mapreduce.hdfs import BlockFaultModel, InMemoryDFS
 from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(autouse=True)
+def _clean_data_plane():
+    """Start (and leave) each test with no shared segments: earlier
+    tests may run under ``$REPRO_DATA_PLANE=shared`` without releasing
+    their worlds, and the leak assertions here are global."""
+    dataplane.release_all()
+    yield
+    dataplane.release_all()
 
 MIXTURE = generate_gaussian_mixture(
     n_points=600, n_clusters=3, dimensions=2, rng=7
@@ -44,8 +55,14 @@ class KillingRuntime(MapReduceRuntime):
         return super().run(job, input_file, cached=cached)
 
 
-def fresh_world(runtime_cls=MapReduceRuntime, faults=None, config=None, **kw):
-    dfs = InMemoryDFS(split_size_bytes=4096)
+def fresh_world(
+    runtime_cls=MapReduceRuntime,
+    faults=None,
+    config=None,
+    data_plane=None,
+    **kw,
+):
+    dfs = InMemoryDFS(split_size_bytes=4096, data_plane=data_plane)
     f = write_points(dfs, "points", MIXTURE.points)
     runtime = runtime_cls(
         dfs,
@@ -242,6 +259,65 @@ def test_chaos_environment_matches_clean_baseline(monkeypatch):
     assert chaotic.centers.tobytes() == clean.centers.tobytes()
     assert chaotic.k_found == clean.k_found
     assert chaotic.iterations == clean.iterations
+
+
+def test_killed_chain_resumes_byte_identical_under_shared_plane():
+    """Kill + resume with shared-memory splits: same bytes as the
+    uninterrupted pickled baseline, and the teardown releases every
+    segment the killed-and-revived chain created."""
+    baseline_dfs, f, runtime = fresh_world()
+    baseline = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit(f)
+    baseline_dfs.release()  # $REPRO_DATA_PLANE may have shared this one too
+
+    dfs, f2, killer = fresh_world(
+        KillingRuntime, kill_prefixes=("KMeans-i3",), data_plane="shared"
+    )
+    assert dataplane.active_segments()  # dataset splits live in segments
+    with pytest.raises(JobFailedError, match="injected failure"):
+        MRGMeans(killer, MRGMeansConfig(**CONFIG)).fit(f2)
+
+    revived = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+    )
+    resumed = MRGMeans(revived, MRGMeansConfig(**CONFIG)).fit(
+        "points", resume_from="latest"
+    )
+    assert signature(resumed) == signature(baseline)
+    dfs.release()
+    assert dataplane.active_segments() == []
+    assert dataplane.orphaned_system_segments() == []
+
+
+def test_block_faults_heal_under_shared_plane():
+    """Replica loss and re-replication with shared-memory splits: total
+    block loss releases the split's segment, healing keeps results
+    byte-identical, and nothing leaks once the DFS is torn down."""
+    clean_dfs, f, clean_runtime = fresh_world()
+    clean = MRGMeans(clean_runtime, MRGMeansConfig(seed=5)).fit(f)
+    clean_dfs.release()  # $REPRO_DATA_PLANE may have shared this one too
+
+    dfs2 = InMemoryDFS(
+        split_size_bytes=4096,
+        fault_model=BlockFaultModel(replica_loss_probability=0.02, seed=3),
+        data_plane="shared",
+    )
+    f2 = write_points(dfs2, "points", MIXTURE.points)
+    runtime2 = MapReduceRuntime(
+        dfs2,
+        cluster=ClusterConfig(nodes=2, task_heap_mb=64),
+        rng=RUNTIME_SEED,
+        config=RuntimeConfig(max_job_retries=3),
+    )
+    healed = MRGMeans(runtime2, MRGMeansConfig(seed=5)).fit(f2)
+    assert healed.centers.tobytes() == clean.centers.tobytes()
+    assert healed.k_found == clean.k_found
+    assert dfs2.replicas_lost > 0
+    assert dfs2.re_replications == dfs2.replicas_lost
+    dfs2.release()
+    assert dataplane.active_segments() == []
+    assert dataplane.orphaned_system_segments() == []
 
 
 def test_heap_exhaustion_is_never_degraded_or_retried():

@@ -32,12 +32,24 @@ RUNTIME_SEED = 99
 CONFIG = dict(seed=5, checkpoint_dir="ck/gmeans", max_iterations=10)
 
 
-def chaos_world(journal, dfs=None):
+@pytest.fixture(autouse=True)
+def _clean_data_plane():
+    """Isolate each test's shared-segment accounting (earlier tests may
+    run under ``$REPRO_DATA_PLANE=shared`` without releasing)."""
+    from repro.mapreduce import dataplane
+
+    dataplane.release_all()
+    yield
+    dataplane.release_all()
+
+
+def chaos_world(journal, dfs=None, data_plane=None):
     """A flaky world: task faults, lossy blocks, retries — journalled."""
     if dfs is None:
         dfs = InMemoryDFS(
             split_size_bytes=4096,
             fault_model=BlockFaultModel(replica_loss_probability=0.02, seed=3),
+            data_plane=data_plane,
         )
         write_points(dfs, "points", MIXTURE.points)
     runtime = MapReduceRuntime(
@@ -86,6 +98,28 @@ def test_chaos_journal_replay_matches_live_accounting():
     writes = replay.events_named("checkpoint_write")
     assert len(writes) == result.iterations
     assert all(w.attrs["bytes"] > 0 for w in writes)
+
+
+def test_chaos_journal_canonical_form_identical_across_planes():
+    """The same chaotic run journals identically on either data plane.
+
+    Fault injection draws from seeded RNGs in the submitting process,
+    so even the retries, replica failovers and re-replications land in
+    the same order whether splits travel by pickle or shared memory —
+    the canonical journals must match record for record."""
+    from repro.mapreduce import dataplane
+    from repro.observability.journal import canonical_records
+
+    journals = {}
+    for plane in ("pickled", "shared"):
+        sink = InMemoryJournalSink()
+        dfs, runtime = chaos_world(Journal(sink), data_plane=plane)
+        MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit("points")
+        dfs.release()
+        journals[plane] = canonical_records(sink.records)
+    assert dataplane.active_segments() == []
+    assert journals["pickled"]
+    assert journals["shared"] == journals["pickled"]
 
 
 def test_resumed_run_journal_carries_checkpoint_baseline():

@@ -62,24 +62,36 @@ def make_points(n=240, d=3, seed=11):
     return rng.normal(size=(n, d)) + rng.integers(0, 4, size=(n, 1)) * 5.0
 
 
-def run_kmeans(backend: str, faults: "FaultModel | None" = None, seed=123):
+def run_kmeans(
+    backend: str,
+    faults: "FaultModel | None" = None,
+    seed=123,
+    dispatch="wave",
+    data_plane=None,
+):
     from repro.data.loader import write_points
     from repro.data.textio import bytes_per_record
 
     points = make_points()
     per_record = bytes_per_record(points.shape[1])
-    dfs = InMemoryDFS(split_size_bytes=per_record * 30)  # 8 splits
+    dfs = InMemoryDFS(
+        split_size_bytes=per_record * 30, data_plane=data_plane
+    )  # 8 splits
     f = write_points(dfs, "pts", points)
     runtime = MapReduceRuntime(
         dfs,
         cluster=ClusterConfig(nodes=2),
         rng=seed,
         faults=faults,
-        config=RuntimeConfig(executor=backend, num_workers=4),
+        config=RuntimeConfig(
+            executor=backend, num_workers=4, dispatch=dispatch
+        ),
     )
     centers = points[:4].copy()
     job = make_kmeans_job(centers, num_reduce_tasks=4)
-    return runtime.run(job, f), centers
+    result = runtime.run(job, f), centers
+    dfs.release()
+    return result
 
 
 @pytest.mark.parametrize("backend", ["threads", "processes"])
@@ -91,6 +103,27 @@ def test_kmeans_byte_identical_to_serial(backend):
     ours, _ = decode_kmeans_output(other.output, centers)
     ref, _ = decode_kmeans_output(serial.output, centers)
     assert ours.tobytes() == ref.tobytes()
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_wave_and_task_dispatch_byte_identical(backend):
+    """Batched per-worker wave dispatch is a pure scheduling change:
+    the strided stripes must reassemble into the exact task order."""
+    serial, _ = run_kmeans("serial")
+    for dispatch in ("wave", "task"):
+        other, _ = run_kmeans(backend, dispatch=dispatch)
+        assert fingerprint(other) == fingerprint(serial), dispatch
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_shared_plane_byte_identical_across_dispatch(backend):
+    """Zero-copy splits × both dispatch modes still match serial."""
+    serial, _ = run_kmeans("serial")
+    for dispatch in ("wave", "task"):
+        other, _ = run_kmeans(
+            backend, dispatch=dispatch, data_plane="shared"
+        )
+        assert fingerprint(other) == fingerprint(serial), dispatch
 
 
 @pytest.mark.parametrize("backend", ["threads", "processes"])
@@ -191,6 +224,24 @@ def test_runtime_config_from_env():
     assert RuntimeConfig.from_env({}) == RuntimeConfig()
     with pytest.raises(ConfigurationError):
         RuntimeConfig.from_env({NUM_WORKERS_ENV: "four"})
+
+
+def test_runtime_config_dispatch_and_data_plane(monkeypatch):
+    from repro.mapreduce.executors import DATA_PLANE_ENV, DISPATCH_ENV
+
+    monkeypatch.delenv(DATA_PLANE_ENV, raising=False)
+    assert RuntimeConfig().dispatch == "wave"
+    assert RuntimeConfig().data_plane is None
+    assert RuntimeConfig().effective_data_plane == "pickled"
+    config = RuntimeConfig.from_env(
+        {DISPATCH_ENV: "task", DATA_PLANE_ENV: "shared"}
+    )
+    assert config.dispatch == "task"
+    assert config.data_plane == "shared"
+    with pytest.raises(ConfigurationError):
+        RuntimeConfig(dispatch="bulk")
+    with pytest.raises(ConfigurationError):
+        RuntimeConfig(data_plane="mmap")
 
 
 def test_create_executor_kinds():

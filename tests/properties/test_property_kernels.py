@@ -1,0 +1,253 @@
+"""Property tests: vectorized kernels == scalar reference paths, bitwise.
+
+Floating-point addition is not associative, so "vectorized equals
+scalar" is only provable in general when no operation rounds. Two
+complementary regimes are exercised:
+
+* **Any-floats properties** — kernel rewrites that preserve the exact
+  sequence of float operations (``label_sums``'s bincount vs the
+  scatter-add vs a per-record Python loop) must be bitwise identical on
+  arbitrary doubles.
+* **Grid-exact properties** — whole pipelines (assignment, partial
+  sums, projections, AD statistics, counters). Points live on a dyadic
+  grid (eighths), candidate-children pairs differ by ±2^t in 1, 2 or 4
+  coordinates so ``||v||^2`` is a power of two and ``v/||v||^2`` is
+  exactly representable. Every product and partial sum is then a
+  dyadic rational well inside the 53-bit significand: no path rounds,
+  so the vectorized BLAS kernels and the textbook per-record loops
+  must produce byte-identical output however they order the work.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.metrics import label_sums
+from repro.core.kmeans_job import decode_kmeans_output, make_kmeans_job
+from repro.core.test_clusters import (
+    TestClustersMapper,
+    decode_test_output,
+    make_test_clusters_job,
+)
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import (
+    Counters,
+    FRAMEWORK_GROUP,
+    MRCounter,
+    USER_GROUP,
+    UserCounter,
+)
+from repro.mapreduce.hdfs import InMemoryDFS, Split
+from repro.mapreduce.job import MapContext
+from repro.mapreduce.runtime import MapReduceRuntime
+
+# -- strategies ----------------------------------------------------------
+
+#: Dyadic grid coordinate: an eighth in [-8, 8].
+grid_coord = st.integers(-64, 64).map(lambda i: i / 8.0)
+
+
+@st.composite
+def grid_points(draw, min_rows=4, max_rows=40, min_d=1, max_d=3):
+    """An ``(n, d)`` float64 matrix of grid-exact coordinates."""
+    d = draw(st.integers(min_d, max_d))
+    n = draw(st.integers(min_rows, max_rows))
+    rows = draw(
+        st.lists(
+            st.lists(grid_coord, min_size=d, max_size=d),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.asarray(rows, dtype=np.float64)
+
+
+@st.composite
+def grid_centers(draw, d, k_max=4):
+    """``(k, d)`` distinct grid-exact centers."""
+    k = draw(st.integers(1, k_max))
+    seen: set = set()
+    centers = []
+    while len(centers) < k:
+        row = tuple(draw(st.lists(grid_coord, min_size=d, max_size=d)))
+        if row in seen:
+            continue
+        seen.add(row)
+        centers.append(row)
+    return np.asarray(centers, dtype=np.float64)
+
+
+@st.composite
+def exact_pairs(draw, centers):
+    """Candidate-children pairs whose direction maths is exact.
+
+    ``c1 - c2`` has ``m`` nonzero components, each ``±2^t`` with one
+    shared ``t``, and ``m ∈ {1, 2, 4}`` — so ``||v||^2 = m * 4^t`` is a
+    power of two and ``v / ||v||^2`` has exactly representable entries.
+    """
+    k, d = centers.shape
+    pairs = {}
+    for pid in range(k):
+        if not draw(st.booleans()):
+            continue
+        t = draw(st.integers(-2, 2))
+        m = draw(st.sampled_from([m for m in (1, 2, 4) if m <= d]))
+        positions = draw(
+            st.lists(
+                st.integers(0, d - 1), min_size=m, max_size=m, unique=True
+            )
+        )
+        v = np.zeros(d)
+        for pos in positions:
+            v[pos] = (1.0 if draw(st.booleans()) else -1.0) * 2.0**t
+        c2 = np.asarray(
+            draw(st.lists(grid_coord, min_size=d, max_size=d))
+        )
+        pairs[pid] = np.stack([c2 + v, c2])
+    return pairs
+
+
+# -- any-floats: order-preserving rewrites --------------------------------
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(1, 400),
+    st.integers(1, 8),
+    st.integers(1, 12),
+)
+@settings(max_examples=40, deadline=None)
+def test_label_sums_bitwise_equals_scatter_add_and_loop(seed, n, d, k):
+    """On *arbitrary* doubles: bincount == np.add.at == Python loop.
+
+    All three accumulate per label in input order, so the identity
+    holds with no grid assumption — this is what licenses using
+    ``label_sums`` in every partial-sum kernel without perturbing the
+    committed baseline journals.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n, d))
+    labels = rng.integers(0, k, n)
+
+    scatter = np.zeros((k, d))
+    np.add.at(scatter, labels, points)
+
+    loop = np.zeros((k, d))
+    for label, point in zip(labels, points):
+        loop[label] += point
+
+    fast = label_sums(points, labels, k)
+    assert fast.tobytes() == scatter.tobytes()
+    assert fast.tobytes() == loop.tobytes()
+
+
+# -- grid-exact: whole kernels and jobs -----------------------------------
+
+
+def _map_ctx(config: dict) -> MapContext:
+    return MapContext(config, Counters(), np.random.default_rng(0), 1 << 30, "t")
+
+
+def _make_split(points: np.ndarray) -> Split:
+    return Split(
+        file_name="data", index=0, records=points, size_bytes=points.nbytes
+    )
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_projection_mapper_paths_bitwise_identical(data):
+    """Vectorized split projection == per-record loop: same clusters,
+    same projection bytes, same algorithmic counters."""
+    points = data.draw(grid_points())
+    centers = data.draw(grid_centers(points.shape[1]))
+    pairs = data.draw(exact_pairs(centers))
+
+    outputs = {}
+    counters = {}
+    for vectorized in (True, False):
+        config = {
+            "prev_centers": centers,
+            "pairs": pairs,
+            "alpha": 0.01,
+            "vectorized": vectorized,
+        }
+        ctx = _map_ctx(config)
+        mapper = TestClustersMapper()
+        mapper.setup(ctx)
+        outputs[vectorized] = {
+            pid: proj.tobytes()
+            for pid, proj in mapper.project_split(
+                _make_split(points), ctx
+            ).items()
+        }
+        counters[vectorized] = ctx.counters.as_dict().get(USER_GROUP, {})
+    assert outputs[True] == outputs[False]
+    assert counters[True] == counters[False]
+
+
+def _run_kmeans_once(points, centers, vectorized):
+    dfs = InMemoryDFS(split_size_bytes=max(64, points.nbytes // 3))
+    f = dfs.write("data", points, bytes_per_record=points.shape[1] * 8)
+    runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=0)
+    job = make_kmeans_job(centers, 4, vectorized=vectorized)
+    result = runtime.run(job, f)
+    new_centers, sizes = decode_kmeans_output(result.output, centers)
+    return new_centers, sizes, result.counters
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_kmeans_job_paths_bitwise_identical(data):
+    """One full k-means iteration: vectorized and per-record mappers
+    produce byte-identical centroids, identical sizes, and identical
+    algorithmic counters (combiner-visible record counts differ by
+    design — pre-summed partials vs one record per point — so only the
+    algorithm-level counters are compared)."""
+    points = data.draw(grid_points())
+    centers = data.draw(grid_centers(points.shape[1]))
+
+    fast, fast_sizes, fast_counters = _run_kmeans_once(points, centers, True)
+    slow, slow_sizes, slow_counters = _run_kmeans_once(points, centers, False)
+
+    assert fast.tobytes() == slow.tobytes()
+    assert np.array_equal(fast_sizes, slow_sizes)
+    for name in (
+        UserCounter.DISTANCE_COMPUTATIONS,
+        UserCounter.COORDINATE_OPS,
+    ):
+        assert fast_counters.get(USER_GROUP, name) == slow_counters.get(
+            USER_GROUP, name
+        ), name
+    assert fast_counters.get(
+        FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS
+    ) == slow_counters.get(FRAMEWORK_GROUP, MRCounter.MAP_OUTPUT_RECORDS)
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_test_clusters_job_paths_bitwise_identical(data):
+    """The full reducer-side test job: byte-identical AD statistics and
+    verdicts, identical counters (the test jobs emit identical shuffle
+    records on both paths, so *every* counter must match)."""
+    points = data.draw(grid_points(min_rows=8))
+    centers = data.draw(grid_centers(points.shape[1]))
+    pairs = data.draw(exact_pairs(centers))
+
+    results = {}
+    all_counters = {}
+    for vectorized in (True, False):
+        dfs = InMemoryDFS(split_size_bytes=max(64, points.nbytes // 3))
+        f = dfs.write("data", points, bytes_per_record=points.shape[1] * 8)
+        runtime = MapReduceRuntime(dfs, cluster=ClusterConfig(nodes=2), rng=0)
+        job = make_test_clusters_job(
+            centers, pairs, 0.01, 4, vectorized=vectorized
+        )
+        result = runtime.run(job, f)
+        results[vectorized] = {
+            pid: tuple(verdict)
+            for pid, verdict in decode_test_output(result.output).items()
+        }
+        all_counters[vectorized] = result.counters.as_dict()
+    assert results[True] == results[False]
+    assert all_counters[True] == all_counters[False]
