@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-processes test-shared test-all chaos trace live analyze bench-executors bench
+.PHONY: test test-processes test-shared test-all chaos chaos-node trace live analyze bench-executors bench
 
 # Tier-1: the full suite on the default (serial) backend.
 test:
@@ -32,6 +32,26 @@ chaos:
 	REPRO_BLOCK_LOSS_PROB=0.02 \
 	REPRO_MAX_JOB_RETRIES=3 \
 	$(PYTHON) -m pytest tests/integration -x -q
+
+# Node-failure chaos: correlated node loss, heartbeat detection and
+# capacity-aware re-decisions. Runs the node-domain suites, then
+# records a seeded node-chaos G-means run and gates it against the
+# committed baseline journal — node deaths are drawn from a seeded
+# stream, so the fresh run diffs clean unless something regressed.
+NODE_CHAOS_JOURNAL ?= reports/node-chaos-run.jsonl
+NODE_CHAOS_BASELINE ?= benchmarks/baselines/node-chaos-gmeans-seed7.jsonl
+chaos-node:
+	$(PYTHON) -m pytest tests/mapreduce/test_nodes.py \
+		tests/integration/test_node_chaos.py \
+		tests/properties/test_property_nodes.py -x -q
+	rm -f $(NODE_CHAOS_JOURNAL)
+	REPRO_NODE_FAILURE_PROB=0.02 \
+	REPRO_NODE_FAULT_SEED=3 \
+	$(PYTHON) examples/run_with_journal.py $(NODE_CHAOS_JOURNAL)
+	$(PYTHON) -m repro analyze $(NODE_CHAOS_JOURNAL) \
+		--out reports/node-chaos-report.txt
+	$(PYTHON) -m repro diff $(NODE_CHAOS_BASELINE) $(NODE_CHAOS_JOURNAL) \
+		--out reports/node-chaos-diff.txt
 
 # Record a chaos-mode G-means run into a journal and render it: the
 # full observability loop (journal -> replay -> trace) on one command.

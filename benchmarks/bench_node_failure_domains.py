@@ -1,0 +1,148 @@
+"""Node failure domains — capacity-proportional degradation and the
+Figure-2-predicted strategy flip.
+
+Not a paper table: the EDBT testbed never lost a node mid-run. But the
+paper's cost model makes two testable predictions about what *should*
+happen when nodes die:
+
+* Makespan degrades in proportion to lost slot capacity — the
+  slot-bound phases are LPT schedules over ``live_slots``, so halving
+  the schedulable nodes roughly doubles the slot-bound time while the
+  algorithmic work (counters, k-trajectory) is byte-identical.
+* The §3.2 mapper-vs-reducer decision flips at the capacity threshold
+  where the live reduce-slot pool drops below the number of clusters
+  to test — but only when Figure 2's heap model (64 bytes per
+  buffered projection) says the biggest cluster fits a reducer heap.
+"""
+
+import pytest
+
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.core.strategy import decide_test_strategy
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.nodes import ClusterState
+from repro.observability.diffing import summarize_replay
+from repro.observability.journal import InMemoryJournalSink, Journal
+from repro.observability.replay import replay_records
+from repro.mapreduce.runtime import MapReduceRuntime
+
+NODES = 4
+DEAD_LEVELS = (0, 1, 2)
+
+
+def run_with_dead_nodes(dead):
+    """One seeded G-means run with ``dead`` nodes pre-failed.
+
+    The cluster state is degraded *deterministically* (no fault model,
+    no RNG) so every capacity level performs byte-identical algorithmic
+    work and the only variable is the surviving slot pool.
+    """
+    mixture = generate_gaussian_mixture(
+        n_points=20_000, n_clusters=8, dimensions=4, rng=13
+    )
+    dfs = InMemoryDFS(split_size_bytes=16 * 1024)
+    dataset = write_points(dfs, "points", mixture.points)
+    config = ClusterConfig(nodes=NODES)
+    state = ClusterState(config)
+    for node_id in range(dead):
+        state.fail(node_id)
+    sink = InMemoryJournalSink()
+    runtime = MapReduceRuntime(
+        dfs,
+        cluster=config,
+        rng=21,
+        cluster_state=state,
+        journal=Journal(sink),
+    )
+    result = MRGMeans(runtime, MRGMeansConfig(seed=9)).fit(dataset)
+    return result, summarize_replay(replay_records(sink.records))
+
+
+def test_makespan_degrades_with_lost_slot_capacity(report):
+    outcomes = {dead: run_with_dead_nodes(dead) for dead in DEAD_LEVELS}
+
+    # Identical algorithmic work at every capacity level.
+    baseline_result, baseline = outcomes[0]
+    for dead in DEAD_LEVELS[1:]:
+        result, summary = outcomes[dead]
+        assert result.k_found == baseline_result.k_found
+        assert result.centers.tobytes() == baseline_result.centers.tobytes()
+        assert summary.counters == baseline.counters
+        assert summary.k_trajectory == baseline.k_trajectory
+
+    # Time degrades monotonically as capacity shrinks...
+    times = [outcomes[d][1].simulated_seconds for d in DEAD_LEVELS]
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+    # ...and the slot-bound map phase degrades in proportion to the
+    # lost capacity: LPT over half the slots takes about twice as long.
+    lines = [
+        "== node failure domains: capacity-proportional degradation ==",
+        f"(nodes={NODES}, byte-identical work at every level)",
+        "",
+        "dead  live slots  map s     total s   map ratio  slot ratio",
+    ]
+    base_map = baseline.phase_seconds["map_seconds"]
+    for dead in DEAD_LEVELS:
+        _result, summary = outcomes[dead]
+        live = NODES - dead
+        slot_ratio = NODES / live
+        map_ratio = summary.phase_seconds["map_seconds"] / base_map
+        lines.append(
+            f"{dead:>4}  {live * 8:>10}  {summary.phase_seconds['map_seconds']:>8.2f}"
+            f"  {summary.simulated_seconds:>8.2f}  {map_ratio:>9.2f}"
+            f"  {slot_ratio:>10.2f}"
+        )
+        assert map_ratio == pytest.approx(slot_ratio, rel=0.25)
+    report("node_failure_domains", "\n".join(lines))
+
+
+def test_strategy_flips_at_heap_predicted_capacity_threshold():
+    """Sweep dead nodes: the mapper→reducer flip lands exactly where
+    live reduce slots drop below the test count — heap permitting."""
+    config = ClusterConfig(nodes=4, reduce_slots_per_node=2, task_heap_mb=64)
+    clusters_to_test = 5
+    fits_heap = 100_000  # 100k pts x 64 B = ~6.1 MB, well under heap
+    exceeds_heap = 2_000_000  # ~122 MB, over the 64 MB usable heap
+
+    flips = []
+    for dead in range(4):
+        state = ClusterState(config)
+        for node_id in range(dead):
+            state.fail(node_id)
+        decision = decide_test_strategy(
+            clusters_to_test, fits_heap, state
+        )
+        flips.append((state.total_reduce_slots, decision.strategy))
+        # The flip is exactly the capacity threshold: reducer-side as
+        # soon as parallelism runs short, mapper-side while it doesn't.
+        expected = (
+            "reducer"
+            if clusters_to_test > state.total_reduce_slots
+            else "mapper"
+        )
+        assert decision.strategy == expected
+        assert decision.heap_fits
+
+    # 8 and 6 live slots hold the mapper-side line; 4 and 2 flip.
+    assert flips == [
+        (8, "mapper"),
+        (6, "mapper"),
+        (4, "reducer"),
+        (2, "reducer"),
+    ]
+
+    # Figure 2's heap model gates the flip: the same capacity squeeze
+    # with a cluster too big for a reducer heap must NOT flip.
+    state = ClusterState(config)
+    for node_id in range(3):
+        state.fail(node_id)
+    decision = decide_test_strategy(clusters_to_test, exceeds_heap, state)
+    assert not decision.heap_fits
+    assert decision.predicted_heap_bytes == exceeds_heap * 64
+    assert decision.predicted_heap_bytes > config.usable_heap_bytes
+    assert decision.strategy == "mapper"

@@ -44,6 +44,11 @@ from repro.mapreduce.executors import (
     MAX_JOB_RETRIES_ENV,
     NUM_WORKERS_ENV,
 )
+from repro.mapreduce.nodes import (
+    HEARTBEAT_TIMEOUT_ENV,
+    NODE_FAILURE_PROB_ENV,
+    NODE_RECOVERY_PROB_ENV,
+)
 from repro.observability.journal import JOURNAL_ENV
 from repro.observability.live import LIVE_ENV, METRICS_PORT_ENV
 from repro.observability.profiling import PROFILE_TASKS_ENV
@@ -285,6 +290,29 @@ def _global_options() -> argparse.ArgumentParser:
         "exponential backoff (default: $REPRO_MAX_JOB_RETRIES or 0)",
     )
     parent.add_argument(
+        "--node-failure-prob",
+        type=float,
+        metavar="P",
+        help="per-job-attempt probability that each serving node dies "
+        "(correlated replica loss, heartbeat detection, task "
+        "re-scheduling onto survivors; default: $REPRO_NODE_FAILURE_PROB "
+        "or off); never changes results, only capacity and time",
+    )
+    parent.add_argument(
+        "--node-recovery-prob",
+        type=float,
+        metavar="P",
+        help="per-job-attempt probability that each dead node rejoins "
+        "empty (default: $REPRO_NODE_RECOVERY_PROB or 0)",
+    )
+    parent.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="simulated seconds before a dead node's tasks are declared "
+        "lost and re-scheduled (default: $REPRO_HEARTBEAT_TIMEOUT or 30)",
+    )
+    parent.add_argument(
         "--journal",
         metavar="PATH",
         help="append a structured JSON-lines run journal to PATH "
@@ -479,6 +507,9 @@ def main(argv: "list[str] | None" = None) -> int:
         ("checkpoint_dir", CHECKPOINT_DIR_ENV),
         ("resume", RESUME_ENV),
         ("max_job_retries", MAX_JOB_RETRIES_ENV),
+        ("node_failure_prob", NODE_FAILURE_PROB_ENV),
+        ("node_recovery_prob", NODE_RECOVERY_PROB_ENV),
+        ("heartbeat_timeout", HEARTBEAT_TIMEOUT_ENV),
         ("journal", JOURNAL_ENV),
         ("live", LIVE_ENV),
         ("metrics_port", METRICS_PORT_ENV),

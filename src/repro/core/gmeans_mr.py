@@ -373,12 +373,38 @@ class MRGMeans:
         # so `repro analyze` can audit the heap model against what the
         # test job's reducers actually buffered.
         max_points = max(state.clusters[index].size for index in pairs)
+        # The rule runs against the cluster's *live* capacity: node loss
+        # shrinks the reduce-slot pool, so the same iteration can cross
+        # the paper's parallelism threshold that the full-strength
+        # cluster would not (heap fit still gates the switch). With
+        # every node alive the live state reports exactly the config's
+        # capacity, so fault-free runs decide identically to before.
         decision = decide_test_strategy(
             len(pairs),
             max_points,
-            self.runtime.cluster,
+            self.runtime.cluster_state,
             cfg.heap_bytes_per_projection,
         )
+        static_slots = self.runtime.cluster.total_reduce_slots
+        if decision.total_reduce_slots != static_slots:
+            static_decision = decide_test_strategy(
+                len(pairs),
+                max_points,
+                self.runtime.cluster,
+                cfg.heap_bytes_per_projection,
+            )
+            if static_decision.strategy != decision.strategy:
+                self.runtime.journal.event(
+                    "strategy_redecision",
+                    iteration=iteration,
+                    from_strategy=static_decision.strategy,
+                    to_strategy=decision.strategy,
+                    static_reduce_slots=static_slots,
+                    live_reduce_slots=decision.total_reduce_slots,
+                    clusters_to_test=decision.clusters_to_test,
+                    predicted_heap_bytes=decision.predicted_heap_bytes,
+                    usable_heap_bytes=decision.usable_heap_bytes,
+                )
         if cfg.strategy == "auto":
             strategy = decision.strategy
             forced = False

@@ -65,7 +65,13 @@ def decide_test_strategy(
 ) -> StrategyDecision:
     """Apply the paper's two-condition switching rule, keeping the
     evidence: returns the chosen strategy together with every input the
-    decision depended on."""
+    decision depended on.
+
+    ``cluster`` is anything exposing ``total_reduce_slots`` and
+    ``usable_heap_bytes`` — a static :class:`ClusterConfig` or a live
+    :class:`~repro.mapreduce.nodes.ClusterState`, whose slot pool
+    shrinks as nodes die (the driver re-derives the decision from live
+    capacity every iteration)."""
     check_positive("clusters_to_test", clusters_to_test)
     check_non_negative("max_cluster_points", max_cluster_points)
     enough_parallelism = clusters_to_test > cluster.total_reduce_slots

@@ -37,7 +37,16 @@ from repro.mapreduce.faults import (
     FaultModel,
     TaskPermanentlyFailedError,
 )
-from repro.mapreduce.hdfs import BlockFaultModel, ReadReport
+from repro.mapreduce.hdfs import BlockFaultModel, NodeLossReport, ReadReport
+from repro.mapreduce.nodes import (
+    ClusterState,
+    NODE_ALIVE,
+    NODE_BLACKLISTED,
+    NODE_DEAD,
+    NODE_DECOMMISSIONED,
+    NodeFaultModel,
+    NodeState,
+)
 from repro.mapreduce.locality import (
     LocalitySchedule,
     MapTaskSpec,
@@ -82,7 +91,15 @@ __all__ = [
     "JobChainDriver",
     "checkpoint_file_name",
     "BlockFaultModel",
+    "NodeLossReport",
     "ReadReport",
+    "ClusterState",
+    "NodeState",
+    "NodeFaultModel",
+    "NODE_ALIVE",
+    "NODE_DEAD",
+    "NODE_BLACKLISTED",
+    "NODE_DECOMMISSIONED",
     "EXECUTOR_KINDS",
     "RuntimeConfig",
     "TaskExecutor",

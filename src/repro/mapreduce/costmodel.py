@@ -145,9 +145,16 @@ class CostModel:
 
     # -- per-phase -----------------------------------------------------
 
-    def shuffle_seconds(self, shuffle_bytes: int) -> float:
-        """Time to move ``shuffle_bytes`` across the cluster fabric."""
-        bandwidth = self.params.network_mbps_per_node * self.cluster.nodes * MIB
+    def shuffle_seconds(
+        self, shuffle_bytes: int, nodes: "int | None" = None
+    ) -> float:
+        """Time to move ``shuffle_bytes`` across the cluster fabric.
+
+        ``nodes`` overrides the configured node count with the number of
+        machines actually serving (the fabric shrinks when nodes die).
+        """
+        node_count = self.cluster.nodes if nodes is None else max(1, int(nodes))
+        bandwidth = self.params.network_mbps_per_node * node_count * MIB
         return shuffle_bytes / bandwidth
 
     def job_timing(
@@ -156,22 +163,37 @@ class CostModel:
         reduce_task_seconds: list[float],
         shuffle_bytes: int,
         map_makespan_override: float | None = None,
+        map_slots: "int | None" = None,
+        reduce_slots: "int | None" = None,
+        nodes: "int | None" = None,
     ) -> JobTiming:
         """Assemble per-phase times into the job's simulated duration.
 
         ``map_makespan_override`` replaces the slot-anonymous LPT map
         makespan with one computed by a smarter scheduler (e.g. the
         locality-aware one in :mod:`repro.mapreduce.locality`).
+
+        ``map_slots`` / ``reduce_slots`` / ``nodes`` override the
+        configured capacity with the cluster's *live* capacity, so that
+        node loss degrades the makespan (fewer slots, narrower shuffle
+        fabric) without touching what any task computed. Defaults keep
+        the historical static-capacity behaviour.
         """
         if map_makespan_override is None:
-            map_seconds = makespan(map_task_seconds, self.cluster.total_map_slots)
+            map_seconds = makespan(
+                map_task_seconds,
+                self.cluster.total_map_slots if map_slots is None else map_slots,
+            )
         else:
             map_seconds = map_makespan_override
         return JobTiming(
             startup_seconds=self.params.job_startup_seconds,
             map_seconds=map_seconds,
-            shuffle_seconds=self.shuffle_seconds(shuffle_bytes),
+            shuffle_seconds=self.shuffle_seconds(shuffle_bytes, nodes=nodes),
             reduce_seconds=makespan(
-                reduce_task_seconds, self.cluster.total_reduce_slots
+                reduce_task_seconds,
+                self.cluster.total_reduce_slots
+                if reduce_slots is None
+                else reduce_slots,
             ),
         )

@@ -36,6 +36,11 @@ class MRCounter:
     JOB_RETRIES = "JOB_RETRIES"
     BLOCKS_LOST = "BLOCKS_LOST"
     REPLICA_READS = "REPLICA_READS"
+    # Machine-seconds spent on work that produced no output: failed
+    # task attempts, speculative clones (whichever side of the race
+    # lost), and re-executions of tasks stranded on a dead node. A
+    # float-valued counter — simulated seconds, not an event count.
+    WASTED_COMPUTE_SECONDS = "WASTED_COMPUTE_SECONDS"
 
 
 class UserCounter:
@@ -62,21 +67,32 @@ def _new_group() -> "defaultdict[str, int]":
 
 
 class Counters:
-    """A two-level (group, name) -> integer counter map.
+    """A two-level (group, name) -> numeric counter map.
 
     Supports increment, max-update (for high-water marks such as the
     biggest cluster size), merging of per-task counters into per-job
     counters, and snapshot/diff — which the cost model uses to charge
     each task only for the work it performed. Instances pickle cleanly
     (task counters travel from pool workers to the runtime).
+
+    Values are integers except for the few counters that measure
+    simulated seconds (``WASTED_COMPUTE_SECONDS``): a float ``amount``
+    accumulates exactly, so replayed journal totals reconcile
+    bit-for-bit against the live run's accounting.
     """
 
     def __init__(self) -> None:
         self._data: dict[str, dict[str, int]] = defaultdict(_new_group)
 
-    def inc(self, group: str, name: str, amount: int = 1) -> None:
-        """Add ``amount`` to counter ``(group, name)``."""
-        self._data[group][name] += int(amount)
+    def inc(self, group: str, name: str, amount: "int | float" = 1) -> None:
+        """Add ``amount`` to counter ``(group, name)``.
+
+        Integral amounts are coerced to ``int``; float amounts (the
+        seconds-valued counters) accumulate unchanged.
+        """
+        self._data[group][name] += (
+            amount if isinstance(amount, float) else int(amount)
+        )
 
     def set_max(self, group: str, name: str, value: int) -> None:
         """Raise counter ``(group, name)`` to ``value`` if smaller."""
@@ -147,7 +163,9 @@ class Counters:
         counters = cls()
         for group, names in data.items():
             for name, value in names.items():
-                counters._data[group][name] = int(value)
+                counters._data[group][name] = (
+                    value if isinstance(value, float) else int(value)
+                )
         return counters
 
     def as_dict(self) -> dict[str, dict[str, int]]:

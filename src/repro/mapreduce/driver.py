@@ -124,6 +124,14 @@ class ChainCheckpoint:
     runtime_rng_state: dict
     fault_rng_state: dict
     version: int = CHECKPOINT_VERSION
+    # Node-failure-domain state (None when recorded by a pre-node-fault
+    # driver — the fields are optional so version 1 checkpoints stay
+    # readable in both directions): the node-fault RNG stream and the
+    # per-node status/failure-count snapshots. Restoring both makes a
+    # resumed run draw the exact node-fault schedule an uninterrupted
+    # run would have seen.
+    node_rng_state: "dict | None" = None
+    node_states: "tuple | None" = None
 
     def restore_totals(self) -> ChainTotals:
         """Rebuild the :class:`ChainTotals` this snapshot captured."""
@@ -176,6 +184,8 @@ class CheckpointingJobChainDriver(JobChainDriver):
             cached_files=sorted(self._cached_files),
             runtime_rng_state=self.runtime.rng_state,
             fault_rng_state=self.runtime.fault_rng_state,
+            node_rng_state=self.runtime.node_rng_state,
+            node_states=self.runtime.cluster_state.snapshot(),
         )
         name = checkpoint_file_name(self.checkpoint_dir, iteration)
         blob = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
@@ -232,6 +242,10 @@ class CheckpointingJobChainDriver(JobChainDriver):
         self._cached_files = set(checkpoint.cached_files)
         self.runtime.rng_state = checkpoint.runtime_rng_state
         self.runtime.fault_rng_state = checkpoint.fault_rng_state
+        if checkpoint.node_rng_state is not None:
+            self.runtime.node_rng_state = checkpoint.node_rng_state
+        if checkpoint.node_states is not None:
+            self.runtime.cluster_state.restore(checkpoint.node_states)
         # The restored totals are the journal's accounting baseline: a
         # resumed run's journal only sees post-resume jobs, so replay
         # adds these back when cross-checking against the final totals.

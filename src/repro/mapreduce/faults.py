@@ -21,6 +21,7 @@ across the serial, thread and process backends.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -28,7 +29,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError, ReproError
 from repro.common.validation import check_in_range, check_positive
-from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
+from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP, MRCounter
 
 #: Environment variables consulted by :meth:`FaultModel.from_env` (the
 #: chaos-mode switch: every runtime constructed without explicit faults
@@ -118,9 +119,16 @@ class FaultModel:
 
         failure = _float(TASK_FAILURE_PROB_ENV)
         straggler = _float(STRAGGLER_PROB_ENV)
-        if failure == 0.0 and straggler == 0.0:
-            return None
         raw_attempts = (env.get(MAX_TASK_ATTEMPTS_ENV) or "").strip()
+        if failure == 0.0 and straggler == 0.0:
+            if raw_attempts:
+                warnings.warn(
+                    f"{MAX_TASK_ATTEMPTS_ENV}={raw_attempts} is set but has"
+                    f" no effect: neither {TASK_FAILURE_PROB_ENV} nor"
+                    f" {STRAGGLER_PROB_ENV} enables fault injection",
+                    stacklevel=2,
+                )
+            return None
         return cls(
             task_failure_probability=failure,
             straggler_probability=straggler,
@@ -135,6 +143,15 @@ class FaultModel:
         counters: Counters,
     ) -> float:
         """Effective duration of one task under the fault model.
+
+        Alongside the duration, the model charges
+        ``WASTED_COMPUTE_SECONDS`` for every machine-second that
+        produced no output: a failed attempt burns the half duration it
+        ran before dying; a speculative clone racing an attempt that
+        dies anyway burns the same half alongside it; and when the
+        clone *wins* the race, the slow original it ran beside is
+        killed after ``duration`` fruitless seconds. Wasted seconds are
+        pure accounting — the returned duration is unchanged by them.
 
         Raises :class:`TaskPermanentlyFailedError` when every attempt
         fails.
@@ -160,7 +177,23 @@ class FaultModel:
                 # anyway rescued nothing.
                 if speculated:
                     counters.inc(FRAMEWORK_GROUP, SPECULATIVE_TASKS)
+                    # The slow original ran beside the winning clone
+                    # for the clone's whole duration before being
+                    # killed.
+                    counters.inc(
+                        FRAMEWORK_GROUP,
+                        MRCounter.WASTED_COMPUTE_SECONDS,
+                        duration,
+                    )
                 return total + duration
             counters.inc(FRAMEWORK_GROUP, TASK_FAILURES)
+            # The attempt died mid-flight; a clone racing it dies with
+            # it, having burned the same half duration in parallel.
+            wasted = duration * 0.5
+            if speculated:
+                wasted += duration * 0.5
+            counters.inc(
+                FRAMEWORK_GROUP, MRCounter.WASTED_COMPUTE_SECONDS, wasted
+            )
             total += duration * 0.5  # the attempt died mid-flight
         raise TaskPermanentlyFailedError(task_id, self.max_attempts)

@@ -49,6 +49,7 @@ from repro.common.errors import (
 from repro.common.validation import check_in_range, check_positive
 from repro.mapreduce import dataplane
 from repro.mapreduce.dataplane import SharedBlock
+from repro.mapreduce.types import stable_hash
 
 #: Default HDFS block/split size (bytes): 64 MB, stock Hadoop 1.x.
 DEFAULT_SPLIT_SIZE = 64 * 1024 * 1024
@@ -128,6 +129,26 @@ class ReadReport:
         self.re_replications += other.re_replications
         self.extra_bytes_read += other.extra_bytes_read
         self.bytes_re_replicated += other.bytes_re_replicated
+
+
+@dataclass
+class NodeLossReport:
+    """What one node death cost the filesystem, in one correlated batch.
+
+    Returned by :meth:`InMemoryDFS.fail_node`: every replica the dead
+    node hosted is lost at once (the defining property of a node-level
+    failure domain, versus the independent per-block losses of
+    :class:`BlockFaultModel`), and — when re-replication is on — each
+    damaged split is immediately healed onto survivors that do not
+    already hold a copy.
+    """
+
+    node_id: int
+    blocks_lost: int = 0  # replica copies that died with the node
+    bytes_lost: int = 0  # their accounted size
+    re_replications: int = 0  # copies restored onto survivors
+    bytes_re_replicated: int = 0  # survivor-to-new-copy transfer
+    splits_unreadable: int = 0  # splits left with zero live copies
 
 
 @dataclass(frozen=True)
@@ -226,6 +247,12 @@ class InMemoryDFS:
         # discovered (and charged) at the next read, like a reader
         # hitting a dead datanode.
         self._replicas: dict[tuple[str, int], list[int]] = {}
+        # Node-aware placement (node-failure-domain mode): per split,
+        # the node ids hosting its live copies. None until a topology
+        # is attached — count-only replication stays byte-identical
+        # with prior releases when node faults are off.
+        self._topology = None
+        self._placement: dict[tuple[str, int], list[int]] = {}
         # Lifetime fault statistics (job-level counters mirror the
         # per-read deltas; these are the filesystem-wide totals).
         self.replica_failovers = 0
@@ -286,6 +313,7 @@ class InMemoryDFS:
         self._files[name] = f
         for split in splits:
             self._replicas[(name, split.index)] = [int(replication), 0]
+            self._sync_placement((name, split.index))
         self.bytes_written += f.size_bytes * replication
         return f
 
@@ -313,6 +341,7 @@ class InMemoryDFS:
         count = min(int(count), health[0])
         health[0] -= count
         health[1] += count
+        self._sync_placement((file_name, index))
 
     def corrupt_replica(self, file_name: str, index: int, count: int = 1) -> None:
         """Mark ``count`` copies as corrupt (failed checksum on read).
@@ -326,6 +355,131 @@ class InMemoryDFS:
         """Lose every copy of one split — the unrecoverable HDFS fault."""
         health = self._split_health(file_name, index)
         self.lose_replica(file_name, index, health[0])
+
+    # -- node-aware placement (node-failure-domain mode) ---------------
+
+    def attach_topology(self, cluster_state) -> None:
+        """Give replicas node identities from a live ``ClusterState``.
+
+        Called by the runtime when node faults are enabled. Every
+        existing and future split gets a deterministic placement
+        (stable-hashed over the serving nodes, consecutive like HDFS
+        rack-unaware placement), which is what lets
+        :meth:`fail_node` lose a node's replicas in one correlated
+        batch. Placement is capped at the serving-node count — extra
+        copies of an over-replicated file have nowhere distinct to
+        live and stay unplaced (they ride along on the placed nodes
+        and are not separately lost).
+
+        Re-attaching (a restarted driver building a fresh runtime over
+        the same DFS) keeps the placements that already evolved through
+        node deaths and re-replication — the DFS is the durable layer,
+        so its node assignments survive driver death. Splits without a
+        placement yet are placed deterministically as usual.
+        """
+        self._topology = cluster_state
+        for key in sorted(self._replicas):
+            self._sync_placement(key)
+
+    @property
+    def topology_attached(self) -> bool:
+        """Whether replicas carry node identities (node-fault mode)."""
+        return self._topology is not None
+
+    def _serving_nodes(self) -> "list[int]":
+        return self._topology.serving_node_ids if self._topology else []
+
+    def _sync_placement(self, key: "tuple[str, int]") -> None:
+        """Reconcile one split's placement with its live-copy count.
+
+        Shrinks by dropping the most recently placed copies; grows by
+        scanning the serving ring from the split's stable-hash offset,
+        skipping nodes that already hold a copy. The scan order is a
+        pure function of (file, index, serving set), so every backend
+        re-derives identical placements.
+        """
+        if self._topology is None:
+            return
+        placement = self._placement.setdefault(key, [])
+        live = self._replicas[key][0]
+        while len(placement) > live:
+            placement.pop()
+        serving = self._serving_nodes()
+        if not serving:
+            return
+        start = stable_hash(key) % len(serving)
+        for offset in range(len(serving)):
+            if len(placement) >= min(live, len(serving)):
+                break
+            node = serving[(start + offset) % len(serving)]
+            if node not in placement:
+                placement.append(node)
+
+    def replica_placement(self, file_name: str, index: int) -> "tuple[int, ...]":
+        """Node ids hosting the live copies of one split (placement
+        mode only; empty before :meth:`attach_topology`)."""
+        return tuple(self._placement.get((file_name, index), ()))
+
+    def node_block_count(self, node_id: int) -> int:
+        """How many live replica copies ``node_id`` currently hosts."""
+        return sum(
+            placement.count(node_id)
+            for placement in self._placement.values()
+        )
+
+    def fail_node(self, node_id: int) -> NodeLossReport:
+        """Lose every replica hosted by ``node_id`` in one batch.
+
+        The node-level failure domain: unlike :meth:`lose_replica`,
+        which kills copies silently for the next read to discover, a
+        node death is detected by the heartbeat layer, so the namenode
+        reacts immediately — each damaged split is re-replicated onto
+        a survivor not already holding a copy (when
+        ``auto_re_replicate``). A split whose last copy lived on the
+        dead node is left unreadable; the next read raises
+        :class:`SplitUnavailableError`, exactly like total block loss.
+        """
+        report = NodeLossReport(node_id=int(node_id))
+        if self._topology is None:
+            return report
+        for key in sorted(self._placement):
+            placement = self._placement[key]
+            lost = placement.count(node_id)
+            if not lost:
+                continue
+            health = self._replicas[key]
+            self._placement[key] = [n for n in placement if n != node_id]
+            health[0] -= lost
+            health[1] += lost
+            f = self._files.get(key[0])
+            size = f.splits[key[1]].size_bytes if f is not None else 0
+            report.blocks_lost += lost
+            report.bytes_lost += lost * size
+            if health[0] == 0:
+                report.splits_unreadable += 1
+                continue
+            if self.auto_re_replicate:
+                # Heal exactly this death's losses onto survivors not
+                # already holding a copy; copies silently lost earlier
+                # (BlockFaultModel) stay dead for the next read to
+                # discover and charge, as before. The caller marks the
+                # node dead in the ClusterState *before* calling, so
+                # the serving ring already excludes it.
+                remaining = self._placement[key]
+                candidates = [
+                    n for n in self._serving_nodes() if n not in remaining
+                ]
+                healed = min(lost, len(candidates))
+                if healed:
+                    health[0] += healed
+                    health[1] -= healed
+                    self._sync_placement(key)
+                    report.re_replications += healed
+                    report.bytes_re_replicated += healed * size
+        self.replicas_lost += report.blocks_lost
+        self.re_replications += report.re_replications
+        self.bytes_written += report.bytes_re_replicated
+        return report
 
     # -- read ----------------------------------------------------------
 
@@ -369,6 +523,7 @@ class InMemoryDFS:
                 health[1] += 1
                 report.replicas_lost += 1
                 failovers += 1
+            self._sync_placement((split.file_name, split.index))
         report.replica_failovers = failovers
         report.extra_bytes_read = failovers * split.size_bytes
         if health[0] == 0:
@@ -391,6 +546,7 @@ class InMemoryDFS:
             self.bytes_written += report.bytes_re_replicated
             health[0] += health[1]
             health[1] = 0
+            self._sync_placement((split.file_name, split.index))
         self.replica_failovers += report.replica_failovers
         self.replicas_lost += report.replicas_lost
         self.re_replications += report.re_replications
@@ -415,6 +571,7 @@ class InMemoryDFS:
         f = self._files.pop(name)
         for split in f.splits:
             self._replicas.pop((name, split.index), None)
+            self._placement.pop((name, split.index), None)
             dataplane.release_block(split.records)
 
     def release(self) -> int:
@@ -430,6 +587,7 @@ class InMemoryDFS:
             f = self._files.pop(name)
             for split in f.splits:
                 self._replicas.pop((name, split.index), None)
+                self._placement.pop((name, split.index), None)
                 if dataplane.release_block(split.records):
                     released += 1
         return released

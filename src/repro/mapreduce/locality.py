@@ -67,7 +67,9 @@ class LocalitySchedule:
 
 
 def schedule_map_tasks(
-    tasks: "list[MapTaskSpec]", cluster: ClusterConfig
+    tasks: "list[MapTaskSpec]",
+    cluster: ClusterConfig,
+    node_ids: "tuple[int, ...] | None" = None,
 ) -> LocalitySchedule:
     """Greedy locality-aware scheduling onto per-node slots.
 
@@ -75,16 +77,24 @@ def schedule_map_tasks(
     earliest completion, with data-local options winning ties (this is
     the delay-scheduling intuition: a local slot that is only slightly
     busier still wins).
+
+    ``node_ids`` restricts scheduling to the nodes that are actually
+    schedulable (the survivors, under node failure); the default is
+    every configured node. A task whose replicas all live on missing
+    nodes simply runs remote.
     """
     slots_per_node = cluster.map_slots_per_node
-    loads = [
-        [0.0] * slots_per_node for _ in range(cluster.nodes)
-    ]
+    candidates = (
+        tuple(range(cluster.nodes)) if node_ids is None else tuple(node_ids)
+    )
+    if not candidates:
+        raise ValueError("schedule_map_tasks needs at least one node")
+    loads = {node: [0.0] * slots_per_node for node in candidates}
     local = 0
     remote = 0
     for task in sorted(tasks, key=lambda t: -t.seconds):
         best = None  # (completion, not is_local, node, slot)
-        for node in range(cluster.nodes):
+        for node in candidates:
             slot = min(range(slots_per_node), key=loads[node].__getitem__)
             is_local = node in task.replicas
             duration = task.seconds + (0.0 if is_local else task.fetch_seconds)
@@ -101,7 +111,8 @@ def schedule_map_tasks(
         else:
             remote += 1
     makespan = max(
-        (slot_load for node in loads for slot_load in node), default=0.0
+        (slot_load for node in loads.values() for slot_load in node),
+        default=0.0,
     )
     return LocalitySchedule(
         makespan=makespan, data_local_tasks=local, remote_tasks=remote

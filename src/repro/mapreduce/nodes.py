@@ -1,0 +1,376 @@
+"""Node-level failure domains: live cluster state over the frozen
+:class:`~repro.mapreduce.cluster.ClusterConfig`, plus the correlated
+node-fault model.
+
+The paper runs on a 4–12 node Hadoop 1.x testbed where the *node* is
+the real failure unit: when one dies, all of its map/reduce slots, its
+in-flight tasks and its HDFS replicas go with it, and the JobTracker
+only notices after a heartbeat timeout. ``ClusterConfig`` deliberately
+stays frozen (it is the topology being *simulated*); this module adds
+the mutable layer on top:
+
+* :class:`NodeState` / :class:`ClusterState` — per-node lifecycle
+  (alive / dead / blacklisted / decommissioned) and the *live* capacity
+  derived from it (``total_map_slots`` / ``total_reduce_slots`` shrink
+  as nodes drop out). ``ClusterState`` exposes the same capacity
+  properties as ``ClusterConfig``, so the Section-3.2 switching rule
+  (:func:`repro.core.strategy.decide_test_strategy`) accepts either —
+  that is how a node loss can flip the test-strategy decision.
+* :class:`NodeFaultModel` — seeded, correlated node loss and recovery
+  with heartbeat-timeout detection. Same concurrency contract as
+  :class:`~repro.mapreduce.faults.FaultModel`: draws happen in the
+  submitting process only, from a dedicated stream, in node-id order,
+  so enabling node faults perturbs capacity and simulated time
+  deterministically across every executor backend and data plane.
+
+Blacklisting mirrors Hadoop's TaskTracker blacklist: a node whose
+tasks keep failing stops *receiving* tasks (it leaves the schedulable
+set) but keeps *serving* its DFS replicas — only death loses blocks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import check_in_range, check_positive
+from repro.mapreduce.cluster import ClusterConfig
+
+#: Environment variables consulted by :meth:`NodeFaultModel.from_env`
+#: (the node-chaos switch; the CLI's ``--node-failure-prob`` /
+#: ``--node-recovery-prob`` / ``--heartbeat-timeout`` flags write the
+#: first three).
+NODE_FAILURE_PROB_ENV = "REPRO_NODE_FAILURE_PROB"
+NODE_RECOVERY_PROB_ENV = "REPRO_NODE_RECOVERY_PROB"
+HEARTBEAT_TIMEOUT_ENV = "REPRO_HEARTBEAT_TIMEOUT"
+NODE_FAULT_SEED_ENV = "REPRO_NODE_FAULT_SEED"
+BLACKLIST_THRESHOLD_ENV = "REPRO_BLACKLIST_THRESHOLD"
+
+#: Node lifecycle statuses.
+NODE_ALIVE = "alive"
+NODE_DEAD = "dead"
+NODE_BLACKLISTED = "blacklisted"
+NODE_DECOMMISSIONED = "decommissioned"
+NODE_STATUSES = (NODE_ALIVE, NODE_DEAD, NODE_BLACKLISTED, NODE_DECOMMISSIONED)
+
+#: Statuses whose nodes still host DFS replicas (everything but dead:
+#: a blacklisted node stopped receiving tasks, not serving blocks, and
+#: a decommissioned node drains gracefully — its replicas were copied
+#: off before it left, which the simulation models as still-readable).
+SERVING_STATUSES = (NODE_ALIVE, NODE_BLACKLISTED)
+
+#: The draw kinds :meth:`NodeFaultModel.draw` can yield.
+NODE_FAIL = "fail"
+NODE_RECOVER = "recover"
+
+
+@dataclass
+class NodeState:
+    """Mutable lifecycle record of one simulated node."""
+
+    node_id: int
+    status: str = NODE_ALIVE
+    #: Task failures attributed to this node since it last recovered
+    #: (feeds the blacklist threshold).
+    task_failures: int = 0
+    deaths: int = 0
+    recoveries: int = 0
+
+    @property
+    def schedulable(self) -> bool:
+        """True when the node may receive map/reduce tasks."""
+        return self.status == NODE_ALIVE
+
+    @property
+    def serving(self) -> bool:
+        """True when the node still hosts readable DFS replicas."""
+        return self.status in SERVING_STATUSES
+
+    def snapshot(self) -> dict:
+        """JSON/pickle-ready copy (checkpoints, journal attributes)."""
+        return {
+            "node_id": self.node_id,
+            "status": self.status,
+            "task_failures": self.task_failures,
+            "deaths": self.deaths,
+            "recoveries": self.recoveries,
+        }
+
+
+class ClusterState:
+    """Live node states over a frozen :class:`ClusterConfig`.
+
+    Exposes the same capacity surface as the config
+    (``total_map_slots``, ``total_reduce_slots``,
+    ``usable_heap_bytes``, ``executor_concurrency``) but computed over
+    the currently *schedulable* nodes, so every consumer of capacity —
+    the LPT cost model, locality scheduling, executor concurrency, the
+    Section-3.2 strategy rule — can be pointed at the live view without
+    changing shape. With every node alive the numbers are identical to
+    the config's, which is what keeps fault-free runs byte-identical.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        blacklist_threshold: "int | None" = None,
+    ):
+        if blacklist_threshold is not None:
+            check_positive("blacklist_threshold", blacklist_threshold)
+        self.config = config
+        self.blacklist_threshold = blacklist_threshold
+        self.node_states = [NodeState(node_id=i) for i in range(config.nodes)]
+
+    # -- capacity (the ClusterConfig-compatible surface) -----------------
+
+    @property
+    def schedulable_node_ids(self) -> "list[int]":
+        """Ids of nodes currently accepting tasks, ascending."""
+        return [n.node_id for n in self.node_states if n.schedulable]
+
+    @property
+    def serving_node_ids(self) -> "list[int]":
+        """Ids of nodes currently hosting DFS replicas, ascending."""
+        return [n.node_id for n in self.node_states if n.serving]
+
+    @property
+    def all_alive(self) -> bool:
+        """True when live capacity equals the configured capacity."""
+        return all(n.status == NODE_ALIVE for n in self.node_states)
+
+    @property
+    def total_map_slots(self) -> int:
+        return len(self.schedulable_node_ids) * self.config.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return (
+            len(self.schedulable_node_ids) * self.config.reduce_slots_per_node
+        )
+
+    @property
+    def task_heap_bytes(self) -> int:
+        return self.config.task_heap_bytes
+
+    @property
+    def usable_heap_bytes(self) -> int:
+        return self.config.usable_heap_bytes
+
+    def executor_concurrency(self, phase: str) -> int:
+        """Live-slot bound on real executor parallelism for ``phase``."""
+        if phase == "map":
+            return max(1, self.total_map_slots)
+        if phase == "reduce":
+            return max(1, self.total_reduce_slots)
+        raise ConfigurationError(f"unknown phase {phase!r}")
+
+    # -- lifecycle transitions -------------------------------------------
+
+    def _node(self, node_id: int) -> NodeState:
+        if not 0 <= node_id < len(self.node_states):
+            raise ConfigurationError(
+                f"node {node_id} not in cluster of {len(self.node_states)}"
+            )
+        return self.node_states[node_id]
+
+    def fail(self, node_id: int) -> NodeState:
+        """Mark a node dead (its slots and replicas are gone)."""
+        node = self._node(node_id)
+        if node.status != NODE_DEAD:
+            node.status = NODE_DEAD
+            node.deaths += 1
+        return node
+
+    def recover(self, node_id: int) -> NodeState:
+        """Bring a dead node back, empty and with a clean record."""
+        node = self._node(node_id)
+        if node.status == NODE_DEAD:
+            node.status = NODE_ALIVE
+            node.task_failures = 0
+            node.recoveries += 1
+        return node
+
+    def blacklist(self, node_id: int) -> NodeState:
+        """Stop scheduling tasks on a node (it keeps serving replicas)."""
+        node = self._node(node_id)
+        if node.status == NODE_ALIVE:
+            node.status = NODE_BLACKLISTED
+        return node
+
+    def decommission(self, node_id: int) -> NodeState:
+        """Retire a node gracefully: no tasks, replicas drained."""
+        node = self._node(node_id)
+        node.status = NODE_DECOMMISSIONED
+        return node
+
+    def record_task_failures(self, node_id: int, failures: int) -> bool:
+        """Attribute ``failures`` task failures to a node.
+
+        Returns True when this pushes the node over the blacklist
+        threshold and it was actually blacklisted. The last schedulable
+        node is never blacklisted — a cluster that cannot run tasks at
+        all is a dead simulation, not a degraded one.
+        """
+        if failures <= 0:
+            return False
+        node = self._node(node_id)
+        node.task_failures += failures
+        if (
+            self.blacklist_threshold is not None
+            and node.status == NODE_ALIVE
+            and node.task_failures >= self.blacklist_threshold
+            and len(self.schedulable_node_ids) > 1
+        ):
+            self.blacklist(node_id)
+            return True
+        return False
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> "list[dict]":
+        """Checkpoint-ready copy of every node's state."""
+        return [node.snapshot() for node in self.node_states]
+
+    def restore(self, snapshots: "list[dict]") -> None:
+        """Restore node states captured by :meth:`snapshot`."""
+        for entry in snapshots:
+            node = self._node(int(entry["node_id"]))
+            node.status = str(entry["status"])
+            node.task_failures = int(entry["task_failures"])
+            node.deaths = int(entry["deaths"])
+            node.recoveries = int(entry["recoveries"])
+
+    def __iter__(self) -> Iterator[NodeState]:
+        return iter(self.node_states)
+
+
+@dataclass(frozen=True)
+class NodeFaultModel:
+    """Stochastic correlated node loss and recovery.
+
+    Each scheduling round (one job attempt) every node consumes exactly
+    one draw from the node-fault stream, in node-id order: a serving
+    node fails with ``node_failure_probability``, a dead node recovers
+    with ``node_recovery_probability``, a decommissioned node ignores
+    its draw. The fixed-width stream means lifecycle changes never
+    shift *which* draw a node sees, so fault schedules are stable under
+    blacklisting and recovery.
+
+    A death is detected after ``heartbeat_timeout_seconds`` of silence
+    (charged to the job's overhead, as the JobTracker would stall), and
+    the last serving node never dies — its draw is consumed, the kill
+    is skipped — because a cluster with zero replicas is unrecoverable
+    by construction, not an interesting failure.
+    """
+
+    node_failure_probability: float = 0.0
+    node_recovery_probability: float = 0.0
+    heartbeat_timeout_seconds: float = 30.0
+    seed: int = 0
+    #: Task failures on one node before it is blacklisted; ``None``
+    #: disables blacklisting.
+    blacklist_threshold: "int | None" = None
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            "node_failure_probability", self.node_failure_probability, 0.0, 1.0
+        )
+        check_in_range(
+            "node_recovery_probability",
+            self.node_recovery_probability,
+            0.0,
+            1.0,
+        )
+        check_positive(
+            "heartbeat_timeout_seconds", self.heartbeat_timeout_seconds
+        )
+        if self.blacklist_threshold is not None:
+            check_positive("blacklist_threshold", self.blacklist_threshold)
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.node_failure_probability > 0.0
+            or self.node_recovery_probability > 0.0
+        )
+
+    @classmethod
+    def from_env(
+        cls, environ: "Mapping[str, str] | None" = None
+    ) -> "NodeFaultModel | None":
+        """Build a model from the ``REPRO_NODE_*`` environment.
+
+        Returns ``None`` when neither probability nor the blacklist
+        threshold is set, so runtimes keep their node-fault-free
+        default outside node-chaos runs. A threshold alone enables
+        blacklisting of nodes that accumulate *task*-fault failures
+        without any node-loss stochastics.
+        """
+        env = os.environ if environ is None else environ
+
+        def _float(name: str, default: float) -> float:
+            raw = (env.get(name) or "").strip()
+            if not raw:
+                return default
+            try:
+                return float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{name} must be a float, got {raw!r}"
+                ) from None
+
+        def _int(name: str) -> "int | None":
+            raw = (env.get(name) or "").strip()
+            if not raw:
+                return None
+            try:
+                return int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{name} must be an int, got {raw!r}"
+                ) from None
+
+        failure = _float(NODE_FAILURE_PROB_ENV, 0.0)
+        recovery = _float(NODE_RECOVERY_PROB_ENV, 0.0)
+        threshold = _int(BLACKLIST_THRESHOLD_ENV)
+        if failure == 0.0 and recovery == 0.0 and threshold is None:
+            return None
+        return cls(
+            node_failure_probability=failure,
+            node_recovery_probability=recovery,
+            heartbeat_timeout_seconds=_float(HEARTBEAT_TIMEOUT_ENV, 30.0),
+            seed=_int(NODE_FAULT_SEED_ENV) or 0,
+            blacklist_threshold=threshold,
+        )
+
+    def draw(
+        self, state: ClusterState, rng: np.random.Generator
+    ) -> "list[tuple[str, int]]":
+        """One scheduling round of node-fault draws.
+
+        Returns the lifecycle events to apply, as ``(kind, node_id)``
+        tuples in node-id order (``kind`` ∈ ``{"fail", "recover"}``).
+        The caller applies them — drawing and applying are split so the
+        runtime can journal each transition with its cascade.
+        """
+        if not self.enabled:
+            return []
+        events: list[tuple[str, int]] = []
+        serving = len(state.serving_node_ids)
+        for node in state.node_states:
+            value = rng.random()
+            if node.status == NODE_DEAD:
+                if value < self.node_recovery_probability:
+                    events.append((NODE_RECOVER, node.node_id))
+                    serving += 1
+            elif node.serving:
+                if value < self.node_failure_probability and serving > 1:
+                    events.append((NODE_FAIL, node.node_id))
+                    serving -= 1
+            # decommissioned: the draw is consumed, nothing happens —
+            # the stream stays fixed-width per round.
+        return events

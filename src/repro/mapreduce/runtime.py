@@ -64,6 +64,12 @@ from repro.mapreduce.counters import (
 )
 from repro.mapreduce.hdfs import DFSFile, InMemoryDFS
 from repro.mapreduce.job import Job
+from repro.mapreduce.nodes import (
+    ClusterState,
+    NODE_FAIL,
+    NODE_RECOVER,
+    NodeFaultModel,
+)
 from repro.mapreduce.shuffle import group_by_key, partition_pairs
 from repro.observability.journal import JOB, PHASE, Journal
 from repro.observability.profiling import profiling_from_env
@@ -120,6 +126,8 @@ class MapReduceRuntime:
         executor: "TaskExecutor | None" = None,
         journal: "Journal | None" = None,
         profile_tasks: "bool | None" = None,
+        node_faults: "NodeFaultModel | None" = None,
+        cluster_state: "ClusterState | None" = None,
     ):
         self.dfs = dfs
         self.cluster = cluster
@@ -141,6 +149,30 @@ class MapReduceRuntime:
         self._fault_rng = np.random.default_rng(
             int(self._rng.integers(2**63 - 1))
         )
+        # Node-level failure domains: a live ClusterState always exists
+        # (with every node alive it reports exactly the config's
+        # capacity), but node-fault draws, DFS replica topology and
+        # blacklisting only activate when a NodeFaultModel is present —
+        # explicitly or through the REPRO_NODE_* environment. The node
+        # stream is seeded from the model (like BlockFaultModel), never
+        # from the runtime RNG: enabling node faults must not shift a
+        # single task seed.
+        self.node_faults = (
+            node_faults if node_faults is not None else NodeFaultModel.from_env()
+        )
+        self.cluster_state = cluster_state or ClusterState(
+            cluster,
+            blacklist_threshold=(
+                self.node_faults.blacklist_threshold
+                if self.node_faults is not None
+                else None
+            ),
+        )
+        self._node_rng = np.random.default_rng(
+            self.node_faults.seed if self.node_faults is not None else 0
+        )
+        if self.node_faults is not None or cluster_state is not None:
+            self.dfs.attach_topology(self.cluster_state)
         if isinstance(config, str):
             config = RuntimeConfig(executor=config)
         self.config = config or RuntimeConfig.from_env()
@@ -189,6 +221,15 @@ class MapReduceRuntime:
     @fault_rng_state.setter
     def fault_rng_state(self, state: dict) -> None:
         self._fault_rng.bit_generator.state = state
+
+    @property
+    def node_rng_state(self) -> dict:
+        """Serialisable state of the node-fault RNG stream."""
+        return self._node_rng.bit_generator.state
+
+    @node_rng_state.setter
+    def node_rng_state(self, state: dict) -> None:
+        self._node_rng.bit_generator.state = state
 
     def run(
         self, job: Job, input_file: "DFSFile | str", cached: bool = False
@@ -243,7 +284,11 @@ class MapReduceRuntime:
                             num_reduce_tasks=result.num_reduce_tasks,
                             max_reduce_heap_bytes=result.max_reduce_heap_bytes,
                             heap_bytes=self.cluster.task_heap_bytes,
-                            nodes=self.cluster.nodes,
+                            # The *live* node count: the analyzer's
+                            # shuffle residual divides by the fabric the
+                            # job actually ran over, which shrinks with
+                            # node loss.
+                            nodes=len(self.cluster_state.schedulable_node_ids),
                             timing={
                                 "startup_seconds": timing.startup_seconds,
                                 "map_seconds": timing.map_seconds,
@@ -278,6 +323,115 @@ class MapReduceRuntime:
             delay *= 1.0 + cfg.retry_jitter * float(self._fault_rng.random())
         return delay
 
+    def _capacity_attrs(self) -> dict:
+        """Live-capacity attributes stamped on node lifecycle events."""
+        state = self.cluster_state
+        return {
+            "schedulable_nodes": len(state.schedulable_node_ids),
+            "total_map_slots": state.total_map_slots,
+            "total_reduce_slots": state.total_reduce_slots,
+        }
+
+    def _apply_node_faults(
+        self, counters: Counters
+    ) -> "tuple[float, frozenset, tuple]":
+        """One node-fault round: draw, apply, journal the cascades.
+
+        Runs at the start of every job attempt, in the submitting
+        process, before the input read — the JobTracker notices dead
+        TaskTrackers between jobs and at heartbeat boundaries. Returns
+        ``(overhead_seconds, lost_node_ids, pre_loss_schedulable)``:
+        the heartbeat-detection and re-replication time to charge, the
+        nodes that died this round, and the schedulable set the dead
+        nodes were still part of (the map phase uses it to find which
+        tasks were stranded and must re-execute on survivors).
+        """
+        model = self.node_faults
+        state = self.cluster_state
+        if model is None or not model.enabled:
+            return 0.0, frozenset(), ()
+        pre_nodes = tuple(state.schedulable_node_ids)
+        events = model.draw(state, self._node_rng)
+        if not events:
+            return 0.0, frozenset(), pre_nodes
+        journal = self.journal
+        params = self.cost_model.params
+        overhead = 0.0
+        lost: list[int] = []
+        for kind, node_id in events:
+            if kind == NODE_RECOVER:
+                node = state.recover(node_id)
+                journal.event(
+                    "node_recovered",
+                    node=node_id,
+                    recoveries=node.recoveries,
+                    **self._capacity_attrs(),
+                )
+                continue
+            assert kind == NODE_FAIL
+            node = state.fail(node_id)
+            lost.append(node_id)
+            # Death is detected one heartbeat timeout after the fact;
+            # the namenode then re-replicates everything the node held
+            # in one correlated batch.
+            overhead += model.heartbeat_timeout_seconds
+            report = self.dfs.fail_node(node_id)
+            journal.event(
+                "node_lost",
+                node=node_id,
+                deaths=node.deaths,
+                heartbeat_timeout_seconds=model.heartbeat_timeout_seconds,
+                blocks_lost=report.blocks_lost,
+                **self._capacity_attrs(),
+            )
+            if report.blocks_lost:
+                framework(counters, MRCounter.BLOCKS_LOST, report.blocks_lost)
+                journal.event(
+                    "blocks_lost",
+                    node=node_id,
+                    count=report.blocks_lost,
+                    bytes=report.bytes_lost,
+                    correlated=True,
+                    splits_unreadable=report.splits_unreadable,
+                )
+            if report.bytes_re_replicated:
+                framework(
+                    counters,
+                    MRCounter.HDFS_BYTES_WRITTEN,
+                    report.bytes_re_replicated,
+                )
+                journal.event(
+                    "re_replication",
+                    node=node_id,
+                    copies=report.re_replications,
+                    bytes=report.bytes_re_replicated,
+                )
+                overhead += report.bytes_re_replicated / (
+                    params.disk_write_mbps * MIB
+                )
+        return overhead, frozenset(lost), pre_nodes
+
+    def _apply_blacklist(self, failures_by_node: "dict[int, int]") -> None:
+        """Feed per-node task-failure attributions to the blacklist.
+
+        A node crossing the threshold stops receiving tasks from the
+        next phase on (it keeps serving DFS replicas — blacklisting is
+        a scheduling decision, not a failure domain).
+        """
+        state = self.cluster_state
+        if state.blacklist_threshold is None:
+            return
+        for node_id in sorted(failures_by_node):
+            if state.record_task_failures(node_id, failures_by_node[node_id]):
+                node = state.node_states[node_id]
+                self.journal.event(
+                    "node_blacklisted",
+                    node=node_id,
+                    task_failures=node.task_failures,
+                    threshold=state.blacklist_threshold,
+                    **self._capacity_attrs(),
+                )
+
     def _run_attempt(
         self, job: Job, input_file: "DFSFile | str", cached: bool
     ) -> JobResult:
@@ -285,23 +439,31 @@ class MapReduceRuntime:
         f = self.dfs.open(input_file) if isinstance(input_file, str) else input_file
         self.jobs_run += 1
         counters = Counters()
-        recovery_seconds = 0.0
+        node_overhead, lost_nodes, pre_nodes = self._apply_node_faults(counters)
+        recovery_seconds = node_overhead
         try:
             if cached:
                 framework(counters, MRCounter.CACHED_READS)
             else:
                 framework(counters, MRCounter.DATASET_READS)
                 framework(counters, MRCounter.HDFS_BYTES_READ, f.size_bytes)
-                recovery_seconds = self._charge_input_read(f, counters)
+                recovery_seconds += self._charge_input_read(f, counters)
             pairs, map_seconds, shuffle_bytes = self._run_map_phase(
-                job, f, counters, cached
+                job, f, counters, cached, lost_nodes, pre_nodes
             )
             map_makespan = self._locality_map_makespan(
                 f, map_seconds, counters, cached
             )
+            state = self.cluster_state
+            live_nodes = len(state.schedulable_node_ids)
             if job.reducer is None:
                 timing = self.cost_model.job_timing(
-                    map_seconds, [], 0, map_makespan_override=map_makespan
+                    map_seconds,
+                    [],
+                    0,
+                    map_makespan_override=map_makespan,
+                    map_slots=state.total_map_slots,
+                    nodes=live_nodes,
                 )
                 return JobResult(
                     job_name=job.name,
@@ -331,6 +493,9 @@ class MapReduceRuntime:
             reduce_seconds,
             shuffle_bytes,
             map_makespan_override=map_makespan,
+            map_slots=state.total_map_slots,
+            reduce_slots=state.total_reduce_slots,
+            nodes=live_nodes,
         )
         return JobResult(
             job_name=job.name,
@@ -489,6 +654,11 @@ class MapReduceRuntime:
 
         A cached dataset lives in memory everywhere, so every task is
         data-local and no fetch penalty applies.
+
+        Under node failure, tasks are scheduled onto the surviving
+        schedulable nodes only, and replica locations come from the
+        DFS's live placement (which excludes dead nodes and reflects
+        re-replication) instead of the static hash formula.
         """
         if not self.locality:
             return None
@@ -501,30 +671,50 @@ class MapReduceRuntime:
             schedule_map_tasks,
         )
 
+        survivors = tuple(self.cluster_state.schedulable_node_ids)
+        live_topology = self.dfs.topology_attached
         specs = []
         for split, seconds in zip(f.splits, map_seconds):
             if cached:
-                replicas = tuple(range(self.cluster.nodes))
+                replicas = survivors
                 fetch = 0.0
             else:
-                replicas = replica_nodes(
-                    split, self.cluster.nodes, f.replication
-                )
+                if live_topology:
+                    replicas = self.dfs.replica_placement(
+                        split.file_name, split.index
+                    )
+                else:
+                    replicas = replica_nodes(
+                        split, self.cluster.nodes, f.replication
+                    )
                 fetch = fetch_seconds(
                     split.size_bytes, self.cost_model.params.network_mbps_per_node
                 )
             specs.append(
                 MapTaskSpec(seconds=seconds, fetch_seconds=fetch, replicas=replicas)
             )
-        schedule = schedule_map_tasks(specs, self.cluster)
+        schedule = schedule_map_tasks(specs, self.cluster, node_ids=survivors)
         framework(counters, DATA_LOCAL_TASKS, schedule.data_local_tasks)
         framework(counters, REMOTE_TASKS, schedule.remote_tasks)
         return schedule.makespan
 
     def _run_map_phase(
-        self, job: Job, f: DFSFile, counters: Counters, cached: bool
+        self,
+        job: Job,
+        f: DFSFile,
+        counters: Counters,
+        cached: bool,
+        lost_nodes: frozenset = frozenset(),
+        pre_nodes: tuple = (),
     ) -> tuple[list, list[float], int]:
-        """Run all map tasks; returns (shuffle pairs, task times, bytes)."""
+        """Run all map tasks; returns (shuffle pairs, task times, bytes).
+
+        ``lost_nodes`` are the nodes that died this attempt; any task
+        whose round-robin placement over ``pre_nodes`` (the schedulable
+        set the dead nodes were still in) landed on one is re-executed
+        on a survivor — it burns half its duration stranded (charged to
+        ``WASTED_COMPUTE_SECONDS``) and then runs again in full.
+        """
         heap = self.cluster.task_heap_bytes
         seeds = spawn_seeds(self._rng, f.num_splits)
         sample_memory = self._sample_memory()
@@ -545,16 +735,19 @@ class MapReduceRuntime:
         all_pairs: list[tuple[object, object]] = []
         map_seconds: list[float] = []
         shuffle_bytes = 0
+        assigned = tuple(self.cluster_state.schedulable_node_ids)
+        failures_by_node: dict[int, int] = {}
+        rescheduled = 0
         with self.journal.span(
             PHASE,
             "map",
             tasks=f.num_splits,
-            slots=self.cluster.total_map_slots,
+            slots=self.cluster_state.total_map_slots,
         ):
             outcomes = self.executor.run_tasks(
                 execute_map_task,
                 specs,
-                max_concurrency=self.cluster.executor_concurrency("map"),
+                max_concurrency=self.cluster_state.executor_concurrency("map"),
                 on_result=self._phase_progress("map", f.num_splits),
             )
             for spec, split, outcome in zip(specs, f.splits, outcomes):
@@ -569,15 +762,49 @@ class MapReduceRuntime:
                     seconds = self.faults.apply(
                         seconds, spec.task_id, self._fault_rng, task.counters
                     )
+                if (
+                    lost_nodes
+                    and pre_nodes
+                    and pre_nodes[split.index % len(pre_nodes)] in lost_nodes
+                ):
+                    # The task was stranded on a node that died mid-run:
+                    # it burned half its duration before the heartbeat
+                    # layer noticed, then re-ran in full on a survivor.
+                    task.counters.inc(
+                        FRAMEWORK_GROUP,
+                        MRCounter.WASTED_COMPUTE_SECONDS,
+                        seconds * 0.5,
+                    )
+                    seconds *= 1.5
+                    rescheduled += 1
                 map_seconds.append(seconds)
                 self._journal_task(spec.task_id, split.index, seconds, task)
                 counters.merge(task.counters)
+                if assigned:
+                    node = assigned[split.index % len(assigned)]
+                    fails = task.counters.get(FRAMEWORK_GROUP, TASK_FAILURES)
+                    if fails:
+                        failures_by_node[node] = (
+                            failures_by_node.get(node, 0) + fails
+                        )
+            if rescheduled:
+                self.journal.event(
+                    "tasks_rescheduled",
+                    count=rescheduled,
+                    nodes=sorted(lost_nodes),
+                )
+        self._apply_blacklist(failures_by_node)
         return all_pairs, map_seconds, shuffle_bytes
 
     def _run_reduce_phase(
         self, job: Job, pairs: list, counters: Counters
     ) -> tuple[list, list[float], int, int]:
         """Run all reduce tasks; returns (output, times, max heap, R)."""
+        # Deliberately the *configured* capacity, not the live one: the
+        # reduce-task count pins partitioning and per-task RNG
+        # consumption, so results stay a function of the seed alone.
+        # Node loss degrades scheduling (slots, makespan), never the
+        # partition layout.
         num_reduce = job.num_reduce_tasks or self.cluster.total_reduce_slots
         heap = self.cluster.task_heap_bytes
         buckets = partition_pairs(pairs, num_reduce, job.partitioner)
@@ -600,18 +827,22 @@ class MapReduceRuntime:
         output: list[tuple[object, object]] = []
         reduce_seconds: list[float] = []
         max_heap_seen = 0
+        assigned = tuple(self.cluster_state.schedulable_node_ids)
+        failures_by_node: dict[int, int] = {}
         with self.journal.span(
             PHASE,
             "reduce",
             tasks=num_reduce,
-            slots=self.cluster.total_reduce_slots,
+            slots=self.cluster_state.total_reduce_slots,
         ) as phase_span:
             if self.journal.enabled:
                 phase_span.set(**self._shuffle_skew_attrs(job, buckets))
             outcomes = self.executor.run_tasks(
                 execute_reduce_task,
                 specs,
-                max_concurrency=self.cluster.executor_concurrency("reduce"),
+                max_concurrency=self.cluster_state.executor_concurrency(
+                    "reduce"
+                ),
                 on_result=self._phase_progress("reduce", num_reduce),
             )
             for index, (spec, outcome) in enumerate(zip(specs, outcomes)):
@@ -626,4 +857,12 @@ class MapReduceRuntime:
                 reduce_seconds.append(seconds)
                 self._journal_task(spec.task_id, index, seconds, task)
                 counters.merge(task.counters)
+                if assigned:
+                    node = assigned[index % len(assigned)]
+                    fails = task.counters.get(FRAMEWORK_GROUP, TASK_FAILURES)
+                    if fails:
+                        failures_by_node[node] = (
+                            failures_by_node.get(node, 0) + fails
+                        )
+        self._apply_blacklist(failures_by_node)
         return output, reduce_seconds, max_heap_seen, num_reduce

@@ -189,6 +189,41 @@ class MemoryAuditEntry:
 
 
 @dataclass(frozen=True)
+class NodeHealthEntry:
+    """Lifecycle summary of one node over the whole run.
+
+    Folded from the ``node_lost`` / ``node_recovered`` /
+    ``node_blacklisted`` events: how often the node died and came back,
+    how many replica copies its deaths took with it, and the status the
+    journal leaves it in.
+    """
+
+    node_id: int
+    deaths: int
+    recoveries: int
+    blacklisted: bool
+    blocks_lost: int
+    final_status: str
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One step of the cluster's live-capacity timeline.
+
+    Every node lifecycle event stamps the capacity that resulted from
+    it; the ordered sequence shows how the slot pool the scheduler (and
+    the Section-3.2 strategy rule) saw shrank and recovered.
+    """
+
+    seq: int
+    event: str
+    node_id: int
+    schedulable_nodes: int
+    total_map_slots: int
+    total_reduce_slots: int
+
+
+@dataclass(frozen=True)
 class PhaseResidual:
     """Model-vs-journal comparison of one phase of one job."""
 
@@ -237,6 +272,9 @@ class AnalysisReport:
     #: Populated only for journals recorded with ``--profile-tasks``.
     profile: "list[ProfiledPhaseStats]" = field(default_factory=list)
     memory_audit: "list[MemoryAuditEntry]" = field(default_factory=list)
+    #: Populated only for journals with node lifecycle events.
+    node_health: "list[NodeHealthEntry]" = field(default_factory=list)
+    capacity_timeline: "list[CapacityPoint]" = field(default_factory=list)
 
     @property
     def heap_audit_consistent(self) -> bool:
@@ -277,6 +315,10 @@ class AnalysisReport:
             "memory_audit": [
                 {**asdict(entry), "ratio": entry.ratio}
                 for entry in self.memory_audit
+            ],
+            "node_health": [asdict(entry) for entry in self.node_health],
+            "capacity_timeline": [
+                asdict(point) for point in self.capacity_timeline
             ],
         }
 
@@ -478,6 +520,68 @@ def _memory_audit(replay: RunReplay) -> "list[MemoryAuditEntry]":
     return entries
 
 
+# -- node failure domains ------------------------------------------------
+
+
+def _node_sections(
+    replay: RunReplay,
+) -> "tuple[list[NodeHealthEntry], list[CapacityPoint]]":
+    """Fold node lifecycle events into per-node health + the capacity
+    timeline (both empty for journals without node faults)."""
+    events = replay.node_events()
+    if not events:
+        return [], []
+    deaths: dict[int, int] = {}
+    recoveries: dict[int, int] = {}
+    blacklisted: dict[int, bool] = {}
+    blocks_lost: dict[int, int] = {}
+    status: dict[int, str] = {}
+    timeline: list[CapacityPoint] = []
+    for event in events:
+        attrs = event.attrs
+        node_id = int(attrs.get("node", -1))
+        if event.name == "node_lost":
+            deaths[node_id] = int(attrs.get("deaths", 0)) or (
+                deaths.get(node_id, 0) + 1
+            )
+            blocks_lost[node_id] = blocks_lost.get(node_id, 0) + int(
+                attrs.get("blocks_lost", 0)
+            )
+            status[node_id] = "dead"
+        elif event.name == "node_recovered":
+            recoveries[node_id] = int(attrs.get("recoveries", 0)) or (
+                recoveries.get(node_id, 0) + 1
+            )
+            status[node_id] = "alive"
+        elif event.name == "node_blacklisted":
+            blacklisted[node_id] = True
+            status[node_id] = "blacklisted"
+        timeline.append(
+            CapacityPoint(
+                seq=event.seq,
+                event=event.name,
+                node_id=node_id,
+                schedulable_nodes=int(attrs.get("schedulable_nodes", 0)),
+                total_map_slots=int(attrs.get("total_map_slots", 0)),
+                total_reduce_slots=int(attrs.get("total_reduce_slots", 0)),
+            )
+        )
+    health = [
+        NodeHealthEntry(
+            node_id=node_id,
+            deaths=deaths.get(node_id, 0),
+            recoveries=recoveries.get(node_id, 0),
+            blacklisted=blacklisted.get(node_id, False),
+            blocks_lost=blocks_lost.get(node_id, 0),
+            final_status=status.get(node_id, "alive"),
+        )
+        for node_id in sorted(
+            set(deaths) | set(recoveries) | set(blacklisted) | set(status)
+        )
+    ]
+    return health, timeline
+
+
 # -- cost-model residuals ------------------------------------------------
 
 
@@ -548,6 +652,7 @@ def analyze_replay(
     report.heap_audit = _heap_audit(replay)
     report.profile = _profile_stats(replay)
     report.memory_audit = _memory_audit(replay)
+    report.node_health, report.capacity_timeline = _node_sections(replay)
     for job in replay.successful_jobs():
         residual = _job_residual(job, params)
         if residual is not None:
@@ -695,6 +800,35 @@ def render_profile(report: AnalysisReport) -> str:
     return "\n".join(lines)
 
 
+def render_node_health(report: AnalysisReport, limit: int = 30) -> str:
+    """The node failure-domain section (node-fault journals only)."""
+    if not report.node_health:
+        return "(no node lifecycle events recorded)"
+    lines = []
+    for entry in report.node_health:
+        flags = f"  deaths={entry.deaths} recoveries={entry.recoveries}"
+        if entry.blocks_lost:
+            flags += f" blocks_lost={entry.blocks_lost}"
+        if entry.blacklisted:
+            flags += " blacklisted"
+        lines.append(f"  node {entry.node_id}: {entry.final_status}{flags}")
+    lines.append("")
+    lines.append("capacity timeline (nodes / map slots / reduce slots):")
+    shown = report.capacity_timeline[:limit]
+    for point in shown:
+        lines.append(
+            f"  seq {point.seq:>6} {point.event:<16} node {point.node_id}"
+            f" -> {point.schedulable_nodes} nodes,"
+            f" {point.total_map_slots} map, {point.total_reduce_slots} reduce"
+        )
+    if len(report.capacity_timeline) > limit:
+        lines.append(
+            f"  ... {len(report.capacity_timeline) - limit} more steps"
+            " not shown"
+        )
+    return "\n".join(lines)
+
+
 def render_analysis(report: AnalysisReport) -> str:
     """The full ``repro analyze`` text report."""
     sections = [
@@ -707,6 +841,12 @@ def render_analysis(report: AnalysisReport) -> str:
         "== cost-model residuals " + "=" * 40,
         render_residuals(report),
     ]
+    if report.node_health:
+        sections += [
+            "",
+            "== node failure domains " + "=" * 40,
+            render_node_health(report),
+        ]
     if report.profile:
         sections += [
             "",

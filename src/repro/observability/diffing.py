@@ -77,6 +77,11 @@ FAULT_EVENTS = (
     "checkpoint_restore",
     "degraded_iteration",
     "iteration_skipped",
+    "node_lost",
+    "node_recovered",
+    "node_blacklisted",
+    "tasks_rescheduled",
+    "strategy_redecision",
 )
 
 

@@ -103,6 +103,12 @@ class LiveRunState:
         self.simulated_seconds: float = 0.0
         self.max_heap_fraction: float = 0.0
         self.event_counts: dict[str, int] = {}
+        # Node failure domains: latest per-node status and the capacity
+        # the last node lifecycle event reported. Both stay empty for
+        # runs without node faults, and the snapshot/gauges only grow
+        # node fields once an event has been seen.
+        self.node_status: dict[int, str] = {}
+        self.node_capacity: dict = {}
         # SLO breaches land here (the watchdog appends); part of /state.
         self.breaches: list[dict] = []
 
@@ -202,6 +208,24 @@ class LiveRunState:
     def _consume_event(self, record: dict) -> None:
         name = record.get("name", "")
         self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        if name in ("node_lost", "node_recovered", "node_blacklisted"):
+            attrs = record.get("attrs") or {}
+            node = attrs.get("node")
+            if node is not None:
+                self.node_status[int(node)] = {
+                    "node_lost": "dead",
+                    "node_recovered": "alive",
+                    "node_blacklisted": "blacklisted",
+                }[name]
+            self.node_capacity = {
+                key: attrs[key]
+                for key in (
+                    "schedulable_nodes",
+                    "total_map_slots",
+                    "total_reduce_slots",
+                )
+                if key in attrs
+            }
         if name == "checkpoint_restore":
             attrs = record.get("attrs") or {}
             self.counters.merge(Counters.from_dict(attrs.get("counters") or {}))
@@ -274,6 +298,23 @@ class LiveRunState:
                     self.run_status not in (None, "running")
                 ),
             }
+            if self.node_status:
+                statuses = self.node_status.values()
+                gauges["live_nodes_dead"] = float(
+                    sum(1 for status in statuses if status == "dead")
+                )
+                gauges["live_nodes_blacklisted"] = float(
+                    sum(1 for status in statuses if status == "blacklisted")
+                )
+                capacity = self.node_capacity
+                if "total_map_slots" in capacity:
+                    gauges["live_total_map_slots"] = float(
+                        capacity["total_map_slots"]
+                    )
+                if "total_reduce_slots" in capacity:
+                    gauges["live_total_reduce_slots"] = float(
+                        capacity["total_reduce_slots"]
+                    )
         gauges["live_eta_simulated_seconds"] = self.eta_simulated_seconds()
         gauges["live_wall_seconds"] = self.wall_seconds(now)
         return gauges
@@ -304,6 +345,14 @@ class LiveRunState:
                 "counters": self.counters.as_dict(),
                 "slo_breaches": [dict(b) for b in self.breaches],
             }
+            if self.node_status:
+                snap["node_health"] = {
+                    "nodes": {
+                        str(node): status
+                        for node, status in sorted(self.node_status.items())
+                    },
+                    "capacity": dict(self.node_capacity),
+                }
         snap["wall_seconds"] = self.wall_seconds(now)
         snap["eta_simulated_seconds"] = self.eta_simulated_seconds()
         return snap

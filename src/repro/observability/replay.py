@@ -139,6 +139,13 @@ class RunReplay:
     def events_named(self, name: str) -> "list[EventRecord]":
         return [event for event in self.events if event.name == name]
 
+    def node_events(self) -> "list[EventRecord]":
+        """Node lifecycle events (lost / recovered / blacklisted), in
+        journal order — the raw material of the per-node availability
+        report in ``repro analyze``."""
+        lifecycle = {"node_lost", "node_recovered", "node_blacklisted"}
+        return [event for event in self.events if event.name in lifecycle]
+
     # -- accounting cross-checks -----------------------------------------
 
     def successful_jobs(self) -> "list[SpanNode]":

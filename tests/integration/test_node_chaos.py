@@ -1,0 +1,248 @@
+"""Node-failure-domain acceptance test: a seeded chaos run that kills
+nodes mid-chain must complete correctly, journal the whole cascade —
+``node_lost`` → correlated ``blocks_lost`` → ``re_replication`` →
+``strategy_redecision`` — reconcile its replay accounting exactly
+(including the float ``WASTED_COMPUTE_SECONDS``), and resume from a
+checkpoint byte-identically after a node-loss-era abort.
+
+The scenario is tuned so the paper's §3.2 rule actually flips: with 3
+nodes × 1 reduce slot the static decision for testing 3 clusters is
+mapper-side (3 ≯ 3 slots), but after a death the live pool is 2 slots
+and the driver re-decides reducer-side.
+"""
+
+import pytest
+
+from repro.common.errors import JobFailedError
+from repro.core.config import MRGMeansConfig
+from repro.core.gmeans_mr import MRGMeans
+from repro.data.generator import generate_gaussian_mixture
+from repro.data.loader import write_points
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.nodes import NodeFaultModel
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.observability.journal import InMemoryJournalSink, Journal
+from repro.observability.replay import replay_records
+
+MIXTURE = generate_gaussian_mixture(
+    n_points=600, n_clusters=3, dimensions=2, rng=7
+)
+
+RUNTIME_SEED = 99
+CLUSTER = dict(nodes=3, reduce_slots_per_node=1, task_heap_mb=64)
+#: Empirically tuned: this schedule kills two nodes mid-chain, loses
+#: their blocks, heals onto survivors and flips the test strategy.
+NODE_FAULTS = NodeFaultModel(node_failure_probability=0.02, seed=0)
+CONFIG = dict(seed=5, checkpoint_dir="ck/gmeans", max_iterations=10)
+
+
+@pytest.fixture(autouse=True)
+def _clean_data_plane():
+    from repro.mapreduce import dataplane
+
+    dataplane.release_all()
+    yield
+    dataplane.release_all()
+
+
+def node_chaos_world(journal, runtime_cls=MapReduceRuntime, data_plane=None):
+    dfs = InMemoryDFS(split_size_bytes=4096, data_plane=data_plane)
+    # replication 2 on 3 nodes: a death leaves exactly one survivor
+    # without a copy, so the correlated batch visibly re-replicates.
+    write_points(dfs, "points", MIXTURE.points, replication=2)
+    runtime = runtime_cls(
+        dfs,
+        cluster=ClusterConfig(**CLUSTER),
+        rng=RUNTIME_SEED,
+        node_faults=NODE_FAULTS,
+        journal=journal,
+    )
+    return dfs, runtime
+
+
+def run_chaos(journal=None, data_plane=None):
+    sink = InMemoryJournalSink()
+    dfs, runtime = node_chaos_world(
+        journal or Journal(sink), data_plane=data_plane
+    )
+    result = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit("points")
+    return dfs, sink, result
+
+
+def test_node_chaos_run_completes_with_full_cascade():
+    """Node deaths degrade the run; they never corrupt it."""
+    _dfs, sink, result = run_chaos()
+    assert result.completed
+    assert result.k_found == 3  # still finds the mixture's true k
+
+    events = [r for r in sink.records if r.get("type") == "event"]
+    names = [e["name"] for e in events]
+    losses = [e for e in events if e["name"] == "node_lost"]
+    assert losses
+
+    for index, loss in enumerate(losses):
+        node = loss["attrs"]["node"]
+        start = events.index(loss)
+        tail = events[start + 1 :]
+        # Every replica of the dead node goes in one correlated batch...
+        batch = next(e for e in tail if e["name"] == "blocks_lost")
+        assert batch["attrs"]["node"] == node
+        assert batch["attrs"]["correlated"] is True
+        assert batch["attrs"]["count"] == loss["attrs"]["blocks_lost"]
+        if index == 0:
+            # ...and the first death heals onto survivors straight
+            # after (node-batch heals carry the node; read-path heals
+            # carry the file instead). Later deaths may have no
+            # survivor left that lacks a copy.
+            heal = next(
+                e
+                for e in tail
+                if e["name"] == "re_replication" and "node" in e["attrs"]
+            )
+            assert heal["attrs"]["node"] == node
+            assert heal["attrs"]["bytes"] > 0
+
+    # In-flight work on the dead node was shifted to survivors.
+    assert "tasks_rescheduled" in names
+
+    # The §3.2 decision flipped once capacity shrank below the test
+    # count — and the flip happened *after* the first death.
+    flips = [e for e in events if e["name"] == "strategy_redecision"]
+    assert flips
+    assert events.index(flips[0]) > events.index(losses[0])
+    for flip in flips:
+        attrs = flip["attrs"]
+        assert attrs["from_strategy"] == "mapper"
+        assert attrs["to_strategy"] == "reducer"
+        assert attrs["live_reduce_slots"] < attrs["static_reduce_slots"]
+        assert attrs["clusters_to_test"] > attrs["live_reduce_slots"]
+
+    # Capacity attributes on lifecycle events shrink monotonically.
+    slots = [e["attrs"]["total_map_slots"] for e in losses]
+    assert slots == sorted(slots, reverse=True)
+    assert len(set(slots)) == len(slots)
+
+
+def test_node_chaos_replay_reconciles_exactly():
+    """Folding the journal reproduces the live totals bit-for-bit —
+    including the float WASTED_COMPUTE_SECONDS from re-executions."""
+    _dfs, sink, result = run_chaos()
+    replay = replay_records(sink.records)
+    totals = result.totals
+
+    assert replay.total_counters().snapshot() == totals.counters.snapshot()
+    assert replay.total_simulated_seconds() == totals.simulated_seconds
+
+    wasted = totals.counters.get(
+        FRAMEWORK_GROUP, MRCounter.WASTED_COMPUTE_SECONDS
+    )
+    assert isinstance(wasted, float) and wasted > 0.0
+    assert (
+        replay.total_counters().get(
+            FRAMEWORK_GROUP, MRCounter.WASTED_COMPUTE_SECONDS
+        )
+        == wasted
+    )
+    assert totals.counters.get(FRAMEWORK_GROUP, MRCounter.BLOCKS_LOST) > 0
+
+    lifecycle = replay.node_events()
+    assert lifecycle
+    assert all(e.name == "node_lost" for e in lifecycle)
+
+
+def test_analyze_surfaces_node_health_and_capacity_timeline():
+    from repro.observability.analyze import analyze_replay, render_analysis
+
+    _dfs, sink, _result = run_chaos()
+    report = analyze_replay(replay_records(sink.records))
+    assert report.node_health
+    dead = [n for n in report.node_health if n.final_status == "dead"]
+    assert dead
+    assert all(n.deaths >= 1 and n.blocks_lost > 0 for n in dead)
+
+    timeline = report.capacity_timeline
+    assert timeline
+    slots = [p.total_map_slots for p in timeline]
+    assert slots == sorted(slots, reverse=True)
+
+    rendered = render_analysis(report)
+    assert "node failure domains" in rendered
+    assert "capacity timeline" in rendered
+
+
+def test_resume_after_node_loss_abort_is_byte_identical():
+    """Driver dies after nodes already did; the revived driver restores
+    the node RNG and cluster state from the checkpoint and replays the
+    rest of the chain byte-for-byte."""
+    baseline_sink = InMemoryJournalSink()
+    _dfs, _sink, uninterrupted = run_chaos(journal=Journal(baseline_sink))
+
+    class KillingRuntime(MapReduceRuntime):
+        def run(self, job, input_file, cached=False):
+            if job.name.startswith("KMeans-i3"):
+                raise JobFailedError(f"injected failure at {job.name}")
+            return super().run(job, input_file, cached=cached)
+
+    dfs, killer = node_chaos_world(
+        Journal(InMemoryJournalSink()), runtime_cls=KillingRuntime
+    )
+    with pytest.raises(JobFailedError, match="injected failure"):
+        MRGMeans(killer, MRGMeansConfig(**CONFIG)).fit("points")
+
+    # Restart: same DFS (placements survive the driver), fresh runtime.
+    revived = MapReduceRuntime(
+        dfs,
+        cluster=ClusterConfig(**CLUSTER),
+        rng=RUNTIME_SEED,
+        node_faults=NODE_FAULTS,
+        journal=Journal(InMemoryJournalSink()),
+    )
+    resumed = MRGMeans(revived, MRGMeansConfig(**CONFIG)).fit(
+        "points", resume_from="latest"
+    )
+
+    assert resumed.centers.tobytes() == uninterrupted.centers.tobytes()
+    assert resumed.k_found == uninterrupted.k_found
+    assert (
+        resumed.totals.counters.snapshot()
+        == uninterrupted.totals.counters.snapshot()
+    )
+    assert (
+        resumed.totals.simulated_seconds
+        == uninterrupted.totals.simulated_seconds
+    )
+
+
+def test_node_kill_chaos_leaves_no_orphan_shared_segments():
+    """Node loss must not leak shared-memory segments: the blocks die
+    in the topology, not in the data plane's accounting."""
+    from repro.mapreduce import dataplane
+    from repro.observability.journal import canonical_records
+
+    sink = InMemoryJournalSink()
+    dfs, _sink, _result = run_chaos(
+        journal=Journal(sink), data_plane="shared"
+    )
+    assert any(
+        r.get("name") == "node_lost"
+        for r in sink.records
+        if r.get("type") == "event"
+    )
+    dfs.release()
+    assert dataplane.active_segments() == []
+    assert dataplane.orphaned_system_segments() == []
+
+
+def test_node_chaos_journal_identical_across_planes():
+    from repro.observability.journal import canonical_records
+
+    journals = {}
+    for plane in ("pickled", "shared"):
+        sink = InMemoryJournalSink()
+        dfs, _sink, result = run_chaos(journal=Journal(sink), data_plane=plane)
+        dfs.release()
+        journals[plane] = canonical_records(sink.records)
+    assert journals["pickled"]
+    assert journals["shared"] == journals["pickled"]

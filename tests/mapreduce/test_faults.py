@@ -138,6 +138,118 @@ def test_speculation_recovers_most_straggler_time():
     assert raced.simulated_seconds < slow.simulated_seconds
 
 
+# -- wasted-compute accounting -------------------------------------------
+#
+# WASTED_COMPUTE_SECONDS is exact bookkeeping, so these tests pin the
+# arithmetic with scripted draws instead of sampling distributions.
+
+
+class ScriptedRNG:
+    """Stands in for a Generator; replays a fixed list of uniforms."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0)
+
+
+def wasted(counters):
+    from repro.mapreduce.counters import MRCounter
+
+    return counters.get(FRAMEWORK_GROUP, MRCounter.WASTED_COMPUTE_SECONDS)
+
+
+def test_wasted_seconds_zero_without_faults():
+    model = FaultModel(straggler_probability=1.0, straggler_slowdown=6.0)
+    counters = Counters()
+    # A plain straggler wastes nothing: the slow attempt's output counts.
+    model.apply(10.0, "t", np.random.default_rng(0), counters)
+    assert wasted(counters) == 0
+
+
+def test_winning_clone_wastes_the_killed_original():
+    model = FaultModel(
+        straggler_probability=1.0,
+        speculative_execution=True,
+        speculative_overhead=1.2,
+    )
+    counters = Counters()
+    duration = model.apply(10.0, "t", ScriptedRNG([0.0, 0.9]), counters)
+    # The slow original ran beside the clone for all 12s before dying.
+    assert duration == pytest.approx(12.0)
+    assert wasted(counters) == pytest.approx(12.0)
+
+
+def test_each_failed_attempt_wastes_its_half_duration():
+    model = FaultModel(task_failure_probability=1.0, max_attempts=3)
+    counters = Counters()
+    with pytest.raises(TaskPermanentlyFailedError):
+        model.apply(10.0, "t", np.random.default_rng(0), counters)
+    assert wasted(counters) == pytest.approx(15.0)
+
+
+def test_retry_then_success_wastes_only_the_dead_attempt():
+    model = FaultModel(task_failure_probability=0.4)
+    counters = Counters()
+    # attempt 1: no straggler (0.9), dies (0.1 < 0.4) — wastes 5s
+    # attempt 2: no straggler (0.9), survives (0.9) — clean 10s
+    duration = model.apply(
+        10.0, "t", ScriptedRNG([0.9, 0.1, 0.9, 0.9]), counters
+    )
+    assert duration == pytest.approx(15.0)
+    assert wasted(counters) == pytest.approx(5.0)
+
+
+def test_clone_dying_with_its_attempt_doubles_the_waste():
+    model = FaultModel(
+        straggler_probability=1.0,
+        speculative_execution=True,
+        speculative_overhead=1.2,
+        task_failure_probability=0.5,
+        max_attempts=2,
+    )
+    counters = Counters()
+    # attempt 1: straggles + clone, both die at 6s in → wastes 12s
+    # attempt 2: straggles + clone, clone wins at 12s → wastes 12s more
+    duration = model.apply(
+        10.0, "t", ScriptedRNG([0.0, 0.1, 0.0, 0.9]), counters
+    )
+    assert duration == pytest.approx(18.0)
+    assert wasted(counters) == pytest.approx(24.0)
+    assert counters.get(FRAMEWORK_GROUP, SPECULATIVE_TASKS) == 1
+
+
+def test_wasted_seconds_surface_in_job_counters():
+    from repro.mapreduce.counters import MRCounter
+
+    result = run_job(
+        faults=FaultModel(
+            task_failure_probability=0.3,
+            straggler_probability=0.3,
+            speculative_execution=True,
+        )
+    )
+    assert (
+        result.counters.get(FRAMEWORK_GROUP, MRCounter.WASTED_COMPUTE_SECONDS)
+        > 0
+    )
+
+
+def test_from_env_warns_on_orphan_max_attempts():
+    with pytest.warns(UserWarning, match="no effect"):
+        model = FaultModel.from_env({"REPRO_MAX_TASK_ATTEMPTS": "7"})
+    assert model is None
+
+
+def test_from_env_silent_when_unset():
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        assert FaultModel.from_env({}) is None
+
+
 def test_validation():
     with pytest.raises(ConfigurationError):
         FaultModel(task_failure_probability=1.5)

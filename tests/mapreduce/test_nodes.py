@@ -1,0 +1,343 @@
+"""Node failure domains: ClusterState, NodeFaultModel, DFS placement."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, SplitUnavailableError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.nodes import (
+    BLACKLIST_THRESHOLD_ENV,
+    ClusterState,
+    HEARTBEAT_TIMEOUT_ENV,
+    NODE_ALIVE,
+    NODE_BLACKLISTED,
+    NODE_DEAD,
+    NODE_FAIL,
+    NODE_FAILURE_PROB_ENV,
+    NODE_FAULT_SEED_ENV,
+    NODE_RECOVER,
+    NODE_RECOVERY_PROB_ENV,
+    NodeFaultModel,
+)
+
+
+def make_state(nodes=4, **kwargs):
+    return ClusterState(ClusterConfig(nodes=nodes), **kwargs)
+
+
+# -- ClusterState capacity ------------------------------------------------
+
+
+def test_all_alive_matches_config_capacity():
+    config = ClusterConfig(nodes=4)
+    state = ClusterState(config)
+    assert state.all_alive
+    assert state.total_map_slots == config.total_map_slots
+    assert state.total_reduce_slots == config.total_reduce_slots
+    assert state.usable_heap_bytes == config.usable_heap_bytes
+    assert state.task_heap_bytes == config.task_heap_bytes
+    assert state.schedulable_node_ids == list(range(4))
+    assert state.serving_node_ids == list(range(4))
+
+
+def test_death_shrinks_capacity_and_serving_set():
+    config = ClusterConfig(nodes=4)
+    state = ClusterState(config)
+    state.fail(1)
+    assert not state.all_alive
+    assert state.schedulable_node_ids == [0, 2, 3]
+    assert state.serving_node_ids == [0, 2, 3]
+    assert state.total_map_slots == 3 * config.map_slots_per_node
+    assert state.total_reduce_slots == 3 * config.reduce_slots_per_node
+
+
+def test_blacklisted_node_serves_but_does_not_schedule():
+    state = make_state()
+    state.blacklist(2)
+    assert state.schedulable_node_ids == [0, 1, 3]
+    assert state.serving_node_ids == [0, 1, 2, 3]
+
+
+def test_decommissioned_node_neither_schedules_nor_serves():
+    state = make_state()
+    state.decommission(0)
+    assert state.schedulable_node_ids == [1, 2, 3]
+    assert state.serving_node_ids == [1, 2, 3]
+
+
+def test_recover_resets_failure_record():
+    state = make_state()
+    state.node_states[1].task_failures = 7
+    state.fail(1)
+    assert state.node_states[1].deaths == 1
+    state.recover(1)
+    node = state.node_states[1]
+    assert node.status == NODE_ALIVE
+    assert node.task_failures == 0
+    assert node.recoveries == 1
+    # Recovering a live node is a no-op.
+    state.recover(1)
+    assert state.node_states[1].recoveries == 1
+
+
+def test_executor_concurrency_floors_at_one():
+    state = make_state(nodes=2)
+    assert state.executor_concurrency("map") == state.total_map_slots
+    for node_id in range(2):
+        state.fail(node_id)
+    assert state.executor_concurrency("map") == 1
+    assert state.executor_concurrency("reduce") == 1
+    with pytest.raises(ConfigurationError):
+        state.executor_concurrency("shuffle")
+
+
+def test_unknown_node_rejected():
+    state = make_state(nodes=2)
+    with pytest.raises(ConfigurationError, match="not in cluster"):
+        state.fail(5)
+
+
+# -- blacklisting ---------------------------------------------------------
+
+
+def test_blacklist_threshold_crossing():
+    state = make_state(blacklist_threshold=3)
+    assert not state.record_task_failures(0, 2)
+    assert state.record_task_failures(0, 1)
+    assert state.node_states[0].status == NODE_BLACKLISTED
+    # Already blacklisted: further failures accumulate but don't re-fire.
+    assert not state.record_task_failures(0, 5)
+
+
+def test_blacklist_disabled_without_threshold():
+    state = make_state()
+    assert not state.record_task_failures(0, 100)
+    assert state.node_states[0].status == NODE_ALIVE
+
+
+def test_last_schedulable_node_never_blacklisted():
+    state = make_state(nodes=2, blacklist_threshold=1)
+    assert state.record_task_failures(0, 1)
+    assert not state.record_task_failures(1, 99)
+    assert state.node_states[1].status == NODE_ALIVE
+    assert state.schedulable_node_ids == [1]
+
+
+# -- snapshot / restore ---------------------------------------------------
+
+
+def test_snapshot_restore_round_trip():
+    state = make_state(blacklist_threshold=2)
+    state.fail(0)
+    state.blacklist(2)
+    state.node_states[3].task_failures = 1
+    snapshots = state.snapshot()
+
+    fresh = make_state(blacklist_threshold=2)
+    fresh.restore(snapshots)
+    assert fresh.snapshot() == snapshots
+    assert fresh.schedulable_node_ids == state.schedulable_node_ids
+    assert fresh.serving_node_ids == state.serving_node_ids
+
+
+# -- NodeFaultModel -------------------------------------------------------
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        NodeFaultModel(node_failure_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        NodeFaultModel(node_recovery_probability=-0.1)
+    with pytest.raises(ConfigurationError):
+        NodeFaultModel(heartbeat_timeout_seconds=0.0)
+    with pytest.raises(ConfigurationError):
+        NodeFaultModel(blacklist_threshold=0)
+    assert not NodeFaultModel().enabled
+    assert NodeFaultModel(node_failure_probability=0.1).enabled
+    assert NodeFaultModel(node_recovery_probability=0.1).enabled
+
+
+def test_from_env_disabled_by_default():
+    assert NodeFaultModel.from_env({}) is None
+
+
+def test_from_env_full_configuration():
+    model = NodeFaultModel.from_env(
+        {
+            NODE_FAILURE_PROB_ENV: "0.05",
+            NODE_RECOVERY_PROB_ENV: "0.5",
+            HEARTBEAT_TIMEOUT_ENV: "10",
+            NODE_FAULT_SEED_ENV: "42",
+            BLACKLIST_THRESHOLD_ENV: "4",
+        }
+    )
+    assert model == NodeFaultModel(
+        node_failure_probability=0.05,
+        node_recovery_probability=0.5,
+        heartbeat_timeout_seconds=10.0,
+        seed=42,
+        blacklist_threshold=4,
+    )
+
+
+def test_from_env_threshold_alone_enables_blacklist_only_mode():
+    model = NodeFaultModel.from_env({BLACKLIST_THRESHOLD_ENV: "2"})
+    assert model is not None
+    assert not model.enabled
+    assert model.blacklist_threshold == 2
+
+
+def test_from_env_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        NodeFaultModel.from_env({NODE_FAILURE_PROB_ENV: "lots"})
+    with pytest.raises(ConfigurationError):
+        NodeFaultModel.from_env(
+            {NODE_FAILURE_PROB_ENV: "0.1", NODE_FAULT_SEED_ENV: "x"}
+        )
+
+
+def test_draws_deterministic_for_seed():
+    model = NodeFaultModel(
+        node_failure_probability=0.4, node_recovery_probability=0.5, seed=7
+    )
+    histories = []
+    for _ in range(2):
+        state = make_state(nodes=6)
+        rng = np.random.default_rng(model.seed)
+        rounds = []
+        for _ in range(10):
+            events = model.draw(state, rng)
+            for kind, node_id in events:
+                (state.fail if kind == NODE_FAIL else state.recover)(node_id)
+            rounds.append(events)
+        histories.append(rounds)
+    assert histories[0] == histories[1]
+
+
+def test_fixed_width_stream_one_draw_per_node_per_round():
+    """Lifecycle changes never shift which draw a node sees."""
+    model = NodeFaultModel(node_failure_probability=0.3, seed=1)
+    healthy = make_state(nodes=5)
+    degraded = make_state(nodes=5)
+    degraded.fail(1)
+    degraded.decommission(3)
+    rng_a = np.random.default_rng(0)
+    rng_b = np.random.default_rng(0)
+    model.draw(healthy, rng_a)
+    model.draw(degraded, rng_b)
+    assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
+def test_last_serving_node_never_dies():
+    model = NodeFaultModel(node_failure_probability=1.0, seed=0)
+    state = make_state(nodes=3)
+    events = model.draw(state, np.random.default_rng(0))
+    # Certain death for everyone — except the final survivor.
+    assert events == [(NODE_FAIL, 0), (NODE_FAIL, 1)]
+
+
+def test_certain_recovery():
+    model = NodeFaultModel(node_recovery_probability=1.0, seed=0)
+    state = make_state(nodes=3)
+    state.fail(2)
+    events = model.draw(state, np.random.default_rng(0))
+    assert events == [(NODE_RECOVER, 2)]
+
+
+# -- DFS node-aware placement ---------------------------------------------
+
+
+def write_cluster_dfs(nodes=3, replication=2, records=60, split_size=64):
+    dfs = InMemoryDFS(split_size_bytes=split_size)
+    state = make_state(nodes=nodes)
+    dfs.attach_topology(state)
+    f = dfs.write("data", list(range(records)), bytes_per_record=8,
+                  replication=replication)
+    return dfs, state, f
+
+
+def test_placement_deterministic_and_capped():
+    dfs, state, f = write_cluster_dfs(nodes=3, replication=2)
+    again, _, f2 = write_cluster_dfs(nodes=3, replication=2)
+    for split in f.splits:
+        placement = dfs.replica_placement(f.name, split.index)
+        assert placement == again.replica_placement(f2.name, split.index)
+        assert len(placement) == 2
+        assert len(set(placement)) == 2
+        assert all(0 <= node < 3 for node in placement)
+
+
+def test_placement_capped_at_serving_count():
+    dfs, state, f = write_cluster_dfs(nodes=2, replication=3)
+    for split in f.splits:
+        assert len(dfs.replica_placement(f.name, split.index)) == 2
+
+
+def test_fail_node_loses_replicas_in_one_batch_and_heals():
+    dfs, state, f = write_cluster_dfs(nodes=3, replication=2)
+    victim = dfs.replica_placement(f.name, 0)[0]
+    hosted = dfs.node_block_count(victim)
+    assert hosted > 0
+
+    state.fail(victim)  # topology first, then the filesystem
+    report = dfs.fail_node(victim)
+    assert report.blocks_lost == hosted
+    assert report.bytes_lost > 0
+    # Two survivors remain and replication was 2, so every damaged
+    # split heals onto the one survivor not already holding a copy.
+    assert report.re_replications == hosted
+    assert report.splits_unreadable == 0
+    assert dfs.node_block_count(victim) == 0
+    for split in f.splits:
+        placement = dfs.replica_placement(f.name, split.index)
+        assert victim not in placement
+        assert len(placement) == 2
+    # Healed copies are readable without failover charges.
+    report = dfs.charge_read(f)
+    assert report.replica_failovers == 0
+
+
+def test_fail_node_without_survivor_leaves_split_unreadable():
+    dfs = InMemoryDFS(split_size_bytes=64)
+    state = make_state(nodes=2)
+    dfs.attach_topology(state)
+    f = dfs.write("data", list(range(30)), bytes_per_record=8, replication=1)
+    victims = {
+        dfs.replica_placement(f.name, split.index)[0] for split in f.splits
+    }
+    for victim in sorted(victims):
+        state.fail(victim)
+        report = dfs.fail_node(victim)
+        assert report.splits_unreadable > 0
+        assert report.re_replications == 0
+    with pytest.raises(SplitUnavailableError):
+        dfs.charge_read(f)
+
+
+def test_fail_node_is_noop_without_topology():
+    dfs = InMemoryDFS(split_size_bytes=64)
+    dfs.write("data", list(range(30)), bytes_per_record=8)
+    assert not dfs.topology_attached
+    report = dfs.fail_node(0)
+    assert report.blocks_lost == 0
+
+
+def test_reattach_preserves_evolved_placement():
+    """A restarted driver re-attaching must not re-place the blocks."""
+    dfs, state, f = write_cluster_dfs(nodes=3, replication=2)
+    victim = dfs.replica_placement(f.name, 0)[0]
+    state.fail(victim)
+    dfs.fail_node(victim)
+    before = {
+        split.index: dfs.replica_placement(f.name, split.index)
+        for split in f.splits
+    }
+    fresh_state = make_state(nodes=3)
+    fresh_state.restore(state.snapshot())
+    dfs.attach_topology(fresh_state)
+    after = {
+        split.index: dfs.replica_placement(f.name, split.index)
+        for split in f.splits
+    }
+    assert after == before
