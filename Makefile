@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-processes test-shared test-all chaos chaos-node trace live analyze bench-executors bench
+.PHONY: test test-processes test-shared test-all chaos chaos-node trace live analyze report bench-executors bench
 
 # Tier-1: the full suite on the default (serial) backend.
 test:
@@ -94,6 +94,29 @@ analyze:
 	$(PYTHON) -m repro analyze $(ANALYZE_JOURNAL) --out reports/analyze-report.txt
 	$(PYTHON) -m repro diff $(BASELINE_JOURNAL) $(ANALYZE_JOURNAL) \
 		--out reports/analyze-diff.txt
+
+# The cross-run registry: record four heterogeneous seeded runs (clean,
+# task-failure chaos, node-failure chaos, SLO abort) into one runs
+# directory, then render the longitudinal dashboard. Everything the
+# dashboard reads is simulated time, so regenerating it reproduces the
+# committed reports/dashboard.* byte-for-byte unless behaviour changed.
+RUNS_DIR ?= reports/runs
+report:
+	rm -rf $(RUNS_DIR)
+	mkdir -p $(RUNS_DIR)
+	$(PYTHON) examples/run_with_journal.py $(RUNS_DIR)/01-clean.jsonl
+	REPRO_TASK_FAILURE_PROB=0.05 \
+	REPRO_BLOCK_LOSS_PROB=0.02 \
+	REPRO_MAX_JOB_RETRIES=3 \
+	$(PYTHON) examples/run_with_journal.py $(RUNS_DIR)/02-chaos.jsonl
+	REPRO_NODE_FAILURE_PROB=0.02 \
+	REPRO_NODE_FAULT_SEED=3 \
+	$(PYTHON) examples/run_with_journal.py $(RUNS_DIR)/03-node-chaos.jsonl
+	REPRO_SLO=max_k=2 \
+	$(PYTHON) examples/run_with_journal.py $(RUNS_DIR)/04-slo-abort.jsonl; \
+	test $$? -eq 3
+	$(PYTHON) -m repro report $(RUNS_DIR) --out-dir reports \
+		--basename dashboard
 
 bench-executors:
 	$(PYTHON) -m pytest benchmarks/bench_executor_speedup.py -q -s

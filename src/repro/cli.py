@@ -13,8 +13,11 @@
     python -m repro experiment table1 --slo max_k=64,warn:max_wall_seconds=600
     python -m repro trace run.jsonl --gantt --metrics
     python -m repro trace run.jsonl --follow
+    python -m repro trace run.jsonl --format chrome --out run.trace.json
+    python -m repro whatif run.jsonl --set num_workers=8 --set combiner=off
     python -m repro analyze run.jsonl
     python -m repro diff baseline.jsonl run.jsonl --max-time-regression 0.1
+    python -m repro report runs/ --out-dir reports/
 
 Every run is deterministic (the experiments carry their own seeds);
 the printed report is the same paper-vs-measured text the benchmark
@@ -106,6 +109,24 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.rundir:
+        from repro.observability import RegistryError
+        from repro.observability import write_report as write_dashboard
+
+        try:
+            written = write_dashboard(
+                args.rundir,
+                out_dir=args.out_dir,
+                basename=args.basename,
+                with_html=not args.no_html,
+            )
+        except RegistryError as exc:
+            print(f"cannot build registry report: {exc}", file=sys.stderr)
+            return 1
+        for kind, path in sorted(written.items()):
+            print(f"{kind}: {path}")
+        return 0
+
     from repro.evaluation.report import write_report
 
     path = write_report(
@@ -168,12 +189,17 @@ def _cmd_trace(args) -> int:
         replay = _load_replay(args.journal_path)
         if replay is None:
             return 1
-    text = render_trace(
-        replay,
-        gantt=args.gantt,
-        metrics=args.metrics,
-        width=args.width,
-    )
+    if args.format == "chrome":
+        from repro.observability import render_chrome_trace
+
+        text = render_chrome_trace(replay)
+    else:
+        text = render_trace(
+            replay,
+            gantt=args.gantt,
+            metrics=args.metrics,
+            width=args.width,
+        )
     print(text)
     _write_out(text, args.out)
     return 0
@@ -202,6 +228,42 @@ def _cmd_analyze(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if report.critical is not None and not report.critical.reconciled:
+        print(
+            "critical path does not reconcile with the journalled "
+            "simulated makespan",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    import json
+
+    from repro.observability import (
+        ScenarioError,
+        parse_scenario,
+        render_whatif,
+        whatif_replay,
+    )
+
+    try:
+        scenario = parse_scenario(args.set or [])
+    except ScenarioError as exc:
+        print(f"bad --set: {exc}", file=sys.stderr)
+        return 2
+    replay = _load_replay(args.journal_path)
+    if replay is None:
+        return 1
+    report = whatif_replay(replay, scenario)
+    text = (
+        json.dumps(report.as_dict(), indent=2)
+        if args.json
+        else render_whatif(report)
+    )
+    print(text)
+    _write_out(text, args.out)
     return 0
 
 
@@ -389,8 +451,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser(
         "report",
-        help="run experiments and write one markdown report",
+        help="run experiments and write one markdown report, or — given "
+        "a directory of journals — render the cross-run registry "
+        "dashboard",
         parents=[options],
+    )
+    p_report.add_argument(
+        "rundir",
+        nargs="?",
+        default=None,
+        metavar="RUNDIR",
+        help="directory of *.jsonl journals; when given, render the "
+        "longitudinal registry dashboard instead of running experiments",
     )
     p_report.add_argument(
         "--out", default="report.md", help="output markdown path"
@@ -399,6 +471,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="*",
         help="restrict to these experiment/ablation names",
+    )
+    p_report.add_argument(
+        "--out-dir",
+        default="reports",
+        metavar="DIR",
+        help="registry mode: directory for the dashboard artifacts "
+        "(default: reports)",
+    )
+    p_report.add_argument(
+        "--basename",
+        default="dashboard",
+        metavar="NAME",
+        help="registry mode: artifact basename (default: dashboard)",
+    )
+    p_report.add_argument(
+        "--no-html",
+        action="store_true",
+        default=False,
+        help="registry mode: skip the HTML rendering of the dashboard",
     )
 
     p_trace = sub.add_parser(
@@ -440,7 +531,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="poll interval for --follow (default: 1.0)",
     )
+    p_trace.add_argument(
+        "--format",
+        choices=("text", "chrome"),
+        default="text",
+        help="output format: human-readable text (default) or Chrome "
+        "trace-event JSON loadable in Perfetto / about:tracing",
+    )
     p_trace.add_argument("--out", help="also write the report to this file")
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="predict a recorded run's makespan under a modified cluster "
+        "config by re-scheduling its per-task durations",
+        parents=[options],
+    )
+    p_whatif.add_argument("journal_path", metavar="JOURNAL")
+    p_whatif.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario knob, repeatable: nodes, num_workers, map_slots, "
+        "reduce_slots, combiner (on/off), split_factor, scheduler "
+        "(recorded/lpt) — e.g. --set num_workers=8 --set combiner=off",
+    )
+    p_whatif.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable prediction instead of text",
+    )
+    p_whatif.add_argument("--out", help="also write the report to this file")
 
     p_analyze = sub.add_parser(
         "analyze",
@@ -527,6 +648,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "all": _cmd_all,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "whatif": _cmd_whatif,
         "analyze": _cmd_analyze,
         "diff": _cmd_diff,
     }

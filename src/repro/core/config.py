@@ -89,6 +89,11 @@ class MRGMeansConfig:
     #: algorithmic counters are identical either way.
     vectorized: bool = True
     post_merge: bool = False
+    #: Map-side pre-aggregation in the k-means refinement jobs.
+    #: Results are identical with it off (the reducer sums partial
+    #: pairs either way); only shuffle volume and simulated time move —
+    #: the knob the what-if validation bench exercises.
+    use_combiner: bool = True
     num_reduce_tasks: int | None = None
     seed: int | None = None
     #: DFS directory for per-iteration chain checkpoints. ``None``

@@ -322,6 +322,7 @@ class MRGMeans:
                 reduce_tasks,
                 name=f"KMeans-i{iteration}s{step}",
                 vectorized=cfg.vectorized,
+                combiner=cfg.use_combiner,
             )
             result = driver.run(job, f)
             centers, _sizes = decode_kmeans_output(result.output, centers)

@@ -104,12 +104,21 @@ def make_kmeans_job(
     num_reduce_tasks: int,
     name: str = "KMeans",
     vectorized: bool = True,
+    combiner: bool = True,
 ) -> Job:
-    """Build the classical k-means job for one refinement iteration."""
+    """Build the classical k-means job for one refinement iteration.
+
+    ``combiner=False`` drops the map-side pre-aggregation: the reducer
+    sums partial ``(sum, count)`` pairs either way, so the centers are
+    identical — only shuffle volume (and therefore simulated time)
+    changes, which is what the combiner ablation and the what-if
+    validation bench measure.
+    """
     return Job(
         name=name,
         mapper=KMeansMapper,
-        combiner=KMeansCombiner,
+        combiner=KMeansCombiner if combiner else None,
+        combiner_optional=combiner,
         reducer=KMeansReducer,
         num_reduce_tasks=num_reduce_tasks,
         config={

@@ -93,4 +93,48 @@ def load_bench_json(path: "str | os.PathLike") -> dict:
     for name in ("workload", "platform", "metrics"):
         if not isinstance(entry[name], dict):
             raise DataFormatError(f"{target}: {name!r} must be an object")
+    extra = entry.get("benchmarks")
+    if extra is not None:
+        if not isinstance(extra, dict):
+            raise DataFormatError(f"{target}: 'benchmarks' must be an object")
+        for name, sub in extra.items():
+            if not isinstance(sub, dict):
+                raise DataFormatError(
+                    f"{target}: benchmarks[{name!r}] must be an object"
+                )
+            for field in ("workload", "platform", "metrics"):
+                if not isinstance(sub.get(field), dict):
+                    raise DataFormatError(
+                        f"{target}: benchmarks[{name!r}] missing {field!r}"
+                    )
+    return entry
+
+
+def merge_bench_json(
+    path: "str | os.PathLike", benchmark: str, workload: dict, metrics: dict
+) -> dict:
+    """Add/update one measurement in a shared ``BENCH_*.json`` file.
+
+    Several benchmark scripts can archive into the same file (e.g. the
+    observability suite): the first measurement owns the top-level
+    entry, later ones land under the optional ``benchmarks`` object
+    keyed by benchmark name — re-recording either updates it in place.
+    A missing or same-named file degenerates to :func:`write_bench_json`.
+    """
+    target = pathlib.Path(path)
+    if not target.exists():
+        return write_bench_json(path, benchmark, workload, metrics)
+    entry = load_bench_json(path)
+    if entry["benchmark"] == benchmark:
+        sub_entries = entry.get("benchmarks")
+        entry = bench_entry(benchmark, workload, metrics)
+        if sub_entries:
+            entry["benchmarks"] = sub_entries
+    else:
+        entry.setdefault("benchmarks", {})[benchmark] = {
+            "workload": dict(workload),
+            "platform": platform_info(),
+            "metrics": dict(metrics),
+        }
+    target.write_text(json.dumps(entry, indent=2, sort_keys=False) + "\n")
     return entry

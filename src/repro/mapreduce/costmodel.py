@@ -99,6 +99,56 @@ def makespan(task_seconds: list[float], slots: int) -> float:
     return max(loads)
 
 
+def lpt_schedule(
+    task_seconds: "list[float]", slots: int
+) -> "list[tuple[int, int, float, float]]":
+    """Full LPT placement: ``(task_index, slot, start, end)`` per task.
+
+    The same deterministic greedy rule as :func:`makespan` — tasks
+    longest-first (ties broken by lower index), each onto the currently
+    least-loaded slot — so ``max(end for ...)`` equals the makespan the
+    cost model charged. This is the shared scheduling hook behind the
+    Gantt renderer (:mod:`repro.mapreduce.trace`), the critical-path
+    extractor and the what-if re-scheduler
+    (:mod:`repro.observability.critical` / ``.whatif``). Result is
+    sorted by ``(slot, start)``.
+    """
+    check_positive("slots", slots)
+    order = sorted(range(len(task_seconds)), key=lambda i: -task_seconds[i])
+    loads = [0.0] * min(slots, max(1, len(task_seconds)))
+    placed = []
+    for index in order:
+        slot = min(range(len(loads)), key=loads.__getitem__)
+        start = loads[slot]
+        end = start + task_seconds[index]
+        loads[slot] = end
+        placed.append((index, slot, start, end))
+    return sorted(placed, key=lambda t: (t[1], t[2]))
+
+
+def critical_chain(
+    task_seconds: "list[float]", slots: int
+) -> "list[int]":
+    """Task indices on the LPT schedule's longest slot, in start order.
+
+    The returned chain's durations sum to :func:`makespan` — it is the
+    sequence of tasks that bounds the phase, which is what the
+    critical-path extractor reports per phase. Empty when there are no
+    tasks.
+    """
+    placement = lpt_schedule(task_seconds, slots)
+    if not placement:
+        return []
+    completion: dict[int, float] = {}
+    for _, slot, _, end in placement:
+        completion[slot] = max(completion.get(slot, 0.0), end)
+    worst = min(
+        (slot for slot in completion),
+        key=lambda slot: (-completion[slot], slot),
+    )
+    return [index for index, slot, _, _ in placement if slot == worst]
+
+
 class CostModel:
     """Converts task-level counters into simulated task/job times."""
 

@@ -189,10 +189,20 @@ class Job:
     config: dict = field(default_factory=dict)
     heap_bytes_per_value: Callable[[object], int] | None = None
     value_size: Callable[[object], int] = sizeof_value
+    #: True when the combiner is pure pre-aggregation the reducer
+    #: replicates exactly, so dropping it changes shuffle volume (and
+    #: simulated time) but never results. The runtime journals the
+    #: flag on every job span; the what-if re-scheduler scales only
+    #: flagged jobs when asked to predict a combiner-less run.
+    combiner_optional: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("job name must be non-empty")
+        if self.combiner_optional and self.combiner is None:
+            raise ConfigurationError(
+                f"job {self.name!r} marks its combiner optional but has none"
+            )
         if self.reducer is not None and self.num_reduce_tasks < 0:
             raise ConfigurationError(
                 f"num_reduce_tasks must be >= 0, got {self.num_reduce_tasks}"

@@ -257,7 +257,12 @@ class MapReduceRuntime:
             failure: "JobFailedError | None" = None
             # Each attempt gets its own job span, closed before the
             # retry decision so failed attempts are first-class records.
-            with journal.span(JOB, job.name, attempt=retries + 1) as span:
+            with journal.span(
+                JOB,
+                job.name,
+                attempt=retries + 1,
+                combiner_optional=job.combiner_optional,
+            ) as span:
                 try:
                     result = self._run_attempt(job, input_file, cached)
                 except JobFailedError as err:

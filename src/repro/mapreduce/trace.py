@@ -45,21 +45,16 @@ def build_schedule(
 
     Tasks are placed longest-first onto the least-loaded slot, exactly
     as :func:`repro.mapreduce.costmodel.makespan` totals them, so
-    ``max(end)`` here equals the reported makespan.
+    ``max(end)`` here equals the reported makespan. The placement
+    itself comes from :func:`repro.mapreduce.costmodel.lpt_schedule`,
+    the shared scheduling hook.
     """
-    check_positive("slots", slots)
-    order = sorted(range(len(task_seconds)), key=lambda i: -task_seconds[i])
-    loads = [0.0] * min(slots, max(1, len(task_seconds)))
-    scheduled = []
-    for index in order:
-        slot = min(range(len(loads)), key=loads.__getitem__)
-        start = loads[slot]
-        end = start + task_seconds[index]
-        loads[slot] = end
-        scheduled.append(
-            ScheduledTask(task_index=index, slot=slot, start=start, end=end)
-        )
-    return sorted(scheduled, key=lambda t: (t.slot, t.start))
+    from repro.mapreduce.costmodel import lpt_schedule
+
+    return [
+        ScheduledTask(task_index=index, slot=slot, start=start, end=end)
+        for index, slot, start, end in lpt_schedule(task_seconds, slots)
+    ]
 
 
 def render_gantt(

@@ -34,6 +34,11 @@ from dataclasses import asdict, dataclass, field
 from repro.mapreduce.cluster import MIB
 from repro.mapreduce.costmodel import CostParameters, makespan
 from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
+from repro.observability.critical import (
+    CriticalPath,
+    critical_path,
+    render_critical,
+)
 from repro.observability.replay import RunReplay, SpanNode
 
 #: Strategy names as journalled by ``strategy_decision`` events (kept
@@ -275,6 +280,9 @@ class AnalysisReport:
     #: Populated only for journals with node lifecycle events.
     node_health: "list[NodeHealthEntry]" = field(default_factory=list)
     capacity_timeline: "list[CapacityPoint]" = field(default_factory=list)
+    #: Critical path + blame breakdown; carries the exact-reconciliation
+    #: verdict (:attr:`CriticalPath.reconciled`).
+    critical: "CriticalPath | None" = None
 
     @property
     def heap_audit_consistent(self) -> bool:
@@ -320,6 +328,7 @@ class AnalysisReport:
             "capacity_timeline": [
                 asdict(point) for point in self.capacity_timeline
             ],
+            "critical": self.critical.as_dict() if self.critical else None,
         }
 
 
@@ -653,6 +662,7 @@ def analyze_replay(
     report.profile = _profile_stats(replay)
     report.memory_audit = _memory_audit(replay)
     report.node_health, report.capacity_timeline = _node_sections(replay)
+    report.critical = critical_path(replay)
     for job in replay.successful_jobs():
         residual = _job_residual(job, params)
         if residual is not None:
@@ -841,6 +851,12 @@ def render_analysis(report: AnalysisReport) -> str:
         "== cost-model residuals " + "=" * 40,
         render_residuals(report),
     ]
+    if report.critical is not None:
+        sections += [
+            "",
+            "== critical path " + "=" * 47,
+            render_critical(report.critical),
+        ]
     if report.node_health:
         sections += [
             "",

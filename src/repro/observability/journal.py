@@ -397,21 +397,33 @@ def canonical_records(records: Iterable[dict]) -> list[dict]:
     return [canonical_record(record) for record in records]
 
 
-def load_journal(path: str) -> list[dict]:
+def load_journal(path: str, strict_tail: bool = True) -> list[dict]:
     """Read a JSON-lines journal file back into record dicts.
 
-    A run killed mid-write (the chaos scenario) leaves a partial final
-    line; that truncated tail is silently dropped — the journal is
-    valid up to the last complete record, which is exactly what replay
-    reconstructs. A malformed record anywhere *before* the tail, or a
-    line that is valid JSON but not an object, raises
-    :class:`~repro.common.errors.JournalCorruptError`.
+    A journal being written concurrently (``repro trace --follow``, a
+    tailer racing the file sink) or a run killed mid-write (the chaos
+    scenario) leaves a partial final line; that truncated tail is
+    silently dropped — the journal is valid up to the last complete
+    record, which is exactly what replay reconstructs and what the
+    next poll of a tailer re-reads whole.
+
+    ``strict_tail`` qualifies the tolerance: when the records *before*
+    the partial line show every run span already ended, nothing more
+    was legitimately being appended, so the truncated tail is real
+    corruption and raises
+    :class:`~repro.common.errors.JournalCorruptError` (pass
+    ``strict_tail=False`` — as the live tailer does — to tolerate it
+    regardless, e.g. between the runs of a multi-run journal still
+    being written). A malformed record anywhere before the tail, or a
+    line that is valid JSON but not an object, always raises.
     """
     from repro.common.errors import JournalCorruptError
 
     with open(path, "r", encoding="utf-8") as fh:
         lines = fh.read().split("\n")
     records: list[dict] = []
+    open_run_ids: set = set()
+    saw_run = False
     for lineno, line in enumerate(lines, 1):
         stripped = line.strip()
         if not stripped:
@@ -419,12 +431,28 @@ def load_journal(path: str) -> list[dict]:
         try:
             record = json.loads(stripped)
         except json.JSONDecodeError as exc:
-            if all(not rest.strip() for rest in lines[lineno:]):
-                break  # truncated final record: tolerated
-            raise JournalCorruptError(path, lineno, str(exc)) from exc
+            if any(rest.strip() for rest in lines[lineno:]):
+                raise JournalCorruptError(path, lineno, str(exc)) from exc
+            # Truncated final record. Mid-run (some run span still
+            # open, or no run started yet) this is a concurrent writer
+            # caught mid-line: tolerated. After the last run_end there
+            # is no legitimate writer left, so it is corruption.
+            if strict_tail and saw_run and not open_run_ids:
+                raise JournalCorruptError(
+                    path,
+                    lineno,
+                    "truncated record after the final run_end: "
+                    + str(exc),
+                ) from exc
+            break
         if not isinstance(record, dict):
             raise JournalCorruptError(
                 path, lineno, f"expected a JSON object, got {type(record).__name__}"
             )
+        if record.get("type") == SPAN_START and record.get("kind") == RUN:
+            saw_run = True
+            open_run_ids.add(record.get("span"))
+        elif record.get("type") == SPAN_END:
+            open_run_ids.discard(record.get("span"))
         records.append(record)
     return records

@@ -563,11 +563,14 @@ def follow_journal(
 
     Polls ``path`` every ``interval`` seconds; whenever the journal has
     grown, replays the records read so far and calls
-    ``on_update(replay, records)``. Reuses :func:`load_journal`'s
-    truncated-tail tolerance, so catching the file-sink mid-write never
-    errors — the half-written last line simply shows up on the next
-    poll. Returns the final replay when the top-level run span closes
-    (or when ``max_polls`` is exhausted; ``None`` polls forever).
+    ``on_update(replay, records)``. Reads with
+    ``load_journal(strict_tail=False)``: a tailer races the file sink
+    by construction, so catching it mid-write never errors — even
+    between the runs of a multi-run journal, where a strict read would
+    flag the half-written last line — the partial line simply shows up
+    whole on the next poll. Returns the final replay when the
+    top-level run span closes (or when ``max_polls`` is exhausted;
+    ``None`` polls forever).
     """
     from repro.observability.replay import replay_records
 
@@ -576,7 +579,7 @@ def follow_journal(
     polls = 0
     while True:
         try:
-            records = load_journal(path)
+            records = load_journal(path, strict_tail=False)
         except FileNotFoundError:
             records = []
         if len(records) > seen:

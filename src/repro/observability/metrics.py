@@ -86,19 +86,25 @@ def render_prometheus(
     ``# HELP`` and one ``# TYPE`` line. Output is sorted, so equal
     counter sets render identically.
 
-    Names can collide: the counter ``(live, k)`` and the extra gauge
-    ``live_k`` would both render as ``{prefix}_live_k``. The counter
-    map wins — it is the durable accounting record — and the colliding
-    extra gauge is deterministically renamed with an ``_extra`` suffix
-    rather than silently double-registering one metric under two types
-    (which Prometheus scrapers reject as a format error).
+    Names can collide: metric names are lowercased (the exposition
+    format convention), so the counter ``(live, k)`` and the extra
+    gauge ``live_k`` would both render as ``{prefix}_live_k`` — and so
+    would two extras differing only by case (``live_K`` vs ``live_k``,
+    e.g. gauge names derived from journal event attrs). Deduplication
+    is therefore *case-insensitive over the final metric name*: the
+    counter map wins (it is the durable accounting record), extras are
+    emitted in sorted-key order, and every later colliding gauge is
+    deterministically renamed with as many ``_extra`` suffixes as it
+    takes to be unique, rather than silently double-registering one
+    metric under two types or two samples (which Prometheus scrapers
+    reject as a format error).
     """
     label_text = _render_labels(labels)
     lines: list[str] = []
-    counter_metrics: set[str] = set()
+    seen_metrics: set[str] = set()
     for (group, name), value in sorted(counters.snapshot().items()):
         metric = metric_name(group, name, prefix)
-        counter_metrics.add(metric)
+        seen_metrics.add(metric)
         kind = "gauge" if name.endswith("_MAX") else "counter"
         what = "high-water mark" if kind == "gauge" else "monotone counter"
         lines.append(f"# HELP {metric} {group}:{name} {what} from the run journal")
@@ -106,8 +112,9 @@ def render_prometheus(
         lines.append(f"{metric}{label_text} {value}")
     for name, value in sorted((extra or {}).items()):
         metric = f"{prefix}_{name}".lower()
-        if metric in counter_metrics:
+        while metric in seen_metrics:
             metric = f"{metric}_extra"
+        seen_metrics.add(metric)
         lines.append(f"# HELP {metric} run-level gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric}{label_text} {value}")

@@ -94,3 +94,44 @@ def test_committed_bench_files_conform(name):
     assert set(REQUIRED_FIELDS) <= set(entry)
     assert entry["workload"]
     assert entry["metrics"]
+
+
+def test_merge_creates_then_nests_additional_benchmarks(tmp_path):
+    from repro.evaluation.benchjson import merge_bench_json
+
+    path = tmp_path / "BENCH_shared.json"
+    first = merge_bench_json(path, "alpha", workload={"n": 1}, metrics={"x": 1})
+    assert first == load_bench_json(path)
+    assert first["benchmark"] == "alpha"
+    assert "benchmarks" not in first
+
+    merged = merge_bench_json(path, "beta", workload={"n": 2}, metrics={"y": 2})
+    assert merged["benchmark"] == "alpha"  # first measurement keeps the top level
+    assert merged["benchmarks"]["beta"]["metrics"] == {"y": 2}
+    assert merged["benchmarks"]["beta"]["workload"] == {"n": 2}
+    assert "platform" in merged["benchmarks"]["beta"]
+    assert load_bench_json(path) == merged
+
+
+def test_merge_updates_in_place(tmp_path):
+    from repro.evaluation.benchjson import merge_bench_json
+
+    path = tmp_path / "BENCH_shared.json"
+    merge_bench_json(path, "alpha", workload={}, metrics={"x": 1})
+    merge_bench_json(path, "beta", workload={}, metrics={"y": 1})
+    # Re-recording the nested bench replaces its sub-entry.
+    updated = merge_bench_json(path, "beta", workload={}, metrics={"y": 9})
+    assert updated["benchmarks"]["beta"]["metrics"] == {"y": 9}
+    # Re-recording the top-level bench keeps the nested ones.
+    topped = merge_bench_json(path, "alpha", workload={}, metrics={"x": 7})
+    assert topped["metrics"] == {"x": 7}
+    assert topped["benchmarks"]["beta"]["metrics"] == {"y": 9}
+
+
+def test_load_rejects_malformed_nested_benchmarks(tmp_path):
+    path = tmp_path / "bad-nested.json"
+    entry = bench_entry("b", workload={}, metrics={})
+    entry["benchmarks"] = {"sub": {"metrics": {}}}  # missing workload/platform
+    path.write_text(json.dumps(entry))
+    with pytest.raises(DataFormatError, match="benchmarks\\['sub'\\] missing"):
+        load_bench_json(path)

@@ -162,17 +162,29 @@ def test_journal_canonical_form_identical_across_matrix():
     recorded the exact same sequence of spans, tasks and events — the
     data plane is invisible to the journal, not just to the results.
     """
+    import json
+
+    from repro.observability.critical import critical_path
+    from repro.observability.replay import replay_records
+
     journals = {}
+    paths = {}
     for backend, plane in MATRIX:
         sink = InMemoryJournalSink()
         gmeans_signature(7, backend, journal=Journal(sink), data_plane=plane)
         journals[backend, plane] = canonical_records(sink.records)
+        path = critical_path(replay_records(sink.records))
+        assert path.reconciled, (backend, plane)
+        paths[backend, plane] = json.dumps(path.as_dict(), sort_keys=True)
     reference = journals["serial", "pickled"]
     assert reference  # the run actually recorded something
     kinds = {r.get("kind") for r in reference if r["type"] == "span_start"}
     assert kinds == {"run", "iteration", "job", "phase"}
     for cell in MATRIX[1:]:
         assert journals[cell] == reference, cell
+        # Critical paths derive from canonical fields only, so they too
+        # must serialize byte-identically in every cell.
+        assert paths[cell] == paths["serial", "pickled"], cell
 
 
 def test_no_leaked_segments_after_chaos_failure():

@@ -43,7 +43,7 @@ def _clean_data_plane():
     dataplane.release_all()
 
 
-def chaos_world(journal, dfs=None, data_plane=None):
+def chaos_world(journal, dfs=None, data_plane=None, executor="serial"):
     """A flaky world: task faults, lossy blocks, retries — journalled."""
     if dfs is None:
         dfs = InMemoryDFS(
@@ -57,7 +57,12 @@ def chaos_world(journal, dfs=None, data_plane=None):
         cluster=ClusterConfig(nodes=2, task_heap_mb=64),
         rng=RUNTIME_SEED,
         faults=FaultModel(task_failure_probability=0.12, max_attempts=2),
-        config=RuntimeConfig(max_job_retries=20, retry_backoff_seconds=5.0),
+        config=RuntimeConfig(
+            max_job_retries=20,
+            retry_backoff_seconds=5.0,
+            executor=executor,
+            num_workers=2,
+        ),
         journal=journal,
     )
     return dfs, runtime
@@ -170,3 +175,40 @@ def test_resumed_run_journal_carries_checkpoint_baseline():
         len(replay.successful_jobs()) + restores[0].attrs["jobs"]
         == totals.jobs
     )
+
+
+def test_chaos_critical_path_reconciles_across_backend_plane_matrix():
+    """Exact reconciliation survives chaos in every matrix cell, and the
+    canonical critical path is byte-identical across cells.
+
+    Retries, replica failovers and heartbeat charges all ride the
+    journal's simulated accounting; the critical-path extractor
+    replicates the replay's exact float fold, so in every (executor
+    backend × data plane) cell the path length equals both the replay's
+    and the live run's simulated seconds bit for bit — and, because it
+    reads canonical fields only, serializes to the same bytes."""
+    import json
+
+    from repro.mapreduce import dataplane
+    from repro.observability.critical import critical_path
+
+    paths = {}
+    for backend in ("serial", "threads", "processes"):
+        for plane in ("pickled", "shared"):
+            sink = InMemoryJournalSink()
+            dfs, runtime = chaos_world(
+                Journal(sink), data_plane=plane, executor=backend
+            )
+            result = MRGMeans(runtime, MRGMeansConfig(**CONFIG)).fit("points")
+            dfs.release()
+            replay = replay_records(sink.records)
+            path = critical_path(replay)
+            assert path.reconciled, (backend, plane)
+            assert path.total_seconds == result.totals.simulated_seconds
+            assert path.off_path, "chaos produced no failed attempts"
+            assert path.blame["retries"] > 0
+            paths[backend, plane] = json.dumps(path.as_dict(), sort_keys=True)
+    assert dataplane.active_segments() == []
+    reference = paths["serial", "pickled"]
+    for cell, payload in paths.items():
+        assert payload == reference, cell

@@ -1,0 +1,168 @@
+"""Chrome trace-event export: schema validity, placement, determinism."""
+
+import json
+
+from repro.observability.export import (
+    PID,
+    TID_ITERATION,
+    TID_JOB,
+    TID_RUN,
+    TID_SLOT_BASE,
+    chrome_trace,
+    render_chrome_trace,
+    validate_trace,
+)
+from repro.observability.journal import InMemoryJournalSink, Journal
+from repro.observability.replay import replay_records
+
+from tests.observability.test_critical import chaotic_run
+
+
+def aborted_run():
+    """A run killed by an SLO breach after one successful job."""
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    with journal.span("run", "gmeans") as run:
+        with journal.span("iteration", "iteration-1", iteration=1, k_before=1) as it:
+            with journal.span("job", "KMeans-1", attempt=1) as job:
+                with journal.span("phase", "map", tasks=1, slots=2):
+                    journal.task("KMeans-1-m-00000", 0, 2.0, 0.0)
+                job.set(
+                    status="ok",
+                    simulated_seconds=7.0,
+                    timing={"startup_seconds": 5.0, "map_seconds": 2.0},
+                    counters={},
+                )
+            journal.event("slo_breach", rule="max_k", limit=2, observed=4)
+            it.set(k_after=4, simulated_seconds=7.0)
+        run.set(status="error", error="SLOViolationError", simulated_seconds=7.0)
+    return replay_records(sink.records)
+
+
+def by_phase(trace, ph):
+    return [e for e in trace["traceEvents"] if e["ph"] == ph]
+
+
+def test_trace_validates_clean():
+    trace = chrome_trace(chaotic_run())
+    assert validate_trace(trace) == []
+    assert trace["displayTimeUnit"] == "ms"
+
+
+def test_run_bar_spans_the_whole_makespan():
+    trace = chrome_trace(chaotic_run())
+    runs = [e for e in by_phase(trace, "X") if e["tid"] == TID_RUN]
+    assert len(runs) == 1
+    assert runs[0]["ts"] == 0.0
+    assert runs[0]["dur"] == 25.0 * 1e6  # journalled makespan, in us
+    assert runs[0]["pid"] == PID
+
+
+def test_on_path_job_placed_after_restore():
+    trace = chrome_trace(chaotic_run())
+    jobs = [e for e in by_phase(trace, "X") if e["tid"] == TID_JOB]
+    names = [e["name"] for e in jobs]
+    assert any(name.startswith("checkpoint restore") for name in names)
+    winning = next(e for e in jobs if e["name"] == "KMeans-2")
+    assert winning["ts"] == 10.0 * 1e6  # starts where the restore ends
+    assert winning["dur"] == 15.0 * 1e6
+    assert winning["args"]["blame"]["retries"] == 2.5
+
+
+def test_failed_attempt_renders_with_zero_duration():
+    trace = chrome_trace(chaotic_run())
+    failed = [
+        e
+        for e in by_phase(trace, "X")
+        if e["tid"] == TID_JOB and "failed attempt" in e["name"]
+    ]
+    assert len(failed) == 1
+    assert failed[0]["dur"] == 0.0
+    # Anchored at its iteration's window start, not at time zero.
+    assert failed[0]["ts"] == 10.0 * 1e6
+
+
+def test_tasks_land_on_slot_tracks_inside_their_phase():
+    trace = chrome_trace(chaotic_run())
+    task_bars = [
+        e for e in by_phase(trace, "X") if e["tid"] >= TID_SLOT_BASE
+    ]
+    assert task_bars  # map + reduce tasks present
+    # Map phase runs 15..18s (after the 5s startup from 10s): every map
+    # task bar fits the window.
+    map_bars = [e for e in task_bars if e["name"].startswith("map[")]
+    for bar in map_bars:
+        assert bar["ts"] >= 15.0 * 1e6 - 1
+        assert bar["ts"] + bar["dur"] <= 18.0 * 1e6 + 1
+    # Slot tracks are named in the metadata.
+    slot_names = [
+        e["args"]["name"]
+        for e in by_phase(trace, "M")
+        if e["name"] == "thread_name" and e["tid"] >= TID_SLOT_BASE
+    ]
+    assert "slot 0" in slot_names
+
+
+def test_counters_track_k_and_cumulative_makespan():
+    trace = chrome_trace(chaotic_run())
+    counters = by_phase(trace, "C")
+    k_samples = [e for e in counters if e["name"] == "k"]
+    assert k_samples and k_samples[-1]["args"]["k"] == 2
+    makespans = [e for e in counters if "makespan" in e["name"]]
+    assert makespans[-1]["args"]["seconds"] == 25.0
+
+
+def test_fault_events_become_instants():
+    trace = chrome_trace(chaotic_run())
+    instants = by_phase(trace, "i")
+    names = [e["name"] for e in instants]
+    assert "job_retry" in names
+    assert "node_lost" in names
+    lost = next(e for e in instants if e["name"] == "node_lost")
+    assert lost["tid"] == TID_JOB
+    assert lost["args"]["heartbeat_timeout_seconds"] == 1.0
+    assert all(e["s"] in ("t", "p", "g") for e in instants)
+
+
+def test_slo_abort_emits_an_instant_at_the_end():
+    trace = chrome_trace(aborted_run())
+    assert validate_trace(trace) == []
+    aborts = [
+        e for e in by_phase(trace, "i") if e["name"].startswith("aborted:")
+    ]
+    assert len(aborts) == 1
+    assert aborts[0]["name"] == "aborted: SLOViolationError"
+    assert aborts[0]["ts"] == 7.0 * 1e6
+    assert "slo_breach" in [e["name"] for e in by_phase(trace, "i")]
+
+
+def test_iteration_window_covers_its_jobs():
+    trace = chrome_trace(chaotic_run())
+    iterations = [e for e in by_phase(trace, "X") if e["tid"] == TID_ITERATION]
+    assert len(iterations) == 1
+    assert iterations[0]["ts"] == 10.0 * 1e6
+    assert iterations[0]["dur"] == 15.0 * 1e6
+    assert iterations[0]["args"]["k_after"] == 2
+
+
+def test_render_is_deterministic_json():
+    replay = chaotic_run()
+    first = render_chrome_trace(replay)
+    second = render_chrome_trace(chaotic_run())
+    assert first == second
+    assert json.loads(first)["traceEvents"]
+
+
+def test_validate_flags_malformed_events():
+    assert validate_trace([]) == ["trace is not a JSON object"]
+    assert validate_trace({}) == ["traceEvents is not an array"]
+    bad = {
+        "traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 0},
+            {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": -1.0},
+            {"ph": "i", "name": "x", "pid": 1, "tid": 0, "ts": 0.0, "s": "q"},
+            {"ph": "C", "name": "x", "pid": 1, "tid": 0, "ts": 0.0, "args": 3},
+        ]
+    }
+    problems = validate_trace(bad)
+    assert len(problems) == 5  # unknown ph, bad ts, bad dur, bad scope, bad args

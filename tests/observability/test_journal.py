@@ -206,3 +206,99 @@ def test_numpy_scalars_serialise(tmp_path):
     journal.close()
     record = load_journal(str(path))[0]
     assert record["attrs"] == {"value": 1.5, "count": 3}
+
+
+def test_truncated_tail_after_final_run_end_raises(tmp_path):
+    """Once every run span has ended nothing more is legitimately
+    appended, so a half-written trailing line is real corruption."""
+    from repro.common.errors import JournalCorruptError
+
+    path = recorded_file(tmp_path)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "event", "na')  # garbage after run_end
+    with pytest.raises(JournalCorruptError, match="after the final run_end"):
+        load_journal(path)
+    # The tailer's read mode tolerates it (multi-run journal mid-write).
+    records = load_journal(path, strict_tail=False)
+    assert records[-1]["type"] == SPAN_END
+
+
+def test_partial_tail_between_runs_tolerated_when_not_strict(tmp_path):
+    """A multi-run journal caught between fits: run 1 fully ended, run
+    2's start record half-written. strict_tail=False (the tailer) must
+    read the complete prefix."""
+    path = tmp_path / "multi.jsonl"
+    journal = Journal(FileJournalSink(str(path)))
+    with journal.span("run", "first") as span:
+        span.set(status="ok")
+    journal.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "span_start", "span": 99, "kind": "ru')
+    records = load_journal(str(path), strict_tail=False)
+    assert [r["type"] for r in records] == [SPAN_START, SPAN_END]
+
+
+def test_load_journal_tolerates_growing_file_mid_run(tmp_path):
+    """Regression: tailing a journal being written concurrently.
+
+    Replay every prefix of the byte stream a run produces, including
+    prefixes that cut a record line in half — exactly what a tailer
+    sees between sink flushes. None may raise; each must decode a
+    prefix of the final record list.
+    """
+    path = tmp_path / "grow.jsonl"
+    journal = Journal(FileJournalSink(str(path)))
+    with journal.span("run", "r") as span:
+        with journal.span("job", "KMeans-1", attempt=1) as job:
+            journal.task("t1", 0, 1.0, 0.0)
+            job.set(status="ok", simulated_seconds=3.0)
+        span.set(status="ok", simulated_seconds=3.0)
+    journal.close()
+    text = (tmp_path / "grow.jsonl").read_text()
+    final = load_journal(str(path))
+    grown = tmp_path / "partial.jsonl"
+    for cut in range(0, len(text) + 1, 7):
+        grown.write_text(text[:cut])
+        records = load_journal(str(grown), strict_tail=False)
+        assert records == final[: len(records)]
+    # The complete file reads identically in both modes.
+    assert load_journal(str(path)) == final
+
+
+def test_follow_journal_tails_growing_file(tmp_path):
+    """Regression for `repro trace --follow` racing the file sink: the
+    poll loop writes more of the journal between polls (including a
+    half-line) and the tailer must never raise, then return the
+    complete replay once the run span closes."""
+    from repro.observability.live import follow_journal
+
+    path = tmp_path / "tail.jsonl"
+    source = tmp_path / "source.jsonl"
+    journal = Journal(FileJournalSink(str(source)))
+    with journal.span("run", "r") as span:
+        with journal.span("job", "KMeans-1", attempt=1) as job:
+            journal.task("t1", 0, 1.0, 0.0)
+            job.set(status="ok", simulated_seconds=3.0)
+        span.set(status="ok", simulated_seconds=3.0)
+    journal.close()
+    text = source.read_text()
+    # Grow the file across polls: half a line, more records, the rest.
+    cuts = [0, len(text) // 3 + 5, len(text) // 3 * 2 + 3, len(text)]
+    state = {"step": 0}
+
+    def fake_sleep(_seconds):
+        state["step"] = min(state["step"] + 1, len(cuts) - 1)
+        path.write_text(text[: cuts[state["step"]]])
+
+    path.write_text(text[: cuts[0]])
+    updates = []
+    replay = follow_journal(
+        str(path),
+        lambda rep, recs: updates.append(len(recs)),
+        interval=0.0,
+        sleep=fake_sleep,
+        max_polls=50,
+    )
+    assert replay is not None
+    assert replay.roots and all(root.complete for root in replay.roots)
+    assert updates == sorted(updates)  # monotone growth, no resets

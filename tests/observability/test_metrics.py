@@ -101,3 +101,32 @@ def test_render_prometheus_renames_colliding_extra_gauge():
     # The same metric name must never be declared with two types.
     type_names = [line.split()[2] for line in lines if line.startswith("# TYPE")]
     assert len(type_names) == len(set(type_names))
+
+
+def test_render_prometheus_dedupes_extras_case_insensitively():
+    """Gauge names derived from event attrs can differ only by case;
+    lowercasing must not silently emit one metric twice."""
+    counters = Counters()
+    lines = render_prometheus(
+        counters, extra={"live_K": 1.0, "live_k": 2.0}
+    ).splitlines()
+    sample_names = [
+        line.split()[0] for line in lines if not line.startswith("#")
+    ]
+    assert len(sample_names) == len(set(sample_names)) == 2
+    assert "repro_live_k" in sample_names
+    assert "repro_live_k_extra" in sample_names
+
+
+def test_render_prometheus_chained_collisions_stay_unique():
+    counters = Counters()
+    counters.inc("live", "k", 5)
+    lines = render_prometheus(
+        counters, extra={"live_k": 1.0, "live_K_extra": 2.0}
+    ).splitlines()
+    sample_names = [
+        line.split()[0] for line in lines if not line.startswith("#")
+    ]
+    assert len(sample_names) == len(set(sample_names)) == 3
+    type_names = [line.split()[2] for line in lines if line.startswith("# TYPE")]
+    assert len(type_names) == len(set(type_names))

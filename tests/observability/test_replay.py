@@ -160,3 +160,43 @@ def test_empty_journal_renders_gracefully():
     assert "(empty journal)" in render_timeline(replay)
     assert "(no iterations recorded)" in render_iteration_table(replay)
     assert "(no jobs recorded)" in render_job_gantts(replay)
+
+
+def test_node_events_filters_lifecycle_in_journal_order():
+    """node_events() is exactly the lifecycle subset (lost / recovered /
+    blacklisted), in global seq order — even when the events hang off
+    different spans at different depths."""
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    with journal.span("run", "gmeans") as run:
+        journal.event("node_lost", node="node-0", deaths=1)
+        with journal.span("iteration", "iteration-1", iteration=1) as it:
+            journal.event("job_retry", job="KMeans-1", retry=1)
+            with journal.span("job", "KMeans-1", attempt=1) as job:
+                journal.event("node_recovered", node="node-0", recoveries=1)
+                journal.event("node_lost", node="node-1", deaths=1)
+                job.set(status="ok", simulated_seconds=1.0, counters={})
+            journal.event("node_blacklisted", node="node-1", deaths=3)
+            it.set(simulated_seconds=1.0)
+        run.set(status="ok")
+    replay = replay_records(sink.records)
+
+    lifecycle = replay.node_events()
+    assert [e.name for e in lifecycle] == [
+        "node_lost",
+        "node_recovered",
+        "node_lost",
+        "node_blacklisted",
+    ]
+    # Journal order is seq order, strictly increasing.
+    seqs = [e.seq for e in lifecycle]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    # Which nodes, in order of occurrence.
+    assert [e.attrs["node"] for e in lifecycle] == [
+        "node-0",
+        "node-0",
+        "node-1",
+        "node-1",
+    ]
+    # Non-lifecycle events are excluded but still in replay.events.
+    assert "job_retry" in [e.name for e in replay.events]
