@@ -38,6 +38,12 @@ Blame categories::
     heartbeat       node-loss detection timeouts under the winning attempt
     recovery        remaining overhead: re-replication writes, replica
                     failover re-reads, and any unexplained remainder
+                    (clamped at zero)
+    residual        accounting anomaly, <= 0: when journalled backoff +
+                    heartbeat seconds exceed ``overhead_seconds`` the
+                    negative residue lands here (and is rendered as a
+                    warning) instead of producing a negative recovery
+                    bucket, keeping the blame sum equal to the total
 
 Everything here derives from canonical (``wall``-free) journal fields
 only, so critical paths are byte-identical across executor backends
@@ -61,6 +67,7 @@ BLAME_CATEGORIES = (
     "retries",
     "heartbeat",
     "recovery",
+    "residual",
 )
 
 
@@ -252,6 +259,7 @@ def _job_on_path(
     stragglers = sum(p.straggler_seconds for p in phases)
     retries = _retry_backoff(job, retry_events)
     heartbeat = _heartbeat_seconds(job)
+    recovery = overhead - retries - heartbeat
     blame = {
         "startup": startup,
         "compute": compute,
@@ -261,8 +269,12 @@ def _job_on_path(
         "heartbeat": heartbeat,
         # Whatever overhead the named causes don't explain stays
         # visible here instead of vanishing: re-replication writes,
-        # replica-failover re-reads, and accounting residue.
-        "recovery": overhead - retries - heartbeat,
+        # replica-failover re-reads, and accounting residue. If the
+        # journalled backoff/heartbeat exceed the overhead, recovery
+        # clamps at zero and the negative residue stays visible under
+        # ``residual`` so the decomposition still sums to the total.
+        "recovery": max(0.0, recovery),
+        "residual": min(0.0, recovery),
     }
     return JobOnPath(
         job=job.name,
@@ -327,7 +339,9 @@ def critical_path(replay: RunReplay) -> CriticalPath:
         for category, seconds in job.blame.items():
             blame[category] += seconds
     # The exact-reconciliation identity: same left-folds, same order,
-    # same final addition as RunReplay.total_simulated_seconds().
+    # same final addition as RunReplay.total_simulated_seconds(),
+    # which goes through replay.left_fold_seconds — NOT builtin sum(),
+    # whose compensated summation on CPython 3.12+ diverges bitwise.
     total_seconds = restore_sum + job_sum
     return CriticalPath(
         total_seconds=total_seconds,
@@ -368,6 +382,12 @@ def render_critical(path: CriticalPath, limit: int = 10) -> str:
                 f"{category} {seconds:.2f}s ({seconds / total * 100:.1f}%)"
             )
     lines.append("blame: " + ("  ".join(blame_bits) or "(empty run)"))
+    residual = path.blame.get("residual", 0.0)
+    if residual < 0:
+        lines.append(
+            f"warning: accounting residual {residual:.2f}s -- journalled "
+            "retry backoff + heartbeat timeouts exceed overhead_seconds"
+        )
     ranked = sorted(path.jobs, key=lambda job: -job.sim_seconds)
     if ranked:
         lines.append("")

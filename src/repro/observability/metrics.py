@@ -90,20 +90,23 @@ def render_prometheus(
     format convention), so the counter ``(live, k)`` and the extra
     gauge ``live_k`` would both render as ``{prefix}_live_k`` — and so
     would two extras differing only by case (``live_K`` vs ``live_k``,
-    e.g. gauge names derived from journal event attrs). Deduplication
-    is therefore *case-insensitive over the final metric name*: the
-    counter map wins (it is the durable accounting record), extras are
-    emitted in sorted-key order, and every later colliding gauge is
-    deterministically renamed with as many ``_extra`` suffixes as it
-    takes to be unique, rather than silently double-registering one
-    metric under two types or two samples (which Prometheus scrapers
-    reject as a format error).
+    e.g. gauge names derived from journal event attrs) or two counters
+    differing only by case (``(live, K)`` vs ``(live, k)``).
+    Deduplication is therefore *case-insensitive over the final metric
+    name*, applied to counters and extras alike: counters are emitted
+    first in sorted-key order, then extras in sorted-key order, and
+    every later colliding name is deterministically renamed with as
+    many ``_extra`` suffixes as it takes to be unique, rather than
+    silently double-registering one metric under two types or two
+    samples (which Prometheus scrapers reject as a format error).
     """
     label_text = _render_labels(labels)
     lines: list[str] = []
     seen_metrics: set[str] = set()
     for (group, name), value in sorted(counters.snapshot().items()):
         metric = metric_name(group, name, prefix)
+        while metric in seen_metrics:
+            metric = f"{metric}_extra"
         seen_metrics.add(metric)
         kind = "gauge" if name.endswith("_MAX") else "counter"
         what = "high-water mark" if kind == "gauge" else "monotone counter"

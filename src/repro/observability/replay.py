@@ -106,6 +106,24 @@ class SpanNode:
         return Counters.from_dict(self.get("counters") or {})
 
 
+def left_fold_seconds(values) -> float:
+    """Plain left-fold float sum, in iteration order.
+
+    The runtime accumulates ``totals.simulated_seconds`` with ``+=``
+    and :func:`repro.observability.critical.critical_path` places its
+    segments at the partial sums of the same fold — all plain left
+    folds. CPython 3.12+ builtin ``sum()`` switched to Neumaier
+    compensated summation, which can differ bitwise from that fold, so
+    every side of an exact-reconciliation identity must accumulate
+    through this helper (or an equivalent explicit loop), never
+    through builtin ``sum()``.
+    """
+    total = 0.0
+    for value in values:
+        total = total + value
+    return total
+
+
 @dataclass
 class RunReplay:
     """A whole journal, reconstructed."""
@@ -173,11 +191,11 @@ class RunReplay:
 
     def total_simulated_seconds(self) -> float:
         """Simulated seconds the journal accounts for (see above)."""
-        total = sum(
+        total = left_fold_seconds(
             float(restore.attrs.get("simulated_seconds") or 0.0)
             for restore in self.restored_baselines()
         )
-        return total + sum(
+        return total + left_fold_seconds(
             float(job.get("simulated_seconds") or 0.0)
             for job in self.successful_jobs()
         )

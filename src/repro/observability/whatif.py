@@ -51,7 +51,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.mapreduce.costmodel import makespan
 from repro.mapreduce.counters import FRAMEWORK_GROUP, MRCounter
-from repro.observability.replay import RunReplay, SpanNode
+from repro.observability.replay import RunReplay, SpanNode, left_fold_seconds
 
 #: ``--set`` keys, with parsers. ``num_workers`` is the CLI-friendly
 #: alias for "total task slots per phase" — the simulated analogue of
@@ -166,11 +166,11 @@ class JobPrediction:
 
     @property
     def recorded_seconds(self) -> float:
-        return sum(self.recorded.values())
+        return left_fold_seconds(self.recorded.values())
 
     @property
     def predicted_seconds(self) -> float:
-        return sum(self.predicted.values())
+        return left_fold_seconds(self.predicted.values())
 
 
 @dataclass
@@ -182,6 +182,12 @@ class WhatIfReport:
     predicted_total: float
     restore_seconds: float
     jobs: "list[JobPrediction]" = field(default_factory=list)
+    #: Successful jobs recorded without a per-phase ``timing`` dict:
+    #: nothing to re-schedule, so their simulated seconds ride both
+    #: totals unchanged (like restored baselines) instead of silently
+    #: dropping out of the recorded makespan.
+    as_recorded_jobs: int = 0
+    as_recorded_seconds: float = 0.0
 
     @property
     def delta_seconds(self) -> float:
@@ -209,6 +215,8 @@ class WhatIfReport:
             "delta_seconds": self.delta_seconds,
             "delta_fraction": self.delta_fraction,
             "restore_seconds": self.restore_seconds,
+            "as_recorded_jobs": self.as_recorded_jobs,
+            "as_recorded_seconds": self.as_recorded_seconds,
             "phase_totals": {
                 name: {"recorded": rec, "predicted": pred}
                 for name, (rec, pred) in self.phase_totals().items()
@@ -315,7 +323,7 @@ def _predict_job(
         "shuffle": float(timing.get("shuffle_seconds") or 0.0),
         "reduce": float(timing.get("reduce_seconds") or 0.0),
     }
-    recorded["overhead"] = sim - sum(recorded.values())
+    recorded["overhead"] = sim - left_fold_seconds(recorded.values())
     nodes = job.get("nodes")
     recorded_nodes = int(nodes) if nodes else None
     growth = _combine_growth(job, scenario)
@@ -393,16 +401,30 @@ def whatif_replay(
     exactly the recorded totals (the identity check the test suite
     pins).
     """
-    restore_seconds = sum(
+    # Same left fold as RunReplay.total_simulated_seconds, so an
+    # identity scenario's recorded total matches the journalled
+    # makespan bitwise on every Python version.
+    restore_seconds = left_fold_seconds(
         float(restore.attrs.get("simulated_seconds") or 0.0)
         for restore in replay.restored_baselines()
     )
     jobs = []
     recorded_total = restore_seconds
     predicted_total = restore_seconds
+    as_recorded_jobs = 0
+    as_recorded_seconds = 0.0
     for span in replay.successful_jobs():
         prediction = _predict_job(span, scenario, task_startup_seconds)
         if prediction is None:
+            # No per-phase timing journalled: nothing to re-schedule,
+            # but the job's clock-charged seconds still belong to the
+            # makespan. Carry them as-recorded on both sides (like the
+            # restored baselines) and surface the count in the report.
+            seconds = float(span.get("simulated_seconds") or 0.0)
+            as_recorded_jobs += 1
+            as_recorded_seconds += seconds
+            recorded_total += seconds
+            predicted_total += seconds
             continue
         jobs.append(prediction)
         recorded_total += prediction.recorded_seconds
@@ -413,6 +435,8 @@ def whatif_replay(
         predicted_total=predicted_total,
         restore_seconds=restore_seconds,
         jobs=jobs,
+        as_recorded_jobs=as_recorded_jobs,
+        as_recorded_seconds=as_recorded_seconds,
     )
 
 
@@ -460,5 +484,11 @@ def render_whatif(report: WhatIfReport, limit: int = 12) -> str:
         lines.append(
             f"restored baselines contribute {report.restore_seconds:.2f}s "
             "to both totals (not re-scheduled)"
+        )
+    if report.as_recorded_jobs:
+        lines.append(
+            f"{report.as_recorded_jobs} job(s) recorded without timing "
+            f"carried as-recorded ({report.as_recorded_seconds:.2f}s, "
+            "not re-scheduled)"
         )
     return "\n".join(lines)

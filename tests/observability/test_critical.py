@@ -134,6 +134,39 @@ def test_failed_attempts_are_off_path_with_zero_clock():
     assert path.total_seconds == 25.0
 
 
+def test_negative_recovery_residue_is_clamped_and_surfaced():
+    """Journalled backoff + heartbeat exceeding overhead_seconds is an
+    accounting anomaly: recovery must clamp at zero and the negative
+    residue land in the explicit ``residual`` bucket (with a rendered
+    warning), not in a negative recovery percentage."""
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    with journal.span("run", "gmeans") as run:
+        with journal.span("iteration", "iteration-1", iteration=1) as it:
+            journal.event("job_retry", job="KMeans-1", retry=1, backoff_seconds=3.0)
+            with journal.span("job", "KMeans-1", attempt=2) as job:
+                # overhead 1.0 < backoff 3.0: 2.0s of negative residue.
+                job.set(
+                    status="ok",
+                    simulated_seconds=10.0,
+                    overhead_seconds=1.0,
+                    retries=1,
+                    timing={"startup_seconds": 9.0},
+                    counters={},
+                )
+            it.set(simulated_seconds=10.0)
+        run.set(status="ok", simulated_seconds=10.0)
+    path = critical_path(replay_records(sink.records))
+    assert path.reconciled
+    assert path.blame["retries"] == 3.0
+    assert path.blame["recovery"] == 0.0
+    assert path.blame["residual"] == -2.0
+    # The decomposition still sums to the segment total.
+    assert abs(path.blame_seconds - path.total_seconds) < 1e-9
+    text = render_critical(path)
+    assert "warning: accounting residual -2.00s" in text
+
+
 def test_empty_journal_reconciles_trivially():
     path = critical_path(replay_records([]))
     assert path.total_seconds == 0.0

@@ -118,6 +118,24 @@ def test_render_prometheus_dedupes_extras_case_insensitively():
     assert "repro_live_k_extra" in sample_names
 
 
+def test_render_prometheus_dedupes_counters_case_insensitively():
+    """Two counter keys differing only by case lowercase to the same
+    metric name; the second must be renamed, not emitted as duplicate
+    HELP/TYPE/sample lines scrapers reject."""
+    counters = Counters()
+    counters.inc("live", "K", 1)
+    counters.inc("live", "k", 2)
+    lines = render_prometheus(counters).splitlines()
+    sample_names = [
+        line.split()[0] for line in lines if not line.startswith("#")
+    ]
+    assert len(sample_names) == len(set(sample_names)) == 2
+    assert "repro_live_k" in sample_names
+    assert "repro_live_k_extra" in sample_names
+    type_names = [line.split()[2] for line in lines if line.startswith("# TYPE")]
+    assert len(type_names) == len(set(type_names))
+
+
 def test_render_prometheus_chained_collisions_stay_unique():
     counters = Counters()
     counters.inc("live", "k", 5)

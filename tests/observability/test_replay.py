@@ -8,7 +8,7 @@ from repro.observability.render import (
     render_timeline,
     render_trace,
 )
-from repro.observability.replay import replay_records
+from repro.observability.replay import left_fold_seconds, replay_records
 
 
 def recorded_run():
@@ -99,6 +99,33 @@ def test_restored_baseline_counts_into_totals():
     replay = replay_records(sink.records)
     assert replay.total_simulated_seconds() == 25.0
     assert replay.total_counters().get("framework", "MAP_TASKS") == 14
+
+
+def test_total_simulated_seconds_is_a_plain_left_fold():
+    """Regression: CPython 3.12+ builtin sum() uses Neumaier
+    compensated summation, which differs bitwise from the runtime's
+    ``+=`` accumulation. The journal accounting must use the same
+    plain left fold on every Python version, or the exact
+    reconciliation in ``repro analyze`` fails spuriously on valid
+    journals (seen on the committed 04-slo-abort baseline)."""
+    values = [0.1] * 10
+    folded = left_fold_seconds(values)
+    # Pin the fold order: ten 0.1s left-fold to just under 1.0, where
+    # any compensated scheme (math.fsum, 3.12+ sum) rounds to 1.0.
+    assert folded == 0.9999999999999999
+    assert folded != 1.0
+
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    with journal.span("run", "gmeans") as run:
+        with journal.span("iteration", "iteration-1", iteration=1) as it:
+            for j in range(10):
+                with journal.span("job", f"KMeans-{j}", attempt=1) as job:
+                    job.set(status="ok", simulated_seconds=0.1, counters={})
+            it.set(simulated_seconds=1.0)
+        run.set(status="ok")
+    replay = replay_records(sink.records)
+    assert replay.total_simulated_seconds() == folded
 
 
 def test_truncated_journal_yields_incomplete_spans():

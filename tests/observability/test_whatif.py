@@ -164,6 +164,46 @@ def test_restored_baselines_ride_both_totals():
     assert "restored baselines contribute 7.50s" in render_whatif(report)
 
 
+def test_jobs_without_timing_ride_both_totals():
+    """A successful job recorded without a per-phase timing dict has
+    nothing to re-schedule, but its seconds still belong to the
+    makespan: carried as-recorded on both sides (like restores) and
+    surfaced in the report, never silently dropped."""
+    sink = InMemoryJournalSink()
+    journal = Journal(sink)
+    with journal.span("run", "gmeans") as run:
+        with journal.span("iteration", "iteration-1", iteration=1) as it:
+            with journal.span("job", "Init-1", attempt=1) as job:
+                job.set(status="ok", simulated_seconds=7.5, counters={})
+            with journal.span("job", "KMeans-1", attempt=1) as job:
+                with journal.span("phase", "map", tasks=2, slots=2):
+                    journal.task("KMeans-1-m-00000", 0, 2.0, 0.0)
+                    journal.task("KMeans-1-m-00001", 1, 2.0, 0.0)
+                job.set(
+                    status="ok",
+                    simulated_seconds=3.0,
+                    timing={"startup_seconds": 1.0, "map_seconds": 2.0},
+                    counters={},
+                )
+            it.set(simulated_seconds=10.5)
+        run.set(status="ok", simulated_seconds=10.5)
+    replay = replay_records(sink.records)
+    report = whatif_replay(replay, Scenario(num_workers=1))
+    assert report.as_recorded_jobs == 1
+    assert report.as_recorded_seconds == 7.5
+    # The recorded makespan agrees with the journalled makespan even
+    # though one job could not be re-scheduled.
+    assert report.recorded_total == replay.total_simulated_seconds()
+    # Only the timed job moves: map LPT([2,2], 1) = 4 vs recorded 2.
+    assert report.predicted_total == pytest.approx(7.5 + 1.0 + 4.0)
+    assert len(report.jobs) == 1
+    payload = report.as_dict()
+    assert payload["as_recorded_jobs"] == 1
+    assert payload["as_recorded_seconds"] == 7.5
+    text = render_whatif(report)
+    assert "1 job(s) recorded without timing carried as-recorded" in text
+
+
 def test_parse_scenario_roundtrip():
     scenario = parse_scenario(
         ["num_workers=8", "combiner=off", "split_factor=1.5", "scheduler=lpt"]
