@@ -298,6 +298,172 @@ def _cmd_diff(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_ablate(args) -> int:
+    import json
+
+    from repro.observability.ablate import (
+        AblationError,
+        WorkloadSpec,
+        load_importance,
+        render_importance,
+        run_ablation,
+        verify_importance,
+        write_importance,
+    )
+    from repro.observability.components import ComponentError, MANIFEST
+
+    if args.list_components:
+        for comp in MANIFEST:
+            flips = ", ".join(comp.label(v) for v in comp.flips)
+            kind = "engine" if comp.engine else "evaluation-only"
+            print(
+                f"{comp.name:<22}{comp.layer:<16}{kind:<17}"
+                f"baseline={comp.label(comp.baseline)!s:<18}flips: {flips}"
+            )
+        return 0
+
+    report_path = os.path.join(args.out_dir, f"{args.basename}.json")
+    if args.check:
+        try:
+            report = load_importance(report_path)
+        except (OSError, AblationError, ValueError) as exc:
+            print(f"cannot load importance report: {exc}", file=sys.stderr)
+            return 2
+        problems = verify_importance(report)
+        if problems:
+            for problem in problems:
+                print(f"FAIL {problem}")
+            return 1
+        print(
+            f"{report_path}: every delta reconciles exactly with its "
+            f"journal ({len(report['variants'])} variants)"
+        )
+        return 0
+
+    spec = WorkloadSpec(n_points=args.points, data_seed=args.seed, seed=args.seed)
+    journal_dir = args.journal_dir or os.path.join(args.out_dir, "ablate")
+    try:
+        report = run_ablation(
+            spec, journal_dir=journal_dir, components=args.components or None
+        )
+    except ComponentError as exc:
+        print(f"bad --components: {exc.args[0]}", file=sys.stderr)
+        return 2
+    written = write_importance(report, out_dir=args.out_dir, basename=args.basename)
+    text = (
+        json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json
+        else render_importance(report)
+    )
+    print(text)
+    for kind, path in sorted(written.items()):
+        print(f"{kind}: {path}", file=sys.stderr)
+    if args.bench_json:
+        from repro.evaluation.benchjson import merge_bench_json
+
+        merge_bench_json(
+            args.bench_json,
+            "ablation_importance",
+            workload=report.spec.as_dict(),
+            metrics={
+                "baseline_simulated_seconds": report.baseline.makespan,
+                "variants": len(report.variants),
+                "delta_makespan_seconds": {
+                    f"{v.component}={v.label}": v.delta_makespan
+                    for v in report.variants
+                },
+                "reconciled": report.ok,
+            },
+        )
+        print(f"bench json: {args.bench_json}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_tune(args) -> int:
+    import json
+
+    from repro.observability.tune import (
+        TuneError,
+        TuneSpace,
+        default_tune_spec,
+        load_tune,
+        load_tuned_config,
+        render_tune,
+        run_tune,
+        verify_tune,
+        write_tune,
+    )
+
+    if args.check:
+        report_path = os.path.join(args.out_dir, f"{args.basename}.json")
+        best_path = os.path.join(args.out_dir, "best-config.json")
+        try:
+            report = load_tune(report_path)
+            best = (
+                load_tuned_config(best_path)
+                if os.path.exists(best_path)
+                else None
+            )
+        except (OSError, TuneError, ValueError) as exc:
+            print(f"cannot load tune report: {exc}", file=sys.stderr)
+            return 2
+        problems = verify_tune(report, best_config=best)
+        if problems:
+            for problem in problems:
+                print(f"FAIL {problem}")
+            return 1
+        print(
+            f"{report_path}: predictions and validations reconcile exactly "
+            f"({len(report['predictions'])} candidates, "
+            f"{len(report['validated'])} validated)"
+        )
+        return 0
+
+    spec = default_tune_spec(n_points=args.points, seed=args.seed)
+    journal_dir = args.journal_dir or os.path.join(args.out_dir, "tune")
+    try:
+        report = run_tune(
+            spec,
+            TuneSpace(),
+            journal_dir=journal_dir,
+            top_n=args.top,
+            budget=args.budget,
+        )
+    except TuneError as exc:
+        print(f"tune failed: {exc}", file=sys.stderr)
+        return 2
+    written = write_tune(report, out_dir=args.out_dir, basename=args.basename)
+    text = (
+        json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json
+        else render_tune(report)
+    )
+    print(text)
+    for kind, path in sorted(written.items()):
+        print(f"{kind}: {path}", file=sys.stderr)
+    if args.bench_json:
+        from repro.evaluation.benchjson import merge_bench_json
+
+        merge_bench_json(
+            args.bench_json,
+            "autotune",
+            workload=report.spec.as_dict(),
+            metrics={
+                "baseline_simulated_seconds": report.baseline_seconds,
+                "candidates": len(report.predictions),
+                "validated": len(report.validated),
+                "winner": report.winner.candidate.describe(),
+                "winner_simulated_seconds": report.winner.actual_seconds,
+                "winner_rel_error": report.winner.rel_error,
+                "improvement_fraction": report.improvement_fraction,
+                "error_budget": report.budget,
+                "within_budget": report.ok,
+            },
+        )
+        print(f"bench json: {args.bench_json}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _global_options() -> argparse.ArgumentParser:
     """The run-wide flags, accepted before *or* after the subcommand.
 
@@ -613,6 +779,134 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable diff instead of text",
     )
     p_diff.add_argument("--out", help="also write the report to this file")
+
+    p_ablate = sub.add_parser(
+        "ablate",
+        help="run every single-flip component variant through the "
+        "deterministic harness and score per-component importance "
+        "from the journals",
+        parents=[options],
+    )
+    p_ablate.add_argument(
+        "--points",
+        type=int,
+        default=3000,
+        help="workload size in points (default: 3000)",
+    )
+    p_ablate.add_argument(
+        "--seed", type=int, default=11, help="workload seed (default: 11)"
+    )
+    p_ablate.add_argument(
+        "--components",
+        action="append",
+        metavar="NAME",
+        help="ablate only this engine component, repeatable "
+        "(default: all; see --list-components)",
+    )
+    p_ablate.add_argument(
+        "--out-dir",
+        default="reports",
+        help="where the importance report lands (default: reports)",
+    )
+    p_ablate.add_argument(
+        "--basename",
+        default="ablation",
+        help="report file stem (default: ablation)",
+    )
+    p_ablate.add_argument(
+        "--journal-dir",
+        help="where per-run journals land (default: <out-dir>/ablate)",
+    )
+    p_ablate.add_argument(
+        "--check",
+        action="store_true",
+        default=False,
+        help="verify the committed report reconciles exactly with its "
+        "journals instead of re-running the grid (exit 1 on drift)",
+    )
+    p_ablate.add_argument(
+        "--list-components",
+        action="store_true",
+        default=False,
+        help="print the declarative component manifest and exit",
+    )
+    p_ablate.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable report instead of markdown",
+    )
+    p_ablate.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="merge the importance summary into this BENCH_*.json",
+    )
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="search the joint config space by what-if prediction from "
+        "one baseline journal, validate the top-N for real, and emit "
+        "the winning config",
+        parents=[options],
+    )
+    p_tune.add_argument(
+        "--points",
+        type=int,
+        default=6000,
+        help="workload size in points (default: 6000)",
+    )
+    p_tune.add_argument(
+        "--seed", type=int, default=11, help="workload seed (default: 11)"
+    )
+    p_tune.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="how many predicted winners to validate by real re-runs "
+        "(default: 3)",
+    )
+    p_tune.add_argument(
+        "--budget",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help="predicted-vs-actual relative makespan error budget for the "
+        "winner (default: 0.02, the bench_whatif_accuracy bound)",
+    )
+    p_tune.add_argument(
+        "--out-dir",
+        default="reports",
+        help="where tune.{md,json} and best-config.json land "
+        "(default: reports)",
+    )
+    p_tune.add_argument(
+        "--basename",
+        default="tune",
+        help="report file stem (default: tune)",
+    )
+    p_tune.add_argument(
+        "--journal-dir",
+        help="where baseline/validation/decision journals land "
+        "(default: <out-dir>/tune)",
+    )
+    p_tune.add_argument(
+        "--check",
+        action="store_true",
+        default=False,
+        help="verify the committed tune report reconciles exactly with "
+        "its journals instead of re-tuning (exit 1 on drift)",
+    )
+    p_tune.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable report instead of markdown",
+    )
+    p_tune.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="merge the tune outcome into this BENCH_*.json",
+    )
     return parser
 
 
@@ -651,6 +945,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "whatif": _cmd_whatif,
         "analyze": _cmd_analyze,
         "diff": _cmd_diff,
+        "ablate": _cmd_ablate,
+        "tune": _cmd_tune,
     }
     from repro.common.errors import SLOViolationError
 

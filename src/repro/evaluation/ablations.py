@@ -33,6 +33,10 @@ from repro.mapreduce.partitioners import (
     make_weight_balanced_partitioner,
     reduce_load_imbalance,
 )
+# The value lists these ablations sweep live in the declarative
+# component manifest shared with `repro ablate` / `repro tune`, so a
+# knob's variants are declared exactly once.
+from repro.observability.components import component_values
 
 
 def _quality(points: np.ndarray, centers: np.ndarray) -> tuple[float, float]:
@@ -57,7 +61,9 @@ def ablation_kmeans_iterations(
     The paper settles on two; this sweeps 1..4 and reports the
     quality/cost trade-off.
     """
-    iterations_list = iterations_list or [1, 2, 3, 4]
+    iterations_list = iterations_list or list(
+        component_values("kmeans_iterations")
+    )
     mixture = paper_family_dataset(k_real, n_points, rng=seed)
     rows = []
     for km_iters in iterations_list:
@@ -100,7 +106,7 @@ def ablation_test_strategy(
     """Mapper-side vs reducer-side vs auto (the hybrid rule)."""
     mixture = paper_family_dataset(k_real, n_points, rng=seed)
     rows = []
-    for strategy in ("mapper", "reducer", "auto"):
+    for strategy in component_values("test_strategy"):
         world = build_world(
             mixture, nodes=4, target_splits=16, seed=seed,
             dataset_name=f"strat-{strategy}",
@@ -138,7 +144,7 @@ def ablation_vote_rules(
     """How mapper votes combine into a verdict (unspecified in paper)."""
     mixture = paper_family_dataset(k_real, n_points, rng=seed)
     rows = []
-    for rule in ("weighted_majority", "any_reject", "all_reject"):
+    for rule in component_values("vote_rule"):
         world = build_world(
             mixture, nodes=4, target_splits=16, seed=seed,
             dataset_name=f"vote-{rule}",
@@ -179,8 +185,12 @@ def ablation_anchor_modes(
     centroid (this implementation's default)."""
     seeds = list(range(seed, seed + 8))
     variants = [
-        ("paper-literal", "previous", False),
-        ("centroid (default)", "centroid", True),
+        (
+            "centroid (default)" if anchor == "centroid" else "paper-literal",
+            anchor,
+            anchor == "centroid",
+        )
+        for anchor in component_values("anchor")
     ]
     # A healthy sigma=2 cluster in R^10 has RMS radius 2*sqrt(10) ~ 6.3;
     # a "coverage hole" is a found cluster half again wider than that —
@@ -270,7 +280,7 @@ def ablation_balanced_partitioning(
     }
     num_reduce = 4
     rows = []
-    for mode in ("hash", "balanced"):
+    for mode in component_values("partitioner"):
         partitioner = (
             make_weight_balanced_partitioner(sizes, num_reduce)
             if mode == "balanced"
@@ -311,7 +321,7 @@ def ablation_init_methods(
         n_points, k, 10, rng=seed, center_low=0, center_high=150
     )
     rows = []
-    for method in ("random", "kmeans++", "kmeans||"):
+    for method in component_values("init_method"):
         world = build_world(
             mixture, nodes=4, target_splits=16, seed=seed,
             dataset_name=f"init-{method}",
@@ -358,7 +368,7 @@ def ablation_cache_input(
 
     slow_disk = replace(BENCH_COST, disk_read_mbps=0.1)
     rows = []
-    for cache in (False, True):
+    for cache in component_values("cache_input"):
         world = build_world(
             mixture, nodes=4, target_splits=16, seed=seed,
             dataset_name=f"cache-{cache}", cost=slow_disk,
@@ -403,7 +413,7 @@ def ablation_normality_tests(
 
     mixture = paper_family_dataset(k_real, n_points, rng=seed)
     rows = []
-    for method in ("anderson", "jarque_bera", "lilliefors"):
+    for method in component_values("normality_test"):
         world = build_world(
             mixture, nodes=4, target_splits=16, seed=seed,
             dataset_name=f"norm-{method}",

@@ -82,6 +82,7 @@ FAULT_EVENTS = (
     "node_blacklisted",
     "tasks_rescheduled",
     "strategy_redecision",
+    "tune_decision",
 )
 
 

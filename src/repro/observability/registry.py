@@ -154,7 +154,77 @@ def _bar(value: float, peak: float, width: int = _BAR_WIDTH) -> str:
     return "#" * max(1 if value > 0 else 0, int(round(value / peak * width)))
 
 
-def render_dashboard(entries: "list[RunEntry]") -> str:
+def _ablation_section(ablation: "dict | None", tune: "dict | None") -> "list[str]":
+    """The "Ablations & tuning" dashboard lines (empty when neither
+    report exists under ``reports/``)."""
+    if not ablation and not tune:
+        return []
+    lines = ["", "## Ablations & tuning", ""]
+    if ablation:
+        variants = ablation.get("variants", [])
+        ranked = sorted(
+            variants, key=lambda v: -abs(v.get("delta_makespan", 0.0))
+        )
+        lines += [
+            f"Latest importance report (`repro ablate`): "
+            f"{len(variants)} single-flip variants, "
+            f"{'fully reconciled' if ablation.get('ok') else '**NOT RECONCILED**'}.",
+            "",
+            "| rank | flip | Δ makespan (s) | Δ makespan | invariant |",
+            "|---:|---|---:|---:|---|",
+        ]
+        for rank, v in enumerate(ranked, start=1):
+            invariant = (
+                ("ok" if v.get("invariant_ok") else "**VIOLATED**")
+                if v.get("simulated_invariant")
+                else "-"
+            )
+            lines.append(
+                f"| {rank} | {v.get('component')}={v.get('label')} "
+                f"| {v.get('delta_makespan', 0.0):+.3f} "
+                f"| {v.get('delta_fraction', 0.0) * 100:+.1f}% "
+                f"| {invariant} |"
+            )
+        lines.append("")
+    if tune:
+        winner = tune.get("winner")
+        lines.append(
+            f"Latest autotune (`repro tune`): "
+            f"{len(tune.get('predictions', []))} candidates predicted from "
+            f"one baseline journal, {len(tune.get('validated', []))} "
+            "validated by re-runs."
+        )
+        if winner:
+            cand = winner.get("candidate", {})
+            improvement = tune.get("improvement_fraction")
+            lines.append(
+                f"- winner: nodes={cand.get('nodes')}, "
+                f"combiner={'on' if cand.get('combiner') else 'off'}, "
+                f"split_factor={cand.get('split_factor')} — "
+                f"{winner.get('actual_seconds', 0.0):.3f}s validated"
+                + (
+                    f" ({improvement * 100:+.1f}% vs baseline)"
+                    if improvement is not None
+                    else ""
+                )
+            )
+            lines.append(
+                f"- prediction error {winner.get('rel_error', 0.0):.4f} "
+                f"against the {tune.get('budget')} budget "
+                f"({'within' if tune.get('ok') else '**EXCEEDED**'}); "
+                "winning config in `best-config.json`"
+            )
+        lines.append("")
+    if lines[-1] == "":
+        lines.pop()
+    return lines
+
+
+def render_dashboard(
+    entries: "list[RunEntry]",
+    ablation: "dict | None" = None,
+    tune: "dict | None" = None,
+) -> str:
     """Longitudinal markdown dashboard over the registry's runs."""
     lines = [
         "# Run registry dashboard",
@@ -235,18 +305,23 @@ def render_dashboard(entries: "list[RunEntry]") -> str:
             lines.append(f"- `{entry.label}`: " + ", ".join(bits))
     if not any_history:
         lines.append("- no faults, aborts or SLO breaches recorded")
+    lines += _ablation_section(ablation, tune)
     lines.append("")
     return "\n".join(lines)
 
 
-def render_dashboard_html(entries: "list[RunEntry]") -> str:
+def render_dashboard_html(
+    entries: "list[RunEntry]",
+    ablation: "dict | None" = None,
+    tune: "dict | None" = None,
+) -> str:
     """Self-contained HTML wrapper around the markdown dashboard.
 
     Deliberately dependency-free: the markdown body is embedded
     verbatim in a ``<pre>`` (tables and code fences read fine
     monospaced), so the page needs no converter and no JS.
     """
-    body = html.escape(render_dashboard(entries))
+    body = html.escape(render_dashboard(entries, ablation=ablation, tune=tune))
     return (
         "<!doctype html>\n"
         "<html><head><meta charset='utf-8'>"
@@ -268,9 +343,15 @@ def write_report(
     """Scan ``rundir`` and write index + dashboard under ``out_dir``.
 
     Returns a mapping of artifact kind (``index`` / ``markdown`` /
-    ``html``) to the written path.
+    ``html``) to the written path. When ``out_dir`` holds the ablation
+    engine's ``ablation.json`` / ``tune.json`` (see ``repro ablate`` /
+    ``repro tune``), the dashboard gains an "Ablations & tuning"
+    section rendering them; a missing or unreadable report simply
+    leaves the section out.
     """
     entries = scan_registry(rundir)
+    ablation = _load_optional_report(os.path.join(out_dir, "ablation.json"))
+    tune = _load_optional_report(os.path.join(out_dir, "tune.json"))
     os.makedirs(out_dir, exist_ok=True)
     written: dict[str, str] = {}
     index_path = os.path.join(out_dir, f"{basename}-index.json")
@@ -280,11 +361,23 @@ def write_report(
     written["index"] = index_path
     markdown_path = os.path.join(out_dir, f"{basename}.md")
     with open(markdown_path, "w", encoding="utf-8") as handle:
-        handle.write(render_dashboard(entries))
+        handle.write(render_dashboard(entries, ablation=ablation, tune=tune))
     written["markdown"] = markdown_path
     if with_html:
         html_path = os.path.join(out_dir, f"{basename}.html")
         with open(html_path, "w", encoding="utf-8") as handle:
-            handle.write(render_dashboard_html(entries))
+            handle.write(
+                render_dashboard_html(entries, ablation=ablation, tune=tune)
+            )
         written["html"] = html_path
     return written
+
+
+def _load_optional_report(path: str) -> "dict | None":
+    """Load an ablation/tune report JSON if present and well-formed."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None

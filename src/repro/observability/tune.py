@@ -1,0 +1,658 @@
+"""The autotuner behind ``repro tune``: search by prediction, pay for
+one baseline plus top-N validations.
+
+``repro ablate`` measures one flip at a time; this module searches the
+*joint* config space without re-running everything. It records one
+baseline journal, then ranks every candidate configuration with the
+calibrated what-if re-scheduler
+(:func:`~repro.observability.whatif.whatif_replay`) seeded from that
+single journal — a prediction costs microseconds, a real run costs a
+full fit. Only the top-N predicted winners are re-run for real, each
+prediction is scored against its re-run exactly like
+``benchmarks/bench_whatif_accuracy.py`` (relative makespan error, 0.02
+budget), and the winning configuration is emitted as a loadable JSON
+(``reports/best-config.json``) plus a journalled ``tune_decision``
+event trail an operator can replay.
+
+The workload pins the job chain the same way the accuracy bench does
+(``strategy="mapper"``, explicit ``num_reduce_tasks``) so the G-means
+split trajectory is invariant across node counts and the prediction
+target is well-defined.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.observability.ablate import WorkloadSpec, run_workload
+from repro.observability.journal import RUN, FileJournalSink, Journal
+from repro.observability.replay import RunReplay, replay_journal
+from repro.observability.whatif import Scenario, whatif_replay
+
+#: ``tune.json`` / ``best-config.json`` schema version.
+TUNE_SCHEMA_VERSION = 1
+
+#: Default predicted-vs-actual budget: the same bound
+#: ``bench_whatif_accuracy`` holds its median error to.
+DEFAULT_ERROR_BUDGET = 0.02
+
+
+class TuneError(ValueError):
+    """The tuner cannot run, or a tune report fails verification."""
+
+
+def default_tune_spec(
+    n_points: int = 6000, seed: int = 11, nodes: int = 4
+) -> WorkloadSpec:
+    """The tuner's baseline workload: fault-free, chain-invariant.
+
+    Faults are off (the predictor models scheduling, not chaos), the
+    strategy is pinned to ``mapper`` and the reduce-task count is
+    explicit so the job chain — and therefore the prediction target —
+    is identical across node counts, and the network is slow enough
+    that the combiner and node axes are real trade-offs.
+    """
+    return WorkloadSpec(
+        name="tune",
+        n_points=n_points,
+        data_seed=seed,
+        seed=seed,
+        nodes=nodes,
+        strategy="mapper",
+        straggler_probability=0.0,
+        task_failure_probability=0.0,
+        max_job_retries=0,
+        network_mbps_per_node=0.25,
+    )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the joint config space."""
+
+    nodes: int
+    combiner: bool
+    split_factor: float
+
+    def describe(self) -> str:
+        return (
+            f"nodes={self.nodes}, "
+            f"combiner={'on' if self.combiner else 'off'}, "
+            f"split_factor={self.split_factor}"
+        )
+
+    def slug(self) -> str:
+        return (
+            f"n{self.nodes}-c{'on' if self.combiner else 'off'}"
+            f"-s{self.split_factor}"
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Candidate":
+        return cls(
+            nodes=int(data["nodes"]),
+            combiner=bool(data["combiner"]),
+            split_factor=float(data["split_factor"]),
+        )
+
+    def scenario(self, spec: WorkloadSpec) -> Scenario:
+        """The what-if scenario turning the baseline into this config."""
+        return Scenario(
+            nodes=None if self.nodes == spec.nodes else self.nodes,
+            combiner=None if self.combiner else False,
+            split_factor=(
+                None if self.split_factor == 1.0 else self.split_factor
+            ),
+        )
+
+    def is_baseline(self, spec: WorkloadSpec) -> bool:
+        return self.scenario(spec).empty
+
+
+@dataclass(frozen=True)
+class TuneSpace:
+    """The candidate grid: the cartesian product of these axes."""
+
+    nodes: "tuple[int, ...]" = (2, 4, 8)
+    combiner: "tuple[bool, ...]" = (True, False)
+    split_factor: "tuple[float, ...]" = (0.5, 1.0, 2.0)
+
+    def candidates(self) -> "list[Candidate]":
+        return [
+            Candidate(nodes=n, combiner=c, split_factor=s)
+            for n, c, s in itertools.product(
+                self.nodes, self.combiner, self.split_factor
+            )
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "combiner": list(self.combiner),
+            "split_factor": list(self.split_factor),
+        }
+
+
+@dataclass(frozen=True)
+class PredictedCandidate:
+    """One candidate with its what-if predicted makespan."""
+
+    candidate: Candidate
+    predicted_seconds: float
+    predicted_delta_fraction: "float | None"
+
+    def as_dict(self) -> dict:
+        return {
+            "candidate": self.candidate.as_dict(),
+            "predicted_seconds": self.predicted_seconds,
+            "predicted_delta_fraction": self.predicted_delta_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class ValidatedCandidate:
+    """A top-N candidate after its real re-run."""
+
+    candidate: Candidate
+    predicted_seconds: float
+    actual_seconds: float
+    rel_error: float
+    journal: str
+
+    def as_dict(self) -> dict:
+        return {
+            "candidate": self.candidate.as_dict(),
+            "predicted_seconds": self.predicted_seconds,
+            "actual_seconds": self.actual_seconds,
+            "rel_error": self.rel_error,
+            "journal": self.journal,
+        }
+
+
+@dataclass
+class TuneReport:
+    """Outcome of one search: ranked predictions, validations, winner."""
+
+    spec: WorkloadSpec
+    space: TuneSpace
+    budget: float
+    baseline_journal: str
+    baseline_seconds: float
+    decisions_journal: "str | None"
+    predictions: "list[PredictedCandidate]" = field(default_factory=list)
+    validated: "list[ValidatedCandidate]" = field(default_factory=list)
+    winner: "ValidatedCandidate | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the top prediction validate within the error budget?"""
+        return self.winner is not None and self.winner.rel_error <= self.budget
+
+    @property
+    def improvement_fraction(self) -> "float | None":
+        if self.winner is None or self.baseline_seconds <= 0:
+            return None
+        return (
+            self.baseline_seconds - self.winner.actual_seconds
+        ) / self.baseline_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": TUNE_SCHEMA_VERSION,
+            "spec": self.spec.as_dict(),
+            "space": self.space.as_dict(),
+            "budget": self.budget,
+            "baseline": {
+                "journal": self.baseline_journal,
+                "recorded_seconds": self.baseline_seconds,
+            },
+            "decisions_journal": self.decisions_journal,
+            "predictions": [p.as_dict() for p in self.predictions],
+            "validated": [v.as_dict() for v in self.validated],
+            "winner": self.winner.as_dict() if self.winner else None,
+            "improvement_fraction": self.improvement_fraction,
+            "ok": self.ok,
+        }
+
+
+def predict_candidates(
+    replay: RunReplay, spec: WorkloadSpec, candidates: "list[Candidate]"
+) -> "list[PredictedCandidate]":
+    """Rank ``candidates`` by what-if predicted makespan (ascending).
+
+    Ties keep grid order, so the ranking is deterministic.
+    """
+    recorded = replay.total_simulated_seconds()
+    predictions = []
+    for cand in candidates:
+        report = whatif_replay(
+            replay,
+            cand.scenario(spec),
+            task_startup_seconds=spec.task_startup_seconds,
+        )
+        predictions.append(
+            PredictedCandidate(
+                candidate=cand,
+                predicted_seconds=report.predicted_total,
+                predicted_delta_fraction=(
+                    (report.predicted_total - recorded) / recorded
+                    if recorded > 0
+                    else None
+                ),
+            )
+        )
+    return [
+        p
+        for _, p in sorted(
+            enumerate(predictions),
+            key=lambda pair: (pair[1].predicted_seconds, pair[0]),
+        )
+    ]
+
+
+def run_tune(
+    spec: "WorkloadSpec | None" = None,
+    space: "TuneSpace | None" = None,
+    journal_dir: "str | None" = None,
+    top_n: int = 3,
+    budget: float = DEFAULT_ERROR_BUDGET,
+) -> TuneReport:
+    """Record a baseline, rank the space by prediction, validate top-N.
+
+    A top candidate identical to the baseline config revalidates
+    against the baseline journal instead of burning a re-run (its
+    prediction is the identity scenario). The winner is the *measured*
+    best among the validated; ``report.ok`` gates the top prediction's
+    relative error against ``budget``.
+    """
+    spec = spec or default_tune_spec()
+    space = space or TuneSpace()
+    if top_n < 1:
+        raise TuneError(f"top_n must be >= 1, got {top_n}")
+    candidates = space.candidates()
+    if not candidates:
+        raise TuneError("the tune space is empty")
+    top_n = min(top_n, len(candidates))
+
+    def journal_path(stem: str) -> "str | None":
+        if journal_dir is None:
+            return None
+        return os.path.join(journal_dir, f"{stem}.jsonl")
+
+    decisions_path = journal_path("decisions")
+    if decisions_path:
+        if os.path.exists(decisions_path):
+            os.unlink(decisions_path)
+        decisions = Journal(FileJournalSink(decisions_path))
+    else:
+        decisions = Journal()
+
+    baseline_path = journal_path("baseline")
+    with decisions.span(
+        RUN, "tune", workload=spec.name, candidates=len(candidates)
+    ) as trail:
+        baseline_replay = run_workload(spec, None, baseline_path)
+        baseline_seconds = baseline_replay.total_simulated_seconds()
+        decisions.event(
+            "tune_decision",
+            stage="baseline",
+            journal=baseline_path or "(in memory)",
+            recorded_seconds=baseline_seconds,
+        )
+        predictions = predict_candidates(baseline_replay, spec, candidates)
+        for rank, pred in enumerate(predictions, start=1):
+            decisions.event(
+                "tune_decision",
+                stage="predicted",
+                rank=rank,
+                config=pred.candidate.as_dict(),
+                predicted_seconds=pred.predicted_seconds,
+            )
+        validated: "list[ValidatedCandidate]" = []
+        for rank, pred in enumerate(predictions[:top_n], start=1):
+            cand = pred.candidate
+            if cand.is_baseline(spec):
+                actual = baseline_seconds
+                path = baseline_path or "(in memory)"
+            else:
+                path = journal_path(f"validate-{rank:02d}-{cand.slug()}")
+                overrides: "dict[str, object]" = {}
+                if not cand.combiner:
+                    overrides["combiner"] = False
+                if cand.split_factor != 1.0:
+                    overrides["split_factor"] = cand.split_factor
+                actual_replay = run_workload(
+                    replace(spec, nodes=cand.nodes), overrides, path
+                )
+                actual = actual_replay.total_simulated_seconds()
+                path = path or "(in memory)"
+            rel_error = (
+                abs(pred.predicted_seconds - actual) / actual
+                if actual > 0
+                else 0.0
+            )
+            entry = ValidatedCandidate(
+                candidate=cand,
+                predicted_seconds=pred.predicted_seconds,
+                actual_seconds=actual,
+                rel_error=rel_error,
+                journal=path,
+            )
+            validated.append(entry)
+            decisions.event(
+                "tune_decision",
+                stage="validated",
+                rank=rank,
+                config=cand.as_dict(),
+                predicted_seconds=pred.predicted_seconds,
+                actual_seconds=actual,
+                rel_error=rel_error,
+                journal=path,
+            )
+        winner = min(
+            range(len(validated)), key=lambda i: (validated[i].actual_seconds, i)
+        )
+        winner_entry = validated[winner]
+        report = TuneReport(
+            spec=spec,
+            space=space,
+            budget=budget,
+            baseline_journal=baseline_path or "(in memory)",
+            baseline_seconds=baseline_seconds,
+            decisions_journal=decisions_path,
+            predictions=predictions,
+            validated=validated,
+            winner=winner_entry,
+        )
+        decisions.event(
+            "tune_decision",
+            stage="winner",
+            config=winner_entry.candidate.as_dict(),
+            predicted_seconds=winner_entry.predicted_seconds,
+            actual_seconds=winner_entry.actual_seconds,
+            rel_error=winner_entry.rel_error,
+            improvement_fraction=report.improvement_fraction,
+            within_budget=report.ok,
+        )
+        trail.set(
+            status="ok",
+            validated=len(validated),
+            winner=winner_entry.candidate.describe(),
+        )
+    decisions.close()
+    return report
+
+
+# -- persistence ---------------------------------------------------------
+
+
+def best_config_payload(report: TuneReport) -> dict:
+    """The loadable winning-config JSON (``reports/best-config.json``)."""
+    if report.winner is None:
+        raise TuneError("no validated winner to emit")
+    cand = report.winner.candidate
+    spec = report.spec
+    return {
+        "schema_version": TUNE_SCHEMA_VERSION,
+        "generated_by": "repro tune",
+        "workload": spec.as_dict(),
+        "config": {
+            "nodes": cand.nodes,
+            "use_combiner": cand.combiner,
+            "split_factor": cand.split_factor,
+            "target_splits": max(
+                1, int(round(spec.target_splits * cand.split_factor))
+            ),
+            "num_reduce_tasks": spec.num_reduce_tasks,
+            "strategy": spec.strategy,
+        },
+        "baseline_seconds": report.baseline_seconds,
+        "predicted_seconds": report.winner.predicted_seconds,
+        "validated_seconds": report.winner.actual_seconds,
+        "rel_error": report.winner.rel_error,
+        "improvement_fraction": report.improvement_fraction,
+        "error_budget": report.budget,
+        "within_budget": report.ok,
+    }
+
+
+def load_tuned_config(path: str) -> dict:
+    """Read and validate a ``best-config.json``."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise TuneError(f"{path}: expected a JSON object")
+    if data.get("schema_version") != TUNE_SCHEMA_VERSION:
+        raise TuneError(
+            f"{path}: schema_version {data.get('schema_version')!r}, "
+            f"this loader reads {TUNE_SCHEMA_VERSION}"
+        )
+    for key in ("workload", "config", "validated_seconds", "rel_error"):
+        if key not in data:
+            raise TuneError(f"{path}: missing {key!r}")
+    if not isinstance(data["config"], dict):
+        raise TuneError(f"{path}: 'config' must be an object")
+    return data
+
+
+def render_tune(report: TuneReport) -> str:
+    """Markdown tune report (deterministic, simulated-only)."""
+    spec = report.spec
+    lines = [
+        "# Autotune report",
+        "",
+        f"Workload `{spec.name}`: {spec.n_points} points, "
+        f"k_real={spec.k_real}, {spec.dimensions}d, seed {spec.seed}, "
+        f"baseline {spec.nodes} nodes — recorded "
+        f"{report.baseline_seconds:.3f} simulated s "
+        f"(`{report.baseline_journal}`).",
+        "",
+        f"{len(report.predictions)} candidate configs ranked from the "
+        "one baseline journal by the calibrated what-if re-scheduler; "
+        f"top {len(report.validated)} validated by real re-runs "
+        f"(error budget {report.budget}).",
+        "",
+        "## Predicted ranking",
+        "",
+        "| rank | candidate | predicted (s) | vs baseline |",
+        "|---:|---|---:|---:|",
+    ]
+    for rank, pred in enumerate(report.predictions, start=1):
+        frac = (
+            f"{pred.predicted_delta_fraction * 100:+.1f}%"
+            if pred.predicted_delta_fraction is not None
+            else "-"
+        )
+        lines.append(
+            f"| {rank} | {pred.candidate.describe()} "
+            f"| {pred.predicted_seconds:.3f} | {frac} |"
+        )
+    lines += [
+        "",
+        "## Validation (predicted vs re-run)",
+        "",
+        "| rank | candidate | predicted (s) | actual (s) | rel error |",
+        "|---:|---|---:|---:|---:|",
+    ]
+    for rank, v in enumerate(report.validated, start=1):
+        lines.append(
+            f"| {rank} | {v.candidate.describe()} "
+            f"| {v.predicted_seconds:.3f} | {v.actual_seconds:.3f} "
+            f"| {v.rel_error:.4f} |"
+        )
+    winner = report.winner
+    lines += ["", "## Decision", ""]
+    if winner is not None:
+        improvement = report.improvement_fraction
+        lines.append(
+            f"- winner: **{winner.candidate.describe()}** — "
+            f"{winner.actual_seconds:.3f} s validated "
+            f"({improvement * 100:+.1f}% vs baseline)"
+            if improvement is not None
+            else f"- winner: **{winner.candidate.describe()}**"
+        )
+        lines.append(
+            f"- prediction error: {winner.rel_error:.4f} "
+            f"({'within' if report.ok else '**EXCEEDS**'} the "
+            f"{report.budget} budget)"
+        )
+        lines.append(
+            "- winning config written to `best-config.json`; decision "
+            f"trail journalled at `{report.decisions_journal}`"
+            if report.decisions_journal
+            else "- winning config written to `best-config.json`"
+        )
+    else:  # pragma: no cover - run_tune always validates >= 1
+        lines.append("- no candidate validated")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_tune(
+    report: TuneReport,
+    out_dir: str = "reports",
+    basename: str = "tune",
+) -> "dict[str, str]":
+    """Write ``tune.md``, ``tune.json`` and ``best-config.json``."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: "dict[str, str]" = {}
+    json_path = os.path.join(out_dir, f"{basename}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    written["json"] = json_path
+    md_path = os.path.join(out_dir, f"{basename}.md")
+    with open(md_path, "w", encoding="utf-8") as handle:
+        handle.write(render_tune(report))
+    written["markdown"] = md_path
+    best_path = os.path.join(out_dir, "best-config.json")
+    with open(best_path, "w", encoding="utf-8") as handle:
+        json.dump(best_config_payload(report), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    written["best_config"] = best_path
+    return written
+
+
+def load_tune(path: str) -> dict:
+    """Read a ``tune.json``, validating the shape."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise TuneError(f"{path}: expected a JSON object")
+    if data.get("schema_version") != TUNE_SCHEMA_VERSION:
+        raise TuneError(
+            f"{path}: schema_version {data.get('schema_version')!r}, "
+            f"this loader reads {TUNE_SCHEMA_VERSION}"
+        )
+    for key in ("spec", "space", "baseline", "predictions", "validated"):
+        if key not in data:
+            raise TuneError(f"{path}: missing {key!r}")
+    return data
+
+
+def verify_tune(
+    report: dict,
+    base_dir: str = ".",
+    best_config: "dict | None" = None,
+) -> "list[str]":
+    """Prove a persisted tune report still reconciles with its journals.
+
+    Recomputes every prediction from the committed baseline journal,
+    every validated actual from its committed re-run journal, and every
+    relative error — exact comparisons, like
+    :func:`~repro.observability.ablate.verify_importance` — then checks
+    the winner respects the error budget and (when given) that
+    ``best-config.json`` matches the winner. Returns problems (empty =
+    fully reconciled).
+    """
+    problems: "list[str]" = []
+    spec = WorkloadSpec.from_dict(report["spec"])
+    base_path = os.path.join(base_dir, report["baseline"]["journal"])
+    if not os.path.exists(base_path):
+        return [f"baseline journal missing: {base_path}"]
+    baseline_replay = replay_journal(base_path)
+    baseline_seconds = baseline_replay.total_simulated_seconds()
+    if report["baseline"]["recorded_seconds"] != baseline_seconds:
+        problems.append(
+            "baseline: recorded_seconds does not reconcile with its "
+            f"journal (report has {report['baseline']['recorded_seconds']!r}, "
+            f"replay accounting says {baseline_seconds!r})"
+        )
+    for rank, entry in enumerate(report["predictions"], start=1):
+        cand = Candidate.from_dict(entry["candidate"])
+        predicted = whatif_replay(
+            baseline_replay,
+            cand.scenario(spec),
+            task_startup_seconds=spec.task_startup_seconds,
+        ).predicted_total
+        if entry["predicted_seconds"] != predicted:
+            problems.append(
+                f"prediction #{rank} ({cand.describe()}): predicted "
+                f"seconds do not reconcile (report has "
+                f"{entry['predicted_seconds']!r}, recomputed {predicted!r})"
+            )
+    budget = float(report.get("budget", DEFAULT_ERROR_BUDGET))
+    for rank, entry in enumerate(report["validated"], start=1):
+        cand = Candidate.from_dict(entry["candidate"])
+        path = os.path.join(base_dir, entry["journal"])
+        if not os.path.exists(path):
+            problems.append(
+                f"validated #{rank} ({cand.describe()}): journal missing: "
+                f"{path}"
+            )
+            continue
+        actual = replay_journal(path).total_simulated_seconds()
+        if entry["actual_seconds"] != actual:
+            problems.append(
+                f"validated #{rank} ({cand.describe()}): actual seconds "
+                f"do not reconcile (report has {entry['actual_seconds']!r}, "
+                f"replay accounting says {actual!r})"
+            )
+        rel_error = (
+            abs(entry["predicted_seconds"] - actual) / actual
+            if actual > 0
+            else 0.0
+        )
+        if entry["rel_error"] != rel_error:
+            problems.append(
+                f"validated #{rank} ({cand.describe()}): rel_error does "
+                f"not reconcile (report has {entry['rel_error']!r}, "
+                f"recomputed {rel_error!r})"
+            )
+    winner = report.get("winner")
+    if winner is None:
+        problems.append("no winner recorded")
+    else:
+        if winner["rel_error"] > budget:
+            problems.append(
+                f"winner rel_error {winner['rel_error']} exceeds the "
+                f"{budget} budget"
+            )
+        if best_config is not None:
+            for report_key, config_key in (
+                ("predicted_seconds", "predicted_seconds"),
+                ("actual_seconds", "validated_seconds"),
+                ("rel_error", "rel_error"),
+            ):
+                if best_config.get(config_key) != winner[report_key]:
+                    problems.append(
+                        f"best-config.json {config_key} does not match the "
+                        f"tune winner's {report_key}"
+                    )
+            win_cand = Candidate.from_dict(winner["candidate"])
+            config = best_config.get("config", {})
+            if (
+                config.get("nodes") != win_cand.nodes
+                or config.get("use_combiner") != win_cand.combiner
+                or config.get("split_factor") != win_cand.split_factor
+            ):
+                problems.append(
+                    "best-config.json config does not match the tune winner"
+                )
+    return problems

@@ -141,3 +141,93 @@ def test_diff_json_output(journal_path, tmp_path, capsys):
 def test_diff_unreadable_journal_exits_two(journal_path, capsys):
     assert main(["diff", "nope.jsonl", journal_path]) == 2
     assert main(["diff", journal_path, "nope.jsonl"]) == 2
+
+
+# -- repro ablate / repro tune -------------------------------------------
+
+
+def test_ablate_cli_list_components(capsys):
+    assert main(["ablate", "--list-components"]) == 0
+    out = capsys.readouterr().out
+    assert "combiner" in out and "evaluation-only" in out
+
+
+def test_ablate_cli_writes_report_and_check_verifies(tmp_path, capsys):
+    out_dir = str(tmp_path / "reports")
+    assert (
+        main(
+            [
+                "ablate",
+                "--points", "500",
+                "--components", "combiner",
+                "--out-dir", out_dir,
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "# Ablation importance report" in captured.out
+    report_path = f"{out_dir}/ablation.json"
+    report = json.load(open(report_path, encoding="utf-8"))
+    assert [v["component"] for v in report["variants"]] == ["combiner"]
+    # Journals landed under <out-dir>/ablate by default.
+    assert report["baseline"]["journal"].startswith(out_dir)
+
+    assert main(["ablate", "--check", "--out-dir", out_dir]) == 0
+    assert "reconciles exactly" in capsys.readouterr().out
+
+    report["variants"][0]["delta_makespan"] += 1.0
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle)
+    assert main(["ablate", "--check", "--out-dir", out_dir]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_ablate_cli_unknown_component_exits_two(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "ablate",
+                "--components", "warp",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        == 2
+    )
+    assert "bad --components" in capsys.readouterr().err
+
+
+def test_ablate_cli_check_without_report_exits_two(tmp_path, capsys):
+    assert main(["ablate", "--check", "--out-dir", str(tmp_path)]) == 2
+    assert "cannot load importance report" in capsys.readouterr().err
+
+
+def test_tune_cli_writes_config_and_check_verifies(tmp_path, capsys):
+    out_dir = str(tmp_path / "reports")
+    assert (
+        main(
+            [
+                "tune",
+                "--points", "1200",
+                "--top", "2",
+                "--out-dir", out_dir,
+                "--bench-json", f"{out_dir}/BENCH_cli.json",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "# Autotune report" in captured.out
+    best = json.load(open(f"{out_dir}/best-config.json", encoding="utf-8"))
+    assert best["within_budget"] is True
+    bench = json.load(open(f"{out_dir}/BENCH_cli.json", encoding="utf-8"))
+    assert bench["benchmark"] == "autotune"
+    assert bench["metrics"]["within_budget"] is True
+
+    assert main(["tune", "--check", "--out-dir", out_dir]) == 0
+    assert "reconcile exactly" in capsys.readouterr().out
+
+
+def test_tune_cli_check_without_report_exits_two(tmp_path, capsys):
+    assert main(["tune", "--check", "--out-dir", str(tmp_path)]) == 2
+    assert "cannot load tune report" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""The autotuner: prediction ranking, validation, decision trail."""
+
+import json
+
+import pytest
+
+from repro.observability.replay import replay_journal
+from repro.observability.tune import (
+    Candidate,
+    TuneError,
+    TuneSpace,
+    best_config_payload,
+    default_tune_spec,
+    load_tune,
+    load_tuned_config,
+    render_tune,
+    run_tune,
+    verify_tune,
+    write_tune,
+)
+
+SPEC = default_tune_spec(n_points=1200)
+
+
+@pytest.fixture(scope="module")
+def tuned(tmp_path_factory):
+    journal_dir = tmp_path_factory.mktemp("tune-journals")
+    report = run_tune(SPEC, journal_dir=str(journal_dir), top_n=3)
+    return report, str(journal_dir)
+
+
+def test_space_is_the_ordered_cartesian_product():
+    space = TuneSpace(nodes=(2, 4), combiner=(True,), split_factor=(1.0, 2.0))
+    assert space.candidates() == [
+        Candidate(2, True, 1.0),
+        Candidate(2, True, 2.0),
+        Candidate(4, True, 1.0),
+        Candidate(4, True, 2.0),
+    ]
+
+
+def test_baseline_candidate_maps_to_the_empty_scenario():
+    cand = Candidate(nodes=SPEC.nodes, combiner=True, split_factor=1.0)
+    assert cand.is_baseline(SPEC)
+    scenario = Candidate(8, False, 2.0).scenario(SPEC)
+    assert (scenario.nodes, scenario.combiner, scenario.split_factor) == (
+        8,
+        False,
+        2.0,
+    )
+
+
+def test_predictions_cover_the_space_and_rank_ascending(tuned):
+    report, _ = tuned
+    assert len(report.predictions) == len(TuneSpace().candidates())
+    seconds = [p.predicted_seconds for p in report.predictions]
+    assert seconds == sorted(seconds)
+
+
+def test_winner_validates_within_budget(tuned):
+    report, _ = tuned
+    assert report.winner is not None
+    assert report.winner.rel_error <= report.budget
+    assert report.ok
+    # The winner is the measured-best validated candidate.
+    assert report.winner.actual_seconds == min(
+        v.actual_seconds for v in report.validated
+    )
+
+
+def test_decision_trail_is_journalled(tuned):
+    report, journal_dir = tuned
+    replay = replay_journal(f"{journal_dir}/decisions.jsonl")
+    stages = [
+        event.attrs.get("stage")
+        for event in replay.events_named("tune_decision")
+    ]
+    assert stages[0] == "baseline"
+    assert stages.count("predicted") == len(report.predictions)
+    assert stages.count("validated") == len(report.validated)
+    assert stages[-1] == "winner"
+
+
+def test_written_report_verifies_exactly(tuned, tmp_path):
+    report, _ = tuned
+    written = write_tune(report, out_dir=str(tmp_path))
+    loaded = load_tune(written["json"])
+    best = load_tuned_config(written["best_config"])
+    assert verify_tune(loaded, best_config=best) == []
+
+
+def test_verify_catches_tampering(tuned, tmp_path):
+    report, _ = tuned
+    written = write_tune(report, out_dir=str(tmp_path))
+    loaded = load_tune(written["json"])
+    loaded["predictions"][0]["predicted_seconds"] += 0.25
+    problems = verify_tune(loaded)
+    assert problems and "do not reconcile" in problems[0]
+
+    loaded = load_tune(written["json"])
+    best = load_tuned_config(written["best_config"])
+    best["config"]["nodes"] = 99
+    problems = verify_tune(loaded, best_config=best)
+    assert any("does not match the tune winner" in p for p in problems)
+
+
+def test_best_config_payload_is_loadable(tuned, tmp_path):
+    report, _ = tuned
+    payload = best_config_payload(report)
+    assert payload["within_budget"] is True
+    assert payload["config"]["num_reduce_tasks"] == SPEC.num_reduce_tasks
+    path = tmp_path / "best-config.json"
+    path.write_text(json.dumps(payload))
+    assert load_tuned_config(str(path))["config"] == payload["config"]
+    with pytest.raises(TuneError, match="schema_version"):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 7}))
+        load_tuned_config(str(bad))
+
+
+def test_render_tune_sections(tuned):
+    report, _ = tuned
+    text = render_tune(report)
+    assert "# Autotune report" in text
+    assert "## Predicted ranking" in text
+    assert "## Validation (predicted vs re-run)" in text
+    assert "## Decision" in text
+    assert "within the 0.02 budget" in text
+
+
+def test_run_tune_rejects_bad_inputs():
+    with pytest.raises(TuneError, match="top_n"):
+        run_tune(SPEC, top_n=0)
+    with pytest.raises(TuneError, match="empty"):
+        run_tune(SPEC, TuneSpace(nodes=(), combiner=(), split_factor=()))
