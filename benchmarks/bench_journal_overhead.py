@@ -1,18 +1,20 @@
 """Journal overhead — the observability tax on a real workload.
 
-Runs the same seeded G-means workload in three modes — journalling off
+Runs the same seeded G-means workload in four modes — journalling off
 (the default ``NullJournalSink``), journalling on (a
 ``FileJournalSink`` appending JSON lines, flushed at every span and
-event boundary), and full live telemetry (the file sink teed through a
+event boundary), full live telemetry (the file sink teed through a
 ``TelemetrySink`` into a ``LiveRunState`` with per-task profiling
-armed) — and asserts:
+armed), and live telemetry with the in-flight anomaly detectors armed
+on top (``AnomalyWatchdog`` at default thresholds) — and asserts:
 
-* equivalence — results are byte-identical across all three modes
+* equivalence — results are byte-identical across all four modes
   (telemetry observes the record stream, it never touches an RNG);
 * overhead — the file sink costs < 5% wall-clock on top of the
   uninstrumented run, and live telemetry *with* tracemalloc-based task
   profiling stays < 10% (best-of-``REPEATS`` per mode, to damp
-  scheduler noise).
+  scheduler noise) — with the detectors armed included under the same
+  10% budget.
 
 The measurement lands in ``BENCH_observability.json`` at the repo root.
 """
@@ -25,9 +27,10 @@ import time
 from repro.core.config import MRGMeansConfig
 from repro.core.gmeans_mr import MRGMeans
 from repro.data.generator import paper_family_dataset
-from repro.evaluation.benchjson import write_bench_json
+from repro.evaluation.benchjson import merge_bench_json
 from repro.evaluation.harness import build_world
 from repro.observability import (
+    AnomalyWatchdog,
     FileJournalSink,
     Journal,
     LiveRunState,
@@ -76,9 +79,10 @@ def run_once(
 
 def test_journal_overhead(report, tmp_path):
     run_once(None)  # warm caches before anything is measured
-    off_times, on_times, live_times = [], [], []
-    off_signature = on_signature = live_signature = None
+    off_times, on_times, live_times, armed_times = [], [], [], []
+    off_signature = on_signature = live_signature = armed_signature = None
     journal_records = 0
+    anomalies_fired = 0
     for repeat in range(REPEATS):
         off_signature, off_elapsed = run_once(None)
         off_times.append(off_elapsed)
@@ -100,6 +104,19 @@ def test_journal_overhead(report, tmp_path):
         live_journal.close()
         live_times.append(live_elapsed)
 
+        armed_path = tmp_path / f"bench-armed-{repeat}.jsonl"
+        armed_sink = TelemetrySink(
+            FileJournalSink(str(armed_path)), state=LiveRunState()
+        )
+        armed_journal = Journal(armed_sink)
+        armed_sink.anomaly = AnomalyWatchdog(armed_journal)
+        armed_signature, armed_elapsed = run_once(
+            armed_journal, profile_tasks=True
+        )
+        armed_journal.close()
+        armed_times.append(armed_elapsed)
+        anomalies_fired = len(armed_sink.anomaly.fired)
+
         assert on_signature == off_signature, (
             "journalling changed results — determinism contract broken"
         )
@@ -107,12 +124,18 @@ def test_journal_overhead(report, tmp_path):
             "live telemetry / profiling changed results — "
             "determinism contract broken"
         )
+        assert armed_signature == off_signature, (
+            "anomaly detectors changed results — "
+            "determinism contract broken"
+        )
 
     best_off, best_on, best_live = min(off_times), min(on_times), min(live_times)
+    best_armed = min(armed_times)
     overhead = best_on / best_off - 1.0
     overhead_live = best_live / best_off - 1.0
+    overhead_armed = best_armed / best_off - 1.0
 
-    write_bench_json(
+    merge_bench_json(
         BENCH_JSON,
         "journal_overhead_gmeans",
         workload={
@@ -127,12 +150,16 @@ def test_journal_overhead(report, tmp_path):
                 "journal_off": round(best_off, 3),
                 "journal_on": round(best_on, 3),
                 "live_telemetry_profiled": round(best_live, 3),
+                "live_detectors_armed": round(best_armed, 3),
             },
             "journal_records": journal_records,
+            "anomalies_fired": anomalies_fired,
             "overhead_fraction": round(overhead, 4),
             "max_overhead_fraction": MAX_OVERHEAD,
             "overhead_fraction_live_profiled": round(overhead_live, 4),
             "max_overhead_fraction_live_profiled": MAX_OVERHEAD_PROFILED,
+            "overhead_fraction_detectors_armed": round(overhead_armed, 4),
+            "max_overhead_fraction_detectors_armed": MAX_OVERHEAD_PROFILED,
             "results_byte_identical": True,
         },
     )
@@ -143,9 +170,13 @@ def test_journal_overhead(report, tmp_path):
         f"  journal off      {best_off:8.2f} s   (best of {REPEATS})",
         f"  journal on       {best_on:8.2f} s   ({journal_records} records)",
         f"  live + profiled  {best_live:8.2f} s   (telemetry tee + tracemalloc)",
+        f"  + detectors      {best_armed:8.2f} s   "
+        f"(anomaly watchdog armed, {anomalies_fired} firing(s))",
         "",
         f"  journal overhead: {overhead * 100:.2f}%  (budget {MAX_OVERHEAD * 100:.0f}%)",
         f"  live+profiling overhead: {overhead_live * 100:.2f}%"
+        f"  (budget {MAX_OVERHEAD_PROFILED * 100:.0f}%)",
+        f"  detectors-armed overhead: {overhead_armed * 100:.2f}%"
         f"  (budget {MAX_OVERHEAD_PROFILED * 100:.0f}%)",
     ]
     report("journal_overhead", "\n".join(lines))
@@ -156,5 +187,9 @@ def test_journal_overhead(report, tmp_path):
     )
     assert overhead_live < MAX_OVERHEAD_PROFILED, (
         f"live telemetry with profiling cost {overhead_live * 100:.2f}% "
+        f"wall-clock, budget is {MAX_OVERHEAD_PROFILED * 100:.0f}%"
+    )
+    assert overhead_armed < MAX_OVERHEAD_PROFILED, (
+        f"anomaly detectors cost {overhead_armed * 100:.2f}% "
         f"wall-clock, budget is {MAX_OVERHEAD_PROFILED * 100:.0f}%"
     )

@@ -18,12 +18,18 @@
     python -m repro analyze run.jsonl
     python -m repro diff baseline.jsonl run.jsonl --max-time-regression 0.1
     python -m repro report runs/ --out-dir reports/
+    python -m repro experiment table1 --journal run.jsonl --anomaly
+    python -m repro anomalies run.jsonl --check
 
 Every run is deterministic (the experiments carry their own seeds);
 the printed report is the same paper-vs-measured text the benchmark
 suite archives. Live telemetry (``--live`` / ``--metrics-port`` /
 ``--profile-tasks`` / ``--slo``) only observes a run — results and
-canonical journals are byte-identical with it on or off.
+canonical journals are byte-identical with it on or off. ``--anomaly``
+arms the in-flight detectors, which *do* journal their firings — but
+from simulated quantities only, so those journals are byte-identical
+across backends too, and ``repro anomalies --check`` re-derives every
+firing exactly.
 
 Exit codes: 0 success, 1 command failure, 2 usage, 3 SLO abort
 (a ``--slo`` rule breached and the run checkpointed then stopped).
@@ -52,6 +58,7 @@ from repro.mapreduce.nodes import (
     NODE_FAILURE_PROB_ENV,
     NODE_RECOVERY_PROB_ENV,
 )
+from repro.observability.anomaly import ANOMALY_ENV
 from repro.observability.journal import JOURNAL_ENV
 from repro.observability.live import LIVE_ENV, METRICS_PORT_ENV
 from repro.observability.profiling import PROFILE_TASKS_ENV
@@ -235,6 +242,61 @@ def _cmd_analyze(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_anomalies(args) -> int:
+    import json
+
+    from repro.common.errors import JournalCorruptError
+    from repro.observability import (
+        AnomalyConfig,
+        detect_anomalies,
+        load_journal,
+        recorded_anomaly_config,
+        reconcile_anomalies,
+        render_anomalies,
+        render_reconciliation,
+    )
+
+    try:
+        records = load_journal(args.journal_path)
+    except (OSError, JournalCorruptError) as exc:
+        print(f"cannot read journal: {exc}", file=sys.stderr)
+        return 1
+
+    if args.check:
+        # Exact replay reconciliation: the journal's own recorded
+        # config drives the detectors, and every live-emitted event
+        # must re-derive bit-for-bit (seq, parent, attrs).
+        outcome = reconcile_anomalies(records)
+        if outcome.config is None:
+            print(
+                "journal carries no anomaly_config event; run with "
+                "--anomaly to arm the detectors",
+                file=sys.stderr,
+            )
+            return 1
+        text = (
+            json.dumps(outcome.as_dict(), indent=2)
+            if args.json
+            else render_reconciliation(outcome)
+        )
+        print(text)
+        _write_out(text, args.out)
+        return 0 if outcome.ok else 1
+
+    # Post-hoc detection: works on any journal, detectors armed or not.
+    config = recorded_anomaly_config(records) or AnomalyConfig()
+    found = detect_anomalies(records, config)
+    if args.json:
+        text = json.dumps(
+            {"config": config.as_dict(), "anomalies": found}, indent=2
+        )
+    else:
+        text = render_anomalies(found, config)
+    print(text)
+    _write_out(text, args.out)
     return 0
 
 
@@ -575,9 +637,25 @@ def _global_options() -> argparse.ArgumentParser:
         help="comma-separated SLO rules evaluated live, e.g. "
         "'max_k=64,warn:max_wall_seconds=600'; rules: max_wall_seconds, "
         "max_simulated_seconds, max_k, max_heap_fraction, "
-        "max_job_retries. Default action aborts cleanly after the "
-        f"iteration checkpoint with exit code {EXIT_SLO_BREACH}; the "
-        "'warn:' prefix only warns (default: $REPRO_SLO or none)",
+        "max_job_retries, on_anomaly=TYPE (breach on the first firing "
+        "of that --anomaly detector). Default action aborts cleanly "
+        f"after the iteration checkpoint with exit code {EXIT_SLO_BREACH}; "
+        "the 'warn:' prefix only warns (default: $REPRO_SLO or none)",
+    )
+    parent.add_argument(
+        "--anomaly",
+        nargs="?",
+        const="1",
+        metavar="SPEC",
+        help="arm the in-flight anomaly detectors (straggler_onset, "
+        "skew_drift, heap_breach_predicted, cost_model_drift, "
+        "fault_storm); bare flag uses default thresholds, or give a "
+        "comma-separated knob spec like "
+        "'straggler_ratio=2,storm_events=4'. Firings are journalled as "
+        "typed 'anomaly' events derived from simulated quantities only "
+        "(verify with 'repro anomalies JOURNAL --check'; a bare "
+        "--anomaly must go after the subcommand, like --resume; "
+        "default: $REPRO_ANOMALY or off)",
     )
     return parent
 
@@ -743,6 +821,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable report instead of text",
     )
     p_analyze.add_argument("--out", help="also write the report to this file")
+
+    p_anomalies = sub.add_parser(
+        "anomalies",
+        help="re-run the anomaly detectors over a recorded journal; "
+        "--check demands the live-emitted events re-derive exactly "
+        "(exit 1 on any mismatch)",
+        parents=[options],
+    )
+    p_anomalies.add_argument("journal_path", metavar="JOURNAL")
+    p_anomalies.add_argument(
+        "--check",
+        action="store_true",
+        default=False,
+        help="reconcile against the journal's own anomaly events: every "
+        "recorded firing must re-derive with identical sequence, parent "
+        "and attributes (exit 1 on mismatch or when detectors were off)",
+    )
+    p_anomalies.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable report instead of text",
+    )
+    p_anomalies.add_argument("--out", help="also write the report to this file")
 
     p_diff = sub.add_parser(
         "diff",
@@ -930,6 +1032,7 @@ def main(argv: "list[str] | None" = None) -> int:
         ("metrics_port", METRICS_PORT_ENV),
         ("profile_tasks", PROFILE_TASKS_ENV),
         ("slo", SLO_ENV),
+        ("anomaly", ANOMALY_ENV),
     )
     for attr, env_name in env_bindings:
         value = getattr(args, attr, None)
@@ -944,6 +1047,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "whatif": _cmd_whatif,
         "analyze": _cmd_analyze,
+        "anomalies": _cmd_anomalies,
         "diff": _cmd_diff,
         "ablate": _cmd_ablate,
         "tune": _cmd_tune,

@@ -748,7 +748,7 @@ class MapReduceRuntime:
             "map",
             tasks=f.num_splits,
             slots=self.cluster_state.total_map_slots,
-        ):
+        ) as phase_span:
             outcomes = self.executor.run_tasks(
                 execute_map_task,
                 specs,
@@ -797,6 +797,14 @@ class MapReduceRuntime:
                     "tasks_rescheduled",
                     count=rescheduled,
                     nodes=sorted(lost_nodes),
+                )
+            if self.journal.enabled:
+                # Map-output volume on the phase-end record: the online
+                # heap-breach detector projects the reducer's per-key
+                # heap from this growth *before* the reduce phase runs.
+                phase_span.set(
+                    map_output_records=len(all_pairs),
+                    shuffle_bytes=shuffle_bytes,
                 )
         self._apply_blacklist(failures_by_node)
         return all_pairs, map_seconds, shuffle_bytes

@@ -265,6 +265,13 @@ class JobResidual:
         return worst
 
 
+#: Version of the ``repro analyze --json`` payload (its ``schema_version``
+#: key), bumped on incompatible shape changes. v2 added the key itself
+#: plus the ``anomalies`` section (the journal's recorded in-flight
+#: detector firings); consumers should reject versions they don't know.
+ANALYZE_SCHEMA_VERSION = 2
+
+
 @dataclass
 class AnalysisReport:
     """Everything ``repro analyze`` derives from one journal."""
@@ -283,6 +290,9 @@ class AnalysisReport:
     #: Critical path + blame breakdown; carries the exact-reconciliation
     #: verdict (:attr:`CriticalPath.reconciled`).
     critical: "CriticalPath | None" = None
+    #: Recorded in-flight detector firings (``anomaly`` event attrs, in
+    #: journal order); empty when the run did not arm ``--anomaly``.
+    anomalies: "list[dict]" = field(default_factory=list)
 
     @property
     def heap_audit_consistent(self) -> bool:
@@ -294,8 +304,16 @@ class AnalysisReport:
         return max((job.max_abs_relative for job in self.residuals), default=0.0)
 
     def as_dict(self) -> dict:
-        """JSON-ready form (``repro analyze --json``)."""
+        """JSON-ready form (``repro analyze --json``).
+
+        The payload is versioned: ``schema_version`` is
+        :data:`ANALYZE_SCHEMA_VERSION`, bumped whenever a key is
+        renamed, removed or changes meaning (additions alone do not
+        bump it). The full key catalogue is documented in
+        ``docs/observability.md``.
+        """
         return {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
             "jobs": [asdict(job) for job in self.jobs],
             "map_tasks": asdict(self.map_tasks) if self.map_tasks else None,
             "reduce_tasks": (
@@ -329,6 +347,7 @@ class AnalysisReport:
                 asdict(point) for point in self.capacity_timeline
             ],
             "critical": self.critical.as_dict() if self.critical else None,
+            "anomalies": [dict(attrs) for attrs in self.anomalies],
         }
 
 
@@ -663,6 +682,9 @@ def analyze_replay(
     report.memory_audit = _memory_audit(replay)
     report.node_health, report.capacity_timeline = _node_sections(replay)
     report.critical = critical_path(replay)
+    report.anomalies = [
+        dict(event.attrs) for event in replay.anomaly_events()
+    ]
     for job in replay.successful_jobs():
         residual = _job_residual(job, params)
         if residual is not None:
@@ -868,5 +890,14 @@ def render_analysis(report: AnalysisReport) -> str:
             "",
             "== real-resource profiling " + "=" * 37,
             render_profile(report),
+        ]
+    if report.anomalies:
+        # Lazy import: anomaly imports DurationStats from this module.
+        from repro.observability.anomaly import render_anomalies
+
+        sections += [
+            "",
+            "== in-flight anomalies " + "=" * 41,
+            render_anomalies(report.anomalies),
         ]
     return "\n".join(sections)

@@ -83,6 +83,8 @@ FAULT_EVENTS = (
     "tasks_rescheduled",
     "strategy_redecision",
     "tune_decision",
+    "anomaly",
+    "anomaly_config",
 )
 
 

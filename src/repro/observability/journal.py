@@ -201,7 +201,11 @@ class Journal:
         self._seq = 0
         self._next_span = 0
         self._stack: list[int] = []
-        self._lock = threading.Lock()
+        # Re-entrant: the live anomaly watchdog emits its events from
+        # *inside* sink.emit (while _emit holds the lock), so a firing
+        # lands at the very next sequence number, nested right behind
+        # the record that triggered it.
+        self._lock = threading.RLock()
 
     @property
     def enabled(self) -> bool:
@@ -419,8 +423,13 @@ def load_journal(path: str, strict_tail: bool = True) -> list[dict]:
     """
     from repro.common.errors import JournalCorruptError
 
-    with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.read().split("\n")
+    # Read bytes and decode tolerantly: a tailer can catch the writer
+    # mid-record — including mid multi-byte character, where a strict
+    # text-mode read would raise UnicodeDecodeError before the tail
+    # tolerance below ever ran. Replacement characters make such a tail
+    # undecodable JSON, which is exactly the truncated-line case.
+    with open(path, "rb") as fh:
+        lines = fh.read().decode("utf-8", errors="replace").split("\n")
     records: list[dict] = []
     open_run_ids: set = set()
     saw_run = False

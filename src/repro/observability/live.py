@@ -23,10 +23,14 @@ guarded:
 * :func:`follow_journal` — ``repro trace --follow``: tail a growing
   file-sink journal and re-render incrementally.
 
-Determinism contract: telemetry *observes* the record stream, it never
-adds to it — no journal record is emitted by anything in this module,
-and nothing here touches an RNG stream. Results and canonical journals
-are byte-identical with telemetry on or off.
+Determinism contract: telemetry *observes* the record stream and
+nothing here touches an RNG stream; results and canonical journals are
+byte-identical with telemetry on or off. The one sanctioned emitter is
+the opt-in anomaly watchdog (``--anomaly`` /
+:mod:`repro.observability.anomaly`): its firings are pure functions of
+simulated quantities, emitted through the journal's own re-entrant
+sequencing, so journals with detectors armed stay byte-identical
+across backends too — and exactly re-derivable offline.
 """
 
 from __future__ import annotations
@@ -111,6 +115,12 @@ class LiveRunState:
         self.node_capacity: dict = {}
         # SLO breaches land here (the watchdog appends); part of /state.
         self.breaches: list[dict] = []
+        # Anomaly firings (typed ``anomaly`` journal events from the
+        # in-flight detectors) in firing order, plus per-type counts —
+        # what the panel badge, /state and the SLO ``on_anomaly`` rules
+        # read.
+        self.anomalies: list[dict] = []
+        self.anomaly_counts: dict[str, int] = {}
 
     # -- ingestion -------------------------------------------------------
 
@@ -208,6 +218,11 @@ class LiveRunState:
     def _consume_event(self, record: dict) -> None:
         name = record.get("name", "")
         self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        if name == "anomaly":
+            attrs = record.get("attrs") or {}
+            kind = str(attrs.get("anomaly") or "unknown")
+            self.anomaly_counts[kind] = self.anomaly_counts.get(kind, 0) + 1
+            self.anomalies.append(dict(attrs))
         if name in ("node_lost", "node_recovered", "node_blacklisted"):
             attrs = record.get("attrs") or {}
             node = attrs.get("node")
@@ -293,11 +308,16 @@ class LiveRunState:
                 "live_simulated_seconds": float(self.simulated_seconds),
                 "live_max_heap_fraction": float(self.max_heap_fraction),
                 "live_slo_breaches": float(len(self.breaches)),
+                "live_anomalies": float(len(self.anomalies)),
                 "live_eta_simulated_seconds": 0.0,
                 "live_run_complete": float(
                     self.run_status not in (None, "running")
                 ),
             }
+            for kind in sorted(self.anomaly_counts):
+                gauges[f"live_anomalies_{kind}"] = float(
+                    self.anomaly_counts[kind]
+                )
             if self.node_status:
                 statuses = self.node_status.values()
                 gauges["live_nodes_dead"] = float(
@@ -344,6 +364,8 @@ class LiveRunState:
                 "events": dict(self.event_counts),
                 "counters": self.counters.as_dict(),
                 "slo_breaches": [dict(b) for b in self.breaches],
+                "anomalies": [dict(a) for a in self.anomalies],
+                "anomaly_counts": dict(self.anomaly_counts),
             }
             if self.node_status:
                 snap["node_health"] = {
@@ -364,10 +386,12 @@ class TelemetrySink:
     Every record goes to ``inner`` first (the durable journal — a
     :class:`FileJournalSink`, or a null sink when the run wants live
     telemetry without a journal file), then into the
-    :class:`LiveRunState`, then past the optional watchdog, renderer
-    and listeners. Telemetry consumers never emit records of their own,
-    so the journal a telemetry run writes is byte-identical to the one
-    a plain run writes.
+    :class:`LiveRunState`, then past the optional anomaly detectors,
+    SLO watchdog, renderer and listeners. Apart from the anomaly
+    watchdog's deterministic firings, telemetry consumers never emit
+    records of their own, so the journal a telemetry run writes is
+    byte-identical to the one a plain run writes plus exactly the
+    anomaly events the detectors derive.
     """
 
     enabled = True
@@ -380,6 +404,7 @@ class TelemetrySink:
         renderer: "LiveRenderer | None" = None,
         server: "MetricsServer | None" = None,
         listeners=(),
+        anomaly=None,
     ):
         self.inner = inner if inner is not None else NullJournalSink()
         self.state = state if state is not None else LiveRunState()
@@ -387,11 +412,18 @@ class TelemetrySink:
         self.renderer = renderer
         self.server = server
         self.listeners = list(listeners)
+        # The in-flight anomaly watchdog (set after the journal exists
+        # — it emits its firings back through the journal, nested
+        # behind the record that triggered them, so anomaly events are
+        # the one sanctioned exception to "telemetry never emits").
+        self.anomaly = anomaly
 
     def emit(self, record: dict) -> None:
         if self.inner.enabled:
             self.inner.emit(record)
         self.state.consume(record)
+        if self.anomaly is not None:
+            self.anomaly.observe_record(record)
         if self.watchdog is not None:
             self.watchdog.observe(self.state)
         if self.renderer is not None:
@@ -571,7 +603,14 @@ def follow_journal(
     whole on the next poll. Returns the final replay when the
     top-level run span closes (or when ``max_polls`` is exhausted;
     ``None`` polls forever).
+
+    Tolerates every transient state a racing writer can leave behind:
+    a missing file, a partially-written (mid-line, even mid-character)
+    trailing record, and a read that momentarily looks corrupt — the
+    poll simply retries and the partial record shows up whole next
+    time.
     """
+    from repro.common.errors import JournalCorruptError
     from repro.observability.replay import replay_records
 
     seen = 0
@@ -580,7 +619,7 @@ def follow_journal(
     while True:
         try:
             records = load_journal(path, strict_tail=False)
-        except FileNotFoundError:
+        except (FileNotFoundError, JournalCorruptError):
             records = []
         if len(records) > seen:
             seen = len(records)
@@ -602,6 +641,7 @@ _TELEMETRY_LOCK = threading.Lock()
 
 def telemetry_requested(env) -> bool:
     """True when any live-telemetry environment switch is set."""
+    from repro.observability.anomaly import ANOMALY_ENV, parse_anomaly_spec
     from repro.observability.profiling import env_flag
     from repro.observability.slo import SLO_ENV
 
@@ -609,20 +649,26 @@ def telemetry_requested(env) -> bool:
         env_flag(env.get(LIVE_ENV))
         or (env.get(METRICS_PORT_ENV) or "").strip()
         or (env.get(SLO_ENV) or "").strip()
+        or parse_anomaly_spec(env.get(ANOMALY_ENV)) is not None
     )
 
 def telemetry_journal_from_env(env) -> "Journal | None":
     """The live-telemetry counterpart of :func:`~repro.observability.journal.file_journal`.
 
     Returns ``None`` when no live switch (``$REPRO_LIVE``,
-    ``$REPRO_METRICS_PORT``, ``$REPRO_SLO``) is set — the caller falls
-    back to plain journalling. Otherwise builds (once per configuration,
-    shared process-wide so every runtime a run constructs feeds one
-    aggregate) a journal whose sink tees into a fresh
-    :class:`LiveRunState` with the requested renderer, metrics server
-    and SLO watchdog attached. The metrics endpoint's bound address is
-    announced on stderr once.
+    ``$REPRO_METRICS_PORT``, ``$REPRO_SLO``, ``$REPRO_ANOMALY``) is set
+    — the caller falls back to plain journalling. Otherwise builds
+    (once per configuration, shared process-wide so every runtime a run
+    constructs feeds one aggregate) a journal whose sink tees into a
+    fresh :class:`LiveRunState` with the requested renderer, metrics
+    server, SLO watchdog and anomaly detectors attached. The metrics
+    endpoint's bound address is announced on stderr once.
     """
+    from repro.observability.anomaly import (
+        ANOMALY_ENV,
+        AnomalyWatchdog,
+        parse_anomaly_spec,
+    )
     from repro.observability.profiling import env_flag
     from repro.observability.slo import SLO_ENV, SLOWatchdog, parse_slo_rules
 
@@ -632,7 +678,14 @@ def telemetry_journal_from_env(env) -> "Journal | None":
     live = env_flag(env.get(LIVE_ENV))
     port = (env.get(METRICS_PORT_ENV) or "").strip()
     slo_spec = (env.get(SLO_ENV) or "").strip()
-    key = (os.path.abspath(path) if path else "", live, port, slo_spec)
+    anomaly_spec = (env.get(ANOMALY_ENV) or "").strip()
+    key = (
+        os.path.abspath(path) if path else "",
+        live,
+        port,
+        slo_spec,
+        anomaly_spec,
+    )
     with _TELEMETRY_LOCK:
         journal = _TELEMETRY_JOURNALS.get(key)
         if journal is not None:
@@ -657,5 +710,10 @@ def telemetry_journal_from_env(env) -> "Journal | None":
                 server=server,
             )
         )
+        anomaly_config = parse_anomaly_spec(anomaly_spec)
+        if anomaly_config is not None:
+            # Bound after construction: the watchdog emits back through
+            # the journal it observes.
+            journal.sink.anomaly = AnomalyWatchdog(journal, anomaly_config)
         _TELEMETRY_JOURNALS[key] = journal
         return journal

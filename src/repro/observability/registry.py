@@ -31,7 +31,9 @@ from repro.observability.replay import RunReplay, replay_journal
 JOURNAL_SUFFIX = ".jsonl"
 
 #: Index schema version, bumped on incompatible changes.
-INDEX_SCHEMA_VERSION = 1
+#: v2: run entries carry ``anomalies`` (per-type live detector firing
+#: counts from the journal's ``anomaly`` events).
+INDEX_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -47,6 +49,7 @@ class RunEntry:
     error: "str | None" = None
     wasted_attempts: int = 0
     wasted_seconds: float = 0.0
+    anomalies: "dict[str, int]" = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -73,6 +76,7 @@ class RunEntry:
             "error": self.error,
             "wasted_attempts": self.wasted_attempts,
             "wasted_seconds": self.wasted_seconds,
+            "anomalies": dict(self.anomalies),
         }
 
 
@@ -98,6 +102,10 @@ def entry_from_replay(label: str, path: str, replay: RunReplay) -> RunEntry:
             continue
         wasted_attempts += 1
         wasted_seconds += float(attempt.get("simulated_seconds") or 0.0)
+    anomalies: dict[str, int] = {}
+    for event in replay.anomaly_events():
+        kind = str(event.attrs.get("anomaly") or "unknown")
+        anomalies[kind] = anomalies.get(kind, 0) + 1
     return RunEntry(
         label=label,
         path=path,
@@ -108,6 +116,7 @@ def entry_from_replay(label: str, path: str, replay: RunReplay) -> RunEntry:
         error=error,
         wasted_attempts=wasted_attempts,
         wasted_seconds=wasted_seconds,
+        anomalies=anomalies,
     )
 
 
@@ -234,8 +243,8 @@ def render_dashboard(
         "## Runs",
         "",
         "| run | makespan (s) | jobs ok/attempts | k found | k trajectory "
-        "| reconciled | verdict |",
-        "|---|---:|---:|---:|---|---|---|",
+        "| reconciled | anomalies | verdict |",
+        "|---|---:|---:|---:|---|---|---|---|",
     ]
     for entry in entries:
         summary = entry.summary
@@ -244,12 +253,20 @@ def render_dashboard(
             verdict = "SLO abort"
         elif entry.error:
             verdict = f"error: {entry.error}"
+        anomalies = (
+            ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(entry.anomalies.items())
+            )
+            or "-"
+        )
         lines.append(
             f"| {entry.label} | {entry.makespan:.2f} "
             f"| {summary.jobs}/{summary.job_attempts} "
             f"| {summary.k_found if summary.k_found is not None else '-'} "
             f"| {entry.k_path} "
             f"| {'yes' if entry.reconciled else 'NO'} "
+            f"| {anomalies} "
             f"| {verdict} |"
         )
 

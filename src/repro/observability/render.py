@@ -207,6 +207,9 @@ def render_live_line(snapshot: dict) -> str:
     breaches = snapshot.get("slo_breaches") or []
     if breaches:
         parts.append(f"slo_breaches={len(breaches)}")
+    anomalies = snapshot.get("anomalies") or []
+    if anomalies:
+        parts.append(f"anomalies={len(anomalies)}")
     return " ".join(parts)
 
 
@@ -245,6 +248,8 @@ def render_live_status(snapshot: dict, width: int = 32) -> str:
         tail.append(
             f"SLO:{breach.get('rule')}>{breach.get('limit')}({breach.get('action')})"
         )
+    for kind, count in sorted((snapshot.get("anomaly_counts") or {}).items()):
+        tail.append(f"ANOMALY:{kind}x{count}")
     lines.append("  " + "  ".join(tail))
     return "\n".join(lines)
 

@@ -164,6 +164,13 @@ class RunReplay:
         lifecycle = {"node_lost", "node_recovered", "node_blacklisted"}
         return [event for event in self.events if event.name in lifecycle]
 
+    def anomaly_events(self) -> "list[EventRecord]":
+        """The in-flight detector firings (``anomaly`` events), in
+        journal order. Each event's attrs carry the anomaly type under
+        ``anomaly`` plus the detector's inputs; ``repro anomalies
+        JOURNAL --check`` proves they re-derive exactly."""
+        return self.events_named("anomaly")
+
     # -- accounting cross-checks -----------------------------------------
 
     def successful_jobs(self) -> "list[SpanNode]":

@@ -6,7 +6,12 @@ Rules are given as a comma-separated spec (the CLI's ``--slo`` flag /
     max_k=64,warn:max_wall_seconds=600,max_heap_fraction=0.9
 
 Each rule names a quantity derived from :class:`~repro.observability.
-live.LiveRunState` and an upper limit. The default action is ``abort``:
+live.LiveRunState` and an upper limit. ``on_anomaly=TYPE`` rules
+subscribe to the in-flight anomaly detectors instead (``--anomaly``):
+the observed quantity is the live count of that anomaly type, with an
+implicit limit of zero — the first ``heap_breach_predicted`` (or
+``skew_drift``, ...) firing breaches the rule. The default action is
+``abort``:
 on breach the watchdog *requests* an abort, and the driver honours it
 at the first clean point — for the checkpointing G-means chain, right
 after the iteration's checkpoint is written — by raising
@@ -39,6 +44,7 @@ RULE_NAMES = (
     "max_k",
     "max_heap_fraction",
     "max_job_retries",
+    "on_anomaly",
 )
 
 ABORT = "abort"
@@ -47,13 +53,20 @@ WARN = "warn"
 
 @dataclass(frozen=True)
 class SLORule:
-    """One declarative guardrail: a named quantity must stay ≤ limit."""
+    """One declarative guardrail: a named quantity must stay ≤ limit.
+
+    ``on_anomaly`` rules carry the subscribed anomaly type in
+    ``anomaly`` and an implicit limit of zero (any firing breaches).
+    """
 
     name: str
     limit: float
     action: str = ABORT
+    anomaly: "str | None" = None
 
     def __post_init__(self) -> None:
+        from repro.observability.anomaly import ANOMALY_TYPES
+
         if self.name not in RULE_NAMES:
             raise ConfigurationError(
                 f"unknown SLO rule {self.name!r}; choose from {', '.join(RULE_NAMES)}"
@@ -62,10 +75,33 @@ class SLORule:
             raise ConfigurationError(
                 f"unknown SLO action {self.action!r}; choose abort or warn"
             )
+        if self.name == "on_anomaly":
+            if self.anomaly not in ANOMALY_TYPES:
+                raise ConfigurationError(
+                    f"unknown anomaly type {self.anomaly!r} for on_anomaly; "
+                    f"choose from {', '.join(ANOMALY_TYPES)}"
+                )
+            if self.limit < 0:
+                raise ConfigurationError(
+                    f"SLO rule {self.key} needs a non-negative limit, "
+                    f"got {self.limit!r}"
+                )
+            return
+        if self.anomaly is not None:
+            raise ConfigurationError(
+                f"SLO rule {self.name} does not take an anomaly type"
+            )
         if not self.limit > 0:
             raise ConfigurationError(
                 f"SLO rule {self.name} needs a positive limit, got {self.limit!r}"
             )
+
+    @property
+    def key(self) -> str:
+        """The rule's identity (duplicates, breach naming, latching)."""
+        if self.anomaly is not None:
+            return f"{self.name}:{self.anomaly}"
+        return self.name
 
 
 @dataclass(frozen=True)
@@ -90,9 +126,11 @@ def parse_slo_rules(spec: str) -> tuple[SLORule, ...]:
     """Parse a ``--slo`` spec string into rules.
 
     ``"max_k=64,warn:max_wall_seconds=600"`` → an abort rule on k and a
-    warn rule on wall clock. Whitespace around separators is tolerated;
-    duplicate rule names are a configuration error (which limit would
-    win is otherwise ambiguous).
+    warn rule on wall clock; ``"on_anomaly=heap_breach_predicted"`` →
+    an abort rule on the first heap-breach prediction. Whitespace
+    around separators is tolerated; duplicate rules (same name, and
+    for ``on_anomaly`` the same type) are a configuration error (which
+    limit would win is otherwise ambiguous).
     """
     rules: list[SLORule] = []
     seen: set[str] = set()
@@ -110,16 +148,25 @@ def parse_slo_rules(spec: str) -> tuple[SLORule, ...]:
             )
         name, _, raw_limit = chunk.partition("=")
         name = name.strip().lower()
-        if name in seen:
-            raise ConfigurationError(f"duplicate SLO rule {name!r}")
-        seen.add(name)
-        try:
-            limit = float(raw_limit.strip())
-        except ValueError:
-            raise ConfigurationError(
-                f"SLO rule {name} has a non-numeric limit {raw_limit.strip()!r}"
-            ) from None
-        rules.append(SLORule(name=name, limit=limit, action=action))
+        if name == "on_anomaly":
+            rule = SLORule(
+                name=name,
+                limit=0.0,
+                action=action,
+                anomaly=raw_limit.strip().lower(),
+            )
+        else:
+            try:
+                limit = float(raw_limit.strip())
+            except ValueError:
+                raise ConfigurationError(
+                    f"SLO rule {name} has a non-numeric limit {raw_limit.strip()!r}"
+                ) from None
+            rule = SLORule(name=name, limit=limit, action=action)
+        if rule.key in seen:
+            raise ConfigurationError(f"duplicate SLO rule {rule.key!r}")
+        seen.add(rule.key)
+        rules.append(rule)
     return tuple(rules)
 
 
@@ -134,6 +181,9 @@ def _observe_rule(rule: SLORule, state, now: "float | None") -> float:
         return float(state.max_heap_fraction)
     if rule.name == "max_job_retries":
         return float(state.job_retries)
+    if rule.name == "on_anomaly":
+        counts = getattr(state, "anomaly_counts", None) or {}
+        return float(counts.get(rule.anomaly, 0))
     raise ConfigurationError(f"unknown SLO rule {rule.name!r}")  # pragma: no cover
 
 
@@ -165,14 +215,14 @@ class SLOWatchdog:
         now = self._clock()
         with self._lock:
             for rule in self.rules:
-                if rule.name in self._fired:
+                if rule.key in self._fired:
                     continue
                 observed = _observe_rule(rule, state, now)
                 if observed <= rule.limit:
                     continue
-                self._fired.add(rule.name)
+                self._fired.add(rule.key)
                 breach = SLOBreach(
-                    rule=rule.name,
+                    rule=rule.key,
                     limit=rule.limit,
                     observed=observed,
                     action=rule.action,
@@ -185,7 +235,7 @@ class SLOWatchdog:
                     else "warning only"
                 )
                 print(
-                    f"[repro] SLO breach: {rule.name} limit {rule.limit:g} "
+                    f"[repro] SLO breach: {rule.key} limit {rule.limit:g} "
                     f"exceeded (observed {observed:g}); {verb}",
                     file=self.stream,
                 )

@@ -30,6 +30,49 @@ def journal_path(tmp_path_factory):
     return record_journal(tmp_path_factory.mktemp("journals") / "run.jsonl")
 
 
+def record_anomaly_journal(path, seed=7) -> str:
+    """A run recorded with the in-flight detectors armed.
+
+    The small fixture workload is perfectly even (every task in a phase
+    simulates the same duration), so the statistical detectors cannot
+    trip no matter how tight the thresholds.  Instead we force the
+    reducer-side TestClusters strategy and drop ``heap_fraction`` to a
+    sliver so the Figure-2 heap-breach predictor deterministically fires
+    mid-run.
+    """
+    from repro.observability.anomaly import AnomalyWatchdog, parse_anomaly_spec
+    from repro.observability.live import LiveRunState, TelemetrySink
+
+    inner = FileJournalSink(str(path))
+    sink = TelemetrySink(inner, LiveRunState())
+    journal = Journal(sink)
+    sink.anomaly = AnomalyWatchdog(
+        journal,
+        parse_anomaly_spec(
+            "heap_fraction=0.0001,straggler_ratio=1.05,straggler_min_tasks=2"
+        ),
+    )
+    mixture = generate_gaussian_mixture(
+        n_points=600, n_clusters=3, dimensions=2, rng=seed
+    )
+    world = build_world(
+        mixture, nodes=2, target_splits=6, seed=seed, journal=journal
+    )
+    MRGMeans(
+        world.runtime, MRGMeansConfig(seed=seed, strategy="reducer")
+    ).fit(world.dataset)
+    journal.close()
+    assert sink.anomaly.fired, "fixture must record at least one firing"
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def anomaly_journal_path(tmp_path_factory):
+    return record_anomaly_journal(
+        tmp_path_factory.mktemp("journals") / "anomalies.jsonl"
+    )
+
+
 def test_trace_renders_recorded_run(journal_path, capsys):
     assert main(["trace", journal_path]) == 0
     out = capsys.readouterr().out
@@ -94,6 +137,81 @@ def test_analyze_json_output(journal_path, capsys):
 
 def test_analyze_unreadable_journal_exits_one(capsys):
     assert main(["analyze", "nope.jsonl"]) == 1
+    assert "cannot read journal" in capsys.readouterr().err
+
+
+def test_analyze_json_schema_is_versioned(journal_path, capsys):
+    from repro.observability import ANALYZE_SCHEMA_VERSION
+
+    assert main(["analyze", journal_path, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == ANALYZE_SCHEMA_VERSION
+    assert data["anomalies"] == []  # recorded without --anomaly
+
+
+def test_analyze_surfaces_recorded_anomalies(anomaly_journal_path, capsys):
+    assert main(["analyze", anomaly_journal_path, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["anomalies"]
+    assert all("anomaly" in attrs for attrs in data["anomalies"])
+    assert main(["analyze", anomaly_journal_path]) == 0
+    assert "== in-flight anomalies" in capsys.readouterr().out
+
+
+def test_anomalies_lists_recorded_firings(anomaly_journal_path, capsys):
+    assert main(["anomalies", anomaly_journal_path]) == 0
+    out = capsys.readouterr().out
+    assert "firing(s)" in out
+    assert "thresholds:" in out
+
+
+def test_anomalies_json_reports_config_and_firings(anomaly_journal_path, capsys):
+    assert main(["anomalies", anomaly_journal_path, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["config"]["straggler_ratio"] == 1.05
+    assert data["anomalies"]
+
+
+def test_anomalies_check_reconciles_live_run(anomaly_journal_path, capsys):
+    assert main(["anomalies", anomaly_journal_path, "--check"]) == 0
+    assert "reconciliation: OK" in capsys.readouterr().out
+    assert main(["anomalies", anomaly_journal_path, "--check", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["expected_events"] == data["recorded_events"] > 0
+
+
+def test_anomalies_check_fails_on_tampered_journal(
+    anomaly_journal_path, tmp_path, capsys
+):
+    lines = open(anomaly_journal_path, encoding="utf-8").read().splitlines()
+    kept, dropped = [], False
+    for line in lines:
+        if not dropped and '"name":"anomaly"' in line:
+            dropped = True
+            continue
+        kept.append(line)
+    assert dropped
+    tampered = tmp_path / "tampered.jsonl"
+    tampered.write_text("\n".join(kept) + "\n")
+    assert main(["anomalies", str(tampered), "--check"]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_anomalies_check_requires_armed_run(journal_path, capsys):
+    assert main(["anomalies", journal_path, "--check"]) == 1
+    assert "no anomaly_config" in capsys.readouterr().err
+
+
+def test_anomalies_post_hoc_detection_on_unarmed_journal(journal_path, capsys):
+    # Without --check the detectors run post-hoc with defaults, so any
+    # journal can be screened after the fact.
+    assert main(["anomalies", journal_path]) == 0
+    assert "firing(s)" in capsys.readouterr().out
+
+
+def test_anomalies_missing_journal_exits_one(capsys):
+    assert main(["anomalies", "nope.jsonl"]) == 1
     assert "cannot read journal" in capsys.readouterr().err
 
 

@@ -29,6 +29,7 @@ from repro.observability.live import (
     telemetry_journal_from_env,
     telemetry_requested,
 )
+from repro.observability.anomaly import ANOMALY_ENV
 from repro.observability.slo import SLO_ENV
 
 MIB = 1024 * 1024
@@ -314,6 +315,70 @@ def test_follow_journal_tolerates_missing_file_and_truncated_tail(tmp_path):
     assert replay is not None and replay.roots[0].complete
 
 
+def test_follow_journal_tolerates_mid_character_truncation(tmp_path):
+    # Regression: a record killed mid-way through a multi-byte UTF-8
+    # character used to raise UnicodeDecodeError out of load_journal
+    # (text-mode read decodes the torn byte sequence before the
+    # line-level truncation tolerance can drop it).
+    path = str(tmp_path / "torn.jsonl")
+    first = Journal(InMemoryJournalSink())
+    drive_run(first, iterations=1)
+
+    def appear(_interval):
+        sink = FileJournalSink(path)
+        for record in first.sink.records:
+            sink.emit(record)
+        sink.close()
+        payload = '{"type":"event","name":"café-prob'.encode("utf-8")
+        with open(path, "ab") as fh:
+            fh.write(payload[:-6])  # cut inside the two-byte "é"
+
+    updates = []
+    replay = follow_journal(
+        path,
+        lambda rep, recs: updates.append(len(recs)),
+        interval=0.0,
+        sleep=appear,
+        max_polls=5,
+    )
+    assert updates == [len(first.sink.records)]  # torn tail dropped
+    assert replay is not None and replay.roots[0].complete
+
+
+def test_follow_journal_picks_up_completed_truncated_record(tmp_path):
+    # A mid-line tail is not corruption, just an in-flight write: once
+    # the writer finishes the line on a later poll, the record lands.
+    path = str(tmp_path / "inflight.jsonl")
+    first = Journal(InMemoryJournalSink())
+    drive_run(first, iterations=1)
+    records = first.sink.records
+    sink = FileJournalSink(path)
+    for record in records[:-1]:
+        sink.emit(record)
+    sink.close()
+    import json as _json
+
+    last_line = _json.dumps(records[-1], separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(last_line[:12])  # the final record is mid-write
+
+    def finish(_interval):
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(last_line[12:] + "\n")
+
+    updates = []
+    replay = follow_journal(
+        path,
+        lambda rep, recs: updates.append(len(recs)),
+        interval=0.0,
+        sleep=finish,
+        max_polls=5,
+    )
+    assert updates[0] == len(records) - 1  # partial tail dropped...
+    assert updates[-1] == len(records)  # ...then completed next poll
+    assert replay.roots[0].complete
+
+
 def test_follow_journal_respects_max_polls(tmp_path):
     path = str(tmp_path / "stalled.jsonl")
     sink = FileJournalSink(path)
@@ -337,9 +402,12 @@ def test_follow_journal_respects_max_polls(tmp_path):
 def test_telemetry_requested_switches():
     assert not telemetry_requested({})
     assert not telemetry_requested({LIVE_ENV: "0"})
+    assert not telemetry_requested({ANOMALY_ENV: "off"})
     assert telemetry_requested({LIVE_ENV: "1"})
     assert telemetry_requested({METRICS_PORT_ENV: "8787"})
     assert telemetry_requested({SLO_ENV: "max_k=4"})
+    assert telemetry_requested({ANOMALY_ENV: "1"})
+    assert telemetry_requested({ANOMALY_ENV: "storm_events=3"})
 
 
 def test_telemetry_journal_from_env_builds_and_caches():
@@ -351,3 +419,43 @@ def test_telemetry_journal_from_env_builds_and_caches():
     assert journal.sink.watchdog is not None
     assert not journal.sink.inner.enabled  # no journal path: null inner
     assert telemetry_journal_from_env(env) is journal  # cached per config
+
+
+def test_telemetry_from_env_arms_anomaly_watchdog():
+    from repro.observability.anomaly import AnomalyConfig, AnomalyWatchdog
+
+    env = {ANOMALY_ENV: "straggler_ratio=123.5"}  # unique: process-wide cache
+    journal = telemetry_journal_from_env(env)
+    assert journal is not None and journal.enabled
+    assert isinstance(journal.sink.anomaly, AnomalyWatchdog)
+    assert journal.sink.anomaly.journal is journal  # emits re-entrantly
+    assert journal.sink.anomaly.config == AnomalyConfig(straggler_ratio=123.5)
+    assert journal.sink.watchdog is None  # no SLO rules requested
+    assert telemetry_journal_from_env(env) is journal  # spec is a cache key
+
+
+def test_journal_from_env_composes_anomaly_with_file_and_slo(tmp_path):
+    # Journal.from_env is the runtime's single entry point: a file
+    # journal, SLO rules and the anomaly detectors must all compose
+    # into one telemetry journal from the same environment.
+    from repro.observability.anomaly import AnomalyWatchdog
+    from repro.observability.journal import JOURNAL_ENV, FileJournalSink
+
+    path = str(tmp_path / "combo.jsonl")
+    env = {
+        JOURNAL_ENV: path,
+        SLO_ENV: "max_k=123457",  # unique: process-wide cache
+        ANOMALY_ENV: "1",
+    }
+    journal = Journal.from_env(environ=env)
+    assert journal.enabled
+    assert isinstance(journal.sink, TelemetrySink)
+    assert isinstance(journal.sink.inner, FileJournalSink)
+    assert journal.sink.watchdog is not None
+    assert isinstance(journal.sink.anomaly, AnomalyWatchdog)
+    # The anomaly spec is part of the cache key: flipping it builds a
+    # distinct journal instead of reusing the armed one.
+    assert Journal.from_env(environ=env) is journal
+    other = Journal.from_env(environ={**env, ANOMALY_ENV: "off"})
+    assert other is not journal
+    assert other.sink.anomaly is None

@@ -95,7 +95,15 @@ def test_watchdog_every_rule_name_is_observable():
     state = LiveRunState()
     state.k_current = 2
     watchdog = SLOWatchdog(
-        [SLORule(name=name, limit=1e9) for name in RULE_NAMES],
+        [
+            SLORule(
+                name=name,
+                limit=1e9,
+                # on_anomaly is the one rule keyed by a detector type.
+                anomaly="fault_storm" if name == "on_anomaly" else None,
+            )
+            for name in RULE_NAMES
+        ],
         stream=io.StringIO(),
         clock=lambda: 0.0,
     )
